@@ -1,0 +1,107 @@
+// Ablation A3: δ-apportioning rules for the partitioned Mv approach.
+//
+// The paper apportions inversely to rates (fast mover gets the tight
+// share).  This ablation compares that against an equal split and the
+// inverted (proportional-to-rate) rule on the AT&T + Yahoo pair.
+#include <iostream>
+#include <memory>
+
+#include "consistency/partitioned.h"
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "metrics/value_fidelity.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/paper_workloads.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace broadway;
+
+// Fixed-share partitioned run: each object keeps share_i of δ forever
+// (bypasses the rate-based re-apportioning by pinning tolerances).
+struct FixedSplitResult {
+  std::size_t polls = 0;
+  MutualValueReport mutual;
+};
+
+FixedSplitResult run_fixed_split(const ValueTrace& a, const ValueTrace& b,
+                                 double delta, double share_a) {
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine engine(sim, origin);
+  origin.attach_value_trace(a.name(), a);
+  origin.attach_value_trace(b.name(), b);
+
+  AdaptiveValueTtrPolicy::Config pa;
+  pa.delta = delta * share_a;
+  pa.bounds = {1.0, 300.0};
+  AdaptiveValueTtrPolicy::Config pb = pa;
+  pb.delta = delta * (1.0 - share_a);
+  engine.add_value_object(a.name(), pa);
+  engine.add_value_object(b.name(), pb);
+
+  const Duration horizon = std::min(a.duration(), b.duration());
+  engine.start();
+  sim.run_until(horizon);
+
+  FixedSplitResult result;
+  result.polls = engine.polls_performed();
+  const auto polls_a = successful_polls(engine.poll_log(), a.name());
+  const auto polls_b = successful_polls(engine.poll_log(), b.name());
+  const DifferenceFunction difference;
+  result.mutual = evaluate_mutual_value(a, polls_a, b, polls_b, difference,
+                                        delta, horizon);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const ValueTrace att = make_att_stock_trace();
+  const ValueTrace yahoo = make_yahoo_stock_trace();
+
+  print_banner(std::cout,
+               "Ablation A3: delta apportioning rules, AT&T + Yahoo, "
+               "f = difference");
+
+  TextTable table;
+  table.set_header(
+      {"delta ($)", "rule", "polls", "fidelity(t)", "violations"});
+  for (double delta : {0.5, 1.0, 2.0}) {
+    // Paper rule: inverse-rate (dynamic re-apportioning).
+    MutualValueRunConfig config;
+    config.delta = delta;
+    config.approach = MutualValueApproach::kPartitioned;
+    const auto paper_rule = run_mutual_value(att, yahoo, config);
+    table.add_row({fmt(delta, 2), "inverse-rate (paper)",
+                   std::to_string(paper_rule.polls),
+                   fmt(paper_rule.mutual.fidelity_time(), 3),
+                   std::to_string(paper_rule.mutual.violations)});
+
+    // Equal split.
+    const auto equal = run_fixed_split(att, yahoo, delta, 0.5);
+    table.add_row({fmt(delta, 2), "equal split",
+                   std::to_string(equal.polls),
+                   fmt(equal.mutual.fidelity_time(), 3),
+                   std::to_string(equal.mutual.violations)});
+
+    // Inverted rule: the FAST object (Yahoo, index 1 here as object b)
+    // gets the LOOSE share — AT&T gets the tight 10%.
+    const auto inverted = run_fixed_split(att, yahoo, delta, 0.1);
+    table.add_row({fmt(delta, 2), "proportional-to-rate (inverted)",
+                   std::to_string(inverted.polls),
+                   fmt(inverted.mutual.fidelity_time(), 3),
+                   std::to_string(inverted.mutual.violations)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: giving the volatile stock the loose tolerance "
+         "(inverted rule) lets f drift\nthrough the budget between its "
+         "infrequent polls; the paper's inverse-rate rule pins\nthe fast "
+         "mover tightly and spends the budget where drift is cheap.\n";
+  return 0;
+}

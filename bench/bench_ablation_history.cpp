@@ -1,0 +1,54 @@
+// Ablation A1: violation-detection strategies (paper §3.1 / §5.1).
+//
+// How much does the proposed X-Modification-History extension actually
+// buy?  Three proxies run LIMD over the same traces:
+//   exact-history       — the extension, exact Fig. 1(b) detection;
+//   last-modified-only  — stock HTTP/1.1;
+//   probabilistic       — stock HTTP plus learned update-rate inference.
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "trace/paper_workloads.h"
+#include "util/table.h"
+#include "util/time.h"
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout,
+               "Ablation A1: violation detection vs the modification-"
+               "history extension (LIMD, Delta = 5 min)");
+
+  TextTable table;
+  table.set_header({"trace", "detector", "polls", "fidelity(v)",
+                    "fidelity(t)", "violations"});
+
+  for (const UpdateTrace& trace : make_all_temporal_traces()) {
+    for (auto detection : {ViolationDetection::kExactHistory,
+                           ViolationDetection::kLastModifiedOnly,
+                           ViolationDetection::kProbabilistic}) {
+      TemporalRunConfig config;
+      config.delta = minutes(5.0);
+      config.ttr_max = minutes(60.0);
+      config.detection = detection;
+      // The extension header is only served when the ablation arm uses it.
+      config.origin_history =
+          detection == ViolationDetection::kExactHistory;
+      const auto result = run_limd_individual(trace, config);
+      table.add_row({trace.name(), to_string(detection),
+                     std::to_string(result.polls),
+                     fmt(result.fidelity.fidelity_violations(), 3),
+                     fmt(result.fidelity.fidelity_time(), 3),
+                     std::to_string(result.fidelity.violations)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: exact history detects Fig. 1(b) multi-update "
+         "violations that Last-Modified\nmisses, so LIMD backs off more "
+         "(more polls) and sustains equal-or-better fidelity;\nthe "
+         "probabilistic detector recovers part of that gap without any "
+         "protocol change.\n";
+  return 0;
+}

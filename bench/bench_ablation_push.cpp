@@ -1,0 +1,103 @@
+// Ablation A5: pull-based consistency vs the server-push alternative the
+// paper scopes out (footnote 1).
+//
+// For each Table 2 trace at Δ = 5 min, compares:
+//   baseline      — poll every Δ (perfect fidelity, many polls);
+//   LIMD          — the paper's adaptive poller;
+//   push          — origin pushes every update on occurrence;
+//   push+coalesce — pushes coalesced for up to 0.9·Δ (bursts share one
+//                   message; the Δ bound still holds).
+// Cost metric: network messages (polls or pushes).
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "metrics/fidelity.h"
+#include "origin/push.h"
+#include "sim/simulator.h"
+#include "trace/paper_workloads.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace {
+
+using namespace broadway;
+
+struct PushRun {
+  std::size_t messages = 0;
+  std::size_t coalesced = 0;
+  TemporalFidelityReport fidelity;
+};
+
+PushRun run_push(const UpdateTrace& trace, Duration delta,
+                 Duration coalesce_window) {
+  Simulator sim;
+  OriginServer origin(sim);
+  PushChannel channel(sim, origin, coalesce_window);
+
+  std::vector<PollInstant> deliveries;
+  deliveries.push_back(PollInstant{0.0, 0.0});  // initial fetch
+  origin.add_object(trace.name());
+  channel.subscribe(trace.name(),
+                    [&deliveries, &sim](const std::string&, const Response&) {
+                      deliveries.push_back(
+                          PollInstant{sim.now(), sim.now()});
+                    });
+  channel.attach_pushed_trace(trace.name(), trace);
+  // Object already created above; attach_pushed_trace would have created
+  // it otherwise.
+  sim.run_until(trace.duration());
+
+  PushRun out;
+  out.messages = channel.pushes_delivered();
+  out.coalesced = channel.updates_coalesced();
+  out.fidelity = evaluate_temporal_fidelity(trace, deliveries, delta,
+                                            trace.duration());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Duration delta = minutes(5.0);
+  print_banner(std::cout,
+               "Ablation A5: pull (baseline/LIMD) vs server push "
+               "(Delta = 5 min; cost = messages)");
+
+  TextTable table;
+  table.set_header({"trace", "mechanism", "messages", "fidelity(t)",
+                    "coalesced updates"});
+  for (const UpdateTrace& trace : make_all_temporal_traces()) {
+    const auto baseline = run_baseline_individual(trace, delta);
+    TemporalRunConfig limd_config;
+    limd_config.delta = delta;
+    limd_config.ttr_max = minutes(60.0);
+    const auto limd = run_limd_individual(trace, limd_config);
+    const PushRun push = run_push(trace, delta, 0.0);
+    const PushRun coalesced = run_push(trace, delta, 0.9 * delta);
+
+    table.add_row({trace.name(), "baseline poll-every-Delta",
+                   std::to_string(baseline.polls),
+                   fmt(baseline.fidelity.fidelity_time(), 3), "-"});
+    table.add_row({trace.name(), "LIMD", std::to_string(limd.polls),
+                   fmt(limd.fidelity.fidelity_time(), 3), "-"});
+    table.add_row({trace.name(), "push (immediate)",
+                   std::to_string(push.messages),
+                   fmt(push.fidelity.fidelity_time(), 3),
+                   std::to_string(push.coalesced)});
+    table.add_row({trace.name(), "push (coalesce 0.9*Delta)",
+                   std::to_string(coalesced.messages),
+                   fmt(coalesced.fidelity.fidelity_time(), 3),
+                   std::to_string(coalesced.coalesced)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: push achieves perfect fidelity with exactly one "
+         "message per update (the\npull lower bound the paper's optimal-"
+         "poller argument describes), and coalescing\nrecovers burst "
+         "savings.  The price is origin-side state per (object, proxy) "
+         "pair —\nthe reason the paper (and HTTP/1.1) stays with proxy-"
+         "driven polling.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A4: Eq. 10 parameter sensitivity (w and α) on low- vs
+// high-locality data (paper §4.1: "data that exhibits less locality can be
+// handled by biasing the algorithm towards more conservative TTR values
+// (by picking a small value of α)").
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "trace/paper_workloads.h"
+#include "trace/stock.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+// Low-locality stress stock: calm drift punctuated by violent regime
+// flips, so the recent past is a poor predictor.
+broadway::ValueTrace make_low_locality_trace() {
+  using namespace broadway;
+  Rng rng(404);
+  StockWalkConfig config;
+  config.name = "LowLocality";
+  config.duration = hours(3.0);
+  config.updates = 1500;
+  config.initial_value = 100.0;
+  config.min_value = 80.0;
+  config.max_value = 120.0;
+  config.tick_size = 0.01;
+  config.step_sigma = 0.9;    // violent moves...
+  config.reversion = 0.001;   // ...with almost no mean reversion
+  config.burstiness = 0.7;    // concentrated in flurries
+  return generate_stock_walk(rng, config);
+}
+
+}  // namespace
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout,
+               "Ablation A4: Eq. 10 sensitivity — smoothing w and "
+               "conservative-mix alpha (Delta_v = $0.5)");
+
+  TextTable table;
+  table.set_header({"trace", "w", "alpha", "polls", "fidelity(v)",
+                    "fidelity(t)"});
+
+  const ValueTrace yahoo = make_yahoo_stock_trace();
+  const ValueTrace stress = make_low_locality_trace();
+  for (const ValueTrace* trace : {&yahoo, &stress}) {
+    for (double w : {0.3, 0.5, 0.9}) {
+      for (double alpha : {0.3, 0.7, 1.0}) {
+        ValueRunConfig config;
+        config.delta = 0.5;
+        config.smoothing_w = w;
+        config.alpha = alpha;
+        const auto result = run_value_individual(*trace, config);
+        table.add_row({trace->name(), fmt(w, 1), fmt(alpha, 1),
+                       std::to_string(result.polls),
+                       fmt(result.fidelity.fidelity_violations(), 3),
+                       fmt(result.fidelity.fidelity_time(), 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: on the high-locality Yahoo trace the parameters barely "
+         "matter; on the\nlow-locality stress trace a small alpha (leaning "
+         "on TTR_observed_min) spends polls\nto claw back fidelity — the "
+         "paper's recommendation for data with poor locality.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 1 reproduction: the two scenarios that violate Δt-consistency
+// guarantees, shown through the violation detector's verdicts.
+//  (a) a single update more than Δ before the current poll;
+//  (b) multiple updates where only the *first* since the previous poll
+//      breaches the bound (invisible to stock HTTP).
+#include <iostream>
+
+#include "consistency/violation.h"
+#include "harness/reporting.h"
+#include "util/table.h"
+
+namespace {
+
+broadway::TemporalPollObservation make_obs(
+    double prev, double now, std::vector<double> history, bool with_history) {
+  broadway::TemporalPollObservation obs;
+  obs.previous_poll_time = prev;
+  obs.poll_time = now;
+  obs.modified = !history.empty();
+  if (!history.empty()) obs.last_modified = history.back();
+  if (with_history) obs.history = history;
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout,
+               "Figure 1: Scenarios that violate consistency guarantees "
+               "(Delta = 60 s, polls at t=0 and t=100)");
+
+  TextTable table;
+  table.set_header({"Scenario", "Updates", "Detector", "Violation?",
+                    "First update est.", "Out-of-sync"});
+
+  struct Case {
+    const char* label;
+    std::vector<double> updates;
+  };
+  const Case cases[] = {
+      {"Fig 1(a): single old update", {20.0}},
+      {"Fig 1(b): multi-update, last is recent", {20.0, 90.0}},
+      {"no violation: single recent update", {70.0}},
+  };
+
+  for (const Case& scenario : cases) {
+    for (bool with_history : {true, false}) {
+      ViolationDetector detector(60.0,
+                                 with_history
+                                     ? ViolationDetection::kExactHistory
+                                     : ViolationDetection::kLastModifiedOnly);
+      const auto verdict = detector.examine(
+          make_obs(0.0, 100.0, scenario.updates, with_history));
+      std::string updates;
+      for (double u : scenario.updates) {
+        if (!updates.empty()) updates += ", ";
+        updates += fmt(u, 0);
+      }
+      table.add_row({scenario.label, updates,
+                     with_history ? "history extension" : "Last-Modified only",
+                     verdict.violated ? "YES" : "no",
+                     verdict.first_update ? fmt(*verdict.first_update, 0)
+                                          : "-",
+                     fmt(verdict.out_sync, 0) + " s"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nThe Fig. 1(b) violation is detected only with the paper's "
+         "proposed modification-history\nextension (section 5.1): stock "
+         "HTTP reveals only the most recent change, which looks fresh.\n";
+  return 0;
+}

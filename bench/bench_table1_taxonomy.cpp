@@ -1,0 +1,78 @@
+// Table 1 reproduction: the taxonomy of cache-consistency semantics, with
+// each row demonstrated as an executable predicate against a constructed
+// scenario (this table is definitional in the paper; here every semantic
+// is exercised by the actual evaluator code).
+#include <iostream>
+
+#include "consistency/function.h"
+#include "harness/reporting.h"
+#include "metrics/fidelity.h"
+#include "metrics/mutual_fidelity.h"
+#include "metrics/value_fidelity.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+#include "util/table.h"
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout, "Table 1: Taxonomy of Cache Consistency Semantics");
+
+  TextTable table;
+  table.set_header(
+      {"Semantics", "Domain", "Type", "Example (paper)", "Demonstrated"});
+
+  // Δt: object within 5 time units of its server copy.
+  {
+    const UpdateTrace trace("a", {10.0}, 100.0);
+    std::vector<PollInstant> polls = {{0.0, 0.0}, {12.0, 12.0}};
+    const auto report = evaluate_temporal_fidelity(trace, polls, 5.0, 100.0);
+    table.add_row({"delta-t", "temporal", "individual",
+                   "object a within 5 time units of its server copy",
+                   report.violations == 0 ? "holds (refresh within delta)"
+                                          : "violated"});
+  }
+  // Mt: objects never out of sync by more than 5 time units.
+  {
+    const UpdateTrace a("a", {50.0}, 100.0);
+    const UpdateTrace b("b", {52.0}, 100.0);
+    std::vector<PollInstant> pa = {{0.0, 0.0}, {55.0, 55.0}};
+    std::vector<PollInstant> pb = {{0.0, 0.0}, {56.0, 56.0}};
+    const auto report =
+        evaluate_mutual_temporal(a, pa, b, pb, 5.0, 100.0);
+    table.add_row({"M-t", "temporal", "mutual",
+                   "a and b never out-of-sync by more than 5 time units",
+                   report.violations == 0 ? "holds (near-simultaneous polls)"
+                                          : "violated"});
+  }
+  // Δv: value within 2.5 of the server copy.
+  {
+    const ValueTrace trace("a", 100.0, {{20.0, 101.5}}, 100.0);
+    std::vector<PollInstant> polls = {{0.0, 0.0}};
+    const auto report = evaluate_value_fidelity(trace, polls, 2.5, 100.0);
+    table.add_row({"delta-v", "value", "individual",
+                   "value of a within 2.5 of its server copy",
+                   report.violations == 0 ? "holds (drift 1.5 < 2.5)"
+                                          : "violated"});
+  }
+  // Mv: difference of values within 2.5 of the server-side difference.
+  {
+    const ValueTrace a("a", 100.0, {{20.0, 102.0}}, 100.0);
+    const ValueTrace b("b", 50.0, {{20.0, 51.5}}, 100.0);
+    std::vector<PollInstant> pa = {{0.0, 0.0}};
+    std::vector<PollInstant> pb = {{0.0, 0.0}};
+    DifferenceFunction f;
+    const auto report =
+        evaluate_mutual_value(a, pa, b, pb, f, 2.5, 100.0);
+    table.add_row({"M-v", "value", "mutual",
+                   "difference of a and b within 2.5 of the server's",
+                   report.violations == 0
+                       ? "holds (drifts partly cancel in f)"
+                       : "violated"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEach row above ran the corresponding ground-truth "
+               "evaluator from src/metrics\non a constructed scenario "
+               "(Eqs. 2-5 of the paper).\n";
+  return 0;
+}

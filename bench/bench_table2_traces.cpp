@@ -1,0 +1,63 @@
+// Table 2 reproduction: characteristics of the temporal-domain trace
+// workloads.  Paper values are printed alongside the synthetic traces'
+// measured characteristics (the generators are calibrated to match; see
+// trace/paper_workloads.h).
+#include <iostream>
+
+#include "harness/reporting.h"
+#include "trace/paper_workloads.h"
+#include "trace/trace_stats.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  const char* period;
+  std::size_t updates;
+  double avg_minutes;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"CNN/FN", "Aug 7 13:04 - Aug 9 14:34", 113, 26.0},
+    {"NYTimes/AP", "Aug 7 14:07 - Aug 9 11:25", 233, 11.6},
+    {"NYTimes/Reuters", "Aug 7 14:12 - Aug 9 11:25", 133, 20.3},
+    {"Guardian", "Aug 6 13:40 - Aug 9 15:32", 902, 4.9},
+};
+
+}  // namespace
+
+int main() {
+  using namespace broadway;
+  print_banner(std::cout,
+               "Table 2: Characteristics of Trace Workloads for Temporal "
+               "Domain Consistency");
+
+  TextTable table;
+  table.set_header({"Trace", "Duration", "Updates (paper)",
+                    "Updates (ours)", "Avg interval (paper)",
+                    "Avg interval (ours)", "Gap CV"});
+  const auto traces = make_all_temporal_traces();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const UpdateTraceStats stats = compute_stats(traces[i]);
+    table.add_row({kPaperRows[i].name, format_duration(stats.duration),
+                   std::to_string(kPaperRows[i].updates),
+                   std::to_string(stats.num_updates),
+                   "every " + fmt(kPaperRows[i].avg_minutes, 1) + " min",
+                   "every " + fmt(to_minutes(stats.mean_update_interval), 1) +
+                       " min",
+                   fmt(stats.gap_cv, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCollection windows (paper): ";
+  for (const auto& row : kPaperRows) {
+    std::cout << row.name << " [" << row.period << "]  ";
+  }
+  std::cout << "\nSynthetic traces are seeded (seed " << kPaperSeed
+            << ") and phase-aligned to the paper's wall-clock start hours;\n"
+               "the diurnal newsroom profile reproduces the overnight lull "
+               "of Fig. 4(a).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: cache one frequently-updated web object with the adaptive
+// LIMD refresh policy and measure what users got.
+//
+//   build/examples/quickstart [--delta-min=10] [--hours=12] [--seed=7]
+//
+// Walks through the core API end to end:
+//   1. build a simulator and an origin server;
+//   2. give the origin an object driven by a synthetic update trace;
+//   3. register the object with a proxy polling engine under LIMD;
+//   4. run, then evaluate ground-truth fidelity with the metrics library.
+#include <iostream>
+#include <memory>
+
+#include "consistency/limd.h"
+#include "harness/reporting.h"
+#include "metrics/fidelity.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/update_trace.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace broadway;
+
+  double delta_min = 10.0;
+  double trace_hours = 12.0;
+  long long seed = 7;
+  Flags flags;
+  flags.add_double("delta-min", &delta_min, "Delta-t tolerance in minutes");
+  flags.add_double("hours", &trace_hours, "simulated duration in hours");
+  flags.add_int("seed", &seed, "workload seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // 1. Simulation substrate.
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine proxy(sim, origin);
+
+  // 2. An object updated roughly every 7 minutes (Poisson).
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Duration duration = hours(trace_hours);
+  const UpdateTrace trace(
+      "/news/front-page",
+      generate_poisson(rng, 1.0 / minutes(7.0), duration), duration);
+  origin.attach_update_trace(trace.name(), trace);
+
+  // 3. Track it with LIMD at the requested tolerance.
+  const Duration delta = minutes(delta_min);
+  proxy.add_temporal_object(
+      trace.name(),
+      std::make_unique<LimdPolicy>(LimdPolicy::Config::paper_defaults(
+          delta, /*ttr_max=*/minutes(60.0))));
+  proxy.start();
+
+  // 4. Run and evaluate.
+  sim.run_until(duration);
+  const auto report = evaluate_temporal_fidelity(
+      trace, successful_polls(proxy.poll_log(), trace.name()), delta,
+      duration);
+
+  print_banner(std::cout, "quickstart: LIMD-tracked object");
+  TextTable table;
+  table.add_row({"object", trace.name()});
+  table.add_row({"updates at origin", std::to_string(trace.count())});
+  table.add_row({"tolerance Delta", format_duration(delta)});
+  table.add_row({"polls issued", std::to_string(proxy.polls_performed())});
+  table.add_row(
+      {"polls if fixed every Delta",
+       std::to_string(static_cast<std::size_t>(duration / delta))});
+  table.add_row({"fidelity (violations, Eq.13)",
+                 fmt(report.fidelity_violations(), 3)});
+  table.add_row({"fidelity (out-of-sync time, Eq.14)",
+                 fmt(report.fidelity_time(), 3)});
+  table.add_row({"time out of tolerance",
+                 format_duration(report.out_sync_time)});
+  table.print(std::cout);
+
+  std::cout << "\nLIMD learned the object's update rate and polled at "
+               "roughly that frequency instead\nof every Delta — compare "
+               "the two poll counts above.\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Sports-score scenario (paper §1, example 2): a proxy disseminates
+// up-to-the-minute scores — per-player points and the team total.  The
+// cached total must stay consistent with the cached player scores: the
+// n-object generalisation of Mv-consistency with f = sum of player
+// scores, tracked with the partitioned approach.
+//
+//   build/examples/sports_scores [--delta=6] [--crash]
+//
+// Also demonstrates failure handling: lossy links between proxy and
+// origin, and (with --crash) a mid-game proxy crash whose recovery resets
+// every TTR to TTR_min (paper §3.1).
+#include <iostream>
+#include <memory>
+
+#include "consistency/function.h"
+#include "consistency/partitioned.h"
+#include "harness/reporting.h"
+#include "metrics/fidelity.h"
+#include "metrics/value_fidelity.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace broadway;
+
+// A basketball-like scoring process: each player scores in bursts; the
+// value trace is the player's cumulative points over a 2.5 h game.
+ValueTrace make_player_trace(const std::string& name, double points_per_min,
+                             Rng& rng) {
+  const Duration game = hours(2.5);
+  std::vector<ValueTrace::Step> steps;
+  double points = 0.0;
+  TimePoint t = 0.0;
+  while (true) {
+    t += rng.exponential(points_per_min / 60.0);
+    if (t >= game) break;
+    points += rng.bernoulli(0.25) ? 3.0 : 2.0;  // threes and twos
+    steps.push_back(ValueTrace::Step{t, points});
+  }
+  return ValueTrace(name, 0.0, std::move(steps), game);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double delta = 6.0;
+  bool crash = false;
+  Flags flags;
+  flags.add_double("delta", &delta,
+                   "Mv tolerance on the cached team total (points)");
+  flags.add_bool("crash", &crash, "crash the proxy mid-game and recover");
+  if (!flags.parse(argc, argv)) return 1;
+
+  Rng rng(2024);
+  const ValueTrace players[3] = {
+      make_player_trace("/scores/player/guard", 0.35, rng),
+      make_player_trace("/scores/player/forward", 0.30, rng),
+      make_player_trace("/scores/player/center", 0.15, rng),
+  };
+  const Duration game = players[0].duration();
+
+  Simulator sim;
+  OriginServer origin(sim);
+  EngineConfig engine_config;
+  engine_config.loss_probability = 0.05;  // flaky stadium uplink
+  engine_config.retry_delay = 2.0;
+  PollingEngine proxy(sim, origin, engine_config);
+
+  std::vector<std::string> uris;
+  for (const ValueTrace& player : players) {
+    origin.attach_value_trace(player.name(), player);
+    uris.push_back(player.name());
+  }
+
+  // Team total = sum of player scores; partitioned Mv across 3 objects.
+  PartitionedTolerancePolicy::Config policy_config;
+  policy_config.delta = delta;
+  policy_config.bounds = {2.0, 120.0};
+  proxy.add_partitioned_group(
+      uris, std::make_unique<PartitionedTolerancePolicy>(
+                std::make_unique<WeightedSumFunction>(
+                    std::vector<double>{1.0, 1.0, 1.0}),
+                policy_config));
+  proxy.start();
+
+  if (crash) {
+    sim.run_until(game / 2.0);
+    proxy.crash_and_recover();
+    std::cout << "(proxy crashed and recovered at half-time: every TTR "
+                 "reset to TTR_min)\n";
+  }
+  sim.run_until(game);
+
+  print_banner(std::cout, "sports_scores: team total via partitioned Mv");
+  WeightedSumFunction total({1.0, 1.0, 1.0});
+  std::vector<const ValueTrace*> traces;
+  std::vector<std::vector<PollInstant>> polls;
+  for (const ValueTrace& player : players) {
+    traces.push_back(&player);
+    polls.push_back(successful_polls(proxy.poll_log(), player.name()));
+  }
+  const std::vector<PollInstant>* poll_ptrs[] = {&polls[0], &polls[1],
+                                                 &polls[2]};
+  const auto report = evaluate_mutual_value(
+      std::span<const ValueTrace* const>(traces.data(), traces.size()),
+      std::span<const std::vector<PollInstant>* const>(poll_ptrs, 3), total,
+      delta, game);
+
+  TextTable table;
+  table.set_header({"player", "scoring events", "final points", "polls"});
+  double final_total = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double final_points = players[i].value_at(game * (1 - 1e-12));
+    final_total += final_points;
+    table.add_row({players[i].name(), std::to_string(players[i].count()),
+                   fmt(final_points, 0),
+                   std::to_string(proxy.polls_performed(players[i].name()))});
+  }
+  table.print(std::cout);
+
+  TextTable summary;
+  summary.add_row({"final team total", fmt(final_total, 0)});
+  summary.add_row({"tolerance delta on total", fmt(delta, 0) + " points"});
+  summary.add_row({"total polls", std::to_string(proxy.polls_performed())});
+  summary.add_row({"lost polls (flaky uplink)",
+                   std::to_string(proxy.failed_polls())});
+  summary.add_row({"Mv fidelity (time)", fmt(report.fidelity_time(), 3)});
+  summary.add_row({"Mv violation episodes",
+                   std::to_string(report.violations)});
+  summary.print(std::cout);
+
+  std::cout << "\nThe partitioned policy splits the " << fmt(delta, 0)
+            << "-point budget across players by scoring rate —\nthe hot "
+               "hand gets the tight share and the frequent polls.  Lost "
+               "polls were retried\nautomatically"
+            << (crash ? "; the crash recovery needed no persistent policy "
+                        "state (TTR reset only)."
+                      : ".")
+            << "\n";
+  return 0;
+}

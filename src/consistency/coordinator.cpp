@@ -1,0 +1,22 @@
+#include "consistency/coordinator.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+bool MutualCoordinator::outside_delta_window(const std::string& uri,
+                                             TimePoint now,
+                                             Duration delta_mutual) const {
+  BROADWAY_CHECK_MSG(hooks_.next_poll_time && hooks_.last_poll_time,
+                     "coordinator used before bind()");
+  // A poll in the recent past means the cached copy already originated
+  // within δ of the updated object; a poll in the near future will restore
+  // that soon enough to stay within the user's tolerance (Eq. 4).
+  const TimePoint last = hooks_.last_poll_time(uri);
+  if (now - last <= delta_mutual) return false;
+  const TimePoint next = hooks_.next_poll_time(uri);
+  if (next - now <= delta_mutual) return false;
+  return true;
+}
+
+}  // namespace broadway

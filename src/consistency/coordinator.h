@@ -1,0 +1,69 @@
+// Mutual temporal-consistency coordination (paper §3.2).
+//
+// A coordinator watches the polls of a *group* of related objects and may
+// force extra ("triggered") polls of other members to keep the group
+// mutually consistent within the tolerance δ.  The polling engine supplies
+// the hooks; the coordinator supplies the decision logic.  Three
+// strategies are implemented, matching the paper's evaluation (Fig. 5):
+//   NullCoordinator       — baseline LIMD, no mutual support;
+//   TriggeredPollCoordinator — every observed update triggers polls of all
+//                           related objects (fidelity 1.0 by construction);
+//   RateHeuristicCoordinator — trigger only similar-or-faster objects.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consistency/types.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// Engine facilities a coordinator may use.  All keyed by object uri.
+struct CoordinatorHooks {
+  /// Absolute time of the object's next scheduled poll (kTimeInfinity if
+  /// none pending).
+  std::function<TimePoint(const std::string&)> next_poll_time;
+  /// Absolute time of the object's most recent completed poll.
+  std::function<TimePoint(const std::string&)> last_poll_time;
+  /// Force an immediate poll of the object (recorded as PollCause::
+  /// kTriggered; the object's schedule continues from the new poll).
+  std::function<void(const std::string&)> trigger_poll;
+};
+
+/// Decision interface.  `on_poll` is invoked by the engine after every
+/// completed poll of a group member — including polls the coordinator
+/// itself triggered, so implementations must be self-stabilising (the δ
+/// window test below provides that naturally).
+class MutualCoordinator {
+ public:
+  virtual ~MutualCoordinator() = default;
+
+  virtual void on_poll(const std::string& uri,
+                       const TemporalPollObservation& obs) = 0;
+
+  /// Forget learned state (crash recovery).
+  virtual void reset() {}
+
+  /// Attach engine hooks; called once by the engine when the group is
+  /// registered.
+  void bind(CoordinatorHooks hooks) { hooks_ = std::move(hooks); }
+
+ protected:
+  /// Paper §3.2: "an additional poll is triggered for an object only if
+  /// its next/previous poll instant is more than δ time units away".
+  /// Returns true when the object deserves a triggered poll at `now`.
+  bool outside_delta_window(const std::string& uri, TimePoint now,
+                            Duration delta_mutual) const;
+
+  CoordinatorHooks hooks_;
+};
+
+/// Baseline: individual consistency only.
+class NullCoordinator : public MutualCoordinator {
+ public:
+  void on_poll(const std::string&, const TemporalPollObservation&) override {}
+};
+
+}  // namespace broadway

@@ -1,0 +1,16 @@
+#include "consistency/fixed_poll.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+FixedPollPolicy::FixedPollPolicy(Duration period) : period_(period) {
+  BROADWAY_CHECK_MSG(period > 0.0, "period " << period);
+}
+
+Duration FixedPollPolicy::next_ttr(const TemporalPollObservation& obs) {
+  (void)obs;  // the baseline ignores everything it observes
+  return period_;
+}
+
+}  // namespace broadway

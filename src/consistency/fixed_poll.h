@@ -1,0 +1,29 @@
+// The paper's baseline: poll the server every Δ time units.
+//
+// "Δt-consistency, for instance, can be simply implemented by polling the
+// server every Δ time units and refreshing the object if it has changed in
+// the interim" (§2).  By construction this baseline provides perfect
+// fidelity; the evaluation compares LIMD's poll count against it (Fig. 3).
+#pragma once
+
+#include "consistency/types.h"
+
+namespace broadway {
+
+/// Fixed-period refresh policy.
+class FixedPollPolicy : public RefreshPolicy {
+ public:
+  explicit FixedPollPolicy(Duration period);
+
+  Duration initial_ttr() const override { return period_; }
+  Duration next_ttr(const TemporalPollObservation& obs) override;
+  void reset() override {}
+  Duration current_ttr() const override { return period_; }
+
+  Duration period() const { return period_; }
+
+ private:
+  Duration period_;
+};
+
+}  // namespace broadway

@@ -1,0 +1,49 @@
+#include "consistency/function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+double DifferenceFunction::evaluate(std::span<const double> values) const {
+  BROADWAY_CHECK_MSG(values.size() == 2, "difference needs 2 values");
+  return values[0] - values[1];
+}
+
+WeightedSumFunction::WeightedSumFunction(std::vector<double> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  BROADWAY_CHECK_MSG(!coefficients_.empty(), "weighted sum needs terms");
+  for (double c : coefficients_) {
+    BROADWAY_CHECK_MSG(std::isfinite(c), "non-finite coefficient");
+  }
+}
+
+double WeightedSumFunction::evaluate(std::span<const double> values) const {
+  BROADWAY_CHECK_MSG(values.size() == coefficients_.size(),
+                     "arity mismatch: " << values.size() << " vs "
+                                        << coefficients_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += coefficients_[i] * values[i];
+  }
+  return sum;
+}
+
+double RatioFunction::evaluate(std::span<const double> values) const {
+  BROADWAY_CHECK_MSG(values.size() == 2, "ratio needs 2 values");
+  BROADWAY_CHECK_MSG(values[1] != 0.0, "ratio denominator is zero");
+  return values[0] / values[1];
+}
+
+MaxFunction::MaxFunction(std::size_t arity) : arity_(arity) {
+  BROADWAY_CHECK_MSG(arity_ >= 1, "max needs at least one value");
+}
+
+double MaxFunction::evaluate(std::span<const double> values) const {
+  BROADWAY_CHECK_MSG(values.size() == arity_, "arity mismatch");
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace broadway

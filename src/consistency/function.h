@@ -1,0 +1,94 @@
+// Consistency functions f over groups of value-domain objects (paper §2,
+// Eq. 5; §4.2).
+//
+// Mv-consistency bounds |f(server values) − f(proxy values)| by δ.  The
+// paper's canonical f is the difference of two stock prices; it also notes
+// the general technique "works well only if f is a linear function or if
+// the time difference between successive polls is small enough to
+// approximate f as a linear function".  Functions that expose a linear
+// decomposition (f = Σ cᵢ·vᵢ + k) unlock the partitioned approach of
+// §4.2, whose δ-apportioning needs the coefficients.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace broadway {
+
+/// A function of n object values.
+class ConsistencyFunction {
+ public:
+  virtual ~ConsistencyFunction() = default;
+
+  /// Number of object values the function consumes.
+  virtual std::size_t arity() const = 0;
+
+  /// Evaluate on `values` (size must equal arity()).
+  virtual double evaluate(std::span<const double> values) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+
+  /// Linear decomposition f(v) = Σ cᵢ·vᵢ + k, when one exists.  Returns
+  /// the coefficients cᵢ; nullopt for nonlinear functions.  The constant k
+  /// is irrelevant to consistency (it cancels in f(S) − f(P)).
+  virtual std::optional<std::vector<double>> linear_coefficients() const {
+    return std::nullopt;
+  }
+};
+
+/// f(a, b) = a − b: the paper's running example ("if the user is
+/// interested in comparing two stock prices").
+class DifferenceFunction final : public ConsistencyFunction {
+ public:
+  std::size_t arity() const override { return 2; }
+  double evaluate(std::span<const double> values) const override;
+  std::string name() const override { return "difference"; }
+  std::optional<std::vector<double>> linear_coefficients() const override {
+    return std::vector<double>{1.0, -1.0};
+  }
+};
+
+/// f(v) = Σ cᵢ·vᵢ: covers sums (overall sports score from player scores,
+/// paper §1 example 2) and weighted indices (stock market index from
+/// constituent prices).
+class WeightedSumFunction final : public ConsistencyFunction {
+ public:
+  explicit WeightedSumFunction(std::vector<double> coefficients);
+
+  std::size_t arity() const override { return coefficients_.size(); }
+  double evaluate(std::span<const double> values) const override;
+  std::string name() const override { return "weighted-sum"; }
+  std::optional<std::vector<double>> linear_coefficients() const override {
+    return coefficients_;
+  }
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+/// f(a, b) = a / b: a nonlinear example (price ratio).  No linear
+/// decomposition, so only the general adaptive technique applies.
+class RatioFunction final : public ConsistencyFunction {
+ public:
+  std::size_t arity() const override { return 2; }
+  double evaluate(std::span<const double> values) const override;
+  std::string name() const override { return "ratio"; }
+};
+
+/// f(v) = max(v₁ … vₙ): another nonlinear example (best quote).
+class MaxFunction final : public ConsistencyFunction {
+ public:
+  explicit MaxFunction(std::size_t arity);
+  std::size_t arity() const override { return arity_; }
+  double evaluate(std::span<const double> values) const override;
+  std::string name() const override { return "max"; }
+
+ private:
+  std::size_t arity_;
+};
+
+}  // namespace broadway

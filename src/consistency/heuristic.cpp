@@ -1,0 +1,61 @@
+#include "consistency/heuristic.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+RateHeuristicCoordinator::RateHeuristicCoordinator(
+    std::vector<std::string> members, Config config)
+    : config_(config), members_(std::move(members)) {
+  BROADWAY_CHECK_MSG(members_.size() >= 2, "group needs >= 2 members");
+  BROADWAY_CHECK_MSG(config_.delta_mutual >= 0.0,
+                     "delta " << config_.delta_mutual);
+  BROADWAY_CHECK_MSG(config_.similarity > 0.0, "similarity factor");
+  for (const std::string& member : members_) {
+    estimators_.emplace(member,
+                        UpdateRateEstimator(config_.rate_smoothing));
+  }
+}
+
+double RateHeuristicCoordinator::estimated_rate(
+    const std::string& uri) const {
+  auto it = estimators_.find(uri);
+  return it == estimators_.end() ? 0.0 : it->second.rate();
+}
+
+void RateHeuristicCoordinator::reset() {
+  for (auto& [uri, estimator] : estimators_) estimator.reset();
+  (void)this;
+}
+
+void RateHeuristicCoordinator::on_poll(const std::string& uri,
+                                       const TemporalPollObservation& obs) {
+  auto self = estimators_.find(uri);
+  if (self != estimators_.end()) self->second.observe(obs);
+  if (!obs.modified) return;
+  BROADWAY_CHECK_MSG(hooks_.trigger_poll, "coordinator used before bind()");
+
+  const double updated_rate =
+      self == estimators_.end() ? 0.0 : self->second.rate();
+  for (const std::string& member : members_) {
+    if (member == uri) continue;
+    // Trigger only members changing at a similar or faster estimated rate;
+    // slower members are left to their own LIMD schedule (that schedule is
+    // already polling them at roughly their own update rate).  Members
+    // with no rate estimate yet are treated as slower — we have no
+    // evidence they co-update with this object.
+    const double member_rate = estimated_rate(member);
+    if (member_rate < config_.similarity * updated_rate ||
+        member_rate == 0.0) {
+      continue;
+    }
+    if (!outside_delta_window(member, obs.poll_time,
+                              config_.delta_mutual)) {
+      continue;
+    }
+    ++triggers_requested_;
+    hooks_.trigger_poll(member);
+  }
+}
+
+}  // namespace broadway

@@ -1,0 +1,54 @@
+// Rate-heuristic mutual consistency (paper §3.2).
+//
+// "A heuristic would be to trigger polls for only those objects that
+// change at a rate faster than the object that was modified."  Objects
+// changing slower are left to their own LIMD schedule — cheaper than
+// triggered polls, but a slow object that happens to update alongside a
+// fast one can slip outside δ, costing fidelity (Fig. 5(b) shows
+// 0.87–1.0).  Fig. 6 shows the adaptive behaviour this class reproduces:
+// only the slower object triggers extra polls of the faster one.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consistency/coordinator.h"
+#include "consistency/rate_estimator.h"
+
+namespace broadway {
+
+/// Coordinator that triggers polls only for similar-or-faster members.
+class RateHeuristicCoordinator : public MutualCoordinator {
+ public:
+  struct Config {
+    /// δ of Eq. (4).
+    Duration delta_mutual = 600.0;
+    /// A member is "similar or faster" when rate(member) >=
+    /// similarity * rate(updated object).  1.0 = strictly faster-or-equal;
+    /// the default tolerates mild estimation noise.
+    double similarity = 0.8;
+    /// EWMA weight for the per-object rate estimators.
+    double rate_smoothing = 0.3;
+  };
+
+  RateHeuristicCoordinator(std::vector<std::string> members, Config config);
+
+  void on_poll(const std::string& uri,
+               const TemporalPollObservation& obs) override;
+  void reset() override;
+
+  /// Current rate estimate for a member (updates/s; 0 = unknown).
+  double estimated_rate(const std::string& uri) const;
+
+  std::size_t triggers_requested() const { return triggers_requested_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::string> members_;
+  std::map<std::string, UpdateRateEstimator> estimators_;
+  std::size_t triggers_requested_ = 0;
+};
+
+}  // namespace broadway

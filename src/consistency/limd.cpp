@@ -1,0 +1,97 @@
+#include "consistency/limd.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace broadway {
+
+LimdPolicy::Config LimdPolicy::Config::paper_defaults(Duration delta,
+                                                      Duration ttr_max) {
+  Config config;
+  config.delta = delta;
+  config.bounds = TtrBounds::from_delta(delta, ttr_max);
+  config.linear_increase = 0.2;
+  config.epsilon = 0.02;
+  config.adaptive_m = true;
+  return config;
+}
+
+LimdPolicy::LimdPolicy(Config config)
+    : config_(config),
+      detector_(config.delta, config.detection),
+      ttr_(config.bounds.min) {
+  BROADWAY_CHECK_MSG(config_.delta > 0.0, "delta " << config_.delta);
+  BROADWAY_CHECK_MSG(
+      config_.linear_increase > 0.0 && config_.linear_increase < 1.0,
+      "l = " << config_.linear_increase);
+  BROADWAY_CHECK_MSG(config_.epsilon >= 0.0, "eps = " << config_.epsilon);
+  BROADWAY_CHECK_MSG(config_.multiplicative_decrease > 0.0 &&
+                         config_.multiplicative_decrease < 1.0,
+                     "m = " << config_.multiplicative_decrease);
+  BROADWAY_CHECK(config_.m_floor > 0.0 && config_.m_ceiling < 1.0 &&
+                 config_.m_floor <= config_.m_ceiling);
+}
+
+Duration LimdPolicy::idle_threshold() const {
+  return config_.idle_reset_threshold > 0.0 ? config_.idle_reset_threshold
+                                            : config_.bounds.max;
+}
+
+Duration LimdPolicy::initial_ttr() const { return config_.bounds.min; }
+
+void LimdPolicy::reset() {
+  // Crash recovery per §3.1: no history needed, just TTR_min.
+  ttr_ = config_.bounds.min;
+  last_known_modification_ = 0.0;
+  last_case_.reset();
+  last_verdict_ = ViolationVerdict{};
+  detector_.reset();
+}
+
+Duration LimdPolicy::next_ttr(const TemporalPollObservation& obs) {
+  last_verdict_ = detector_.examine(obs);
+
+  if (!obs.modified) {
+    // Case 1: unchanged between successive polls -> linear growth toward
+    // TTR_max.
+    last_case_ = LimdCase::kNoChange;
+    ttr_ = config_.bounds.clamp(ttr_ * (1.0 + config_.linear_increase));
+    return ttr_;
+  }
+
+  const TimePoint first_update =
+      last_verdict_.first_update.value_or(obs.poll_time);
+
+  // Case 4 takes precedence: a modification after a long quiet spell means
+  // the learned TTR (likely at TTR_max) is stale — restart from TTR_min so
+  // a suddenly-hot object is tracked immediately.
+  const Duration quiet_gap = first_update - last_known_modification_;
+  if (quiet_gap > idle_threshold()) {
+    last_case_ = LimdCase::kIdleReset;
+    ttr_ = config_.bounds.min;
+  } else if (last_verdict_.violated) {
+    // Case 2: multiplicative backoff.  The paper's runs set m to the
+    // ratio of Δ to the observed out-of-sync span, so deeper violations
+    // back off harder; a fixed m is available for ablations.
+    double m = config_.multiplicative_decrease;
+    if (config_.adaptive_m && last_verdict_.out_sync > 0.0) {
+      m = std::clamp(config_.delta / last_verdict_.out_sync,
+                     config_.m_floor, config_.m_ceiling);
+    }
+    last_case_ = LimdCase::kViolation;
+    ttr_ = config_.bounds.clamp(ttr_ * m);
+  } else {
+    // Case 3: polling at roughly the right frequency; fine-tune.
+    last_case_ = LimdCase::kChangeNoViolation;
+    ttr_ = config_.bounds.clamp(ttr_ * (1.0 + config_.epsilon));
+  }
+
+  if (obs.last_modified) {
+    last_known_modification_ =
+        std::max(last_known_modification_, *obs.last_modified);
+  }
+  return ttr_;
+}
+
+}  // namespace broadway

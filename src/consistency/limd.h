@@ -1,0 +1,87 @@
+// LIMD: the paper's adaptive TTR algorithm for Δt-consistency (§3.1).
+//
+// Linear-increase / multiplicative-decrease over the time-to-refresh:
+//   Case 1  object unchanged          TTR *= (1 + l)
+//   Case 2  changed, bound violated   TTR *= m          (m < 1)
+//   Case 3  changed, no violation     TTR *= (1 + eps)
+//   Case 4  changed after long idle   TTR  = TTR_min
+// with the result clamped into [TTR_min, TTR_max].  TTR_min defaults to Δ.
+//
+// Parameterisation follows the paper's evaluation (§6.2.1): l = 0.2,
+// eps = 0.02, and m set adaptively to Δ / observed out-of-sync time (the
+// deeper the violation, the harder the backoff); a fixed m is also
+// supported for the ablation benches.
+#pragma once
+
+#include <optional>
+
+#include "consistency/types.h"
+#include "consistency/violation.h"
+
+namespace broadway {
+
+/// Adaptive temporal-domain refresh policy.
+class LimdPolicy : public RefreshPolicy {
+ public:
+  struct Config {
+    /// Δt-consistency tolerance (seconds).
+    Duration delta = 600.0;
+    /// TTR bounds; by default [Δ, 60 min] as in the paper's runs.
+    TtrBounds bounds = TtrBounds::from_delta(600.0, 3600.0);
+    /// Linear increase factor l, 0 < l < 1 (Eq. 6).
+    double linear_increase = 0.2;
+    /// Fine-tune factor eps >= 0 (Eq. 8).
+    double epsilon = 0.02;
+    /// Fixed multiplicative decrease m in (0, 1) (Eq. 7).  When
+    /// `adaptive_m` is true this is only the fallback for degenerate
+    /// out-of-sync spans.
+    double multiplicative_decrease = 0.5;
+    /// Paper's evaluation setting: m = Δ / observed out-of-sync time,
+    /// clamped into [m_floor, m_ceiling].
+    bool adaptive_m = true;
+    double m_floor = 0.05;
+    double m_ceiling = 0.95;
+    /// Case 4 threshold: an update counts as "after a long period of no
+    /// modifications" when the gap from the previously known modification
+    /// exceeds this.  Defaults (when NaN) to TTR_max.
+    Duration idle_reset_threshold = kNanDuration;
+    /// How the proxy infers first-update-since-last-poll (Fig. 1(b)).
+    ViolationDetection detection = ViolationDetection::kExactHistory;
+
+    static constexpr Duration kNanDuration = -1.0;
+
+    /// Convenience: the paper's configuration for a given Δ and TTR_max.
+    static Config paper_defaults(Duration delta,
+                                 Duration ttr_max = 3600.0);
+  };
+
+  explicit LimdPolicy(Config config);
+
+  Duration initial_ttr() const override;
+  Duration next_ttr(const TemporalPollObservation& obs) override;
+  void reset() override;
+  Duration current_ttr() const override { return ttr_; }
+
+  /// Which case the most recent observation fell into (for tests and the
+  /// Fig. 4 time-series bench).
+  std::optional<LimdCase> last_case() const { return last_case_; }
+
+  /// The detector's verdict on the most recent observation.
+  const ViolationVerdict& last_verdict() const { return last_verdict_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  ViolationDetector detector_;
+  Duration ttr_;
+  // Most recent modification instant the proxy knows of; starts at the
+  // object's (assumed) creation at time 0.
+  TimePoint last_known_modification_ = 0.0;
+  std::optional<LimdCase> last_case_;
+  ViolationVerdict last_verdict_;
+
+  Duration idle_threshold() const;
+};
+
+}  // namespace broadway

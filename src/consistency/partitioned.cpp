@@ -1,0 +1,157 @@
+#include "consistency/partitioned.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+std::vector<double> apportion_tolerances(
+    double delta, const std::vector<double>& rates,
+    const std::vector<double>& coefficients, double max_fraction) {
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  BROADWAY_CHECK(rates.size() == coefficients.size());
+  BROADWAY_CHECK_MSG(!rates.empty(), "no objects to apportion across");
+  BROADWAY_CHECK(max_fraction > 0.0 && max_fraction <= 1.0);
+  const std::size_t n = rates.size();
+
+  // Inverse-rate weights: δᵢ ∝ 1/rᵢ, so the fast mover gets the tight
+  // tolerance (paper: "a smaller tolerance can be apportioned to the
+  // object that is changing at a faster rate").  Zero rates (no observed
+  // change) act as very slow objects; they would absorb the whole budget,
+  // so weights are capped relative to the others.
+  std::vector<double> weights(n);
+  double min_positive_rate = kTimeInfinity;
+  for (double r : rates) {
+    BROADWAY_CHECK_MSG(r >= 0.0, "negative rate " << r);
+    if (r > 0.0) min_positive_rate = std::min(min_positive_rate, r);
+  }
+  const bool any_positive = std::isfinite(min_positive_rate);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rates[i] > 0.0) {
+      weights[i] = 1.0 / rates[i];
+    } else if (any_positive) {
+      // Unmeasured object: treat as 10x slower than the slowest measured.
+      weights[i] = 10.0 / min_positive_rate;
+    } else {
+      weights[i] = 1.0;  // nobody measured yet: equal split
+    }
+  }
+
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = std::abs(coefficients[i]);
+    BROADWAY_CHECK_MSG(c > 0.0, "zero coefficient in partitioned f");
+    const double share =
+        std::min(max_fraction, std::max(1.0 - max_fraction * (double)(n - 1),
+                                        weights[i] / weight_sum));
+    out[i] = delta * share / c;
+  }
+  // Renormalise so Σ|cᵢ|·δᵢ = δ exactly (the flat caps can distort sums).
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::abs(coefficients[i]) * out[i];
+  }
+  for (double& d : out) d *= delta / total;
+  return out;
+}
+
+PartitionedTolerancePolicy::Config
+PartitionedTolerancePolicy::Config::paper_defaults(double delta,
+                                                   TtrBounds bounds) {
+  Config config;
+  config.delta = delta;
+  config.bounds = bounds;
+  return config;
+}
+
+PartitionedTolerancePolicy::PartitionedTolerancePolicy(
+    std::unique_ptr<ConsistencyFunction> function, Config config)
+    : function_(std::move(function)), config_(config) {
+  BROADWAY_CHECK(function_ != nullptr);
+  const auto coefficients = function_->linear_coefficients();
+  BROADWAY_CHECK_MSG(coefficients.has_value(),
+                     "partitioned approach requires a linear f; "
+                         << function_->name() << " is not");
+  coefficients_ = *coefficients;
+  BROADWAY_CHECK_MSG(config_.delta > 0.0, "delta " << config_.delta);
+
+  const std::size_t n = coefficients_.size();
+  // Initial split: equal shares (no rates observed yet).
+  tolerances_ = apportion_tolerances(config_.delta,
+                                     std::vector<double>(n, 0.0),
+                                     coefficients_, config_.max_fraction);
+  policies_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AdaptiveValueTtrPolicy::Config sub;
+    sub.delta = tolerances_[i];
+    sub.bounds = config_.bounds;
+    sub.smoothing_w = config_.smoothing_w;
+    sub.alpha = config_.alpha;
+    policies_.emplace_back(sub);
+  }
+}
+
+Duration PartitionedTolerancePolicy::initial_ttr(std::size_t index) const {
+  BROADWAY_CHECK(index < policies_.size());
+  return policies_[index].initial_ttr();
+}
+
+double PartitionedTolerancePolicy::tolerance(std::size_t index) const {
+  BROADWAY_CHECK(index < tolerances_.size());
+  return tolerances_[index];
+}
+
+double PartitionedTolerancePolicy::rate(std::size_t index) const {
+  BROADWAY_CHECK(index < policies_.size());
+  return policies_[index].estimated_rate();
+}
+
+void PartitionedTolerancePolicy::reapportion(TimePoint now) {
+  if (config_.reapportion_interval > 0.0 &&
+      now - last_apportion_ < config_.reapportion_interval) {
+    return;
+  }
+  last_apportion_ = now;
+  std::vector<double> rates(policies_.size());
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    // estimated_rate(), not last_rate(): one quiet interval must not make
+    // a fast mover look static and hand it the loose share.
+    rates[i] = policies_[i].estimated_rate();
+  }
+  tolerances_ = apportion_tolerances(config_.delta, rates, coefficients_,
+                                     config_.max_fraction);
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    policies_[i].set_delta(tolerances_[i]);
+  }
+}
+
+Duration PartitionedTolerancePolicy::next_ttr(
+    std::size_t index, const ValuePollObservation& obs) {
+  BROADWAY_CHECK(index < policies_.size());
+  // Feed the member policy first so the new rate participates in the
+  // re-apportioning, then recompute shares for everyone.
+  const Duration ttr = policies_[index].next_ttr(obs);
+  reapportion(obs.poll_time);
+  // The member's TTR was computed against its pre-apportioning δ; the
+  // change is a refinement, not a correctness issue (Σ|cᵢ|·δᵢ = δ holds
+  // throughout), and the next poll uses the fresh δ.
+  return ttr;
+}
+
+void PartitionedTolerancePolicy::reset() {
+  for (auto& policy : policies_) policy.reset();
+  const std::size_t n = coefficients_.size();
+  tolerances_ = apportion_tolerances(config_.delta,
+                                     std::vector<double>(n, 0.0),
+                                     coefficients_, config_.max_fraction);
+  for (std::size_t i = 0; i < n; ++i) {
+    policies_[i].set_delta(tolerances_[i]);
+  }
+  last_apportion_ = -kTimeInfinity;
+}
+
+}  // namespace broadway

@@ -1,0 +1,95 @@
+// The partitioned Mv-consistency approach (paper §4.2, last part, and
+// §6.2.3's "partitioned approach").
+//
+// When f is linear — canonically the difference f(a,b) = a − b — the group
+// tolerance δ can be split into per-object tolerances δᵢ with Σ|cᵢ|·δᵢ = δ,
+// and each object maintained Δv-consistent to its own δᵢ by the adaptive
+// TTR technique.  The triangle inequality then guarantees Mv-consistency
+// (paper footnote 3):
+//
+//   |Σcᵢ(Sᵢ − Pᵢ)| ≤ Σ|cᵢ|·|Sᵢ − Pᵢ| < Σ|cᵢ|·δᵢ = δ.
+//
+// Tolerances are re-apportioned from the objects' observed rates: the
+// faster-changing object receives the *smaller* share,
+//
+//   δ_a = (r_b / (r_a + r_b)) · δ,   δ_b = (r_a / (r_a + r_b)) · δ,
+//
+// which generalises to n objects as δᵢ ∝ (1/rᵢ) / Σⱼ(1/rⱼ) (and with
+// coefficients, δᵢ = δ·wᵢ / (|cᵢ|·Σwⱼ), wᵢ = 1/rᵢ).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consistency/function.h"
+#include "consistency/types.h"
+#include "consistency/value_ttr.h"
+
+namespace broadway {
+
+/// Split δ across n objects given their rates and the |cᵢ| of a linear f.
+/// `rates` entries may be 0 (no observed change) — such objects get the
+/// largest share, flat-capped so no δᵢ exceeds `max_fraction`·(δ/|cᵢ|).
+/// Postcondition: Σ|cᵢ|·δᵢ = δ (to floating-point accuracy), all δᵢ > 0.
+std::vector<double> apportion_tolerances(double delta,
+                                         const std::vector<double>& rates,
+                                         const std::vector<double>& coefficients,
+                                         double max_fraction = 0.9);
+
+/// Per-object Δv policies coordinated to jointly provide Mv-consistency.
+class PartitionedTolerancePolicy {
+ public:
+  struct Config {
+    /// Group tolerance δ on f.
+    double delta = 1.0;
+    /// TTR bounds shared by the per-object policies.
+    TtrBounds bounds{30.0, 600.0};
+    /// Eq. 10 parameters for the per-object policies.
+    double smoothing_w = 0.5;
+    double alpha = 0.7;
+    /// Cap on any single object's share (see apportion_tolerances).
+    double max_fraction = 0.9;
+    /// Re-apportion at most this often (0 = on every poll).  Matches the
+    /// paper's "parameters δ_a and δ_b can be adjusted periodically".
+    Duration reapportion_interval = 0.0;
+
+    static Config paper_defaults(double delta, TtrBounds bounds);
+  };
+
+  /// `function` must expose linear coefficients; arity fixes group size.
+  PartitionedTolerancePolicy(std::unique_ptr<ConsistencyFunction> function,
+                             Config config);
+
+  std::size_t arity() const { return function_->arity(); }
+
+  /// TTR for member `index` before its first poll.
+  Duration initial_ttr(std::size_t index) const;
+
+  /// Consume a poll of member `index`; returns that member's next TTR.
+  /// Re-apportions all members' tolerances from current rate estimates
+  /// (subject to reapportion_interval).
+  Duration next_ttr(std::size_t index, const ValuePollObservation& obs);
+
+  void reset();
+
+  /// Current tolerance share of member `index`.
+  double tolerance(std::size_t index) const;
+
+  /// Current rate estimate of member `index` (from its Δv policy).
+  double rate(std::size_t index) const;
+
+  const ConsistencyFunction& function() const { return *function_; }
+  const Config& config() const { return config_; }
+
+ private:
+  std::unique_ptr<ConsistencyFunction> function_;
+  Config config_;
+  std::vector<double> coefficients_;
+  std::vector<AdaptiveValueTtrPolicy> policies_;
+  std::vector<double> tolerances_;
+  TimePoint last_apportion_ = -kTimeInfinity;
+
+  void reapportion(TimePoint now);
+};
+
+}  // namespace broadway

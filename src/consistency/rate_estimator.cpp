@@ -1,0 +1,49 @@
+#include "consistency/rate_estimator.h"
+
+namespace broadway {
+
+UpdateRateEstimator::UpdateRateEstimator(double smoothing)
+    : gap_ewma_(smoothing) {}
+
+void UpdateRateEstimator::observe(const TemporalPollObservation& obs) {
+  if (!obs.modified) return;
+  // Prefer the full history (one gap per consecutive pair); fall back to
+  // gaps between the Last-Modified values of consecutive polls.
+  if (!obs.history.empty()) {
+    for (TimePoint t : obs.history) {
+      if (last_modification_ && t > *last_modification_) {
+        gap_ewma_.observe(t - *last_modification_);
+      }
+      if (!last_modification_ || t > *last_modification_) {
+        last_modification_ = t;
+        ++observed_;
+      }
+    }
+    return;
+  }
+  if (!obs.last_modified) return;
+  if (last_modification_ && *obs.last_modified > *last_modification_) {
+    gap_ewma_.observe(*obs.last_modified - *last_modification_);
+  }
+  if (!last_modification_ || *obs.last_modified > *last_modification_) {
+    last_modification_ = *obs.last_modified;
+    ++observed_;
+  }
+}
+
+double UpdateRateEstimator::rate() const {
+  if (gap_ewma_.empty() || gap_ewma_.value() <= 0.0) return 0.0;
+  return 1.0 / gap_ewma_.value();
+}
+
+Duration UpdateRateEstimator::mean_gap() const {
+  return gap_ewma_.empty() ? kTimeInfinity : gap_ewma_.value();
+}
+
+void UpdateRateEstimator::reset() {
+  gap_ewma_.reset();
+  last_modification_.reset();
+  observed_ = 0;
+}
+
+}  // namespace broadway

@@ -1,0 +1,46 @@
+// Update-rate estimation from poll observations.
+//
+// The heuristic mutual-consistency approach (paper §3.2) triggers polls
+// "for only those objects that change at a rate faster than the object that
+// was modified".  The proxy does not see the true update stream — only what
+// polls reveal — so rates are estimated from observed modification instants
+// (all history entries when the extension is on, otherwise consecutive
+// Last-Modified values), smoothed with an EWMA.
+#pragma once
+
+#include <optional>
+
+#include "consistency/types.h"
+#include "util/ewma.h"
+
+namespace broadway {
+
+/// Per-object update-rate estimator.
+class UpdateRateEstimator {
+ public:
+  /// `smoothing` is the EWMA weight given to the newest observed gap.
+  explicit UpdateRateEstimator(double smoothing = 0.3);
+
+  /// Feed one poll observation (call for every poll, modified or not).
+  void observe(const TemporalPollObservation& obs);
+
+  /// Estimated updates per second; 0 until two distinct modification
+  /// instants have been seen.
+  double rate() const;
+
+  /// Estimated mean inter-update gap; infinity until measurable.
+  Duration mean_gap() const;
+
+  /// Number of distinct modification instants observed so far.
+  std::size_t observed_modifications() const { return observed_; }
+
+  /// Forget everything (crash recovery).
+  void reset();
+
+ private:
+  Ewma gap_ewma_;
+  std::optional<TimePoint> last_modification_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace broadway

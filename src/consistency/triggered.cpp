@@ -1,0 +1,31 @@
+#include "consistency/triggered.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+TriggeredPollCoordinator::TriggeredPollCoordinator(
+    std::vector<std::string> members, Duration delta_mutual)
+    : members_(std::move(members)), delta_mutual_(delta_mutual) {
+  BROADWAY_CHECK_MSG(members_.size() >= 2, "group needs >= 2 members");
+  BROADWAY_CHECK_MSG(delta_mutual_ >= 0.0, "delta " << delta_mutual_);
+}
+
+void TriggeredPollCoordinator::on_poll(const std::string& uri,
+                                       const TemporalPollObservation& obs) {
+  if (!obs.modified) return;
+  BROADWAY_CHECK_MSG(hooks_.trigger_poll, "coordinator used before bind()");
+  for (const std::string& member : members_) {
+    if (member == uri) continue;
+    if (!outside_delta_window(member, obs.poll_time, delta_mutual_)) {
+      continue;
+    }
+    ++triggers_requested_;
+    // The triggered poll recursively enters on_poll for `member`; the
+    // δ-window test then sees a zero-age last poll for it, so cascades
+    // terminate.
+    hooks_.trigger_poll(member);
+  }
+}
+
+}  // namespace broadway

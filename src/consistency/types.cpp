@@ -1,0 +1,63 @@
+#include "consistency/types.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace broadway {
+
+Duration TtrBounds::clamp(Duration ttr) const {
+  BROADWAY_CHECK_MSG(min > 0.0 && max >= min,
+                     "TtrBounds [" << min << ", " << max << "]");
+  return std::max(min, std::min(max, ttr));
+}
+
+TtrBounds TtrBounds::from_delta(Duration delta, Duration ttr_max) {
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  TtrBounds bounds;
+  bounds.min = delta;
+  bounds.max = std::max(delta, ttr_max);
+  return bounds;
+}
+
+std::string to_string(LimdCase c) {
+  switch (c) {
+    case LimdCase::kNoChange:
+      return "no-change";
+    case LimdCase::kViolation:
+      return "violation";
+    case LimdCase::kChangeNoViolation:
+      return "change-no-violation";
+    case LimdCase::kIdleReset:
+      return "idle-reset";
+  }
+  return "?";
+}
+
+std::string to_string(ViolationDetection mode) {
+  switch (mode) {
+    case ViolationDetection::kExactHistory:
+      return "exact-history";
+    case ViolationDetection::kLastModifiedOnly:
+      return "last-modified-only";
+    case ViolationDetection::kProbabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+std::string to_string(PollCause c) {
+  switch (c) {
+    case PollCause::kInitial:
+      return "initial";
+    case PollCause::kScheduled:
+      return "scheduled";
+    case PollCause::kTriggered:
+      return "triggered";
+    case PollCause::kRetry:
+      return "retry";
+  }
+  return "?";
+}
+
+}  // namespace broadway

@@ -1,0 +1,88 @@
+#include "consistency/value_ttr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+AdaptiveValueTtrPolicy::Config AdaptiveValueTtrPolicy::Config::paper_defaults(
+    double delta, TtrBounds bounds) {
+  Config config;
+  config.delta = delta;
+  config.bounds = bounds;
+  config.smoothing_w = 0.5;
+  config.alpha = 0.7;
+  return config;
+}
+
+AdaptiveValueTtrPolicy::AdaptiveValueTtrPolicy(Config config)
+    : config_(config), ttr_(config.bounds.min) {
+  BROADWAY_CHECK_MSG(config_.delta > 0.0, "delta " << config_.delta);
+  BROADWAY_CHECK_MSG(
+      config_.smoothing_w > 0.0 && config_.smoothing_w <= 1.0,
+      "w = " << config_.smoothing_w);
+  BROADWAY_CHECK_MSG(config_.alpha >= 0.0 && config_.alpha <= 1.0,
+                     "alpha = " << config_.alpha);
+  BROADWAY_CHECK_MSG(config_.flat_growth > 1.0,
+                     "flat_growth = " << config_.flat_growth);
+}
+
+double AdaptiveValueTtrPolicy::estimated_rate() const {
+  return rate_ewma_.value_or(0.0);
+}
+
+void AdaptiveValueTtrPolicy::reset() {
+  ttr_ = config_.bounds.min;
+  last_rate_ = 0.0;
+  rate_ewma_.reset();
+  smoothed_.reset();
+  observed_min_.reset();
+}
+
+void AdaptiveValueTtrPolicy::set_delta(double delta) {
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  config_.delta = delta;
+}
+
+Duration AdaptiveValueTtrPolicy::next_ttr(const ValuePollObservation& obs) {
+  const Duration elapsed = obs.poll_time - obs.previous_poll_time;
+  BROADWAY_CHECK_MSG(elapsed >= 0.0, "polls out of order");
+
+  // Eq. 9 / Fig. 2: r = |P_curr − P_prev| / (t_curr − t_prev).
+  double raw_ttr;
+  if (elapsed <= 0.0) {
+    raw_ttr = ttr_;  // triggered poll at the same instant: no information
+  } else {
+    last_rate_ = std::abs(obs.value - obs.previous_value) / elapsed;
+    if (last_rate_ > 0.0) {
+      raw_ttr = config_.delta / last_rate_;
+      rate_ewma_ = rate_ewma_ ? config_.smoothing_w * last_rate_ +
+                                    (1.0 - config_.smoothing_w) * *rate_ewma_
+                              : last_rate_;
+    } else {
+      // Quiet interval: geometric back-off rather than a jump to TTR_max
+      // (Eq. 9 has no information at r = 0; see Config::flat_growth).
+      raw_ttr = std::min(config_.bounds.max, ttr_ * config_.flat_growth);
+    }
+  }
+
+  // Exponential smoothing: TTR = w·TTR_est + (1−w)·TTR_prev.
+  const Duration previous = smoothed_.value_or(raw_ttr);
+  const Duration smoothed = config_.smoothing_w * raw_ttr +
+                            (1.0 - config_.smoothing_w) * previous;
+  smoothed_ = smoothed;
+
+  // Track the most conservative estimate seen (Eq. 10's observed min).
+  observed_min_ =
+      observed_min_ ? std::min(*observed_min_, smoothed) : smoothed;
+
+  // Eq. 10: clamp α-mix of the smoothed estimate and the observed minimum.
+  const Duration mixed = config_.alpha * smoothed +
+                         (1.0 - config_.alpha) * *observed_min_;
+  ttr_ = config_.bounds.clamp(mixed);
+  return ttr_;
+}
+
+}  // namespace broadway

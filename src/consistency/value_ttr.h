@@ -1,0 +1,85 @@
+// Adaptive TTR computation for Δv-consistency (paper §4.1, after
+// Srinivasan et al. [8]).
+//
+// The proxy must refresh whenever the server value may have drifted by Δ.
+// It estimates the rate of change r from the two most recent polls
+// (Fig. 2), predicts the time to drift Δ as TTR = Δ / r (Eq. 9), smooths
+// the estimate exponentially, and clamps it while weighing it against the
+// most conservative (smallest) TTR seen so far (Eq. 10):
+//
+//   TTR = max(TTR_min, min(TTR_max, α·TTR + (1−α)·TTR_observed_min))
+//
+// Small α biases toward the conservative historical minimum — the knob the
+// paper recommends for low-locality data.
+#pragma once
+
+#include <optional>
+
+#include "consistency/types.h"
+
+namespace broadway {
+
+/// Adaptive value-domain refresh policy for one object.
+class AdaptiveValueTtrPolicy {
+ public:
+  struct Config {
+    /// Δv tolerance, in value units (e.g. dollars).
+    double delta = 1.0;
+    /// TTR bounds in seconds.
+    TtrBounds bounds{30.0, 600.0};
+    /// Exponential smoothing weight w for the newest raw estimate
+    /// (TTR = w·TTR_est + (1−w)·TTR_prev).
+    double smoothing_w = 0.5;
+    /// Eq. 10's α: weight of the smoothed estimate vs the smallest
+    /// observed TTR.  1.0 disables the conservative mixing.
+    double alpha = 0.7;
+    /// Raw-estimate growth factor when a poll observes *no* change.
+    /// Eq. 9 is undefined at r = 0; jumping straight to TTR_max would let
+    /// a single quiet interval erase everything learned about a fast
+    /// object, so the estimate backs off geometrically instead (> 1).
+    double flat_growth = 2.0;
+
+    static Config paper_defaults(double delta, TtrBounds bounds);
+  };
+
+  explicit AdaptiveValueTtrPolicy(Config config);
+
+  /// TTR before any value has been observed.
+  Duration initial_ttr() const { return config_.bounds.min; }
+
+  /// Consume one poll observation and return the next TTR.
+  Duration next_ttr(const ValuePollObservation& obs);
+
+  /// Forget learned state (crash recovery / re-apportioning restarts).
+  void reset();
+
+  /// Most recent |dv/dt| estimate (0 until two polls with distinct times).
+  double last_rate() const { return last_rate_; }
+
+  /// Smoothed rate of change over polls that observed movement.  Unlike
+  /// last_rate(), quiet intervals do not zero it — this is the estimate
+  /// the partitioned approach's δ-apportioning consumes (a momentarily
+  /// quiet fast mover must keep its tight share).
+  double estimated_rate() const;
+
+  Duration current_ttr() const { return ttr_; }
+
+  const Config& config() const { return config_; }
+
+  /// Re-apportioning hook (partitioned approach): change Δ in flight.
+  /// Learned rate state is kept — only the target drift changes.
+  void set_delta(double delta);
+
+ private:
+  Config config_;
+  Duration ttr_;
+  double last_rate_ = 0.0;
+  // EWMA over positive rate observations (see estimated_rate()).
+  std::optional<double> rate_ewma_;
+  // Smoothed TTR estimate from previous rounds (Eq. 10's TTR_prev).
+  std::optional<Duration> smoothed_;
+  // Smallest smoothed estimate seen so far (Eq. 10's TTR_observed_min).
+  std::optional<Duration> observed_min_;
+};
+
+}  // namespace broadway

@@ -1,0 +1,114 @@
+#include "consistency/violation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+ViolationDetector::ViolationDetector(Duration delta, ViolationDetection mode)
+    : delta_(delta), mode_(mode) {
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+}
+
+void ViolationDetector::reset() {
+  gap_ewma_.reset();
+  previous_modification_.reset();
+  interval_ewma_.reset();
+  modified_ewma_.reset();
+}
+
+Duration ViolationDetector::estimated_update_gap() const {
+  return inferred_gap();
+}
+
+Duration ViolationDetector::inferred_gap() const {
+  // Direct gap observations (exact with history; upper bound without).
+  Duration direct = gap_ewma_.empty() ? kTimeInfinity : gap_ewma_.value();
+  // Poisson moment matching over poll outcomes:
+  //   p = P(modified) = 1 - exp(-lambda * T)  =>  1/lambda = -T / ln(1-p).
+  Duration poisson = kTimeInfinity;
+  if (!modified_ewma_.empty() && !interval_ewma_.empty()) {
+    // Cap p away from 1: an always-modified object only bounds the gap
+    // from above by the poll interval.
+    const double p = std::min(0.95, std::max(0.0, modified_ewma_.value()));
+    if (p > 0.0) {
+      poisson = -interval_ewma_.value() / std::log(1.0 - p);
+    }
+  }
+  return std::min(direct, poisson);
+}
+
+std::optional<TimePoint> ViolationDetector::infer_first_update(
+    const TemporalPollObservation& obs) const {
+  if (!obs.modified) return std::nullopt;
+  switch (mode_) {
+    case ViolationDetection::kExactHistory:
+      // The extension carries every update since the previous poll; its
+      // first entry is exactly Fig. 1(b)'s "first update since last poll".
+      if (!obs.history.empty()) return obs.history.front();
+      return obs.last_modified;
+    case ViolationDetection::kLastModifiedOnly:
+      return obs.last_modified;
+    case ViolationDetection::kProbabilistic: {
+      if (!obs.last_modified) return std::nullopt;
+      const TimePoint newest = *obs.last_modified;
+      // If the learned update rate suggests earlier updates fit between
+      // the previous poll and the newest update, place the first one a
+      // mean gap after the previous poll — the expected position of the
+      // earliest update in the inferred stream.
+      const Duration gap = inferred_gap();
+      const Duration room = newest - obs.previous_poll_time;
+      if (std::isfinite(gap) && gap > 0.0 && room > gap) {
+        return std::min(newest, obs.previous_poll_time + gap);
+      }
+      return newest;
+    }
+  }
+  return obs.last_modified;
+}
+
+void ViolationDetector::learn(const TemporalPollObservation& obs) {
+  // Poisson-rate evidence: every poll contributes its interval length and
+  // whether it found the object modified (quiet polls count too).
+  const Duration interval = obs.poll_time - obs.previous_poll_time;
+  if (interval > 0.0) {
+    interval_ewma_.observe(interval);
+    modified_ewma_.observe(obs.modified ? 1.0 : 0.0);
+  }
+  if (!obs.modified || !obs.last_modified) return;
+  // Learn gaps from whatever the response reveals: all history entries
+  // when present, otherwise consecutive Last-Modified values.
+  if (!obs.history.empty()) {
+    TimePoint prev = previous_modification_.value_or(obs.history.front());
+    for (TimePoint t : obs.history) {
+      if (t > prev) gap_ewma_.observe(t - prev);
+      prev = t;
+    }
+    previous_modification_ = obs.history.back();
+    return;
+  }
+  if (previous_modification_ &&
+      *obs.last_modified > *previous_modification_) {
+    gap_ewma_.observe(*obs.last_modified - *previous_modification_);
+  }
+  previous_modification_ = *obs.last_modified;
+}
+
+ViolationVerdict ViolationDetector::examine(
+    const TemporalPollObservation& obs) {
+  BROADWAY_CHECK_MSG(obs.poll_time >= obs.previous_poll_time,
+                     "poll times out of order");
+  ViolationVerdict verdict;
+  verdict.first_update = infer_first_update(obs);
+  if (verdict.first_update) {
+    verdict.out_sync =
+        std::max(0.0, obs.poll_time - *verdict.first_update);
+    verdict.violated = verdict.out_sync > delta_;
+  }
+  learn(obs);
+  return verdict;
+}
+
+}  // namespace broadway

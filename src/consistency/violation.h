@@ -1,0 +1,73 @@
+// Proxy-side Δt violation detection (paper §3.1, Fig. 1).
+//
+// A Δt violation exists when the *first* update since the previous poll
+// happened more than Δ before the current poll (Fig. 1(a) and, with
+// multiple intervening updates, Fig. 1(b)).  Standard HTTP reveals only the
+// most recent update (Last-Modified), so the proxy must either use the
+// paper's proposed history extension or infer the first update.  This
+// detector implements all three strategies of ViolationDetection.
+#pragma once
+
+#include <optional>
+
+#include "consistency/types.h"
+#include "util/ewma.h"
+
+namespace broadway {
+
+/// Result of examining one poll observation.
+struct ViolationVerdict {
+  /// True when the detector concludes the Δ bound was exceeded.
+  bool violated = false;
+  /// The detector's estimate of the first update since the previous poll
+  /// (absent when the object was not modified).
+  std::optional<TimePoint> first_update;
+  /// Observed out-of-sync span (poll_time - first_update) when modified.
+  Duration out_sync = 0.0;
+};
+
+/// Stateful detector; one instance per tracked object (the probabilistic
+/// mode learns the object's update rate across polls).
+class ViolationDetector {
+ public:
+  /// `delta` is the Δt tolerance; `mode` selects the inference strategy.
+  ViolationDetector(Duration delta, ViolationDetection mode);
+
+  /// Examine one observation.  Call exactly once per poll, in order.
+  ViolationVerdict examine(const TemporalPollObservation& obs);
+
+  /// Forget learned statistics (crash recovery).
+  void reset();
+
+  Duration delta() const { return delta_; }
+  ViolationDetection mode() const { return mode_; }
+
+  /// Learned mean inter-update gap (probabilistic mode); infinity until
+  /// two modifications have been observed.
+  Duration estimated_update_gap() const;
+
+ private:
+  Duration delta_;
+  ViolationDetection mode_;
+
+  // EWMA over apparent inter-modification gaps (exact when history is
+  // present; an upper-bound estimate when sampled via Last-Modified).
+  Ewma gap_ewma_{0.3};
+  std::optional<TimePoint> previous_modification_;
+  // Probabilistic mode: Poisson-rate estimation from poll outcomes.  With
+  // only Last-Modified available, inter-modification gaps are undersampled
+  // (consecutive observations are ~a poll interval apart), so the update
+  // rate is instead estimated from the *fraction of polls that found the
+  // object modified*: P(modified | interval T) = 1 - exp(-lambda*T).
+  Ewma interval_ewma_{0.2};
+  Ewma modified_ewma_{0.2};
+
+  std::optional<TimePoint> infer_first_update(
+      const TemporalPollObservation& obs) const;
+  void learn(const TemporalPollObservation& obs);
+  // Best available estimate of the mean inter-update gap; infinity when
+  // nothing has been learned yet.
+  Duration inferred_gap() const;
+};
+
+}  // namespace broadway

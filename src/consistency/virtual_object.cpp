@@ -1,0 +1,92 @@
+#include "consistency/virtual_object.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+VirtualObjectPolicy::Config VirtualObjectPolicy::Config::paper_defaults(
+    double delta, TtrBounds bounds) {
+  Config config;
+  config.delta = delta;
+  config.bounds = bounds;
+  return config;
+}
+
+VirtualObjectPolicy::VirtualObjectPolicy(
+    std::unique_ptr<ConsistencyFunction> function, Config config)
+    : function_(std::move(function)),
+      config_(config),
+      ttr_(config.bounds.min) {
+  BROADWAY_CHECK(function_ != nullptr);
+  BROADWAY_CHECK_MSG(config_.delta > 0.0, "delta " << config_.delta);
+  BROADWAY_CHECK(config_.gamma_backoff > 0.0 && config_.gamma_backoff < 1.0);
+  BROADWAY_CHECK(config_.gamma_recovery >= 1.0);
+  BROADWAY_CHECK(config_.gamma_min > 0.0 && config_.gamma_min <= 1.0);
+  BROADWAY_CHECK(config_.smoothing_w > 0.0 && config_.smoothing_w <= 1.0);
+  BROADWAY_CHECK(config_.alpha >= 0.0 && config_.alpha <= 1.0);
+  BROADWAY_CHECK(config_.flat_growth > 1.0);
+}
+
+void VirtualObjectPolicy::reset() {
+  ttr_ = config_.bounds.min;
+  gamma_ = 1.0;
+  last_f_.reset();
+  last_poll_time_.reset();
+  smoothed_.reset();
+  observed_min_.reset();
+}
+
+Duration VirtualObjectPolicy::next_ttr(TimePoint poll_time,
+                                       std::span<const double> values) {
+  BROADWAY_CHECK_MSG(values.size() == function_->arity(),
+                     "expected " << function_->arity() << " values, got "
+                                 << values.size());
+  const double f_now = function_->evaluate(values);
+
+  if (!last_f_ || !last_poll_time_ || poll_time <= *last_poll_time_) {
+    // First joint poll: nothing to extrapolate from yet.
+    last_f_ = f_now;
+    last_poll_time_ = poll_time;
+    ttr_ = config_.bounds.min;
+    return ttr_;
+  }
+
+  const Duration elapsed = poll_time - *last_poll_time_;
+  const double drift = std::abs(f_now - *last_f_);
+
+  // Feedback (Eq. 12's γ): the proxy's only evidence of a missed bound is
+  // f having moved by more than δ across the interval — in that case the
+  // guarantee was necessarily violated some time before this poll.
+  if (drift > config_.delta) {
+    gamma_ = std::max(config_.gamma_min, gamma_ * config_.gamma_backoff);
+  } else {
+    gamma_ = std::min(1.0, gamma_ * config_.gamma_recovery);
+  }
+
+  // Eq. 11: r = |f_curr − f_prev| / (t_curr − t_prev).
+  const double rate = drift / elapsed;
+  const Duration raw_ttr =
+      rate > 0.0
+          ? gamma_ * config_.delta / rate
+          : std::min(config_.bounds.max, ttr_ * config_.flat_growth);
+
+  // Eq. 10 refinement: smoothing, conservative-minimum mix, clamp.
+  const Duration previous = smoothed_.value_or(raw_ttr);
+  const Duration smoothed = config_.smoothing_w * raw_ttr +
+                            (1.0 - config_.smoothing_w) * previous;
+  smoothed_ = smoothed;
+  observed_min_ =
+      observed_min_ ? std::min(*observed_min_, smoothed) : smoothed;
+  const Duration mixed = config_.alpha * smoothed +
+                         (1.0 - config_.alpha) * *observed_min_;
+  ttr_ = config_.bounds.clamp(mixed);
+
+  last_f_ = f_now;
+  last_poll_time_ = poll_time;
+  return ttr_;
+}
+
+}  // namespace broadway

@@ -1,0 +1,80 @@
+// The adaptive Mv-consistency approach: track f as a *virtual object*
+// (paper §4.2, Eqs. 11–12, and §6.2.3's "adaptive approach").
+//
+// The proxy polls all member objects together, evaluates f over the fresh
+// values, estimates the rate at which f changes (Eq. 11), and schedules
+// the next joint poll at
+//
+//   TTR = γ · δ / r                                            (Eq. 12)
+//
+// where γ ∈ (0, 1] is a feedback factor: it shrinks when a poll reveals
+// that f moved by more than δ during the interval (violation evidence) and
+// recovers gradually while estimates prove accurate.  The raw estimate is
+// then refined exactly like Eq. 10 (smoothing + conservative-minimum mix).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "consistency/function.h"
+#include "consistency/types.h"
+
+namespace broadway {
+
+/// Joint refresh policy for a group tracked through a virtual object.
+class VirtualObjectPolicy {
+ public:
+  struct Config {
+    /// Mv tolerance δ on f.
+    double delta = 1.0;
+    /// TTR bounds for the joint poll period.
+    TtrBounds bounds{30.0, 600.0};
+    /// Eq. 10-style smoothing / conservative mixing.
+    double smoothing_w = 0.5;
+    double alpha = 0.7;
+    /// Geometric back-off factor when f did not move across the interval
+    /// (Eq. 11 has no information at r = 0).
+    double flat_growth = 2.0;
+    /// Feedback factor dynamics: γ ← max(γ_min, γ·backoff) on violation
+    /// evidence, γ ← min(1, γ·recovery) otherwise.
+    double gamma_backoff = 0.5;
+    double gamma_recovery = 1.1;
+    double gamma_min = 0.05;
+
+    static Config paper_defaults(double delta, TtrBounds bounds);
+  };
+
+  /// The policy owns the function; `function->arity()` fixes the group
+  /// size.
+  VirtualObjectPolicy(std::unique_ptr<ConsistencyFunction> function,
+                      Config config);
+
+  /// TTR before any joint poll has completed.
+  Duration initial_ttr() const { return config_.bounds.min; }
+
+  /// Consume one joint poll: `values` are the freshly fetched member
+  /// values (size = arity).  Returns the next joint TTR.
+  Duration next_ttr(TimePoint poll_time, std::span<const double> values);
+
+  void reset();
+
+  double current_gamma() const { return gamma_; }
+  Duration current_ttr() const { return ttr_; }
+  double last_f() const { return last_f_.value_or(0.0); }
+  const ConsistencyFunction& function() const { return *function_; }
+  const Config& config() const { return config_; }
+
+ private:
+  std::unique_ptr<ConsistencyFunction> function_;
+  Config config_;
+  Duration ttr_;
+  double gamma_ = 1.0;
+  std::optional<double> last_f_;
+  std::optional<TimePoint> last_poll_time_;
+  std::optional<Duration> smoothed_;
+  std::optional<Duration> observed_min_;
+};
+
+}  // namespace broadway

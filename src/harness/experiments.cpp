@@ -1,0 +1,211 @@
+#include "harness/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "consistency/fixed_poll.h"
+#include "consistency/heuristic.h"
+#include "consistency/limd.h"
+#include "consistency/triggered.h"
+#include "origin/origin_server.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace broadway {
+
+namespace {
+
+LimdPolicy::Config make_limd_config(const TemporalRunConfig& config) {
+  LimdPolicy::Config out = LimdPolicy::Config::paper_defaults(
+      config.delta, config.ttr_max);
+  out.linear_increase = config.linear_increase;
+  out.epsilon = config.epsilon;
+  out.adaptive_m = config.adaptive_m;
+  out.multiplicative_decrease = config.multiplicative_decrease;
+  out.detection = config.detection;
+  return out;
+}
+
+OriginServer::Config make_origin_config(bool history_enabled) {
+  OriginServer::Config config;
+  config.history_enabled = history_enabled;
+  // "A modification history of arbitrary length" (§5.1): unlimited —
+  // the proxy polls often enough that entries stay small.
+  config.history_limit = 0;
+  return config;
+}
+
+TemporalRunResult run_temporal(const UpdateTrace& trace,
+                               std::unique_ptr<RefreshPolicy> policy,
+                               Duration delta, bool origin_history,
+                               const EngineConfig& engine_config) {
+  Simulator sim;
+  OriginServer origin(sim, make_origin_config(origin_history));
+  PollingEngine engine(sim, origin, engine_config);
+
+  origin.attach_update_trace(trace.name(), trace);
+  engine.add_temporal_object(trace.name(), std::move(policy));
+  engine.start();
+  sim.run_until(trace.duration());
+
+  TemporalRunResult result;
+  result.polls = engine.polls_performed(trace.name());
+  result.fidelity = evaluate_temporal_fidelity(
+      trace, successful_polls(engine.poll_log(), trace.name()), delta,
+      trace.duration());
+  result.ttr_series = engine.ttr_series(trace.name());
+  return result;
+}
+
+}  // namespace
+
+TemporalRunResult run_limd_individual(const UpdateTrace& trace,
+                                      const TemporalRunConfig& config) {
+  return run_temporal(trace,
+                      std::make_unique<LimdPolicy>(make_limd_config(config)),
+                      config.delta, config.origin_history, config.engine);
+}
+
+TemporalRunResult run_baseline_individual(const UpdateTrace& trace,
+                                          Duration delta,
+                                          EngineConfig engine) {
+  return run_temporal(trace, std::make_unique<FixedPollPolicy>(delta), delta,
+                      /*origin_history=*/true, engine);
+}
+
+MutualTemporalRunResult run_mutual_temporal(
+    const UpdateTrace& trace_a, const UpdateTrace& trace_b,
+    const MutualTemporalRunConfig& config) {
+  Simulator sim;
+  OriginServer origin(sim, make_origin_config(config.base.origin_history));
+  PollingEngine engine(sim, origin, config.base.engine);
+
+  origin.attach_update_trace(trace_a.name(), trace_a);
+  origin.attach_update_trace(trace_b.name(), trace_b);
+  engine.add_temporal_object(
+      trace_a.name(),
+      std::make_unique<LimdPolicy>(make_limd_config(config.base)));
+  engine.add_temporal_object(
+      trace_b.name(),
+      std::make_unique<LimdPolicy>(make_limd_config(config.base)));
+
+  const std::vector<std::string> members = {trace_a.name(), trace_b.name()};
+  switch (config.approach) {
+    case MutualApproach::kBaseline:
+      engine.add_coordinator(std::make_unique<NullCoordinator>());
+      break;
+    case MutualApproach::kTriggered:
+      engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+          members, config.delta_mutual));
+      break;
+    case MutualApproach::kHeuristic: {
+      RateHeuristicCoordinator::Config heuristic;
+      heuristic.delta_mutual = config.delta_mutual;
+      heuristic.similarity = config.similarity;
+      engine.add_coordinator(std::make_unique<RateHeuristicCoordinator>(
+          members, heuristic));
+      break;
+    }
+  }
+
+  // Evaluate the pair over the window both traces cover.
+  const Duration horizon =
+      std::min(trace_a.duration(), trace_b.duration());
+  engine.start();
+  sim.run_until(horizon);
+
+  MutualTemporalRunResult result;
+  result.polls = engine.polls_performed();
+  result.triggered = engine.triggered_polls();
+  const auto polls_a = successful_polls(engine.poll_log(), trace_a.name());
+  const auto polls_b = successful_polls(engine.poll_log(), trace_b.name());
+  result.mutual = evaluate_mutual_temporal(
+      trace_a, polls_a, trace_b, polls_b, config.delta_mutual, horizon);
+  result.individual_a = evaluate_temporal_fidelity(trace_a, polls_a,
+                                                   config.base.delta, horizon);
+  result.individual_b = evaluate_temporal_fidelity(trace_b, polls_b,
+                                                   config.base.delta, horizon);
+  result.poll_log = engine.poll_log();
+  return result;
+}
+
+ValueRunResult run_value_individual(const ValueTrace& trace,
+                                    const ValueRunConfig& config) {
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine engine(sim, origin, config.engine);
+
+  origin.attach_value_trace(trace.name(), trace);
+  AdaptiveValueTtrPolicy::Config policy;
+  policy.delta = config.delta;
+  policy.bounds = config.bounds;
+  policy.smoothing_w = config.smoothing_w;
+  policy.alpha = config.alpha;
+  engine.add_value_object(trace.name(), policy);
+  engine.start();
+  sim.run_until(trace.duration());
+
+  ValueRunResult result;
+  result.polls = engine.polls_performed(trace.name());
+  result.fidelity = evaluate_value_fidelity(
+      trace, successful_polls(engine.poll_log(), trace.name()),
+      config.delta, trace.duration());
+  return result;
+}
+
+MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
+                                      const ValueTrace& trace_b,
+                                      const MutualValueRunConfig& config) {
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine engine(sim, origin, config.engine);
+
+  origin.attach_value_trace(trace_a.name(), trace_a);
+  origin.attach_value_trace(trace_b.name(), trace_b);
+  const std::vector<std::string> members = {trace_a.name(), trace_b.name()};
+
+  switch (config.approach) {
+    case MutualValueApproach::kAdaptive: {
+      VirtualObjectPolicy::Config policy =
+          VirtualObjectPolicy::Config::paper_defaults(config.delta,
+                                                      config.bounds);
+      policy.smoothing_w = config.smoothing_w;
+      policy.alpha = config.alpha;
+      engine.add_virtual_group(
+          members, std::make_unique<VirtualObjectPolicy>(
+                       std::make_unique<DifferenceFunction>(), policy));
+      break;
+    }
+    case MutualValueApproach::kPartitioned: {
+      PartitionedTolerancePolicy::Config policy =
+          PartitionedTolerancePolicy::Config::paper_defaults(config.delta,
+                                                             config.bounds);
+      policy.smoothing_w = config.smoothing_w;
+      policy.alpha = config.alpha;
+      engine.add_partitioned_group(
+          members, std::make_unique<PartitionedTolerancePolicy>(
+                       std::make_unique<DifferenceFunction>(), policy));
+      break;
+    }
+  }
+
+  const Duration horizon =
+      std::min(trace_a.duration(), trace_b.duration());
+  engine.start();
+  sim.run_until(horizon);
+
+  MutualValueRunResult result;
+  result.polls = engine.polls_performed();
+  const auto polls_a = successful_polls(engine.poll_log(), trace_a.name());
+  const auto polls_b = successful_polls(engine.poll_log(), trace_b.name());
+  const DifferenceFunction difference;
+  result.mutual = evaluate_mutual_value(trace_a, polls_a, trace_b, polls_b,
+                                        difference, config.delta, horizon);
+  if (config.collect_series) {
+    result.series = mutual_value_series(trace_a, polls_a, trace_b, polls_b,
+                                        difference, horizon);
+  }
+  return result;
+}
+
+}  // namespace broadway

@@ -1,0 +1,154 @@
+// Experiment runners: one call = one simulated proxy run + ground-truth
+// evaluation.  The bench binaries (one per paper table/figure), the
+// integration tests and the examples all drive these, so every consumer
+// measures the same way.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "consistency/types.h"
+#include "metrics/fidelity.h"
+#include "metrics/mutual_fidelity.h"
+#include "metrics/value_fidelity.h"
+#include "proxy/polling_engine.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+
+namespace broadway {
+
+// ---------- individual temporal (paper §6.2.1, Fig. 3 / Fig. 4) ----------
+
+/// Configuration of one Δt run.
+struct TemporalRunConfig {
+  /// Δt tolerance.
+  Duration delta = 600.0;
+  /// TTR upper bound (TTR_min is Δ, as in the paper).
+  Duration ttr_max = 3600.0;
+  /// LIMD parameters (§6.2.1 defaults).
+  double linear_increase = 0.2;
+  double epsilon = 0.02;
+  bool adaptive_m = true;
+  double multiplicative_decrease = 0.5;
+  /// Violation inference strategy + whether the origin serves the
+  /// modification-history extension (the A1 ablation toggles these).
+  ViolationDetection detection = ViolationDetection::kExactHistory;
+  bool origin_history = true;
+  /// Engine failure/latency model.
+  EngineConfig engine;
+};
+
+/// Result of one Δt run.
+struct TemporalRunResult {
+  /// Refreshes performed (excluding the initial fetch) — the paper's
+  /// "number of polls".
+  std::size_t polls = 0;
+  /// Ground-truth fidelity (both Eq. 13 and Eq. 14 views).
+  TemporalFidelityReport fidelity;
+  /// TTR after each poll (Fig. 4(b)).
+  std::vector<std::pair<TimePoint, Duration>> ttr_series;
+};
+
+/// Run LIMD over the trace.
+TemporalRunResult run_limd_individual(const UpdateTrace& trace,
+                                      const TemporalRunConfig& config);
+
+/// Run the baseline (poll every Δ) over the trace.
+TemporalRunResult run_baseline_individual(const UpdateTrace& trace,
+                                          Duration delta,
+                                          EngineConfig engine = EngineConfig{});
+
+// ---------- mutual temporal (paper §6.2.2, Fig. 5 / Fig. 6) ----------
+
+/// The three §3.2 approaches compared in Fig. 5.
+enum class MutualApproach {
+  kBaseline,   ///< LIMD only, no mutual support
+  kTriggered,  ///< update triggers polls of all related objects
+  kHeuristic,  ///< update triggers polls of similar-or-faster objects only
+};
+
+struct MutualTemporalRunConfig {
+  /// Individual Δ (the paper fixes Δ = 10 min for Fig. 5).
+  TemporalRunConfig base;
+  /// Mutual tolerance δ.
+  Duration delta_mutual = 600.0;
+  MutualApproach approach = MutualApproach::kBaseline;
+  /// Heuristic similarity factor (rate(member) >= similarity·rate(updated)).
+  double similarity = 0.8;
+};
+
+struct MutualTemporalRunResult {
+  /// All refreshes across both objects (excl. initial fetches).
+  std::size_t polls = 0;
+  /// Of which coordinator-triggered.
+  std::size_t triggered = 0;
+  /// Pairwise Mt fidelity.
+  MutualTemporalReport mutual;
+  /// Per-object Δt fidelity (the mechanisms compose, §2).
+  TemporalFidelityReport individual_a;
+  TemporalFidelityReport individual_b;
+  /// Full poll log (Fig. 6(b) buckets triggered polls over time).
+  std::vector<PollRecord> poll_log;
+};
+
+MutualTemporalRunResult run_mutual_temporal(
+    const UpdateTrace& trace_a, const UpdateTrace& trace_b,
+    const MutualTemporalRunConfig& config);
+
+// ---------- individual value (paper §4.1) ----------
+
+struct ValueRunConfig {
+  /// Δv tolerance (value units).
+  double delta = 1.0;
+  /// TTR bounds (seconds).  Stock traces tick every few seconds; TTR_min
+  /// must sit *below* the tick interval or the floor masks the policies'
+  /// behaviour (in particular the partitioned approach's tight-tolerance
+  /// polling of the fast object, Fig. 7).
+  TtrBounds bounds{1.0, 300.0};
+  /// Eq. 10 parameters.
+  double smoothing_w = 0.5;
+  double alpha = 0.7;
+  EngineConfig engine;
+};
+
+struct ValueRunResult {
+  std::size_t polls = 0;
+  ValueFidelityReport fidelity;
+};
+
+ValueRunResult run_value_individual(const ValueTrace& trace,
+                                    const ValueRunConfig& config);
+
+// ---------- mutual value (paper §6.2.3, Fig. 7 / Fig. 8) ----------
+
+/// The two §4.2 approaches compared in Fig. 7.
+enum class MutualValueApproach {
+  kAdaptive,     ///< f as a virtual object (Eqs. 11–12)
+  kPartitioned,  ///< δ split across objects (linear f)
+};
+
+struct MutualValueRunConfig {
+  /// Mv tolerance δ on f (the paper sweeps $0.25–$5 with f = difference).
+  double delta = 1.0;
+  TtrBounds bounds{1.0, 300.0};
+  double smoothing_w = 0.5;
+  double alpha = 0.7;
+  MutualValueApproach approach = MutualValueApproach::kPartitioned;
+  EngineConfig engine;
+  /// Collect the Fig. 8 (time, f_server, f_proxy) series.
+  bool collect_series = false;
+};
+
+struct MutualValueRunResult {
+  std::size_t polls = 0;
+  MutualValueReport mutual;
+  std::vector<MutualValueSample> series;
+};
+
+/// Runs with f = difference (the paper's Fig. 7/8 configuration).
+MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
+                                      const ValueTrace& trace_b,
+                                      const MutualValueRunConfig& config);
+
+}  // namespace broadway

@@ -1,0 +1,38 @@
+// Report rendering for the bench binaries: paper-style table helpers and a
+// small ASCII chart for the time-series figures (Figs. 4, 6, 8).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Print a figure/table banner:
+///   == Figure 3(a): Number of polls, CNN/FN trace ==
+void print_banner(std::ostream& out, const std::string& title);
+
+/// Render an (x, y) series as a crude ASCII line chart.  Intended as a
+/// quick visual check of the shape a figure reproduces; the exact numbers
+/// accompany it in a table.
+struct AsciiChartOptions {
+  int width = 72;
+  int height = 16;
+  std::string x_label;
+  std::string y_label;
+};
+
+std::string render_ascii_chart(
+    const std::vector<std::pair<double, double>>& series,
+    const AsciiChartOptions& options);
+
+/// Overlay two series in one chart ('*' = first, 'o' = second, '#' where
+/// they coincide).
+std::string render_ascii_chart2(
+    const std::vector<std::pair<double, double>>& series_a,
+    const std::vector<std::pair<double, double>>& series_b,
+    const AsciiChartOptions& options);
+
+}  // namespace broadway

@@ -1,0 +1,39 @@
+// Text codec for the HTTP-style messages: RFC 2616 wire format with CRLF
+// line endings and a Content-Length-framed body.
+//
+// The simulator exchanges typed Request/Response structs directly for
+// speed; this codec is the wire representation used by the loopback
+// transport example and by tests that pin the protocol format (so a future
+// real-socket transport interoperates with standard tooling).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace broadway {
+
+/// Thrown on malformed wire input.
+class HttpParseError : public std::runtime_error {
+ public:
+  explicit HttpParseError(const std::string& what)
+      : std::runtime_error("http parse: " + what) {}
+};
+
+/// Serialise a request: request line, headers, blank line.  GET/HEAD carry
+/// no body.
+std::string serialize(const Request& request);
+
+/// Serialise a response: status line, headers (Content-Length appended when
+/// a body is present), blank line, body.
+std::string serialize(const Response& response);
+
+/// Parse a complete serialised request.  Throws HttpParseError.
+Request parse_request(std::string_view wire);
+
+/// Parse a complete serialised response.  Throws HttpParseError.
+Response parse_response(std::string_view wire);
+
+}  // namespace broadway

@@ -1,0 +1,123 @@
+#include "http/date.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace broadway {
+
+namespace httpdate_detail {
+
+long long days_from_civil(int y, unsigned m, unsigned d) {
+  // Howard Hinnant's algorithm; shifts the year so the leap day is the
+  // last day of the shifted year.
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);         // [0,399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0,146096]
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+void civil_from_days(long long z, int& year, unsigned& month, unsigned& day) {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);      // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;         // [0,399]
+  const long long y = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);      // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                           // [0,11]
+  day = doy - (153 * mp + 2) / 5 + 1;
+  month = mp + (mp < 10 ? 3 : -9);
+  year = static_cast<int>(y + (month <= 2));
+}
+
+unsigned weekday_from_days(long long days) {
+  return static_cast<unsigned>(days >= -4 ? (days + 4) % 7
+                                          : (days + 5) % 7 + 6);
+}
+
+}  // namespace httpdate_detail
+
+namespace {
+
+// Simulation epoch: Mon, 06 Aug 2001 00:00:00 GMT, as days since 1970.
+const long long kEpochDays = httpdate_detail::days_from_civil(2001, 8, 6);
+
+constexpr const char* kWeekdays[7] = {"Sun", "Mon", "Tue", "Wed",
+                                      "Thu", "Fri", "Sat"};
+constexpr const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr",
+                                     "May", "Jun", "Jul", "Aug",
+                                     "Sep", "Oct", "Nov", "Dec"};
+
+int month_index(std::string_view name) {
+  for (int i = 0; i < 12; ++i) {
+    if (name == kMonths[i]) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string format_http_date(TimePoint t) {
+  BROADWAY_CHECK_MSG(t >= 0.0 && std::isfinite(t), "http date for t=" << t);
+  const long long total_seconds = static_cast<long long>(t);
+  const long long day_offset = total_seconds / 86400;
+  const long long secs_in_day = total_seconds % 86400;
+  const long long abs_days = kEpochDays + day_offset;
+
+  int year;
+  unsigned month, day;
+  httpdate_detail::civil_from_days(abs_days, year, month, day);
+  const unsigned weekday = httpdate_detail::weekday_from_days(abs_days);
+
+  const int hh = static_cast<int>(secs_in_day / 3600);
+  const int mm = static_cast<int>((secs_in_day % 3600) / 60);
+  const int ss = static_cast<int>(secs_in_day % 60);
+
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s, %02u %s %04d %02d:%02d:%02d GMT",
+                kWeekdays[weekday], day, kMonths[month - 1], year, hh, mm,
+                ss);
+  return buf;
+}
+
+std::optional<TimePoint> parse_http_date(std::string_view text) {
+  // "Mon, 06 Aug 2001 13:04:00 GMT" — fixed-width RFC 1123.
+  if (text.size() != 29) return std::nullopt;
+  char weekday[4] = {};
+  unsigned day = 0;
+  char month_name[4] = {};
+  int year = 0;
+  int hh = 0, mm = 0, ss = 0;
+  char tz[4] = {};
+  const std::string buf(text);
+  if (std::sscanf(buf.c_str(), "%3s, %2u %3s %4d %2d:%2d:%2d %3s", weekday,
+                  &day, month_name, &year, &hh, &mm, &ss, tz) != 8) {
+    return std::nullopt;
+  }
+  if (std::strcmp(tz, "GMT") != 0) return std::nullopt;
+  const int month = month_index(month_name);
+  if (month < 0) return std::nullopt;
+  if (day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) {
+    return std::nullopt;
+  }
+  const long long abs_days = httpdate_detail::days_from_civil(
+      year, static_cast<unsigned>(month + 1), day);
+  const long long rel_days = abs_days - kEpochDays;
+  const double t = static_cast<double>(rel_days) * 86400.0 + hh * 3600.0 +
+                   mm * 60.0 + ss;
+  if (t < 0.0) return std::nullopt;  // before the simulation epoch
+  // Validate the weekday (catches corrupted dates).
+  if (std::strcmp(weekday,
+                  kWeekdays[httpdate_detail::weekday_from_days(abs_days)]) !=
+      0) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+}  // namespace broadway

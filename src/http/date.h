@@ -1,0 +1,42 @@
+// HTTP-date formatting and parsing (RFC 1123 fixed-format, the preferred
+// form of RFC 2616 §3.3.1), mapped onto simulation time.
+//
+// Simulation t = 0 corresponds to Mon, 06 Aug 2001 00:00:00 GMT — midnight
+// before the earliest trace collection window in the paper's Table 2 — so
+// Last-Modified headers in logs read like the paper's own timeline.
+// HTTP-dates carry whole-second resolution; sub-second precision travels in
+// the X-Last-Modified-Precise extension header (see extensions.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Render a simulation instant as an RFC 1123 date, truncating to whole
+/// seconds: "Mon, 06 Aug 2001 13:04:00 GMT".  Requires t >= 0.
+std::string format_http_date(TimePoint t);
+
+/// Parse an RFC 1123 date back to a simulation instant.  Returns nullopt
+/// for malformed input or dates before the simulation epoch.
+std::optional<TimePoint> parse_http_date(std::string_view text);
+
+namespace httpdate_detail {
+// Civil-calendar conversions (Gregorian, proleptic).  Exposed for tests.
+
+/// Days since 1970-01-01 for a civil date (Hinnant's days_from_civil).
+long long days_from_civil(int year, unsigned month, unsigned day);
+
+/// Inverse of days_from_civil.
+void civil_from_days(long long days, int& year, unsigned& month,
+                     unsigned& day);
+
+/// Day of week, 0 = Sunday, for days since 1970-01-01 (1970-01-01 was a
+/// Thursday).
+unsigned weekday_from_days(long long days);
+}  // namespace httpdate_detail
+
+}  // namespace broadway

@@ -1,0 +1,120 @@
+#include "http/extensions.h"
+
+#include <cstdio>
+
+#include "http/date.h"
+#include "util/strings.h"
+
+namespace broadway {
+
+namespace {
+
+std::string fmt_seconds(double v) {
+  char buf[64];
+  // Three decimals: millisecond precision, compact on the wire.
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::optional<double> parse_seconds(std::string_view text) {
+  double v;
+  if (!parse_double(text, v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+void set_if_modified_since(Headers& headers, TimePoint t) {
+  headers.set(kHdrIfModifiedSince, format_http_date(t));
+  headers.set(kHdrIfModifiedSincePrecise, fmt_seconds(t));
+}
+
+std::optional<TimePoint> get_if_modified_since(const Headers& headers) {
+  if (auto precise = headers.get(kHdrIfModifiedSincePrecise)) {
+    return parse_seconds(*precise);
+  }
+  if (auto coarse = headers.get(kHdrIfModifiedSince)) {
+    return parse_http_date(*coarse);
+  }
+  return std::nullopt;
+}
+
+void set_last_modified(Headers& headers, TimePoint t) {
+  headers.set(kHdrLastModified, format_http_date(t));
+  headers.set(kHdrLastModifiedPrecise, fmt_seconds(t));
+}
+
+std::optional<TimePoint> get_last_modified(const Headers& headers) {
+  if (auto precise = headers.get(kHdrLastModifiedPrecise)) {
+    return parse_seconds(*precise);
+  }
+  if (auto coarse = headers.get(kHdrLastModified)) {
+    return parse_http_date(*coarse);
+  }
+  return std::nullopt;
+}
+
+void set_modification_history(Headers& headers,
+                              const std::vector<TimePoint>& instants) {
+  std::vector<std::string> parts;
+  parts.reserve(instants.size());
+  for (TimePoint t : instants) parts.push_back(fmt_seconds(t));
+  headers.set(kHdrModificationHistory, join(parts, ", "));
+}
+
+std::optional<std::vector<TimePoint>> get_modification_history(
+    const Headers& headers) {
+  const auto raw = headers.get(kHdrModificationHistory);
+  if (!raw) return std::vector<TimePoint>{};
+  std::vector<TimePoint> out;
+  TimePoint prev = -kTimeInfinity;
+  for (const auto& piece : split_trimmed(*raw, ',')) {
+    const auto v = parse_seconds(piece);
+    if (!v || *v < prev) return std::nullopt;  // malformed or unordered
+    out.push_back(*v);
+    prev = *v;
+  }
+  return out;
+}
+
+void set_delta_tolerance(Headers& headers, Duration delta) {
+  headers.set(kHdrDeltaConsistency, fmt_seconds(delta));
+}
+
+std::optional<Duration> get_delta_tolerance(const Headers& headers) {
+  const auto raw = headers.get(kHdrDeltaConsistency);
+  if (!raw) return std::nullopt;
+  return parse_seconds(*raw);
+}
+
+void set_group(Headers& headers, std::string_view group_id,
+               Duration group_delta) {
+  headers.set(kHdrConsistencyGroup, group_id);
+  headers.set(kHdrGroupDelta, fmt_seconds(group_delta));
+}
+
+std::optional<std::string_view> get_group_id(const Headers& headers) {
+  return headers.get(kHdrConsistencyGroup);
+}
+
+std::optional<Duration> get_group_delta(const Headers& headers) {
+  const auto raw = headers.get(kHdrGroupDelta);
+  if (!raw) return std::nullopt;
+  return parse_seconds(*raw);
+}
+
+void set_object_value(Headers& headers, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  headers.set(kHdrObjectValue, buf);
+}
+
+std::optional<double> get_object_value(const Headers& headers) {
+  const auto raw = headers.get(kHdrObjectValue);
+  if (!raw) return std::nullopt;
+  double v;
+  if (!parse_double(*raw, v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace broadway

@@ -1,0 +1,98 @@
+#include "http/message.h"
+
+#include "http/extensions.h"
+#include "util/strings.h"
+
+namespace broadway {
+
+std::string_view to_string(Method m) {
+  switch (m) {
+    case Method::kGet:
+      return "GET";
+    case Method::kHead:
+      return "HEAD";
+  }
+  return "GET";
+}
+
+std::optional<Method> parse_method(std::string_view text) {
+  if (text == "GET") return Method::kGet;
+  if (text == "HEAD") return Method::kHead;
+  return std::nullopt;
+}
+
+std::string_view reason_phrase(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotModified:
+      return "Not Modified";
+    case StatusCode::kBadRequest:
+      return "Bad Request";
+    case StatusCode::kNotFound:
+      return "Not Found";
+  }
+  return "Unknown";
+}
+
+std::optional<StatusCode> parse_status(int code) {
+  switch (code) {
+    case 200:
+      return StatusCode::kOk;
+    case 304:
+      return StatusCode::kNotModified;
+    case 400:
+      return StatusCode::kBadRequest;
+    case 404:
+      return StatusCode::kNotFound;
+    default:
+      return std::nullopt;
+  }
+}
+
+void Headers::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void Headers::add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> Headers::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) out.emplace_back(value);
+  }
+  return out;
+}
+
+std::size_t Headers::remove(std::string_view name) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (iequals(it->first, name)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Request Request::conditional_get(std::string uri, double if_modified_since) {
+  Request req;
+  req.method = Method::kGet;
+  req.uri = std::move(uri);
+  set_if_modified_since(req.headers, if_modified_since);
+  return req;
+}
+
+}  // namespace broadway

@@ -1,0 +1,90 @@
+// HTTP/1.1-style messages.
+//
+// All of the paper's consistency mechanisms ride on HTTP: the proxy
+// refreshes an object with an `if-modified-since` GET and the server
+// answers 304 (fresh) or 200 with a new body and Last-Modified (paper §5).
+// These types model exactly the message surface those mechanisms need,
+// including the user-defined extension headers of §5.1 (see extensions.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace broadway {
+
+/// Request methods the proxy uses.
+enum class Method { kGet, kHead };
+
+std::string_view to_string(Method m);
+std::optional<Method> parse_method(std::string_view text);
+
+/// The subset of status codes the consistency machinery produces.
+enum class StatusCode {
+  kOk = 200,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kNotFound = 404,
+};
+
+std::string_view reason_phrase(StatusCode code);
+std::optional<StatusCode> parse_status(int code);
+
+/// Ordered, case-insensitive header collection.  Order is preserved for
+/// serialisation; lookups ignore ASCII case per RFC 2616 §4.2.
+class Headers {
+ public:
+  /// Replace any existing values for `name` with a single value.
+  void set(std::string_view name, std::string_view value);
+
+  /// Append without replacing (repeated headers).
+  void add(std::string_view name, std::string_view value);
+
+  /// First value for `name`, if present.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  /// All values for `name`, in insertion order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  /// Remove all values for `name`; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  /// Raw entries in order (for serialisation and iteration).
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// An HTTP request.  `uri` is the absolute path identifying a cached
+/// object (the library treats it as an opaque object id).
+struct Request {
+  Method method = Method::kGet;
+  std::string uri;
+  Headers headers;
+
+  /// Convenience: build a conditional GET carrying If-Modified-Since (and
+  /// the precise-time extension) for the given instant; see extensions.h.
+  static Request conditional_get(std::string uri, double if_modified_since);
+};
+
+/// An HTTP response.
+struct Response {
+  StatusCode status = StatusCode::kOk;
+  Headers headers;
+  std::string body;
+
+  bool ok() const { return status == StatusCode::kOk; }
+  bool not_modified() const { return status == StatusCode::kNotModified; }
+};
+
+}  // namespace broadway

@@ -1,0 +1,57 @@
+#include "metrics/accounting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+PollCauseCounts count_by_cause(const std::vector<PollRecord>& log) {
+  PollCauseCounts counts;
+  for (const PollRecord& record : log) {
+    if (record.failed) {
+      ++counts.failed;
+      continue;
+    }
+    switch (record.cause) {
+      case PollCause::kInitial:
+        ++counts.initial;
+        break;
+      case PollCause::kScheduled:
+        ++counts.scheduled;
+        break;
+      case PollCause::kTriggered:
+        ++counts.triggered;
+        break;
+      case PollCause::kRetry:
+        ++counts.retry;
+        break;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::size_t> polls_per_bucket(const std::vector<PollRecord>& log,
+                                          Duration bucket, Duration horizon,
+                                          std::optional<PollCause> cause,
+                                          const std::string& uri) {
+  BROADWAY_CHECK_MSG(bucket > 0.0 && horizon > 0.0,
+                     "bucket " << bucket << " horizon " << horizon);
+  const std::size_t buckets =
+      static_cast<std::size_t>(std::ceil(horizon / bucket));
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const PollRecord& record : log) {
+    if (record.failed) continue;
+    if (cause && record.cause != *cause) continue;
+    if (!uri.empty() && record.uri != uri) continue;
+    if (record.complete_time >= horizon) continue;
+    const std::size_t i =
+        std::min(buckets - 1,
+                 static_cast<std::size_t>(record.complete_time / bucket));
+    ++counts[i];
+  }
+  return counts;
+}
+
+}  // namespace broadway

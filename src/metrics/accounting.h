@@ -1,0 +1,43 @@
+// Poll-log accounting: counts by cause and per-bucket time series.
+//
+// Figures 5–6 of the paper separate the polls a mutual-consistency
+// mechanism adds from the baseline's, and Fig. 6(b) plots the *extra*
+// (triggered) polls over time; these helpers compute both from the
+// engine's poll log.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "consistency/types.h"
+#include "proxy/polling_engine.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// Successful-poll counts broken down by cause, plus failures.
+struct PollCauseCounts {
+  std::size_t initial = 0;
+  std::size_t scheduled = 0;
+  std::size_t triggered = 0;
+  std::size_t retry = 0;
+  std::size_t failed = 0;
+
+  /// The paper's "number of polls": everything except the initial fetches
+  /// and failures.
+  std::size_t total_refreshes() const {
+    return scheduled + triggered + retry;
+  }
+};
+
+PollCauseCounts count_by_cause(const std::vector<PollRecord>& log);
+
+/// Successful polls per time bucket over [0, horizon), optionally filtered
+/// by cause and/or uri (empty = all).  The Fig. 6(b) series is
+/// polls_per_bucket(log, 2h, horizon, PollCause::kTriggered).
+std::vector<std::size_t> polls_per_bucket(
+    const std::vector<PollRecord>& log, Duration bucket, Duration horizon,
+    std::optional<PollCause> cause = std::nullopt,
+    const std::string& uri = "");
+
+}  // namespace broadway

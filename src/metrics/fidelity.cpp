@@ -1,0 +1,71 @@
+#include "metrics/fidelity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace broadway {
+
+std::vector<PollInstant> successful_polls(const std::vector<PollRecord>& log,
+                                          const std::string& uri) {
+  std::vector<PollInstant> out;
+  for (const PollRecord& record : log) {
+    if (record.failed || record.uri != uri) continue;
+    out.push_back(PollInstant{record.snapshot_time, record.complete_time});
+  }
+  return out;
+}
+
+double TemporalFidelityReport::fidelity_violations() const {
+  if (windows == 0) return 1.0;
+  return 1.0 - static_cast<double>(violations) /
+                   static_cast<double>(windows);
+}
+
+double TemporalFidelityReport::fidelity_time() const {
+  if (horizon <= 0.0) return 1.0;
+  return 1.0 - out_sync_time / horizon;
+}
+
+TemporalFidelityReport evaluate_temporal_fidelity(
+    const UpdateTrace& trace, const std::vector<PollInstant>& polls,
+    Duration delta, Duration horizon) {
+  BROADWAY_CHECK_MSG(!polls.empty(), "no polls to evaluate");
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  BROADWAY_CHECK_MSG(horizon > 0.0, "horizon " << horizon);
+
+  TemporalFidelityReport report;
+  report.horizon = horizon;
+
+  for (std::size_t k = 0; k < polls.size(); ++k) {
+    BROADWAY_CHECK_MSG(
+        k == 0 || polls[k].complete >= polls[k - 1].complete,
+        "polls out of order");
+    const TimePoint window_begin = polls[k].complete;
+    const TimePoint window_end =
+        k + 1 < polls.size() ? polls[k + 1].complete : horizon;
+    if (window_begin >= window_end) {
+      // Triggered polls can coincide with scheduled ones; an empty window
+      // still counts as a poll that could not violate.
+      ++report.windows;
+      continue;
+    }
+    ++report.windows;
+
+    // First update the fetched copy does not reflect.
+    const auto first_unseen = trace.first_update_after(polls[k].snapshot);
+    if (!first_unseen) continue;  // copy is the newest version forever
+
+    // The copy becomes out of sync (beyond tolerance) at u* + delta.
+    const TimePoint stale_from = *first_unseen + delta;
+    const Duration span =
+        std::max(0.0, window_end - std::max(stale_from, window_begin));
+    if (span > 0.0) {
+      ++report.violations;
+      report.out_sync_time += span;
+    }
+  }
+  return report;
+}
+
+}  // namespace broadway

@@ -1,0 +1,89 @@
+#include "metrics/mutual_fidelity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace broadway {
+
+double MutualTemporalReport::fidelity_violations() const {
+  if (polls == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(violations) / static_cast<double>(polls);
+}
+
+double MutualTemporalReport::fidelity_time() const {
+  if (horizon <= 0.0) return 1.0;
+  return 1.0 - out_sync_time / horizon;
+}
+
+namespace {
+
+// Validity interval of the version captured by the latest poll whose copy
+// is visible at time t (polls sorted by completion).
+ValidityInterval held_validity(const UpdateTrace& trace,
+                               const std::vector<PollInstant>& polls,
+                               TimePoint t) {
+  // Last poll with complete <= t.
+  auto it = std::upper_bound(
+      polls.begin(), polls.end(), t,
+      [](TimePoint lhs, const PollInstant& rhs) { return lhs < rhs.complete; });
+  BROADWAY_CHECK_MSG(it != polls.begin(), "queried before the first fetch");
+  const PollInstant& poll = *(it - 1);
+  return trace.validity_at(poll.snapshot);
+}
+
+}  // namespace
+
+MutualTemporalReport evaluate_mutual_temporal(
+    const UpdateTrace& trace_a, const std::vector<PollInstant>& polls_a,
+    const UpdateTrace& trace_b, const std::vector<PollInstant>& polls_b,
+    Duration delta_mutual, Duration horizon) {
+  BROADWAY_CHECK_MSG(!polls_a.empty() && !polls_b.empty(),
+                     "both objects need at least the initial fetch");
+  BROADWAY_CHECK_MSG(delta_mutual >= 0.0, "delta " << delta_mutual);
+  BROADWAY_CHECK_MSG(horizon > 0.0, "horizon " << horizon);
+
+  MutualTemporalReport report;
+  report.horizon = horizon;
+  report.polls = polls_a.size() + polls_b.size();
+
+  // Segment boundaries: all completion instants of both schedules within
+  // (start, horizon).  The pair state is constant between boundaries.
+  const TimePoint start =
+      std::max(polls_a.front().complete, polls_b.front().complete);
+  std::vector<TimePoint> boundaries;
+  boundaries.push_back(start);
+  for (const auto& poll : polls_a) {
+    if (poll.complete > start && poll.complete < horizon) {
+      boundaries.push_back(poll.complete);
+    }
+  }
+  for (const auto& poll : polls_b) {
+    if (poll.complete > start && poll.complete < horizon) {
+      boundaries.push_back(poll.complete);
+    }
+  }
+  boundaries.push_back(horizon);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  bool previously_violated = false;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const TimePoint t0 = boundaries[i];
+    const TimePoint t1 = boundaries[i + 1];
+    if (t1 <= t0) continue;
+    const ValidityInterval va = held_validity(trace_a, polls_a, t0);
+    const ValidityInterval vb = held_validity(trace_b, polls_b, t0);
+    const bool violated = interval_gap(va, vb) > delta_mutual;
+    if (violated) {
+      report.out_sync_time += t1 - t0;
+      if (!previously_violated) ++report.violations;
+    }
+    previously_violated = violated;
+  }
+  return report;
+}
+
+}  // namespace broadway

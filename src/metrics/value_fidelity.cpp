@@ -1,0 +1,185 @@
+#include "metrics/value_fidelity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace broadway {
+
+double ValueFidelityReport::fidelity_violations() const {
+  if (windows == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(violations) / static_cast<double>(windows);
+}
+
+double ValueFidelityReport::fidelity_time() const {
+  if (horizon <= 0.0) return 1.0;
+  return 1.0 - out_sync_time / horizon;
+}
+
+ValueFidelityReport evaluate_value_fidelity(
+    const ValueTrace& trace, const std::vector<PollInstant>& polls,
+    double delta, Duration horizon) {
+  BROADWAY_CHECK_MSG(!polls.empty(), "no polls to evaluate");
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  BROADWAY_CHECK_MSG(horizon > 0.0, "horizon " << horizon);
+
+  ValueFidelityReport report;
+  report.horizon = horizon;
+  for (std::size_t k = 0; k < polls.size(); ++k) {
+    const TimePoint window_begin = polls[k].complete;
+    const TimePoint window_end =
+        k + 1 < polls.size() ? polls[k + 1].complete : horizon;
+    ++report.windows;
+    if (window_begin >= window_end) continue;
+    const double cached = trace.value_at(polls[k].snapshot);
+    const Duration span = trace.time_deviation_at_least(
+        window_begin, window_end, cached, delta);
+    if (span > 0.0) {
+      ++report.violations;
+      report.out_sync_time += span;
+    }
+  }
+  return report;
+}
+
+double MutualValueReport::fidelity_violations() const {
+  if (polls == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(violations) / static_cast<double>(polls);
+}
+
+double MutualValueReport::fidelity_time() const {
+  if (horizon <= 0.0) return 1.0;
+  return 1.0 - out_sync_time / horizon;
+}
+
+namespace {
+
+// Cached value at time t: server value at the snapshot of the last poll
+// completed at or before t.
+double cached_value_at(const ValueTrace& trace,
+                       const std::vector<PollInstant>& polls, TimePoint t) {
+  auto it = std::upper_bound(
+      polls.begin(), polls.end(), t,
+      [](TimePoint lhs, const PollInstant& rhs) { return lhs < rhs.complete; });
+  BROADWAY_CHECK_MSG(it != polls.begin(), "queried before the first fetch");
+  const PollInstant& poll = *(it - 1);
+  return trace.value_at(poll.snapshot);
+}
+
+// Merged event boundaries for a group: trace steps and poll completions in
+// (start, horizon), plus both endpoints.
+std::vector<TimePoint> merged_boundaries(
+    std::span<const ValueTrace* const> traces,
+    std::span<const std::vector<PollInstant>* const> polls, TimePoint start,
+    Duration horizon) {
+  std::vector<TimePoint> out;
+  out.push_back(start);
+  for (const ValueTrace* trace : traces) {
+    for (const auto& step : trace->steps()) {
+      if (step.time > start && step.time < horizon) out.push_back(step.time);
+    }
+  }
+  for (const auto* schedule : polls) {
+    for (const auto& poll : *schedule) {
+      if (poll.complete > start && poll.complete < horizon) {
+        out.push_back(poll.complete);
+      }
+    }
+  }
+  out.push_back(horizon);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+MutualValueReport evaluate_mutual_value(
+    std::span<const ValueTrace* const> traces,
+    std::span<const std::vector<PollInstant>* const> polls,
+    const ConsistencyFunction& function, double delta, Duration horizon) {
+  BROADWAY_CHECK_MSG(traces.size() == polls.size(), "traces/polls mismatch");
+  BROADWAY_CHECK_MSG(traces.size() == function.arity(),
+                     "group size must match the function arity");
+  BROADWAY_CHECK_MSG(delta > 0.0, "delta " << delta);
+  BROADWAY_CHECK_MSG(horizon > 0.0, "horizon " << horizon);
+
+  MutualValueReport report;
+  report.horizon = horizon;
+  TimePoint start = 0.0;
+  for (const auto* schedule : polls) {
+    BROADWAY_CHECK_MSG(!schedule->empty(), "object never fetched");
+    report.polls += schedule->size();
+    start = std::max(start, schedule->front().complete);
+  }
+
+  const std::vector<TimePoint> boundaries =
+      merged_boundaries(traces, polls, start, horizon);
+
+  std::vector<double> server_values(traces.size());
+  std::vector<double> proxy_values(traces.size());
+  bool previously_violated = false;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const TimePoint t0 = boundaries[i];
+    const TimePoint t1 = boundaries[i + 1];
+    if (t1 <= t0) continue;
+    for (std::size_t j = 0; j < traces.size(); ++j) {
+      server_values[j] = traces[j]->value_at(t0);
+      proxy_values[j] = cached_value_at(*traces[j], *polls[j], t0);
+    }
+    const double divergence = std::abs(function.evaluate(server_values) -
+                                       function.evaluate(proxy_values));
+    const bool violated = divergence >= delta;
+    if (violated) {
+      report.out_sync_time += t1 - t0;
+      if (!previously_violated) ++report.violations;
+    }
+    previously_violated = violated;
+  }
+  return report;
+}
+
+MutualValueReport evaluate_mutual_value(
+    const ValueTrace& trace_a, const std::vector<PollInstant>& polls_a,
+    const ValueTrace& trace_b, const std::vector<PollInstant>& polls_b,
+    const ConsistencyFunction& function, double delta, Duration horizon) {
+  const ValueTrace* traces[] = {&trace_a, &trace_b};
+  const std::vector<PollInstant>* polls[] = {&polls_a, &polls_b};
+  return evaluate_mutual_value(traces, polls, function, delta, horizon);
+}
+
+std::vector<MutualValueSample> mutual_value_series(
+    const ValueTrace& trace_a, const std::vector<PollInstant>& polls_a,
+    const ValueTrace& trace_b, const std::vector<PollInstant>& polls_b,
+    const ConsistencyFunction& function, Duration horizon) {
+  BROADWAY_CHECK_MSG(!polls_a.empty() && !polls_b.empty(),
+                     "objects never fetched");
+  const ValueTrace* traces[] = {&trace_a, &trace_b};
+  const std::vector<PollInstant>* polls[] = {&polls_a, &polls_b};
+  const TimePoint start =
+      std::max(polls_a.front().complete, polls_b.front().complete);
+  const std::vector<TimePoint> boundaries =
+      merged_boundaries(traces, polls, start, horizon);
+
+  std::vector<MutualValueSample> out;
+  out.reserve(boundaries.size());
+  for (TimePoint t : boundaries) {
+    // Sample just after the boundary so steps/polls at t are reflected.
+    MutualValueSample sample;
+    sample.time = t;
+    const double sa = trace_a.value_at(t);
+    const double sb = trace_b.value_at(t);
+    const double pa = cached_value_at(trace_a, polls_a, t);
+    const double pb = cached_value_at(trace_b, polls_b, t);
+    const double server_values[] = {sa, sb};
+    const double proxy_values[] = {pa, pb};
+    sample.f_server = function.evaluate(server_values);
+    sample.f_proxy = function.evaluate(proxy_values);
+    out.push_back(sample);
+  }
+  return out;
+}
+
+}  // namespace broadway

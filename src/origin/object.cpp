@@ -1,0 +1,61 @@
+#include "origin/object.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace broadway {
+
+VersionedObject::VersionedObject(std::string uri, TimePoint creation_time,
+                                 std::optional<double> value)
+    : uri_(std::move(uri)), creation_time_(creation_time), value_(value) {
+  BROADWAY_CHECK_MSG(!uri_.empty(), "object needs a uri");
+  BROADWAY_CHECK_MSG(creation_time_ >= 0.0, "creation at " << creation_time_);
+}
+
+TimePoint VersionedObject::last_modified() const {
+  return modifications_.empty() ? creation_time_ : modifications_.back();
+}
+
+void VersionedObject::apply_update(TimePoint t,
+                                   std::optional<double> new_value) {
+  BROADWAY_CHECK_MSG(t >= last_modified(),
+                     uri_ << ": update at " << t << " before last_modified "
+                          << last_modified());
+  BROADWAY_CHECK_MSG(value_.has_value() == new_value.has_value(),
+                     uri_ << ": value/temporal domain mismatch");
+  modifications_.push_back(t);
+  if (new_value) value_ = new_value;
+}
+
+std::vector<TimePoint> VersionedObject::history_since(
+    TimePoint t, std::size_t limit) const {
+  auto first = std::upper_bound(modifications_.begin(), modifications_.end(),
+                                t);
+  std::vector<TimePoint> out(first, modifications_.end());
+  if (limit > 0 && out.size() > limit) {
+    out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+  return out;
+}
+
+void VersionedObject::set_embedded_links(std::vector<std::string> links) {
+  embedded_links_ = std::move(links);
+}
+
+std::string VersionedObject::render_body() const {
+  std::ostringstream os;
+  os << "<html><head><title>" << uri_ << "</title></head>\n<body>\n"
+     << "<!-- version " << version() << " -->\n";
+  if (value_) {
+    os << "<span class=\"quote\">" << *value_ << "</span>\n";
+  }
+  for (const auto& link : embedded_links_) {
+    os << "<img src=\"" << link << "\"/>\n";
+  }
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace broadway

@@ -1,0 +1,78 @@
+// A versioned web object as the origin server sees it.
+//
+// Version numbering follows the paper (§2): version 0 at creation,
+// incremented on each update; the proxy's version is the server version it
+// last fetched.  The object keeps its full modification history so the
+// server can answer the paper's proposed X-Modification-History extension
+// and so tests can validate proxy-side inference against ground truth.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// One origin-side object.  Mutated only through `apply_update`, which
+/// enforces monotone time and version growth.
+class VersionedObject {
+ public:
+  /// Create version 0 at `creation_time`.  `value` is the numeric payload
+  /// of value-domain objects (stock price); temporal-domain objects carry
+  /// no value.
+  VersionedObject(std::string uri, TimePoint creation_time,
+                  std::optional<double> value = std::nullopt);
+
+  const std::string& uri() const { return uri_; }
+
+  /// Current version number (0-based; equals number of updates applied).
+  std::size_t version() const { return modifications_.size(); }
+
+  /// Instant of the most recent modification (creation time for version 0).
+  TimePoint last_modified() const;
+
+  /// Numeric value, if this is a value-domain object.
+  std::optional<double> value() const { return value_; }
+
+  /// Whether the object has been modified strictly after `t`.
+  bool modified_since(TimePoint t) const { return last_modified() > t; }
+
+  /// Apply an update at time `t` (must be >= last_modified()).  For
+  /// value-domain objects pass the new value.
+  void apply_update(TimePoint t, std::optional<double> new_value = std::nullopt);
+
+  /// Modification instants strictly after `t`, oldest first, capped at
+  /// `limit` *most recent* entries (0 = no cap).  This is the payload of
+  /// the X-Modification-History extension.
+  std::vector<TimePoint> history_since(TimePoint t, std::size_t limit) const;
+
+  /// Full modification history (ascending).  Ground truth for tests.
+  const std::vector<TimePoint>& modifications() const {
+    return modifications_;
+  }
+
+  TimePoint creation_time() const { return creation_time_; }
+
+  /// Synthesised HTML body for the current version, embedding the version
+  /// stamp and any declared related links (used by the syntactic grouping
+  /// machinery and by examples).
+  std::string render_body() const;
+
+  /// Declare embedded objects that render_body() should reference, e.g.
+  /// images accompanying a news story (paper §1 example 1).
+  void set_embedded_links(std::vector<std::string> links);
+  const std::vector<std::string>& embedded_links() const {
+    return embedded_links_;
+  }
+
+ private:
+  std::string uri_;
+  TimePoint creation_time_;
+  std::vector<TimePoint> modifications_;
+  std::optional<double> value_;
+  std::vector<std::string> embedded_links_;
+};
+
+}  // namespace broadway

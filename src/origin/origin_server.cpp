@@ -1,0 +1,101 @@
+#include "origin/origin_server.h"
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace broadway {
+
+OriginServer::OriginServer(Simulator& sim) : OriginServer(sim, Config()) {}
+
+OriginServer::OriginServer(Simulator& sim, Config config)
+    : sim_(sim), config_(config) {}
+
+VersionedObject& OriginServer::add_object(const std::string& uri) {
+  return store_.create(uri, sim_.now());
+}
+
+VersionedObject& OriginServer::add_value_object(const std::string& uri,
+                                                double initial_value) {
+  return store_.create(uri, sim_.now(), initial_value);
+}
+
+VersionedObject& OriginServer::attach_update_trace(const std::string& uri,
+                                                   const UpdateTrace& trace) {
+  VersionedObject* existing = store_.find(uri);
+  VersionedObject& object = existing ? *existing : add_object(uri);
+  for (TimePoint t : trace.updates()) {
+    BROADWAY_CHECK_MSG(t >= sim_.now(), "trace update in the past at " << t);
+    VersionedObject* target = &object;
+    sim_.schedule_at(t, [this, target] {
+      target->apply_update(sim_.now());
+    });
+  }
+  return object;
+}
+
+VersionedObject& OriginServer::attach_value_trace(const std::string& uri,
+                                                  const ValueTrace& trace) {
+  BROADWAY_CHECK_MSG(!store_.contains(uri), "duplicate value object " << uri);
+  VersionedObject& object = add_value_object(uri, trace.initial_value());
+  for (const auto& step : trace.steps()) {
+    BROADWAY_CHECK_MSG(step.time >= sim_.now(),
+                       "trace step in the past at " << step.time);
+    VersionedObject* target = &object;
+    const double value = step.value;
+    sim_.schedule_at(step.time, [this, target, value] {
+      target->apply_update(sim_.now(), value);
+    });
+  }
+  return object;
+}
+
+Response OriginServer::handle(const Request& request) {
+  ++requests_served_;
+  const VersionedObject* object = store_.find(request.uri);
+  if (object == nullptr) {
+    Response resp;
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  const std::optional<TimePoint> since =
+      get_if_modified_since(request.headers);
+  if (since && !object->modified_since(*since)) {
+    Response resp;
+    resp.status = StatusCode::kNotModified;
+    set_last_modified(resp.headers, object->last_modified());
+    ++responses_304_;
+    return resp;
+  }
+  ++responses_200_;
+  Response response = respond_full(*object, since);
+  if (request.method == Method::kHead) {
+    // HEAD: identical headers, no body (RFC 2616 §9.4).  Content-Length
+    // still describes what GET would return.
+    response.headers.set("Content-Length",
+                         std::to_string(response.body.size()));
+    response.body.clear();
+  }
+  return response;
+}
+
+Response OriginServer::respond_full(const VersionedObject& object,
+                                    std::optional<TimePoint> since) {
+  Response resp;
+  resp.status = StatusCode::kOk;
+  set_last_modified(resp.headers, object.last_modified());
+  if (object.value()) {
+    set_object_value(resp.headers, *object.value());
+  }
+  if (config_.history_enabled) {
+    // History "of arbitrary length" (paper §5.1): all updates the client
+    // has not seen, newest-capped by history_limit.
+    const TimePoint from = since.value_or(object.creation_time());
+    set_modification_history(
+        resp.headers, object.history_since(from, config_.history_limit));
+  }
+  resp.headers.set("Content-Type", object.value() ? "text/plain" : "text/html");
+  resp.body = object.render_body();
+  return resp;
+}
+
+}  // namespace broadway

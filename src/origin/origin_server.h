@@ -1,0 +1,86 @@
+// The origin web server model.
+//
+// Applies trace-driven updates to its object store on the simulator's
+// timeline and answers HTTP requests with the conditional-GET semantics the
+// paper's mechanisms rely on (paper §5): an `if-modified-since` request is
+// answered 304 when the object is unchanged, otherwise 200 with the new
+// body, Last-Modified, the value extension for value-domain objects, and —
+// when enabled — the X-Modification-History extension of §5.1.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "http/extensions.h"
+#include "http/message.h"
+#include "origin/store.h"
+#include "sim/simulator.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+
+namespace broadway {
+
+/// Origin server bound to a simulator.  One instance can host any number
+/// of objects, each driven by its own trace.
+class OriginServer {
+ public:
+  /// `history_limit` caps the X-Modification-History entries per response
+  /// (0 = unlimited).  `history_enabled` turns the extension off entirely —
+  /// the stock-HTTP configuration the paper contrasts against (§3.1).
+  struct Config {
+    bool history_enabled = true;
+    std::size_t history_limit = 16;
+  };
+
+  explicit OriginServer(Simulator& sim);
+  OriginServer(Simulator& sim, Config config);
+
+  OriginServer(const OriginServer&) = delete;
+  OriginServer& operator=(const OriginServer&) = delete;
+
+  /// Create a temporal-domain object (no numeric value) at sim.now().
+  VersionedObject& add_object(const std::string& uri);
+
+  /// Create a value-domain object with an initial value at sim.now().
+  VersionedObject& add_value_object(const std::string& uri,
+                                    double initial_value);
+
+  /// Create the object (if needed) and schedule one update event per trace
+  /// instant.  Must be called before the simulation passes the first
+  /// update.
+  VersionedObject& attach_update_trace(const std::string& uri,
+                                       const UpdateTrace& trace);
+
+  /// Create a value object and schedule its ticks.
+  VersionedObject& attach_value_trace(const std::string& uri,
+                                      const ValueTrace& trace);
+
+  /// Handle a request at the current simulation time.
+  Response handle(const Request& request);
+
+  /// Direct (non-HTTP) read access for evaluators and tests.
+  const ObjectStore& store() const { return store_; }
+  ObjectStore& store() { return store_; }
+
+  const Config& config() const { return config_; }
+  void set_config(Config config) { config_ = config; }
+
+  /// Request accounting (cross-checks the proxy's poll counters).
+  std::size_t requests_served() const { return requests_served_; }
+  std::size_t responses_200() const { return responses_200_; }
+  std::size_t responses_304() const { return responses_304_; }
+
+ private:
+  Simulator& sim_;
+  Config config_;
+  ObjectStore store_;
+  std::size_t requests_served_ = 0;
+  std::size_t responses_200_ = 0;
+  std::size_t responses_304_ = 0;
+
+  Response respond_full(const VersionedObject& object,
+                        std::optional<TimePoint> since);
+};
+
+}  // namespace broadway

@@ -1,0 +1,77 @@
+#include "origin/push.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+PushChannel::PushChannel(Simulator& sim, OriginServer& origin,
+                         Duration coalesce_window)
+    : sim_(sim), origin_(origin), coalesce_window_(coalesce_window) {
+  BROADWAY_CHECK_MSG(coalesce_window_ >= 0.0,
+                     "coalesce window " << coalesce_window_);
+}
+
+void PushChannel::subscribe(const std::string& uri, Delivery delivery) {
+  BROADWAY_CHECK(delivery != nullptr);
+  BROADWAY_CHECK_MSG(origin_.store().contains(uri),
+                     "no such object " << uri);
+  BROADWAY_CHECK_MSG(
+      subscriptions_.find(uri) == subscriptions_.end(),
+      "duplicate subscription for " << uri);
+  Subscription subscription;
+  subscription.delivery = std::move(delivery);
+  subscriptions_.emplace(uri, std::move(subscription));
+}
+
+void PushChannel::on_update(const std::string& uri) {
+  auto it = subscriptions_.find(uri);
+  if (it == subscriptions_.end()) return;  // nobody subscribed
+  Subscription& subscription = it->second;
+  if (subscription.push_pending) {
+    // An in-flight push will carry this update too.
+    ++updates_coalesced_;
+    return;
+  }
+  subscription.push_pending = true;
+  if (coalesce_window_ <= 0.0) {
+    deliver(uri);
+    return;
+  }
+  subscription.pending_event =
+      sim_.schedule_after(coalesce_window_, [this, uri] { deliver(uri); });
+}
+
+void PushChannel::deliver(const std::string& uri) {
+  auto it = subscriptions_.find(uri);
+  BROADWAY_CHECK(it != subscriptions_.end());
+  Subscription& subscription = it->second;
+  subscription.push_pending = false;
+  subscription.pending_event = kInvalidEventId;
+
+  // The push payload is exactly what an unconditional poll would return.
+  Request request;
+  request.uri = uri;
+  const Response response = origin_.handle(request);
+  ++pushes_delivered_;
+  subscription.delivery(uri, response);
+}
+
+void PushChannel::attach_pushed_trace(const std::string& uri,
+                                      const UpdateTrace& trace) {
+  origin_.attach_update_trace(uri, trace);
+  for (TimePoint t : trace.updates()) {
+    // After the origin applies the update at t (FIFO order: the origin's
+    // event was scheduled first), notify the channel.
+    sim_.schedule_at(t, [this, uri] { on_update(uri); });
+  }
+}
+
+void PushChannel::attach_pushed_trace(const std::string& uri,
+                                      const ValueTrace& trace) {
+  origin_.attach_value_trace(uri, trace);
+  for (const auto& step : trace.steps()) {
+    sim_.schedule_at(step.time, [this, uri] { on_update(uri); });
+  }
+}
+
+}  // namespace broadway

@@ -1,0 +1,50 @@
+#include "origin/store.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+VersionedObject& ObjectStore::create(const std::string& uri,
+                                     TimePoint creation_time,
+                                     std::optional<double> value) {
+  BROADWAY_CHECK_MSG(!contains(uri), "duplicate object " << uri);
+  auto object = std::make_unique<VersionedObject>(uri, creation_time, value);
+  VersionedObject& ref = *object;
+  objects_.emplace(uri, std::move(object));
+  return ref;
+}
+
+VersionedObject* ObjectStore::find(const std::string& uri) {
+  auto it = objects_.find(uri);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+const VersionedObject* ObjectStore::find(const std::string& uri) const {
+  auto it = objects_.find(uri);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+VersionedObject& ObjectStore::at(const std::string& uri) {
+  VersionedObject* object = find(uri);
+  BROADWAY_CHECK_MSG(object != nullptr, "no such object " << uri);
+  return *object;
+}
+
+const VersionedObject& ObjectStore::at(const std::string& uri) const {
+  const VersionedObject* object = find(uri);
+  BROADWAY_CHECK_MSG(object != nullptr, "no such object " << uri);
+  return *object;
+}
+
+bool ObjectStore::contains(const std::string& uri) const {
+  return objects_.find(uri) != objects_.end();
+}
+
+std::vector<std::string> ObjectStore::uris() const {
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const auto& [uri, object] : objects_) out.push_back(uri);
+  return out;
+}
+
+}  // namespace broadway

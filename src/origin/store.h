@@ -1,0 +1,42 @@
+// Object store: the origin server's collection of versioned objects.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "origin/object.h"
+
+namespace broadway {
+
+/// Owning map of uri -> VersionedObject.  Pointers returned by `find` stay
+/// valid for the life of the store (objects are never removed; a web origin
+/// in this model retires content by updating it, not deleting it).
+class ObjectStore {
+ public:
+  /// Create an object; throws via BROADWAY_CHECK if the uri already exists.
+  VersionedObject& create(const std::string& uri, TimePoint creation_time,
+                          std::optional<double> value = std::nullopt);
+
+  /// Lookup; nullptr if absent.
+  VersionedObject* find(const std::string& uri);
+  const VersionedObject* find(const std::string& uri) const;
+
+  /// Lookup that requires presence.
+  VersionedObject& at(const std::string& uri);
+  const VersionedObject& at(const std::string& uri) const;
+
+  bool contains(const std::string& uri) const;
+
+  std::size_t size() const { return objects_.size(); }
+
+  /// All uris, sorted (deterministic iteration for tests and reports).
+  std::vector<std::string> uris() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<VersionedObject>> objects_;
+};
+
+}  // namespace broadway

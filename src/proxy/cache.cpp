@@ -1,0 +1,54 @@
+#include "proxy/cache.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+void ProxyCache::store(CacheEntry entry) {
+  BROADWAY_CHECK_MSG(!entry.uri.empty(), "cache entry without uri");
+  auto it = entries_.find(entry.uri);
+  if (it != entries_.end()) {
+    BROADWAY_CHECK_MSG(entry.snapshot_time >= it->second.snapshot_time,
+                       entry.uri << ": snapshot would move backwards");
+    entry.refresh_count = it->second.refresh_count + 1;
+    it->second = std::move(entry);
+    return;
+  }
+  entries_.emplace(entry.uri, std::move(entry));
+}
+
+const CacheEntry* ProxyCache::find(const std::string& uri) const {
+  auto it = entries_.find(uri);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry& ProxyCache::at(const std::string& uri) const {
+  const CacheEntry* entry = find(uri);
+  BROADWAY_CHECK_MSG(entry != nullptr, "cache miss for " << uri);
+  return *entry;
+}
+
+bool ProxyCache::contains(const std::string& uri) const {
+  return entries_.find(uri) != entries_.end();
+}
+
+const CacheEntry* ProxyCache::lookup_counted(const std::string& uri) {
+  const CacheEntry* entry = find(uri);
+  if (entry != nullptr) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return entry;
+}
+
+std::vector<std::string> ProxyCache::uris() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [uri, entry] : entries_) out.push_back(uri);
+  return out;
+}
+
+void ProxyCache::clear() { entries_.clear(); }
+
+}  // namespace broadway

@@ -1,0 +1,70 @@
+// The proxy's object cache.
+//
+// Entries record not just the payload but the provenance the consistency
+// machinery and the evaluation need: when the copy was fetched (the server
+// snapshot it represents), when it became visible to clients, and the
+// last-modified instant the server reported.  The paper assumes an
+// infinitely large cache (§6.1.1), so there is no eviction.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// One cached object.
+struct CacheEntry {
+  std::string uri;
+  std::string body;
+  /// Server-side instant whose state this copy reflects.
+  TimePoint snapshot_time = 0.0;
+  /// Proxy-side instant the copy became visible (snapshot + latency).
+  TimePoint stored_time = 0.0;
+  /// Last-Modified reported by the server for this copy.
+  std::optional<TimePoint> last_modified;
+  /// Numeric value for value-domain objects.
+  std::optional<double> value;
+  /// Number of refreshes applied to this entry (0 = initial fetch only).
+  std::size_t refresh_count = 0;
+};
+
+/// Uri-keyed cache.  Monotonicity invariant (paper §2: "we implicitly
+/// require all cache consistency mechanisms to ensure that P_t
+/// monotonically increases over time"): a store must never move an entry's
+/// snapshot backwards.
+class ProxyCache {
+ public:
+  /// Insert or refresh an entry.  Checks snapshot monotonicity.
+  void store(CacheEntry entry);
+
+  /// Lookup; nullptr on miss.
+  const CacheEntry* find(const std::string& uri) const;
+
+  /// Lookup that requires presence.
+  const CacheEntry& at(const std::string& uri) const;
+
+  bool contains(const std::string& uri) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Hit/miss accounting for client-facing reads.
+  const CacheEntry* lookup_counted(const std::string& uri);
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+  std::vector<std::string> uris() const;
+
+  /// Drop everything (cold-cache experiments; a crash with no persistent
+  /// storage).
+  void clear();
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace broadway

@@ -1,0 +1,63 @@
+#include "proxy/client.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+ClientWorkload::ClientWorkload(Simulator& sim, ProxyCache& cache,
+                               const OriginServer& origin, Config config)
+    : sim_(sim),
+      cache_(cache),
+      origin_(origin),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      task_(sim, [this] {
+        issue_request();
+        return rng_.exponential(config_.request_rate);
+      }) {
+  BROADWAY_CHECK_MSG(config_.request_rate > 0.0,
+                     "rate " << config_.request_rate);
+  BROADWAY_CHECK_MSG(!config_.popularity.empty(), "no objects to request");
+  for (const auto& [uri, weight] : config_.popularity) {
+    BROADWAY_CHECK_MSG(weight >= 0.0, "negative popularity for " << uri);
+    uris_.push_back(uri);
+    weights_.push_back(weight);
+  }
+}
+
+void ClientWorkload::start() {
+  task_.start(rng_.exponential(config_.request_rate));
+}
+
+void ClientWorkload::stop() { task_.stop(); }
+
+void ClientWorkload::issue_request() {
+  const std::string& uri = uris_[rng_.weighted_index(weights_)];
+  ++stats_.requests;
+
+  const CacheEntry* entry = cache_.lookup_counted(uri);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return;
+  }
+  ++stats_.hits;
+
+  // Ground-truth freshness: the copy reflects origin state at
+  // snapshot_time; it is stale iff the origin modified the object after
+  // that snapshot.
+  const VersionedObject* object = origin_.store().find(uri);
+  BROADWAY_CHECK_MSG(object != nullptr, "cached object missing at origin");
+  if (object->modified_since(entry->snapshot_time)) {
+    ++stats_.stale;
+    // Lag: how long ago the first unseen update happened.
+    const auto& mods = object->modifications();
+    auto first_unseen = std::upper_bound(mods.begin(), mods.end(),
+                                         entry->snapshot_time);
+    BROADWAY_CHECK(first_unseen != mods.end());
+    stats_.staleness.add(sim_.now() - *first_unseen);
+  } else {
+    ++stats_.fresh;
+  }
+}
+
+}  // namespace broadway

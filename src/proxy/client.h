@@ -1,0 +1,76 @@
+// Client request workload against the proxy cache.
+//
+// The paper's simulator "simulates a proxy cache that receives requests
+// from several clients" (§6.1.1); its metrics are poll counts and fidelity,
+// but the examples in this repository also report the staleness clients
+// actually observe.  This generator issues a Poisson stream of requests
+// over a weighted object set and records, for each request, whether the
+// served copy was fresh (identical to the origin's current version) and by
+// how much it lagged.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "origin/origin_server.h"
+#include "proxy/cache.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace broadway {
+
+/// Aggregate view of what clients experienced.
+struct ClientStats {
+  std::size_t requests = 0;
+  std::size_t hits = 0;          ///< served from cache
+  std::size_t misses = 0;        ///< object not cached at request time
+  std::size_t fresh = 0;         ///< served copy matched the origin version
+  std::size_t stale = 0;         ///< served copy lagged the origin
+  OnlineStats staleness;         ///< lag (s) of stale responses
+};
+
+/// Poisson client stream.  Construct, then `start()`, then run the
+/// simulator; read `stats()` afterwards.
+class ClientWorkload {
+ public:
+  struct Config {
+    /// Aggregate request rate (requests/s across all objects).
+    double request_rate = 1.0;
+    /// Object popularity weights (uri -> weight).  Requests pick an object
+    /// with probability proportional to weight.
+    std::map<std::string, double> popularity;
+    std::uint64_t seed = 7;
+  };
+
+  ClientWorkload(Simulator& sim, ProxyCache& cache,
+                 const OriginServer& origin, Config config);
+
+  ClientWorkload(const ClientWorkload&) = delete;
+  ClientWorkload& operator=(const ClientWorkload&) = delete;
+
+  /// Begin issuing requests at the current simulation time.
+  void start();
+
+  /// Stop issuing further requests.
+  void stop();
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  ProxyCache& cache_;
+  const OriginServer& origin_;
+  Config config_;
+  Rng rng_;
+  std::vector<std::string> uris_;
+  std::vector<double> weights_;
+  PeriodicTask task_;
+  ClientStats stats_;
+
+  void issue_request();
+};
+
+}  // namespace broadway

@@ -1,0 +1,138 @@
+#include "proxy/html_links.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace broadway {
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+// A minimal tag scanner.  Yields (tag_name_lowercase, attributes_region)
+// for each element start tag, skipping comments and closing tags.
+struct Tag {
+  std::string name;
+  std::string_view attributes;
+};
+
+std::vector<Tag> scan_tags(std::string_view html) {
+  std::vector<Tag> out;
+  std::size_t i = 0;
+  while (i < html.size()) {
+    const std::size_t open = html.find('<', i);
+    if (open == std::string_view::npos) break;
+    if (html.compare(open, 4, "<!--") == 0) {
+      const std::size_t end = html.find("-->", open + 4);
+      if (end == std::string_view::npos) break;
+      i = end + 3;
+      continue;
+    }
+    // A '<' not opening a tag (stray less-than in text) is skipped as
+    // text rather than swallowing everything to the next '>'.
+    if (open + 1 >= html.size() ||
+        (!is_name_char(html[open + 1]) && html[open + 1] != '/' &&
+         html[open + 1] != '!')) {
+      i = open + 1;
+      continue;
+    }
+    std::size_t close = html.find('>', open + 1);
+    if (close == std::string_view::npos) break;
+    std::string_view inside = html.substr(open + 1, close - open - 1);
+    i = close + 1;
+    if (inside.empty() || inside[0] == '/' || inside[0] == '!') continue;
+    std::size_t name_end = 0;
+    while (name_end < inside.size() && is_name_char(inside[name_end])) {
+      ++name_end;
+    }
+    if (name_end == 0) continue;
+    out.push_back(Tag{to_lower(inside.substr(0, name_end)),
+                      inside.substr(name_end)});
+  }
+  return out;
+}
+
+// Extract the value of `attr` from an attribute region; empty if absent.
+std::string attribute_value(std::string_view attrs, std::string_view attr) {
+  std::size_t i = 0;
+  while (i < attrs.size()) {
+    // Find an attribute-name start.
+    while (i < attrs.size() && !is_name_char(attrs[i])) ++i;
+    std::size_t name_start = i;
+    while (i < attrs.size() && is_name_char(attrs[i])) ++i;
+    const std::string_view name = attrs.substr(name_start, i - name_start);
+    // Optional "= value".
+    std::size_t j = i;
+    while (j < attrs.size() &&
+           std::isspace(static_cast<unsigned char>(attrs[j]))) {
+      ++j;
+    }
+    if (j >= attrs.size() || attrs[j] != '=') continue;  // valueless attr
+    ++j;
+    while (j < attrs.size() &&
+           std::isspace(static_cast<unsigned char>(attrs[j]))) {
+      ++j;
+    }
+    std::string value;
+    if (j < attrs.size() && (attrs[j] == '"' || attrs[j] == '\'')) {
+      const char quote = attrs[j];
+      const std::size_t end = attrs.find(quote, j + 1);
+      if (end == std::string_view::npos) return "";
+      value = std::string(attrs.substr(j + 1, end - j - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = j;
+      while (end < attrs.size() &&
+             !std::isspace(static_cast<unsigned char>(attrs[end]))) {
+        ++end;
+      }
+      value = std::string(attrs.substr(j, end - j));
+      i = end;
+    }
+    if (iequals(name, attr)) return value;
+  }
+  return "";
+}
+
+void push_unique(std::vector<std::string>& out, std::string value) {
+  if (value.empty()) return;
+  if (std::find(out.begin(), out.end(), value) != out.end()) return;
+  out.push_back(std::move(value));
+}
+
+}  // namespace
+
+std::vector<std::string> extract_embedded_links(std::string_view html) {
+  std::vector<std::string> out;
+  for (const Tag& tag : scan_tags(html)) {
+    if (tag.name == "img" || tag.name == "script" || tag.name == "iframe" ||
+        tag.name == "embed" || tag.name == "audio" || tag.name == "video" ||
+        tag.name == "source" || tag.name == "frame") {
+      push_unique(out, attribute_value(tag.attributes, "src"));
+    } else if (tag.name == "link") {
+      // Only stylesheet links are render-blocking embedded objects.
+      const std::string rel =
+          to_lower(attribute_value(tag.attributes, "rel"));
+      if (rel == "stylesheet") {
+        push_unique(out, attribute_value(tag.attributes, "href"));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> extract_anchor_links(std::string_view html) {
+  std::vector<std::string> out;
+  for (const Tag& tag : scan_tags(html)) {
+    if (tag.name == "a") {
+      push_unique(out, attribute_value(tag.attributes, "href"));
+    }
+  }
+  return out;
+}
+
+}  // namespace broadway

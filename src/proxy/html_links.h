@@ -1,0 +1,27 @@
+// Syntactic relationship extraction (paper §5.2).
+//
+// "Syntactic relationships can be deduced by parsing html documents for
+// embedded links and objects."  This extractor pulls the URLs of embedded
+// resources — the objects a page cannot be rendered without, exactly the
+// "news story + embedded images" groups of the paper's motivating
+// example — from an HTML body.  It is a tolerant scanner, not a validating
+// parser: real-world 2001-era news HTML was far from well-formed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace broadway {
+
+/// URLs of embedded resources: img/script/iframe/embed/audio/video/source
+/// `src` attributes plus stylesheet `link href`s.  Order of first
+/// appearance, duplicates removed.  Attribute values may be quoted with
+/// single or double quotes or unquoted.
+std::vector<std::string> extract_embedded_links(std::string_view html);
+
+/// URLs of anchor (`<a href>`) links — navigational relationships, kept
+/// separate because the paper's grouping concerns embedded objects.
+std::vector<std::string> extract_anchor_links(std::string_view html);
+
+}  // namespace broadway

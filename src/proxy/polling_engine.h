@@ -1,0 +1,226 @@
+// The proxy's polling engine: binds refresh policies, mutual-consistency
+// coordinators and value-domain policies to the simulator and the origin
+// server, and keeps the poll log the evaluation is computed from.
+//
+// One engine models one proxy.  Objects are registered with a policy, the
+// engine performs the initial fetch and all subsequent `if-modified-since`
+// refreshes, coordinators may force extra ("triggered") polls, and every
+// poll is recorded with its cause (paper Figs. 5–6 account base polls and
+// extras separately).
+//
+// Failure model:
+//  * lost polls — with `loss_probability`, a poll fails (no response); the
+//    engine retries after `retry_delay`, recording the failure;
+//  * proxy crash — `crash_and_recover()` resets every policy to TTR_min
+//    exactly as §3.1 prescribes ("recovering from a proxy failure simply
+//    involves resetting the TTRs of all objects to TTR_min").
+//
+// Latency model: the paper fixes network latency and studies consistency
+// mechanisms, not network dynamics (§6.1.1).  A poll here is atomic at its
+// firing instant with `rtt` accounted in the poll record (snapshot_time =
+// fire time, complete_time = fire time + rtt): poll *scheduling* is
+// unaffected by latency, exactly as with the paper's fixed-latency
+// assumption, while evaluators still see when the cached copy actually
+// switched.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consistency/coordinator.h"
+#include "consistency/partitioned.h"
+#include "consistency/types.h"
+#include "consistency/value_ttr.h"
+#include "consistency/virtual_object.h"
+#include "origin/origin_server.h"
+#include "proxy/cache.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace broadway {
+
+/// One completed (or failed) poll.
+struct PollRecord {
+  /// Server-state instant the response reflects (fire time).
+  TimePoint snapshot_time = 0.0;
+  /// Instant the refreshed copy became visible at the proxy.
+  TimePoint complete_time = 0.0;
+  std::string uri;
+  PollCause cause = PollCause::kScheduled;
+  /// True when the server answered 200.
+  bool modified = false;
+  /// True when the poll was lost (no other fields beyond uri/cause/time
+  /// are meaningful).
+  bool failed = false;
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  /// Fixed round-trip time added between a poll's snapshot and the moment
+  /// the refreshed copy is visible to clients.
+  Duration rtt = 0.0;
+  /// Probability that any given poll is lost (failure injection).
+  double loss_probability = 0.0;
+  /// Delay before retrying a lost poll.
+  Duration retry_delay = 5.0;
+  /// Seed for the loss-injection stream.
+  std::uint64_t seed = 42;
+};
+
+/// The polling engine.
+class PollingEngine {
+ public:
+  PollingEngine(Simulator& sim, OriginServer& origin);
+  PollingEngine(Simulator& sim, OriginServer& origin, EngineConfig config);
+
+  PollingEngine(const PollingEngine&) = delete;
+  PollingEngine& operator=(const PollingEngine&) = delete;
+
+  // ---- registration (before start()) ----
+
+  /// Track a temporal-domain object with the given refresh policy.
+  void add_temporal_object(const std::string& uri,
+                           std::unique_ptr<RefreshPolicy> policy);
+
+  /// Attach a mutual-consistency coordinator.  Its member uris must all be
+  /// registered temporal objects.  Multiple coordinators may coexist
+  /// (disjoint or overlapping groups).
+  MutualCoordinator& add_coordinator(
+      std::unique_ptr<MutualCoordinator> coordinator);
+
+  /// Track a value-domain object with its own Δv policy.
+  void add_value_object(const std::string& uri,
+                        AdaptiveValueTtrPolicy::Config config);
+
+  /// Track a group jointly through a virtual object (adaptive Mv).  Every
+  /// member is fetched on each joint poll; each fetch counts as one poll.
+  void add_virtual_group(std::vector<std::string> uris,
+                         std::unique_ptr<VirtualObjectPolicy> policy);
+
+  /// Track a group via partitioned tolerances (linear f).  Members poll
+  /// independently; the policy re-apportions δ across them as rates
+  /// evolve.
+  void add_partitioned_group(std::vector<std::string> uris,
+                             std::unique_ptr<PartitionedTolerancePolicy> policy);
+
+  /// Fetch every registered object once (PollCause::kInitial) and arm the
+  /// refresh timers.  Call exactly once, before running the simulator.
+  void start();
+
+  // ---- runtime ----
+
+  /// Simulate a proxy crash + recovery at the current instant: every
+  /// policy and coordinator resets; every timer restarts at its policy's
+  /// initial TTR.  Cached payloads survive (they are on disk); learned
+  /// polling state does not.
+  void crash_and_recover();
+
+  // ---- results ----
+
+  const std::vector<PollRecord>& poll_log() const { return poll_log_; }
+
+  /// Completion instants of successful polls of `uri`, ascending,
+  /// including the initial fetch.
+  std::vector<TimePoint> poll_completion_times(const std::string& uri) const;
+
+  /// Snapshot instants of successful polls of `uri` (same indexing as
+  /// poll_completion_times).
+  std::vector<TimePoint> poll_snapshot_times(const std::string& uri) const;
+
+  /// Successful polls excluding initial fetches — the paper's "number of
+  /// polls" metric.  Empty uri = all objects.
+  std::size_t polls_performed(const std::string& uri = "") const;
+
+  /// Triggered polls only (the mutual-consistency overhead).
+  std::size_t triggered_polls(const std::string& uri = "") const;
+
+  /// Failed (lost) poll attempts.
+  std::size_t failed_polls() const { return failed_polls_; }
+
+  /// TTR value after each poll of `uri` (Fig. 4(b) series).
+  const std::vector<std::pair<TimePoint, Duration>>& ttr_series(
+      const std::string& uri) const;
+
+  const ProxyCache& cache() const { return cache_; }
+  ProxyCache& cache() { return cache_; }
+
+ private:
+  // A temporal-domain tracked object.
+  struct TemporalEntry {
+    std::string uri;
+    std::unique_ptr<RefreshPolicy> policy;
+    std::unique_ptr<PeriodicTask> task;
+    TimePoint last_poll_completion = 0.0;
+    std::vector<std::pair<TimePoint, Duration>> ttr_series;
+  };
+
+  // A value-domain tracked object.  Exactly one of `own_policy` /
+  // `partitioned` is set; virtual-group members have neither (the group
+  // polls them).
+  struct ValueEntry {
+    std::string uri;
+    std::unique_ptr<AdaptiveValueTtrPolicy> own_policy;
+    PartitionedTolerancePolicy* partitioned = nullptr;
+    std::size_t partition_index = 0;
+    std::unique_ptr<PeriodicTask> task;
+    TimePoint last_poll_completion = 0.0;
+    double last_value = 0.0;
+    bool has_value = false;
+    std::vector<std::pair<TimePoint, Duration>> ttr_series;
+  };
+
+  struct VirtualGroup {
+    std::vector<std::string> uris;
+    std::unique_ptr<VirtualObjectPolicy> policy;
+    std::unique_ptr<PeriodicTask> task;
+  };
+
+  struct PartitionedGroup {
+    std::vector<std::string> uris;
+    std::unique_ptr<PartitionedTolerancePolicy> policy;
+  };
+
+  Simulator& sim_;
+  OriginServer& origin_;
+  EngineConfig config_;
+  Rng loss_rng_;
+  ProxyCache cache_;
+  bool started_ = false;
+
+  std::map<std::string, TemporalEntry> temporal_;
+  std::map<std::string, ValueEntry> value_;
+  std::vector<std::unique_ptr<MutualCoordinator>> coordinators_;
+  // unique_ptr elements: scheduled tasks capture raw group pointers, which
+  // must survive container growth.
+  std::vector<std::unique_ptr<VirtualGroup>> virtual_groups_;
+  std::vector<std::unique_ptr<PartitionedGroup>> partitioned_groups_;
+
+  std::vector<PollRecord> poll_log_;
+  std::size_t failed_polls_ = 0;
+
+  // ---- poll execution ----
+  void poll_temporal(TemporalEntry& entry, PollCause cause);
+  void poll_value(ValueEntry& entry, PollCause cause);
+  void poll_virtual_group(VirtualGroup& group, PollCause cause);
+
+  // Perform the HTTP exchange; returns nullopt when loss injection ate the
+  // poll (after scheduling the retry via `retry`).
+  std::optional<Response> exchange(const std::string& uri,
+                                   std::optional<TimePoint> if_modified_since,
+                                   PollCause cause,
+                                   const std::function<void()>& retry);
+
+  void store_response(const std::string& uri, const Response& response,
+                      TimePoint snapshot);
+
+  CoordinatorHooks make_hooks();
+  TimePoint next_poll_time(const std::string& uri) const;
+  TimePoint last_poll_time(const std::string& uri) const;
+  void trigger_poll(const std::string& uri);
+};
+
+}  // namespace broadway

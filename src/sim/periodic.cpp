@@ -1,0 +1,53 @@
+#include "sim/periodic.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+PeriodicTask::PeriodicTask(Simulator& sim, Body body)
+    : sim_(sim), body_(std::move(body)) {
+  BROADWAY_CHECK(body_ != nullptr);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(Duration initial_delay) {
+  BROADWAY_CHECK_MSG(!active(), "PeriodicTask started twice");
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  if (pending_ != kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTask::reschedule(Duration delay) {
+  stop();
+  arm(delay);
+}
+
+bool PeriodicTask::active() const {
+  return pending_ != kInvalidEventId && sim_.is_pending(pending_);
+}
+
+TimePoint PeriodicTask::next_fire_time() const {
+  if (pending_ == kInvalidEventId) return kTimeInfinity;
+  return sim_.fire_time(pending_);
+}
+
+void PeriodicTask::arm(Duration delay) {
+  BROADWAY_CHECK_MSG(delay >= 0.0, "PeriodicTask delay " << delay);
+  pending_ = sim_.schedule_after(delay, [this] { fire(); });
+}
+
+void PeriodicTask::fire() {
+  pending_ = kInvalidEventId;
+  const Duration next = body_();
+  // The body may have rescheduled or stopped us explicitly; only self-arm
+  // when it did not and asked for another firing.
+  if (next >= 0.0 && pending_ == kInvalidEventId) arm(next);
+}
+
+}  // namespace broadway

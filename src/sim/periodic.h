@@ -1,0 +1,59 @@
+// Periodic and self-rescheduling tasks on top of the Simulator.
+//
+// The proxy's polling loop is a self-rescheduling task whose period (the
+// TTR) changes after every firing; PeriodicTask supports both the fixed
+// period used by the baseline polling approach and the variable period used
+// by the adaptive policies.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// A repeating task.  Each firing invokes `body`, whose return value is the
+/// delay until the next firing; returning a negative value stops the task.
+/// The task can also be rescheduled or stopped externally between firings.
+class PeriodicTask {
+ public:
+  /// `body` is invoked at each firing; it returns the next delay.
+  using Body = std::function<Duration()>;
+
+  /// Does not start the task; call `start`.
+  PeriodicTask(Simulator& sim, Body body);
+
+  // Pending events capture `this`.
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  ~PeriodicTask();
+
+  /// Schedule the first firing `initial_delay` from now.
+  void start(Duration initial_delay);
+
+  /// Cancel the pending firing, if any.
+  void stop();
+
+  /// Replace the pending firing with one `delay` from now.  May be called
+  /// whether or not a firing is pending.  This is how triggered polls
+  /// (paper §3.2) pull a scheduled poll forward.
+  void reschedule(Duration delay);
+
+  /// True if a firing is pending.
+  bool active() const;
+
+  /// Absolute time of the pending firing; kTimeInfinity if inactive.
+  TimePoint next_fire_time() const;
+
+ private:
+  Simulator& sim_;
+  Body body_;
+  EventId pending_ = kInvalidEventId;
+
+  void fire();
+  void arm(Duration delay);
+};
+
+}  // namespace broadway

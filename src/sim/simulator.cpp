@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+EventId Simulator::schedule_at(TimePoint t, Callback fn) {
+  BROADWAY_CHECK_MSG(std::isfinite(t), "schedule_at(" << t << ")");
+  BROADWAY_CHECK_MSG(t >= now_,
+                     "schedule_at in the past: t=" << t << " now=" << now_);
+  BROADWAY_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, PendingInfo{std::move(fn), t});
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration d, Callback fn) {
+  BROADWAY_CHECK_MSG(d >= 0.0, "schedule_after(" << d << ")");
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::is_pending(EventId id) const {
+  return callbacks_.find(id) != callbacks_.end();
+}
+
+TimePoint Simulator::fire_time(EventId id) const {
+  auto it = callbacks_.find(id);
+  return it == callbacks_.end() ? kTimeInfinity : it->second.time;
+}
+
+void Simulator::drop_dead_entries() {
+  while (!queue_.empty() &&
+         callbacks_.find(queue_.top().id) == callbacks_.end()) {
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  drop_dead_entries();
+  if (queue_.empty()) return false;
+  const QueueEntry entry = queue_.top();
+  queue_.pop();
+  auto it = callbacks_.find(entry.id);
+  BROADWAY_CHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second.fn);
+  callbacks_.erase(it);
+  BROADWAY_CHECK_MSG(entry.time >= now_, "event time went backwards");
+  now_ = entry.time;
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(TimePoint horizon) {
+  BROADWAY_CHECK_MSG(horizon >= now_, "run_until in the past");
+  std::size_t executed = 0;
+  while (true) {
+    drop_dead_entries();
+    if (queue_.empty() || queue_.top().time > horizon) break;
+    step();
+    ++executed;
+  }
+  now_ = horizon;
+  return executed;
+}
+
+}  // namespace broadway

@@ -1,0 +1,119 @@
+// Discrete-event simulation engine.
+//
+// The paper evaluates its consistency mechanisms with an event-based
+// simulator ("we implemented an event-based simulator to evaluate the
+// efficacy of various cache consistency mechanisms", §6.1.1).  This engine
+// is that substrate: a virtual clock plus an ordered queue of callbacks.
+//
+// Ordering guarantees:
+//  * events fire in non-decreasing time order;
+//  * events scheduled for the same instant fire in the order they were
+//    scheduled (FIFO tie-break), which makes runs reproducible.
+//
+// Events may schedule or cancel other events while running.  Cancelling an
+// already-fired or unknown event is a no-op and reported via the return
+// value, never an error — timers race with the actions that obsolete them
+// in every real proxy, and the engine absorbs that race.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Handle for a scheduled event; valid until the event fires or is
+/// cancelled.
+using EventId = std::uint64_t;
+
+/// Sentinel returned by APIs that may have nothing scheduled.
+inline constexpr EventId kInvalidEventId = 0;
+
+/// The simulation engine.  Not thread-safe: a simulation is a single
+/// logical timeline.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  // A simulation owns its pending callbacks; copying one timeline into
+  // another has no meaningful semantics.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.  Starts at 0.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t`.  `t` must not be in the
+  /// past (it may equal `now()`, in which case the event runs after all
+  /// currently-runnable events scheduled earlier).
+  EventId schedule_at(TimePoint t, Callback fn);
+
+  /// Schedule `fn` to run `d` from now.  `d` must be non-negative.
+  EventId schedule_after(Duration d, Callback fn);
+
+  /// Cancel a pending event.  Returns true if the event existed and was
+  /// removed; false if it already fired, was already cancelled, or never
+  /// existed.
+  bool cancel(EventId id);
+
+  /// True if the event is still pending.
+  bool is_pending(EventId id) const;
+
+  /// Time at which the pending event will fire; kTimeInfinity if unknown.
+  TimePoint fire_time(EventId id) const;
+
+  /// Run a single event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `limit` events have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run all events with time <= horizon, then advance the clock to
+  /// `horizon` (even if no event fires exactly there).  Events scheduled
+  /// beyond the horizon remain pending.
+  std::size_t run_until(TimePoint horizon);
+
+  /// Number of pending events.
+  std::size_t pending() const { return callbacks_.size(); }
+
+  /// Total events executed over the lifetime of the simulator.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct PendingInfo {
+    Callback fn;
+    TimePoint time;
+  };
+
+  TimePoint now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  // Cancellation is O(1): erase from this map; the heap entry becomes a
+  // tombstone that pop skips.
+  std::unordered_map<EventId, PendingInfo> callbacks_;
+
+  // Pop tombstones until the head is live (or the queue is empty).
+  void drop_dead_entries();
+};
+
+}  // namespace broadway

@@ -1,0 +1,61 @@
+// Diurnal intensity profiles for non-homogeneous update generation.
+//
+// The paper's news traces show a strong day/night pattern: "the update
+// frequency of the CNN/FN web page reduces to zero for a few hours every
+// night" (Fig. 4(a)).  A DiurnalProfile maps hour-of-day to a relative
+// intensity multiplier; the generators integrate it to place update
+// instants.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Relative update intensity as a function of hour-of-day, defined by 24
+/// hourly control points with piecewise-linear interpolation between them
+/// (wrapping midnight).  Values are relative weights, not absolute rates:
+/// the exact-count generator normalises them.
+class DiurnalProfile {
+ public:
+  /// All weights must be non-negative and at least one positive.
+  explicit DiurnalProfile(std::array<double, 24> hourly_weights);
+
+  /// Flat profile (homogeneous process).
+  static DiurnalProfile flat();
+
+  /// Newsroom profile: quiet 1am–6am (near zero), ramping through morning,
+  /// peak mid-day through evening.  Matches the qualitative shape of the
+  /// paper's Fig. 4(a).
+  static DiurnalProfile newsroom();
+
+  /// Intensity multiplier at the given hour-of-day in [0, 24).
+  double intensity(double hour) const;
+
+  /// Integral of intensity over simulated time [0, t) for a trace whose
+  /// t = 0 falls at `start_hour` wall-clock.  Monotone in t; used for
+  /// inverse-CDF sampling.
+  double cumulative(TimePoint t, double start_hour) const;
+
+  /// Inverse of `cumulative`: smallest t with cumulative(t) >= target.
+  /// `target` must be within [0, cumulative(duration)].
+  TimePoint inverse_cumulative(double target, double start_hour,
+                               Duration duration) const;
+
+ private:
+  // 1-minute-resolution cumulative-integral table over one day.
+  static constexpr std::size_t kTableSize = 24 * 60 + 1;
+
+  std::array<double, 24> weights_;
+  std::vector<double> minute_cum_;
+  // Intensity integrated over one full day.
+  double day_integral_ = 0.0;
+
+  void build_cumulative_table();
+  // Cumulative integral from hour 0 to hour h (h in [0, 24]).
+  double hour_cumulative(double h) const;
+};
+
+}  // namespace broadway

@@ -1,0 +1,95 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+std::vector<TimePoint> sort_unique(std::vector<TimePoint> times,
+                                   Duration min_gap) {
+  std::sort(times.begin(), times.end());
+  std::vector<TimePoint> out;
+  out.reserve(times.size());
+  for (TimePoint t : times) {
+    if (out.empty() || t - out.back() >= min_gap) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TimePoint> generate_poisson(Rng& rng, double rate,
+                                        Duration duration) {
+  BROADWAY_CHECK_MSG(rate > 0.0, "rate " << rate);
+  BROADWAY_CHECK_MSG(duration > 0.0, "duration " << duration);
+  std::vector<TimePoint> out;
+  TimePoint t = rng.exponential(rate);
+  while (t < duration) {
+    out.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return out;
+}
+
+std::vector<TimePoint> generate_with_count(Rng& rng,
+                                           const DiurnalProfile& profile,
+                                           double start_hour,
+                                           Duration duration,
+                                           std::size_t count) {
+  BROADWAY_CHECK_MSG(duration > 0.0, "duration " << duration);
+  const double total = profile.cumulative(duration, start_hour);
+  std::vector<TimePoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double target = rng.uniform01() * total;
+    out.push_back(profile.inverse_cumulative(target, start_hour, duration));
+  }
+  out = sort_unique(std::move(out));
+  // Collapsed duplicates are statistically rare (sub-second collisions over
+  // multi-day traces); top up so the count matches the calibration target
+  // exactly.
+  int guard = 0;
+  while (out.size() < count && ++guard < 10000) {
+    const double target = rng.uniform01() * total;
+    out.push_back(profile.inverse_cumulative(target, start_hour, duration));
+    out = sort_unique(std::move(out));
+  }
+  BROADWAY_CHECK_MSG(out.size() == count,
+                     "could not place " << count << " distinct updates");
+  return out;
+}
+
+std::vector<TimePoint> generate_bursty(Rng& rng, const BurstConfig& config,
+                                       Duration duration) {
+  BROADWAY_CHECK(config.burst_rate > 0.0 && config.calm_rate > 0.0);
+  BROADWAY_CHECK(config.mean_burst_length > 0.0 &&
+                 config.mean_calm_length > 0.0);
+  std::vector<TimePoint> out;
+  TimePoint t = 0.0;
+  bool bursting = false;  // start calm
+  while (t < duration) {
+    const Duration hold = rng.exponential(
+        1.0 / (bursting ? config.mean_burst_length : config.mean_calm_length));
+    const TimePoint state_end = std::min(duration, t + hold);
+    const double rate = bursting ? config.burst_rate : config.calm_rate;
+    TimePoint u = t + rng.exponential(rate);
+    while (u < state_end) {
+      out.push_back(u);
+      u += rng.exponential(rate);
+    }
+    t = state_end;
+    bursting = !bursting;
+  }
+  return sort_unique(std::move(out));
+}
+
+std::vector<TimePoint> generate_periodic(Duration period, Duration phase,
+                                         Duration duration) {
+  BROADWAY_CHECK_MSG(period > 0.0, "period " << period);
+  BROADWAY_CHECK_MSG(phase >= 0.0, "phase " << phase);
+  std::vector<TimePoint> out;
+  for (TimePoint t = phase; t < duration; t += period) out.push_back(t);
+  return out;
+}
+
+}  // namespace broadway

@@ -1,0 +1,54 @@
+// Update-instant generators for the temporal-domain workloads.
+//
+// Each returns sorted, unique update instants in [0, duration).  All draw
+// exclusively from the supplied Rng, so a seed fully determines the trace.
+#pragma once
+
+#include <vector>
+
+#include "trace/diurnal.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// Homogeneous Poisson process with the given rate (updates per second).
+std::vector<TimePoint> generate_poisson(Rng& rng, double rate,
+                                        Duration duration);
+
+/// Exactly `count` instants distributed according to the (possibly
+/// non-homogeneous) diurnal intensity: each instant is an independent
+/// inverse-CDF sample of the normalised intensity.  This is how the paper
+/// workloads hit Table 2's update counts exactly while keeping the diurnal
+/// shape of Fig. 4(a).
+std::vector<TimePoint> generate_with_count(Rng& rng,
+                                           const DiurnalProfile& profile,
+                                           double start_hour,
+                                           Duration duration,
+                                           std::size_t count);
+
+/// Two-state Markov-modulated Poisson process (bursty updates).  The
+/// process alternates between a "burst" state with rate `burst_rate` and a
+/// "calm" state with rate `calm_rate`; state holding times are exponential
+/// with the given means.  Models breaking-news flurries for stress tests
+/// and ablations.
+struct BurstConfig {
+  double burst_rate = 1.0 / 60.0;        ///< updates/s while bursting
+  double calm_rate = 1.0 / 3600.0;       ///< updates/s while calm
+  Duration mean_burst_length = 600.0;    ///< mean burst state duration
+  Duration mean_calm_length = 7200.0;    ///< mean calm state duration
+};
+std::vector<TimePoint> generate_bursty(Rng& rng, const BurstConfig& config,
+                                       Duration duration);
+
+/// Deterministic periodic updates (every `period`, first at `phase`).
+/// Handy for constructing exact violation scenarios in tests.
+std::vector<TimePoint> generate_periodic(Duration period, Duration phase,
+                                         Duration duration);
+
+/// Sort + deduplicate helper exposed for generator implementations and
+/// tests (instants closer than `min_gap` are collapsed to the earlier one).
+std::vector<TimePoint> sort_unique(std::vector<TimePoint> times,
+                                   Duration min_gap = 1e-6);
+
+}  // namespace broadway

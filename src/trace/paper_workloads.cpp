@@ -1,0 +1,107 @@
+#include "trace/paper_workloads.h"
+
+#include "trace/diurnal.h"
+#include "trace/generators.h"
+#include "trace/stock.h"
+#include "util/rng.h"
+
+namespace broadway {
+
+namespace {
+
+// Distinct sub-seeds so each trace has an independent stream; adding or
+// regenerating one workload never perturbs the others.
+constexpr std::uint64_t kCnnSalt = 0x10;
+constexpr std::uint64_t kApSalt = 0x20;
+constexpr std::uint64_t kReutersSalt = 0x30;
+constexpr std::uint64_t kGuardianSalt = 0x40;
+constexpr std::uint64_t kAttSalt = 0x50;
+constexpr std::uint64_t kYahooSalt = 0x60;
+
+UpdateTrace make_news_trace(const std::string& name, std::uint64_t seed,
+                            double start_hour, Duration duration,
+                            std::size_t updates) {
+  Rng rng(seed);
+  const DiurnalProfile profile = DiurnalProfile::newsroom();
+  std::vector<TimePoint> times =
+      generate_with_count(rng, profile, start_hour, duration, updates);
+  return UpdateTrace(name, std::move(times), duration, start_hour);
+}
+
+}  // namespace
+
+UpdateTrace make_cnn_fn_trace(std::uint64_t seed) {
+  // Aug 7 13:04 – Aug 9 14:34 = 49 h 30 m; 113 updates (avg 26 min).
+  return make_news_trace("CNN/FN", seed + kCnnSalt,
+                         /*start_hour=*/13.0 + 4.0 / 60.0,
+                         hours(49.5), 113);
+}
+
+UpdateTrace make_nytimes_ap_trace(std::uint64_t seed) {
+  // Aug 7 14:07 – Aug 9 11:25 = 45 h 18 m; 233 updates (avg 11.6 min).
+  return make_news_trace("NYTimes/AP", seed + kApSalt,
+                         /*start_hour=*/14.0 + 7.0 / 60.0,
+                         hours(45.3), 233);
+}
+
+UpdateTrace make_nytimes_reuters_trace(std::uint64_t seed) {
+  // Aug 7 14:12 – Aug 9 11:25 = 45 h 13 m; 133 updates (avg 20.3 min).
+  return make_news_trace("NYTimes/Reuters", seed + kReutersSalt,
+                         /*start_hour=*/14.2, hours(45.22), 133);
+}
+
+UpdateTrace make_guardian_trace(std::uint64_t seed) {
+  // Aug 6 13:40 – Aug 9 15:32 = 73 h 52 m; 902 updates (avg 4.9 min).
+  return make_news_trace("Guardian", seed + kGuardianSalt,
+                         /*start_hour=*/13.0 + 40.0 / 60.0,
+                         hours(73.87), 902);
+}
+
+std::vector<UpdateTrace> make_all_temporal_traces(std::uint64_t seed) {
+  std::vector<UpdateTrace> out;
+  out.push_back(make_cnn_fn_trace(seed));
+  out.push_back(make_nytimes_ap_trace(seed));
+  out.push_back(make_nytimes_reuters_trace(seed));
+  out.push_back(make_guardian_trace(seed));
+  return out;
+}
+
+ValueTrace make_att_stock_trace(std::uint64_t seed) {
+  // Table 3: May 22 13:50–16:50 (3 h), 653 ticks, $35.8–$36.5.
+  // NYSE decimalised in Jan 2001: penny grid.  Narrow band, small moves —
+  // the paper's "infrequent changes in value".
+  Rng rng(seed + kAttSalt);
+  StockWalkConfig config;
+  config.name = "AT&T";
+  config.duration = hours(3.0);
+  config.updates = 653;
+  config.initial_value = 36.10;
+  config.min_value = 35.8;
+  config.max_value = 36.5;
+  config.tick_size = 0.01;
+  config.step_sigma = 0.035;
+  config.reversion = 0.03;
+  config.burstiness = 0.25;
+  return generate_stock_walk(rng, config);
+}
+
+ValueTrace make_yahoo_stock_trace(std::uint64_t seed) {
+  // Table 3: Mar 30 13:30–16:30 (3 h), 2204 ticks, $160.2–$171.2.
+  // NASDAQ still quoted in sixteenths in March 2001: 1/16 grid.  Wide
+  // band, frequent large moves — the paper's "frequent changes".
+  Rng rng(seed + kYahooSalt);
+  StockWalkConfig config;
+  config.name = "Yahoo";
+  config.duration = hours(3.0);
+  config.updates = 2204;
+  config.initial_value = 165.0;
+  config.min_value = 160.2;
+  config.max_value = 171.2;
+  config.tick_size = 1.0 / 16.0;
+  config.step_sigma = 0.45;
+  config.reversion = 0.015;
+  config.burstiness = 0.35;
+  return generate_stock_walk(rng, config);
+}
+
+}  // namespace broadway

@@ -1,0 +1,55 @@
+// The paper's evaluation workloads, synthesised to the published
+// characteristics.
+//
+// Temporal traces (paper Table 2):
+//   CNN Financial News Briefs   Aug 7 13:04 – Aug 9 14:34   113 updates (26 min avg)
+//   NY Times Breaking News (AP) Aug 7 14:07 – Aug 9 11:25   233 updates (11.6 min)
+//   NY Times Breaking (Reuters) Aug 7 14:12 – Aug 9 11:25   133 updates (20.3 min)
+//   Guardian Breaking News      Aug 6 13:40 – Aug 9 15:32   902 updates (4.9 min)
+//
+// Value traces (paper Table 3):
+//   AT&T   May 22 13:50–16:50   653 ticks   $35.8 – $36.5
+//   Yahoo  Mar 30 13:30–16:30   2204 ticks  $160.2 – $171.2
+//
+// The real traces are not redistributable; these builders produce seeded
+// synthetic traces that match each row's duration, update count, value
+// range, and the diurnal day/night shape of Fig. 4(a) (news traces use the
+// newsroom intensity profile phase-aligned to the collection start hour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+
+namespace broadway {
+
+/// Seed used by all benches so results in EXPERIMENTS.md are reproducible.
+inline constexpr std::uint64_t kPaperSeed = 2001;
+
+/// CNN Financial News Briefs (Table 2 row 1).
+UpdateTrace make_cnn_fn_trace(std::uint64_t seed = kPaperSeed);
+
+/// NY Times Breaking News, AP feed (Table 2 row 2).
+UpdateTrace make_nytimes_ap_trace(std::uint64_t seed = kPaperSeed);
+
+/// NY Times Breaking News, Reuters feed (Table 2 row 3).
+UpdateTrace make_nytimes_reuters_trace(std::uint64_t seed = kPaperSeed);
+
+/// Guardian Breaking News (Table 2 row 4).
+UpdateTrace make_guardian_trace(std::uint64_t seed = kPaperSeed);
+
+/// All four temporal traces in Table 2 order.
+std::vector<UpdateTrace> make_all_temporal_traces(
+    std::uint64_t seed = kPaperSeed);
+
+/// AT&T stock ticks (Table 3 row 1): NYSE post-decimalisation, penny grid,
+/// narrow band, infrequent small moves.
+ValueTrace make_att_stock_trace(std::uint64_t seed = kPaperSeed);
+
+/// Yahoo stock ticks (Table 3 row 2): NASDAQ pre-decimalisation, 1/16
+/// grid, wide band, frequent large moves.
+ValueTrace make_yahoo_stock_trace(std::uint64_t seed = kPaperSeed);
+
+}  // namespace broadway

@@ -1,0 +1,95 @@
+#include "trace/stock.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/generators.h"
+#include "util/check.h"
+
+namespace broadway {
+
+namespace {
+
+double quantise(double value, double origin, double tick) {
+  return origin + std::round((value - origin) / tick) * tick;
+}
+
+// Tick arrival instants: a mixture of a homogeneous component and a
+// clustered component (ticks placed near previously chosen "flurry"
+// centres), controlled by burstiness.  Exactly `count` distinct instants.
+std::vector<TimePoint> tick_times(Rng& rng, const StockWalkConfig& config) {
+  std::vector<TimePoint> times;
+  times.reserve(config.updates);
+  const std::size_t clustered = static_cast<std::size_t>(
+      std::round(config.burstiness * static_cast<double>(config.updates)));
+  const std::size_t uniform = config.updates - clustered;
+  for (std::size_t i = 0; i < uniform; ++i) {
+    times.push_back(rng.uniform(0.0, config.duration));
+  }
+  // Flurries: a handful of centres, ticks scattered tightly around them.
+  const std::size_t centres = std::max<std::size_t>(1, clustered / 25);
+  std::vector<TimePoint> centre_times;
+  for (std::size_t i = 0; i < centres; ++i) {
+    centre_times.push_back(rng.uniform(0.0, config.duration));
+  }
+  const Duration spread = config.duration / 60.0;
+  for (std::size_t i = 0; i < clustered; ++i) {
+    const TimePoint centre =
+        centre_times[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(centres) - 1))];
+    double t = centre + rng.normal(0.0, spread);
+    t = std::clamp(t, 0.0, config.duration * (1.0 - 1e-9));
+    times.push_back(t);
+  }
+  times = sort_unique(std::move(times), 1e-3);
+  // Collisions are rare; top up to the exact calibration count.
+  int guard = 0;
+  while (times.size() < config.updates && ++guard < 100000) {
+    times.push_back(rng.uniform(0.0, config.duration));
+    times = sort_unique(std::move(times), 1e-3);
+  }
+  BROADWAY_CHECK_MSG(times.size() == config.updates,
+                     "could not place " << config.updates << " ticks");
+  return times;
+}
+
+}  // namespace
+
+ValueTrace generate_stock_walk(Rng& rng, const StockWalkConfig& config) {
+  BROADWAY_CHECK_MSG(config.max_value > config.min_value,
+                     "band [" << config.min_value << ", " << config.max_value
+                              << "]");
+  BROADWAY_CHECK(config.initial_value >= config.min_value &&
+                 config.initial_value <= config.max_value);
+  BROADWAY_CHECK(config.tick_size > 0.0 && config.step_sigma > 0.0);
+  BROADWAY_CHECK(config.reversion >= 0.0 && config.reversion <= 1.0);
+  BROADWAY_CHECK(config.burstiness >= 0.0 && config.burstiness <= 1.0);
+  BROADWAY_CHECK_MSG(config.updates > 0, "stock trace needs ticks");
+
+  const std::vector<TimePoint> times = tick_times(rng, config);
+  const double centre = 0.5 * (config.min_value + config.max_value);
+
+  std::vector<ValueTrace::Step> steps;
+  steps.reserve(times.size());
+  double level = config.initial_value;
+  for (TimePoint t : times) {
+    // Mean-reverting Gaussian step, reflected into the band.
+    level += config.reversion * (centre - level) +
+             rng.normal(0.0, config.step_sigma);
+    if (level > config.max_value) {
+      level = 2.0 * config.max_value - level;
+    }
+    if (level < config.min_value) {
+      level = 2.0 * config.min_value - level;
+    }
+    level = std::clamp(level, config.min_value, config.max_value);
+    const double quoted =
+        std::clamp(quantise(level, config.min_value, config.tick_size),
+                   config.min_value, config.max_value);
+    steps.push_back(ValueTrace::Step{t, quoted});
+  }
+  return ValueTrace(config.name, config.initial_value, std::move(steps),
+                    config.duration);
+}
+
+}  // namespace broadway

@@ -1,0 +1,47 @@
+// Synthetic stock-price tick generator for the value-domain workloads.
+//
+// The paper's value-domain evaluation uses traces of AT&T and Yahoo stock
+// prices collected from quote.yahoo.com (Table 3).  Those traces are not
+// redistributable, so we synthesise ticks from a seeded mean-reverting
+// random walk calibrated to Table 3's observable characteristics: number
+// of updates, trading window, and value range.  The algorithms under test
+// consume only the (time, value) steps, so matching those statistics
+// preserves the behaviour that drives them: AT&T moves rarely and within a
+// narrow band, Yahoo ticks often across a wide band.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/value_trace.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// Calibration parameters for one synthetic stock.
+struct StockWalkConfig {
+  std::string name = "STOCK";
+  Duration duration = 3.0 * 3600.0;  ///< trading window covered by the trace
+  std::size_t updates = 1000;        ///< number of ticks (Table 3 column)
+  double initial_value = 100.0;      ///< price at t = 0
+  double min_value = 95.0;           ///< lower bound on the price band
+  double max_value = 105.0;          ///< upper bound on the price band
+  double tick_size = 0.05;           ///< price quantum
+  /// Per-tick move magnitude in price units before quantisation; the walk
+  /// reflects off the band edges and mean-reverts toward the band centre.
+  double step_sigma = 0.05;
+  /// Strength of mean reversion toward the band centre per tick, in [0, 1].
+  double reversion = 0.02;
+  /// Burstiness of tick arrival times: 0 = regular Poisson; larger values
+  /// concentrate ticks into flurries (two-state modulation).
+  double burstiness = 0.3;
+};
+
+/// Generate a ValueTrace per the config.  The same rng seed yields an
+/// identical trace.  Postconditions: exactly `updates` steps, all values in
+/// [min_value, max_value], values quantised to tick_size (relative to
+/// min_value).
+ValueTrace generate_stock_walk(Rng& rng, const StockWalkConfig& config);
+
+}  // namespace broadway

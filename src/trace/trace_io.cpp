@@ -1,0 +1,139 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace broadway {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct Header {
+  std::string kind;
+  std::string name;
+  double field3 = 0.0;  // duration
+  double field4 = 0.0;  // start_hour or initial_value
+};
+
+Header parse_header(const std::string& line) {
+  if (line.empty() || line[0] != '#') {
+    throw std::runtime_error("trace: missing header line");
+  }
+  const auto parts = split(trim(line.substr(1)), ',');
+  if (parts.size() != 4) throw std::runtime_error("trace: bad header");
+  Header h;
+  h.kind = std::string(trim(parts[0]));
+  h.name = std::string(trim(parts[1]));
+  if (!parse_double(parts[2], h.field3) ||
+      !parse_double(parts[3], h.field4)) {
+    throw std::runtime_error("trace: bad header numbers");
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string serialize_update_trace(const UpdateTrace& trace) {
+  std::ostringstream os;
+  os << "# broadway-update-trace," << trace.name() << ','
+     << fmt_double(trace.duration()) << ',' << fmt_double(trace.start_hour())
+     << '\n';
+  for (TimePoint t : trace.updates()) os << fmt_double(t) << '\n';
+  return os.str();
+}
+
+std::string serialize_value_trace(const ValueTrace& trace) {
+  std::ostringstream os;
+  os << "# broadway-value-trace," << trace.name() << ','
+     << fmt_double(trace.duration()) << ','
+     << fmt_double(trace.initial_value()) << '\n';
+  for (const auto& step : trace.steps()) {
+    os << fmt_double(step.time) << ',' << fmt_double(step.value) << '\n';
+  }
+  return os.str();
+}
+
+UpdateTrace parse_update_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("trace: empty file");
+  const Header h = parse_header(line);
+  if (h.kind != "broadway-update-trace") {
+    throw std::runtime_error("trace: wrong kind '" + h.kind + "'");
+  }
+  std::vector<TimePoint> updates;
+  while (std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) continue;
+    double v;
+    if (!parse_double(t, v)) {
+      throw std::runtime_error("trace: bad update time '" + line + "'");
+    }
+    updates.push_back(v);
+  }
+  return UpdateTrace(h.name, std::move(updates), h.field3, h.field4);
+}
+
+ValueTrace parse_value_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("trace: empty file");
+  const Header h = parse_header(line);
+  if (h.kind != "broadway-value-trace") {
+    throw std::runtime_error("trace: wrong kind '" + h.kind + "'");
+  }
+  std::vector<ValueTrace::Step> steps;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto parts = split(line, ',');
+    double t, v;
+    if (parts.size() != 2 || !parse_double(parts[0], t) ||
+        !parse_double(parts[1], v)) {
+      throw std::runtime_error("trace: bad step '" + line + "'");
+    }
+    steps.push_back(ValueTrace::Step{t, v});
+  }
+  return ValueTrace(h.name, h.field4, std::move(steps), h.field3);
+}
+
+void save_update_trace(const UpdateTrace& trace, const std::string& path) {
+  write_file(path, serialize_update_trace(trace));
+}
+
+UpdateTrace load_update_trace(const std::string& path) {
+  return parse_update_trace(read_file(path));
+}
+
+void save_value_trace(const ValueTrace& trace, const std::string& path) {
+  write_file(path, serialize_value_trace(trace));
+}
+
+ValueTrace load_value_trace(const std::string& path) {
+  return parse_value_trace(read_file(path));
+}
+
+}  // namespace broadway

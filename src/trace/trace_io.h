@@ -1,0 +1,39 @@
+// Trace persistence.
+//
+// Traces serialise to small CSV documents so that a generated workload can
+// be inspected, archived alongside results, and replayed byte-identically
+// by later runs or external tools.
+//
+// UpdateTrace format:
+//   # broadway-update-trace,<name>,<duration>,<start_hour>
+//   <t0>
+//   <t1>
+//   ...
+// ValueTrace format:
+//   # broadway-value-trace,<name>,<duration>,<initial_value>
+//   <t0>,<v0>
+//   ...
+#pragma once
+
+#include <string>
+
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+
+namespace broadway {
+
+/// Serialise to the CSV format above.
+std::string serialize_update_trace(const UpdateTrace& trace);
+std::string serialize_value_trace(const ValueTrace& trace);
+
+/// Parse; throws std::runtime_error on malformed input.
+UpdateTrace parse_update_trace(const std::string& text);
+ValueTrace parse_value_trace(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_update_trace(const UpdateTrace& trace, const std::string& path);
+UpdateTrace load_update_trace(const std::string& path);
+void save_value_trace(const ValueTrace& trace, const std::string& path);
+ValueTrace load_value_trace(const std::string& path);
+
+}  // namespace broadway

@@ -1,0 +1,53 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace broadway {
+
+UpdateTraceStats compute_stats(const UpdateTrace& trace) {
+  UpdateTraceStats out;
+  out.name = trace.name();
+  out.duration = trace.duration();
+  out.num_updates = trace.count();
+  out.mean_update_interval = trace.mean_update_interval();
+  OnlineStats gaps;
+  const auto& times = trace.updates();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.add(times[i] - times[i - 1]);
+  }
+  if (gaps.count() > 0) {
+    out.min_gap = gaps.min();
+    out.max_gap = gaps.max();
+    out.gap_cv = gaps.mean() > 0.0 ? gaps.stddev() / gaps.mean() : 0.0;
+  }
+  return out;
+}
+
+ValueTraceStats compute_stats(const ValueTrace& trace) {
+  ValueTraceStats out;
+  out.name = trace.name();
+  out.duration = trace.duration();
+  out.num_updates = trace.count();
+  out.min_value = trace.min_value();
+  out.max_value = trace.max_value();
+  out.mean_update_interval =
+      trace.count() == 0
+          ? kTimeInfinity
+          : trace.duration() / static_cast<double>(trace.count());
+  OnlineStats moves;
+  double prev = trace.initial_value();
+  for (const auto& step : trace.steps()) {
+    moves.add(std::abs(step.value - prev));
+    prev = step.value;
+  }
+  if (moves.count() > 0) {
+    out.mean_abs_change = moves.mean();
+    out.max_abs_change = moves.max();
+  }
+  return out;
+}
+
+}  // namespace broadway

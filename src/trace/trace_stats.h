@@ -1,0 +1,39 @@
+// Trace characteristic summaries — the numbers in the paper's Table 2
+// (temporal traces) and Table 3 (stock traces).
+#pragma once
+
+#include <string>
+
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// Table 2 row: characteristics of a temporal-domain trace.
+struct UpdateTraceStats {
+  std::string name;
+  Duration duration = 0.0;
+  std::size_t num_updates = 0;
+  Duration mean_update_interval = 0.0;  ///< "Avg. Update Frequency" column
+  Duration min_gap = 0.0;               ///< shortest inter-update gap
+  Duration max_gap = 0.0;               ///< longest inter-update gap
+  double gap_cv = 0.0;  ///< coefficient of variation of gaps (burstiness)
+};
+
+/// Table 3 row: characteristics of a value-domain trace.
+struct ValueTraceStats {
+  std::string name;
+  Duration duration = 0.0;
+  std::size_t num_updates = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double mean_abs_change = 0.0;   ///< mean |Δvalue| per tick
+  double max_abs_change = 0.0;    ///< largest single-tick move
+  Duration mean_update_interval = 0.0;
+};
+
+UpdateTraceStats compute_stats(const UpdateTrace& trace);
+ValueTraceStats compute_stats(const ValueTrace& trace);
+
+}  // namespace broadway

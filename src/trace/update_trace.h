@@ -1,0 +1,86 @@
+// Temporal-domain trace: the sequence of instants at which an object was
+// updated at the origin server.
+//
+// This is the ground truth a trace-driven simulation replays (paper §6.1.2,
+// Table 2): the origin server applies these updates, the proxy polls, and
+// the evaluators compare what the proxy held against this record.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Half-open interval [begin, end) during which one version of an object
+/// was current at the server.  `end` is kTimeInfinity for the newest
+/// version.
+struct ValidityInterval {
+  TimePoint begin = 0.0;
+  TimePoint end = kTimeInfinity;
+};
+
+/// Smallest gap between two validity intervals: 0 when they overlap,
+/// otherwise the distance between the nearer endpoints.  This is the |t1-t2|
+/// of the paper's Eq. (4) minimised over valid choices of t1, t2.
+Duration interval_gap(const ValidityInterval& a, const ValidityInterval& b);
+
+/// Immutable record of update instants for one object over [0, duration).
+///
+/// Versions are numbered as in the paper (§2): version 0 exists at t = 0
+/// (object creation) and each update increments the version, so
+/// `version_at(t)` equals the number of updates at or before `t`.
+class UpdateTrace {
+ public:
+  /// `updates` must be sorted ascending, unique, and lie in [0, duration).
+  /// `start_hour` records the wall-clock hour-of-day at which t = 0 falls;
+  /// purely presentational (Fig. 4 / Fig. 6 axis labels) plus used by
+  /// diurnal generators for phase alignment.
+  UpdateTrace(std::string name, std::vector<TimePoint> updates,
+              Duration duration, double start_hour = 0.0);
+
+  const std::string& name() const { return name_; }
+  const std::vector<TimePoint>& updates() const { return updates_; }
+  Duration duration() const { return duration_; }
+  double start_hour() const { return start_hour_; }
+
+  /// Number of updates in the trace.
+  std::size_t count() const { return updates_.size(); }
+
+  /// Mean time between updates (duration / count); kTimeInfinity when the
+  /// trace has no updates.
+  Duration mean_update_interval() const;
+
+  /// Version current at time t (number of updates at or before t).
+  std::size_t version_at(TimePoint t) const;
+
+  /// Instant of the last update at or before t, if any.
+  std::optional<TimePoint> last_update_at_or_before(TimePoint t) const;
+
+  /// Instant of the first update strictly after t, if any.
+  std::optional<TimePoint> first_update_after(TimePoint t) const;
+
+  /// Number of updates in the half-open interval (t0, t1].
+  std::size_t updates_in(TimePoint t0, TimePoint t1) const;
+
+  /// Validity interval of the version current at time t.
+  ValidityInterval validity_at(TimePoint t) const;
+
+  /// Validity interval of a version number (0-based as above).
+  ValidityInterval validity_of_version(std::size_t version) const;
+
+  /// Histogram of update counts per time bucket (Fig. 4(a): updates per
+  /// 2 hours).  The last bucket may cover a partial interval.
+  std::vector<std::size_t> bucket_counts(Duration bucket) const;
+
+ private:
+  std::string name_;
+  std::vector<TimePoint> updates_;
+  Duration duration_;
+  double start_hour_;
+};
+
+}  // namespace broadway

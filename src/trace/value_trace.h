@@ -1,0 +1,77 @@
+// Value-domain trace: a right-continuous step function of an object's value
+// over time (stock prices in the paper's evaluation, Table 3).
+//
+// Besides replay, this class answers the ground-truth questions the
+// Δv / Mv evaluators need: the extreme deviation of the server value from a
+// cached value over an interval, and the total time such a deviation
+// exceeded a bound.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Immutable value trace over [0, duration).  The value is
+/// `initial_value` on [0, steps[0].time) and `steps[i].value` from
+/// steps[i].time (inclusive) to the next step.
+class ValueTrace {
+ public:
+  struct Step {
+    TimePoint time = 0.0;
+    double value = 0.0;
+  };
+
+  /// `steps` must be strictly increasing in time within [0, duration).
+  /// Consecutive equal values are permitted (a tick that leaves the price
+  /// unchanged still counts as an update, as in the paper's traces).
+  ValueTrace(std::string name, double initial_value, std::vector<Step> steps,
+             Duration duration);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  Duration duration() const { return duration_; }
+  double initial_value() const { return initial_value_; }
+
+  /// Number of updates (steps).
+  std::size_t count() const { return steps_.size(); }
+
+  /// Value current at time t.
+  double value_at(TimePoint t) const;
+
+  /// Number of updates with time <= t (version number, as in UpdateTrace).
+  std::size_t version_at(TimePoint t) const;
+
+  /// Smallest / largest value attained anywhere in the trace.
+  double min_value() const { return min_value_; }
+  double max_value() const { return max_value_; }
+
+  /// Largest |value(t) - ref| for t in the half-open interval (t0, t1].
+  /// Returns 0 for an empty interval.
+  double max_abs_deviation(TimePoint t0, TimePoint t1, double ref) const;
+
+  /// Total time within (t0, t1] during which |value(t) - ref| >= bound.
+  Duration time_deviation_at_least(TimePoint t0, TimePoint t1, double ref,
+                                   double bound) const;
+
+  /// Times of all updates, as an UpdateTrace-compatible vector (used to
+  /// drive the origin server and to estimate update rates).
+  std::vector<TimePoint> update_times() const;
+
+ private:
+  std::string name_;
+  double initial_value_;
+  std::vector<Step> steps_;
+  Duration duration_;
+  double min_value_;
+  double max_value_;
+
+  // Index of the step governing time t: steps_[i].time <= t, maximal i;
+  // SIZE_MAX when t precedes all steps.
+  std::size_t governing_step(TimePoint t) const;
+};
+
+}  // namespace broadway

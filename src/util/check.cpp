@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace broadway::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace broadway::detail

@@ -1,0 +1,51 @@
+// Invariant checking.
+//
+// Per C++ Core Guidelines E.2/E.3 we use exceptions to signal that a function
+// cannot perform its task; BROADWAY_CHECK is for preconditions and internal
+// invariants whose failure indicates a bug in the caller or in the library,
+// and throws `broadway::CheckFailure` (derived from std::logic_error) with
+// file/line context.  Checks stay enabled in release builds: the library is a
+// research artefact where silent corruption of an experiment is worse than
+// the nanoseconds a branch costs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace broadway {
+
+/// Thrown when a BROADWAY_CHECK fails.  Indicates a programming error, not a
+/// recoverable runtime condition.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace broadway
+
+/// Verify `cond`; on failure throw CheckFailure identifying the expression
+/// and source location.
+#define BROADWAY_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::broadway::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                      \
+  } while (false)
+
+/// Verify `cond`; on failure throw CheckFailure with an extra streamed
+/// message, e.g. BROADWAY_CHECK_MSG(x > 0, "x=" << x).
+#define BROADWAY_CHECK_MSG(cond, stream_expr)                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream broadway_check_os_;                               \
+      broadway_check_os_ << stream_expr;                                   \
+      ::broadway::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                       broadway_check_os_.str());          \
+    }                                                                      \
+  } while (false)

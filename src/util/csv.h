@@ -1,0 +1,39 @@
+// Minimal CSV reader/writer with RFC-4180-style quoting.
+//
+// Used to persist generated traces (so an experiment can be re-run against
+// the exact byte stream a previous run used) and to dump bench series for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace broadway {
+
+/// Streaming CSV writer.  Quotes a field only when it contains a comma,
+/// quote or newline.  Does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: write a row of doubles with enough precision to
+  /// round-trip (max_digits10).
+  void write_row(const std::vector<double>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse a whole CSV document (no header interpretation — callers decide).
+/// Handles quoted fields with embedded commas, quotes ("") and newlines.
+/// Throws std::runtime_error on malformed quoting.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+/// Escape a single field per the writer's rules (exposed for tests).
+std::string csv_escape(std::string_view field);
+
+}  // namespace broadway

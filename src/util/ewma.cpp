@@ -1,0 +1,9 @@
+#include "util/ewma.h"
+
+// Header-only; this translation unit exists so the target has a symbol for
+// the archive and the header gets compiled standalone at least once.
+namespace broadway {
+namespace {
+[[maybe_unused]] Ewma compile_check(0.5);
+}  // namespace
+}  // namespace broadway

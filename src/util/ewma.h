@@ -1,0 +1,54 @@
+// Exponentially weighted moving average.
+//
+// Used by the rate estimators in src/consistency (paper §3.2 heuristic and
+// §4.1 smoothing, Eq. 10's `TTR = w*TTR + (1-w)*TTR_prev`).
+#pragma once
+
+#include "util/check.h"
+
+namespace broadway {
+
+/// EWMA with weight `w` given to the newest observation:
+///   value = w * x + (1 - w) * value_prev.
+/// Before the first observation, `value()` returns the configured initial
+/// value (default 0) and `empty()` is true; the first observation replaces
+/// the initial value entirely so that a cold start is unbiased.
+class Ewma {
+ public:
+  explicit Ewma(double weight, double initial = 0.0)
+      : weight_(weight), value_(initial) {
+    BROADWAY_CHECK_MSG(weight > 0.0 && weight <= 1.0, "Ewma weight " << weight);
+  }
+
+  /// Fold in one observation.
+  void observe(double x) {
+    if (empty_) {
+      value_ = x;
+      empty_ = false;
+    } else {
+      value_ = weight_ * x + (1.0 - weight_) * value_;
+    }
+  }
+
+  /// Current smoothed value.
+  double value() const { return value_; }
+
+  /// True until the first observation.
+  bool empty() const { return empty_; }
+
+  /// Smoothing weight for the newest observation.
+  double weight() const { return weight_; }
+
+  /// Forget all history, returning to the given initial value.
+  void reset(double initial = 0.0) {
+    value_ = initial;
+    empty_ = true;
+  }
+
+ private:
+  double weight_;
+  double value_;
+  bool empty_ = true;
+};
+
+}  // namespace broadway

@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace broadway {
+
+void Flags::add_double(const std::string& name, double* target,
+                       const std::string& help) {
+  BROADWAY_CHECK(target != nullptr);
+  entries_[name] = Entry{Kind::kDouble, target, help};
+}
+
+void Flags::add_int(const std::string& name, long long* target,
+                    const std::string& help) {
+  BROADWAY_CHECK(target != nullptr);
+  entries_[name] = Entry{Kind::kInt, target, help};
+}
+
+void Flags::add_bool(const std::string& name, bool* target,
+                     const std::string& help) {
+  BROADWAY_CHECK(target != nullptr);
+  entries_[name] = Entry{Kind::kBool, target, help};
+}
+
+void Flags::add_string(const std::string& name, std::string* target,
+                       const std::string& help) {
+  BROADWAY_CHECK(target != nullptr);
+  entries_[name] = Entry{Kind::kString, target, help};
+}
+
+bool Flags::apply(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  switch (it->second.kind) {
+    case Kind::kDouble: {
+      double v;
+      if (!parse_double(value, v)) {
+        std::fprintf(stderr, "--%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      *static_cast<double*>(it->second.target) = v;
+      return true;
+    }
+    case Kind::kInt: {
+      long long v;
+      if (!parse_int64(value, v)) {
+        std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      *static_cast<long long*>(it->second.target) = v;
+      return true;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(it->second.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(it->second.target) = false;
+      } else {
+        std::fprintf(stderr, "--%s expects true/false, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(it->second.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", usage(argv[0]).c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = entries_.find(name);
+      const bool is_bool =
+          it != entries_.end() && it->second.kind == Kind::kBool;
+      if (!is_bool && i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      }
+    }
+    if (!apply(name, value)) return false;
+  }
+  return true;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "  --" << name << "  " << entry.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace broadway

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Supports `--name=value` and `--name value` plus bare `--flag` for
+// booleans.  Unknown flags are an error so typos in experiment parameters
+// fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace broadway {
+
+/// Declarative flag set.  Register flags, then parse argv; registered
+/// variables are written in place.
+class Flags {
+ public:
+  /// Register flags.  `help` appears in usage output.
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_int(const std::string& name, long long* target,
+               const std::string& help);
+  void add_bool(const std::string& name, bool* target,
+                const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parse argv (argv[0] ignored).  Returns false and prints usage to
+  /// stderr if parsing fails or `--help` was given.
+  bool parse(int argc, char** argv);
+
+  /// Render usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kDouble, kInt, kBool, kString };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+
+  bool apply(const std::string& name, const std::string& value);
+};
+
+}  // namespace broadway

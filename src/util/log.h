@@ -1,0 +1,42 @@
+// Leveled logging to stderr.
+//
+// The simulator and proxy emit debug traces through this; benches run with
+// logging at `kWarn` so their stdout stays a clean reproduction of the
+// paper's tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace broadway {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace broadway
+
+#define BROADWAY_LOG(level, stream_expr)                                   \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::broadway::log_level())) {                       \
+      std::ostringstream broadway_log_os_;                                 \
+      broadway_log_os_ << stream_expr;                                     \
+      ::broadway::detail::log_emit(level, broadway_log_os_.str());         \
+    }                                                                      \
+  } while (false)
+
+#define BROADWAY_DEBUG(stream_expr) \
+  BROADWAY_LOG(::broadway::LogLevel::kDebug, stream_expr)
+#define BROADWAY_INFO(stream_expr) \
+  BROADWAY_LOG(::broadway::LogLevel::kInfo, stream_expr)
+#define BROADWAY_WARN(stream_expr) \
+  BROADWAY_LOG(::broadway::LogLevel::kWarn, stream_expr)
+#define BROADWAY_ERROR(stream_expr) \
+  BROADWAY_LOG(::broadway::LogLevel::kError, stream_expr)

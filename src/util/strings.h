@@ -1,0 +1,38 @@
+// Small string helpers shared by the CSV layer, the HTTP codec and the
+// HTML link extractor.  C++20 provides starts_with/ends_with on
+// std::string_view; everything else we need lives here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace broadway {
+
+/// Split `s` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields and trimming whitespace from
+/// each field ("a, , b" -> {"a", "b"}).
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+/// Remove ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lower-case ASCII copy (HTTP header names are case-insensitive).
+std::string to_lower(std::string_view s);
+
+/// Join the pieces with `sep` between them.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse a double, returning false on any trailing garbage or empty input.
+bool parse_double(std::string_view s, double& out);
+
+/// Parse a signed 64-bit integer with the same strictness.
+bool parse_int64(std::string_view s, long long& out);
+
+}  // namespace broadway

@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace broadway {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : cell) {
+    if ((c >= '0' && c <= '9')) ++digits;
+    // allow separators/signs/percent
+    else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+             c != 'E' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  body_.push_back(std::move(row));
+}
+
+void TextTable::add_row_numeric(const std::vector<double>& row,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : body_) columns = std::max(columns, row.size());
+  if (columns == 0) return;
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : body_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string();
+      const bool right = looks_numeric(cell);
+      if (i > 0) out << "  ";
+      if (right) {
+        out << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (columns - 1);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : body_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace broadway

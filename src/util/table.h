@@ -1,0 +1,45 @@
+// Console table renderer.
+//
+// The bench binaries reproduce the paper's tables and figure series as
+// aligned text tables; this class handles column sizing and alignment so
+// every bench prints consistently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace broadway {
+
+/// Column-aligned text table.  Numeric-looking cells are right-aligned,
+/// everything else left-aligned.  Render with `print`.
+class TextTable {
+ public:
+  /// Set the header row (optional).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a body row.  Rows may have differing lengths; shorter rows are
+  /// padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 3);
+
+  /// Number of body rows so far.
+  std::size_t rows() const { return body_.size(); }
+
+  /// Render to the stream with a rule under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> body_;
+};
+
+/// Format a double with fixed precision (helper for bench rows).
+std::string fmt(double v, int precision = 3);
+
+/// Format a percentage ("97.3%") from a fraction in [0, 1].
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace broadway

@@ -1,0 +1,53 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace broadway {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  double s = std::abs(d);
+  if (s < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.1f s", negative ? "-" : "", s);
+    return buf;
+  }
+  if (s < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.1f min", negative ? "-" : "",
+                  s / 60.0);
+    return buf;
+  }
+  if (s < 86400.0) {
+    const int h = static_cast<int>(s / 3600.0);
+    const int m = static_cast<int>((s - h * 3600.0) / 60.0);
+    std::snprintf(buf, sizeof(buf), "%s%dh %02dm", negative ? "-" : "", h, m);
+    return buf;
+  }
+  const int dd = static_cast<int>(s / 86400.0);
+  const double rem = s - dd * 86400.0;
+  const int h = static_cast<int>(rem / 3600.0);
+  const int m = static_cast<int>((rem - h * 3600.0) / 60.0);
+  std::snprintf(buf, sizeof(buf), "%s%dd %dh %02dm", negative ? "-" : "", dd,
+                h, m);
+  return buf;
+}
+
+std::string format_wallclock(TimePoint t) {
+  char buf[64];
+  const int day = static_cast<int>(std::floor(t / 86400.0));
+  double rem = t - day * 86400.0;
+  if (rem < 0) rem += 86400.0;
+  const int h = static_cast<int>(rem / 3600.0);
+  const int m = static_cast<int>((rem - h * 3600.0) / 60.0);
+  std::snprintf(buf, sizeof(buf), "day %d, %02d:%02d", day, h, m);
+  return buf;
+}
+
+double hour_of_day(TimePoint t) {
+  double rem = std::fmod(t, 86400.0);
+  if (rem < 0) rem += 86400.0;
+  return rem / 3600.0;
+}
+
+}  // namespace broadway

@@ -1,0 +1,61 @@
+// Simulation time units and formatting helpers.
+//
+// The whole library measures time in seconds, represented as `double`.
+// The paper's workloads span minutes (stock ticks) to days (news traces), so
+// double-precision seconds give sub-microsecond resolution over any realistic
+// horizon while keeping arithmetic in policies and evaluators simple.
+//
+// `TimePoint` is an absolute simulation instant (seconds since the start of
+// the simulated epoch); `Duration` is a length of time in seconds.  They are
+// aliases rather than strong types: policies do heavy mixed arithmetic on
+// them, and the invariants that matter (monotonicity, non-negativity) are
+// checked at module boundaries instead.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace broadway {
+
+/// Absolute simulation instant, in seconds since the simulated epoch.
+using TimePoint = double;
+
+/// Length of time, in seconds.
+using Duration = double;
+
+/// A time point later than any the simulator will ever reach.
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<double>::infinity();
+
+/// Construct a duration from seconds (identity; for symmetry/readability).
+constexpr Duration seconds(double s) { return s; }
+
+/// Construct a duration from minutes.
+constexpr Duration minutes(double m) { return m * 60.0; }
+
+/// Construct a duration from hours.
+constexpr Duration hours(double h) { return h * 3600.0; }
+
+/// Construct a duration from days.
+constexpr Duration days(double d) { return d * 86400.0; }
+
+/// Convert a duration to (fractional) minutes.
+constexpr double to_minutes(Duration d) { return d / 60.0; }
+
+/// Convert a duration to (fractional) hours.
+constexpr double to_hours(Duration d) { return d / 3600.0; }
+
+/// Render a duration as a compact human-readable string, e.g. "2d 1h 30m",
+/// "26 min", "45.0 s".  Used by benches to print paper-style table rows.
+std::string format_duration(Duration d);
+
+/// Render an absolute time point as "day N, HH:MM" within the simulated
+/// epoch (day 0 starts at t = 0).  Used for the time axes of the Fig. 4 and
+/// Fig. 6 reproductions.
+std::string format_wallclock(TimePoint t);
+
+/// Hour-of-day (0.0 .. 24.0) of an absolute time point, assuming the
+/// simulated epoch starts at midnight.  Drives diurnal trace generators.
+double hour_of_day(TimePoint t);
+
+}  // namespace broadway

@@ -1,0 +1,78 @@
+#include "consistency/function.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+TEST(DifferenceFunction, EvaluatesAndExposesCoefficients) {
+  DifferenceFunction f;
+  EXPECT_EQ(f.arity(), 2u);
+  const double values[] = {160.5, 36.25};
+  EXPECT_DOUBLE_EQ(f.evaluate(values), 124.25);
+  const auto coefficients = f.linear_coefficients();
+  ASSERT_TRUE(coefficients.has_value());
+  EXPECT_EQ(*coefficients, (std::vector<double>{1.0, -1.0}));
+}
+
+TEST(DifferenceFunction, ArityEnforced) {
+  DifferenceFunction f;
+  const double values[] = {1.0, 2.0, 3.0};
+  EXPECT_THROW(f.evaluate(values), CheckFailure);
+}
+
+TEST(WeightedSumFunction, SportsScoreExample) {
+  // Overall score as the sum of player scores (paper §1 example 2).
+  WeightedSumFunction f({1.0, 1.0, 1.0});
+  const double values[] = {12.0, 31.0, 7.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(values), 50.0);
+  EXPECT_EQ(f.arity(), 3u);
+}
+
+TEST(WeightedSumFunction, IndexExample) {
+  // A two-stock cap-weighted index.
+  WeightedSumFunction f({0.7, 0.3});
+  const double values[] = {100.0, 200.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(values), 130.0);
+  ASSERT_TRUE(f.linear_coefficients().has_value());
+}
+
+TEST(WeightedSumFunction, Validation) {
+  EXPECT_THROW(WeightedSumFunction({}), CheckFailure);
+  WeightedSumFunction f({1.0, 2.0});
+  const double one[] = {1.0};
+  EXPECT_THROW(f.evaluate(one), CheckFailure);
+}
+
+TEST(RatioFunction, EvaluatesAndIsNonlinear) {
+  RatioFunction f;
+  const double values[] = {10.0, 4.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(values), 2.5);
+  EXPECT_FALSE(f.linear_coefficients().has_value());
+}
+
+TEST(RatioFunction, RejectsZeroDenominator) {
+  RatioFunction f;
+  const double values[] = {1.0, 0.0};
+  EXPECT_THROW(f.evaluate(values), CheckFailure);
+}
+
+TEST(MaxFunction, EvaluatesAndIsNonlinear) {
+  MaxFunction f(3);
+  const double values[] = {1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(values), 5.0);
+  EXPECT_FALSE(f.linear_coefficients().has_value());
+  EXPECT_THROW(MaxFunction(0), CheckFailure);
+}
+
+TEST(Functions, NamesAreStable) {
+  EXPECT_EQ(DifferenceFunction().name(), "difference");
+  EXPECT_EQ(WeightedSumFunction({1.0}).name(), "weighted-sum");
+  EXPECT_EQ(RatioFunction().name(), "ratio");
+  EXPECT_EQ(MaxFunction(2).name(), "max");
+}
+
+}  // namespace
+}  // namespace broadway

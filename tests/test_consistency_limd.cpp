@@ -1,0 +1,227 @@
+// LIMD case-by-case behaviour (paper §3.1).
+#include "consistency/limd.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/fixed_poll.h"
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+LimdPolicy::Config test_config() {
+  // Δ = 60 s, TTR in [60, 600], paper's l/eps, fixed m for predictability.
+  LimdPolicy::Config config;
+  config.delta = 60.0;
+  config.bounds = TtrBounds::from_delta(60.0, 600.0);
+  config.linear_increase = 0.2;
+  config.epsilon = 0.02;
+  config.adaptive_m = false;
+  config.multiplicative_decrease = 0.5;
+  return config;
+}
+
+TemporalPollObservation unchanged(TimePoint prev, TimePoint now) {
+  TemporalPollObservation obs;
+  obs.previous_poll_time = prev;
+  obs.poll_time = now;
+  obs.modified = false;
+  return obs;
+}
+
+TemporalPollObservation changed(TimePoint prev, TimePoint now,
+                                std::vector<TimePoint> history) {
+  TemporalPollObservation obs;
+  obs.previous_poll_time = prev;
+  obs.poll_time = now;
+  obs.modified = true;
+  obs.last_modified = history.back();
+  obs.history = std::move(history);
+  return obs;
+}
+
+TEST(LimdPolicy, StartsAtTtrMin) {
+  LimdPolicy policy(test_config());
+  EXPECT_DOUBLE_EQ(policy.initial_ttr(), 60.0);
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 60.0);
+}
+
+TEST(LimdPolicy, Case1LinearIncreaseOnNoChange) {
+  LimdPolicy policy(test_config());
+  const Duration ttr = policy.next_ttr(unchanged(0.0, 60.0));
+  EXPECT_DOUBLE_EQ(ttr, 60.0 * 1.2);  // Eq. 6
+  EXPECT_EQ(policy.last_case(), LimdCase::kNoChange);
+}
+
+TEST(LimdPolicy, Case1GrowthIsClampedAtTtrMax) {
+  LimdPolicy policy(test_config());
+  TimePoint t = 0.0;
+  Duration ttr = policy.initial_ttr();
+  for (int i = 0; i < 30; ++i) {
+    const TimePoint next = t + ttr;
+    ttr = policy.next_ttr(unchanged(t, next));
+    t = next;
+    EXPECT_LE(ttr, 600.0);
+    EXPECT_GE(ttr, 60.0);
+  }
+  EXPECT_DOUBLE_EQ(ttr, 600.0);  // static object converges to TTR_max
+}
+
+TEST(LimdPolicy, Case2MultiplicativeDecreaseOnViolation) {
+  LimdPolicy policy(test_config());
+  // Grow a little first.
+  Duration ttr = policy.next_ttr(unchanged(0.0, 60.0));  // 72
+  ttr = policy.next_ttr(unchanged(60.0, 132.0));         // 86.4
+  // Violation: update at 140, next poll at 280 -> out-sync 140 > 60.
+  ttr = policy.next_ttr(changed(132.0, 280.0, {140.0}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kViolation);
+  // Eq. 7 gives 86.4 * 0.5 = 43.2, clamped up to TTR_min = 60.
+  EXPECT_DOUBLE_EQ(ttr, 60.0);
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 60.0);
+}
+
+TEST(LimdPolicy, Case2AdaptiveMScalesWithOutSyncDepth) {
+  LimdPolicy::Config config = test_config();
+  config.adaptive_m = true;
+  config.bounds = TtrBounds::from_delta(60.0, 6000.0);
+  // Disable Case 4 so the long quiet spell below exercises Case 2.
+  config.idle_reset_threshold = 1e9;
+  LimdPolicy policy(config);
+  // Grow to a large TTR with quiet polls.
+  TimePoint t = 0.0;
+  Duration ttr = policy.initial_ttr();
+  for (int i = 0; i < 20; ++i) {
+    const TimePoint next = t + ttr;
+    ttr = policy.next_ttr(unchanged(t, next));
+    t = next;
+  }
+  const Duration before = ttr;
+  // Deep violation: out-sync = 120 -> m = 60/120 = 0.5 exactly.
+  ttr = policy.next_ttr(changed(t, t + 200.0, {t + 80.0}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kViolation);
+  EXPECT_NEAR(ttr, before * 0.5, 1e-9);
+}
+
+TEST(LimdPolicy, Case3EpsilonFineTuneOnChangeWithoutViolation) {
+  LimdPolicy policy(test_config());
+  // Update at 70, poll at 120: out-sync 50 < 60, no violation.
+  const Duration ttr = policy.next_ttr(changed(60.0, 120.0, {70.0}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kChangeNoViolation);
+  EXPECT_DOUBLE_EQ(ttr, 60.0 * 1.02);  // Eq. 8
+}
+
+TEST(LimdPolicy, Case4IdleResetAfterLongQuietSpell) {
+  LimdPolicy::Config config = test_config();
+  config.idle_reset_threshold = 500.0;
+  LimdPolicy policy(config);
+  // Quiet growth.
+  Duration ttr = policy.initial_ttr();
+  TimePoint t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const TimePoint next = t + ttr;
+    ttr = policy.next_ttr(unchanged(t, next));
+    t = next;
+  }
+  EXPECT_GT(policy.current_ttr(), 200.0);
+  // First update after > 500 s of silence: reset to TTR_min even though
+  // this is also a violation.
+  const TimePoint update = t + 50.0;
+  ttr = policy.next_ttr(changed(t, t + 300.0, {update}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kIdleReset);
+  EXPECT_DOUBLE_EQ(ttr, 60.0);
+}
+
+TEST(LimdPolicy, Case4DefaultThresholdIsTtrMax) {
+  LimdPolicy policy(test_config());  // TTR_max = 600
+  // Update after 700 s of quiet: idle reset.
+  const Duration ttr = policy.next_ttr(changed(650.0, 710.0, {700.0}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kIdleReset);
+  EXPECT_DOUBLE_EQ(ttr, 60.0);
+}
+
+TEST(LimdPolicy, QuickUpdateIsNotIdleReset) {
+  LimdPolicy policy(test_config());
+  // Updates 100 s apart — below the 600 s idle threshold.
+  policy.next_ttr(changed(60.0, 120.0, {100.0}));
+  EXPECT_EQ(policy.last_case(), LimdCase::kChangeNoViolation);
+  policy.next_ttr(changed(120.0, 230.0, {200.0}));
+  EXPECT_NE(policy.last_case(), LimdCase::kIdleReset);
+}
+
+TEST(LimdPolicy, ResetRestoresInitialState) {
+  LimdPolicy policy(test_config());
+  policy.next_ttr(unchanged(0.0, 60.0));
+  policy.next_ttr(unchanged(60.0, 132.0));
+  EXPECT_GT(policy.current_ttr(), 60.0);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 60.0);
+  EXPECT_FALSE(policy.last_case().has_value());
+}
+
+TEST(LimdPolicy, TtrAlwaysWithinBoundsProperty) {
+  // Sweep a mix of observations; the TTR must never escape its bounds.
+  LimdPolicy::Config config = test_config();
+  config.adaptive_m = true;
+  LimdPolicy policy(config);
+  TimePoint t = 0.0;
+  TimePoint update = 30.0;
+  for (int i = 0; i < 200; ++i) {
+    const Duration ttr_before = policy.current_ttr();
+    const TimePoint next = t + ttr_before;
+    Duration ttr;
+    if (i % 3 == 0) {
+      ttr = policy.next_ttr(unchanged(t, next));
+    } else {
+      update = std::min(next - 1.0, update + 40.0 + (i % 7) * 25.0);
+      if (update <= t) update = t + 1.0;
+      ttr = policy.next_ttr(changed(t, next, {update}));
+    }
+    EXPECT_GE(ttr, config.bounds.min);
+    EXPECT_LE(ttr, config.bounds.max);
+    t = next;
+  }
+}
+
+TEST(LimdPolicy, ConfigValidation) {
+  LimdPolicy::Config config = test_config();
+  config.linear_increase = 0.0;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+  config = test_config();
+  config.linear_increase = 1.5;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+  config = test_config();
+  config.multiplicative_decrease = 1.0;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+  config = test_config();
+  config.epsilon = -0.1;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+  config = test_config();
+  config.delta = 0.0;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+}
+
+TEST(LimdPolicy, PaperDefaultsMatchSection621) {
+  const auto config = LimdPolicy::Config::paper_defaults(600.0);
+  EXPECT_DOUBLE_EQ(config.delta, 600.0);
+  EXPECT_DOUBLE_EQ(config.bounds.min, 600.0);
+  EXPECT_DOUBLE_EQ(config.bounds.max, 3600.0);
+  EXPECT_DOUBLE_EQ(config.linear_increase, 0.2);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.02);
+  EXPECT_TRUE(config.adaptive_m);
+}
+
+TEST(FixedPollPolicy, AlwaysReturnsPeriod) {
+  FixedPollPolicy policy(60.0);
+  EXPECT_DOUBLE_EQ(policy.initial_ttr(), 60.0);
+  EXPECT_DOUBLE_EQ(policy.next_ttr(unchanged(0.0, 60.0)), 60.0);
+  EXPECT_DOUBLE_EQ(policy.next_ttr(changed(60.0, 120.0, {90.0})), 60.0);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 60.0);
+}
+
+TEST(FixedPollPolicy, RejectsNonPositivePeriod) {
+  EXPECT_THROW(FixedPollPolicy(0.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

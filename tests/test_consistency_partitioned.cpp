@@ -1,0 +1,207 @@
+// Partitioned tolerance Mv policy and δ apportioning (paper §4.2).
+#include "consistency/partitioned.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+TEST(ApportionTolerances, PaperTwoObjectFormula) {
+  // δ_a = (r_b / (r_a + r_b))·δ and δ_b = (r_a / (r_a + r_b))·δ.
+  const auto out = apportion_tolerances(1.0, {0.3, 0.1}, {1.0, -1.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 0.1 / 0.4, 1e-12);
+  EXPECT_NEAR(out[1], 0.3 / 0.4, 1e-12);
+}
+
+TEST(ApportionTolerances, FasterObjectGetsSmallerShare) {
+  const auto out = apportion_tolerances(2.0, {10.0, 1.0}, {1.0, -1.0});
+  EXPECT_LT(out[0], out[1]);
+}
+
+TEST(ApportionTolerances, BudgetInvariantHolds) {
+  // Σ|cᵢ|·δᵢ = δ for arbitrary inputs.
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    std::vector<double> rates(n);
+    std::vector<double> coefficients(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.001, 10.0);
+      coefficients[i] =
+          (rng.bernoulli(0.5) ? 1.0 : -1.0) * rng.uniform(0.1, 3.0);
+    }
+    const double delta = rng.uniform(0.1, 10.0);
+    const auto out = apportion_tolerances(delta, rates, coefficients);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GT(out[i], 0.0);
+      total += std::abs(coefficients[i]) * out[i];
+    }
+    EXPECT_NEAR(total, delta, delta * 1e-9);
+  }
+}
+
+TEST(ApportionTolerances, EqualRatesSplitEvenly) {
+  const auto out = apportion_tolerances(1.0, {0.5, 0.5}, {1.0, -1.0});
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+TEST(ApportionTolerances, AllUnknownRatesSplitEvenly) {
+  const auto out = apportion_tolerances(1.0, {0.0, 0.0}, {1.0, -1.0});
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+TEST(ApportionTolerances, UnknownRateTreatedAsSlow) {
+  // The unmeasured object gets the larger share (it appears static).
+  const auto out = apportion_tolerances(1.0, {1.0, 0.0}, {1.0, -1.0});
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(ApportionTolerances, CoefficientsScaleShares) {
+  // f = 2a − b: object a's tolerance costs double.  Equal rates.
+  const auto out = apportion_tolerances(1.0, {0.5, 0.5}, {2.0, -1.0});
+  EXPECT_NEAR(2.0 * out[0] + 1.0 * out[1], 1.0, 1e-9);
+  // Equal weights -> equal |c|·δ shares -> δ_a = 0.25, δ_b = 0.5.
+  EXPECT_NEAR(out[0], 0.25, 1e-9);
+  EXPECT_NEAR(out[1], 0.50, 1e-9);
+}
+
+TEST(ApportionTolerances, Validation) {
+  EXPECT_THROW(apportion_tolerances(0.0, {1.0}, {1.0}), CheckFailure);
+  EXPECT_THROW(apportion_tolerances(1.0, {}, {}), CheckFailure);
+  EXPECT_THROW(apportion_tolerances(1.0, {1.0}, {1.0, 2.0}), CheckFailure);
+  EXPECT_THROW(apportion_tolerances(1.0, {-1.0, 1.0}, {1.0, 1.0}),
+               CheckFailure);
+  EXPECT_THROW(apportion_tolerances(1.0, {1.0, 1.0}, {0.0, 1.0}),
+               CheckFailure);  // zero coefficient
+}
+
+PartitionedTolerancePolicy::Config policy_config() {
+  PartitionedTolerancePolicy::Config config;
+  config.delta = 1.0;
+  config.bounds = {5.0, 600.0};
+  config.smoothing_w = 1.0;
+  config.alpha = 1.0;
+  return config;
+}
+
+std::unique_ptr<PartitionedTolerancePolicy> make_policy(
+    PartitionedTolerancePolicy::Config config) {
+  return std::make_unique<PartitionedTolerancePolicy>(
+      std::make_unique<DifferenceFunction>(), config);
+}
+
+ValuePollObservation obs(TimePoint prev, TimePoint now, double prev_value,
+                         double value) {
+  ValuePollObservation out;
+  out.previous_poll_time = prev;
+  out.poll_time = now;
+  out.previous_value = prev_value;
+  out.value = value;
+  return out;
+}
+
+TEST(PartitionedPolicy, RequiresLinearFunction) {
+  EXPECT_THROW(PartitionedTolerancePolicy(std::make_unique<RatioFunction>(),
+                                          policy_config()),
+               CheckFailure);
+}
+
+TEST(PartitionedPolicy, InitialSplitIsEqual) {
+  auto policy = make_policy(policy_config());
+  EXPECT_EQ(policy->arity(), 2u);
+  EXPECT_NEAR(policy->tolerance(0), 0.5, 1e-9);
+  EXPECT_NEAR(policy->tolerance(1), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(policy->initial_ttr(0), 5.0);
+}
+
+TEST(PartitionedPolicy, ReapportionsTowardSlowObject) {
+  auto policy = make_policy(policy_config());
+  // Object 0 moves fast, object 1 barely moves.
+  policy->next_ttr(0, obs(0.0, 10.0, 100.0, 101.0));  // r0 = 0.1
+  policy->next_ttr(1, obs(0.0, 10.0, 36.0, 36.01));   // r1 = 0.001
+  EXPECT_LT(policy->tolerance(0), policy->tolerance(1));
+  EXPECT_NEAR(policy->tolerance(0) + policy->tolerance(1), 1.0, 1e-9);
+}
+
+TEST(PartitionedPolicy, BudgetInvariantThroughOperation) {
+  auto policy = make_policy(policy_config());
+  Rng rng(17);
+  double v0 = 100.0;
+  double v1 = 36.0;
+  TimePoint t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 10.0;
+    const double old0 = v0;
+    const double old1 = v1;
+    v0 += rng.uniform(-0.5, 0.5);
+    v1 += rng.uniform(-0.05, 0.05);
+    policy->next_ttr(0, obs(t - 10.0, t, old0, v0));
+    policy->next_ttr(1, obs(t - 10.0, t, old1, v1));
+    EXPECT_NEAR(policy->tolerance(0) + policy->tolerance(1), 1.0, 1e-9);
+    EXPECT_GT(policy->tolerance(0), 0.0);
+    EXPECT_GT(policy->tolerance(1), 0.0);
+  }
+}
+
+TEST(PartitionedPolicy, FasterObjectPolledMoreOften) {
+  auto policy = make_policy(policy_config());
+  // Feed matching observations; the fast object's TTR must come out lower.
+  const Duration ttr_fast = policy->next_ttr(0, obs(0.0, 10.0, 100.0, 101.0));
+  const Duration ttr_slow = policy->next_ttr(1, obs(0.0, 10.0, 36.0, 36.001));
+  EXPECT_LT(ttr_fast, ttr_slow);
+}
+
+TEST(PartitionedPolicy, ReapportionIntervalThrottles) {
+  auto config = policy_config();
+  config.reapportion_interval = 1000.0;
+  auto policy = make_policy(config);
+  policy->next_ttr(0, obs(0.0, 10.0, 100.0, 101.0));
+  const double tolerance_after_first = policy->tolerance(0);
+  // Well within the throttle window: rates change but shares must not.
+  policy->next_ttr(1, obs(0.0, 20.0, 36.0, 37.0));
+  EXPECT_DOUBLE_EQ(policy->tolerance(0), tolerance_after_first);
+}
+
+TEST(PartitionedPolicy, ResetRestoresEqualSplit) {
+  auto policy = make_policy(policy_config());
+  policy->next_ttr(0, obs(0.0, 10.0, 100.0, 101.0));
+  policy->next_ttr(1, obs(0.0, 10.0, 36.0, 36.001));
+  EXPECT_NE(policy->tolerance(0), policy->tolerance(1));
+  policy->reset();
+  EXPECT_NEAR(policy->tolerance(0), 0.5, 1e-9);
+  EXPECT_NEAR(policy->tolerance(1), 0.5, 1e-9);
+}
+
+TEST(PartitionedPolicy, ThreeObjectWeightedSum) {
+  // n-object generalisation with a weighted index.
+  PartitionedTolerancePolicy policy(
+      std::make_unique<WeightedSumFunction>(
+          std::vector<double>{0.5, 0.3, 0.2}),
+      policy_config());
+  EXPECT_EQ(policy.arity(), 3u);
+  double total = 0.0;
+  const std::vector<double> coefficients = {0.5, 0.3, 0.2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    total += coefficients[i] * policy.tolerance(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PartitionedPolicy, IndexBoundsChecked) {
+  auto policy = make_policy(policy_config());
+  EXPECT_THROW(policy->tolerance(2), CheckFailure);
+  EXPECT_THROW(policy->initial_ttr(5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,99 @@
+#include "consistency/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace broadway {
+namespace {
+
+TemporalPollObservation modified_obs(TimePoint prev, TimePoint now,
+                                     std::vector<TimePoint> history) {
+  TemporalPollObservation obs;
+  obs.previous_poll_time = prev;
+  obs.poll_time = now;
+  obs.modified = true;
+  obs.last_modified = history.back();
+  obs.history = std::move(history);
+  return obs;
+}
+
+TEST(UpdateRateEstimator, ZeroUntilTwoModifications) {
+  UpdateRateEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.0);
+  EXPECT_EQ(estimator.mean_gap(), kTimeInfinity);
+  estimator.observe(modified_obs(0.0, 10.0, {5.0}));
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.0);  // one instant, no gap yet
+  estimator.observe(modified_obs(10.0, 20.0, {15.0}));
+  EXPECT_GT(estimator.rate(), 0.0);
+}
+
+TEST(UpdateRateEstimator, LearnsGapFromLastModifiedSequence) {
+  UpdateRateEstimator estimator(1.0);  // no smoothing: exact gaps
+  estimator.observe(modified_obs(0.0, 10.0, {5.0}));
+  estimator.observe(modified_obs(10.0, 20.0, {15.0}));
+  EXPECT_DOUBLE_EQ(estimator.mean_gap(), 10.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.1);
+  EXPECT_EQ(estimator.observed_modifications(), 2u);
+}
+
+TEST(UpdateRateEstimator, LearnsAllGapsFromHistory) {
+  UpdateRateEstimator estimator(1.0);
+  // One poll reveals three updates 10 apart: two gaps learned at once.
+  estimator.observe(modified_obs(0.0, 40.0, {10.0, 20.0, 30.0}));
+  EXPECT_DOUBLE_EQ(estimator.mean_gap(), 10.0);
+  EXPECT_EQ(estimator.observed_modifications(), 3u);
+}
+
+TEST(UpdateRateEstimator, UnmodifiedPollsAreIgnored) {
+  UpdateRateEstimator estimator;
+  TemporalPollObservation obs;
+  obs.previous_poll_time = 0.0;
+  obs.poll_time = 10.0;
+  obs.modified = false;
+  estimator.observe(obs);
+  EXPECT_EQ(estimator.observed_modifications(), 0u);
+}
+
+TEST(UpdateRateEstimator, RepeatedLastModifiedNotDoubleCounted) {
+  UpdateRateEstimator estimator(1.0);
+  estimator.observe(modified_obs(0.0, 10.0, {5.0}));
+  // A triggered poll right after sees the same last-modified.
+  estimator.observe(modified_obs(10.0, 10.0, {5.0}));
+  EXPECT_EQ(estimator.observed_modifications(), 1u);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.0);
+}
+
+TEST(UpdateRateEstimator, SmoothingBlendsGaps) {
+  UpdateRateEstimator estimator(0.5);
+  estimator.observe(modified_obs(0.0, 10.0, {4.0}));
+  estimator.observe(modified_obs(10.0, 20.0, {14.0}));   // gap 10
+  estimator.observe(modified_obs(20.0, 30.0, {34.0}));   // gap 20
+  EXPECT_DOUBLE_EQ(estimator.mean_gap(), 0.5 * 20.0 + 0.5 * 10.0);
+}
+
+TEST(UpdateRateEstimator, FasterObjectHasHigherRate) {
+  UpdateRateEstimator fast(0.3);
+  UpdateRateEstimator slow(0.3);
+  TimePoint t = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    fast.observe(modified_obs(t, t + 10.0, {t + 5.0}));
+    t += 10.0;
+  }
+  t = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    slow.observe(modified_obs(t, t + 100.0, {t + 50.0}));
+    t += 100.0;
+  }
+  EXPECT_GT(fast.rate(), 5.0 * slow.rate());
+}
+
+TEST(UpdateRateEstimator, ResetForgets) {
+  UpdateRateEstimator estimator;
+  estimator.observe(modified_obs(0.0, 10.0, {2.0, 4.0, 6.0}));
+  EXPECT_GT(estimator.rate(), 0.0);
+  estimator.reset();
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.0);
+  EXPECT_EQ(estimator.observed_modifications(), 0u);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,57 @@
+#include "consistency/types.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+TEST(TtrBounds, ClampWithinRange) {
+  const TtrBounds bounds{10.0, 100.0};
+  EXPECT_DOUBLE_EQ(bounds.clamp(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(500.0), 100.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(100.0), 100.0);
+}
+
+TEST(TtrBounds, InvalidBoundsThrowOnUse) {
+  const TtrBounds inverted{100.0, 10.0};
+  EXPECT_THROW(inverted.clamp(50.0), CheckFailure);
+  const TtrBounds zero{0.0, 10.0};
+  EXPECT_THROW(zero.clamp(5.0), CheckFailure);
+}
+
+TEST(TtrBounds, FromDeltaSetsMinToDelta) {
+  const TtrBounds bounds = TtrBounds::from_delta(600.0, 3600.0);
+  EXPECT_DOUBLE_EQ(bounds.min, 600.0);
+  EXPECT_DOUBLE_EQ(bounds.max, 3600.0);
+}
+
+TEST(TtrBounds, FromDeltaNeverInverts) {
+  // Δ larger than the requested cap: the cap rises to Δ (the paper's
+  // TTR_min = Δ rule dominates).
+  const TtrBounds bounds = TtrBounds::from_delta(7200.0, 3600.0);
+  EXPECT_DOUBLE_EQ(bounds.min, 7200.0);
+  EXPECT_DOUBLE_EQ(bounds.max, 7200.0);
+  EXPECT_THROW(TtrBounds::from_delta(0.0, 100.0), CheckFailure);
+}
+
+TEST(EnumToString, AllNamed) {
+  EXPECT_EQ(to_string(LimdCase::kNoChange), "no-change");
+  EXPECT_EQ(to_string(LimdCase::kViolation), "violation");
+  EXPECT_EQ(to_string(LimdCase::kChangeNoViolation), "change-no-violation");
+  EXPECT_EQ(to_string(LimdCase::kIdleReset), "idle-reset");
+  EXPECT_EQ(to_string(ViolationDetection::kExactHistory), "exact-history");
+  EXPECT_EQ(to_string(ViolationDetection::kLastModifiedOnly),
+            "last-modified-only");
+  EXPECT_EQ(to_string(ViolationDetection::kProbabilistic), "probabilistic");
+  EXPECT_EQ(to_string(PollCause::kInitial), "initial");
+  EXPECT_EQ(to_string(PollCause::kScheduled), "scheduled");
+  EXPECT_EQ(to_string(PollCause::kTriggered), "triggered");
+  EXPECT_EQ(to_string(PollCause::kRetry), "retry");
+}
+
+}  // namespace
+}  // namespace broadway

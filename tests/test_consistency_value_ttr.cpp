@@ -1,0 +1,159 @@
+// Adaptive value-domain TTR (paper §4.1, Eqs. 9–10).
+#include "consistency/value_ttr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+AdaptiveValueTtrPolicy::Config test_config() {
+  AdaptiveValueTtrPolicy::Config config;
+  config.delta = 1.0;          // $1 tolerance
+  config.bounds = {5.0, 600.0};
+  config.smoothing_w = 1.0;    // no smoothing: raw Eq. 9 visible
+  config.alpha = 1.0;          // no conservative mixing
+  return config;
+}
+
+ValuePollObservation obs(TimePoint prev, TimePoint now, double prev_value,
+                         double value) {
+  ValuePollObservation out;
+  out.previous_poll_time = prev;
+  out.poll_time = now;
+  out.previous_value = prev_value;
+  out.value = value;
+  return out;
+}
+
+TEST(AdaptiveValueTtr, InitialTtrIsMin) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  EXPECT_DOUBLE_EQ(policy.initial_ttr(), 5.0);
+}
+
+TEST(AdaptiveValueTtr, Eq9TtrIsDeltaOverRate) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  // Value moved 0.5 in 10 s -> r = 0.05/s -> TTR = 1.0/0.05 = 20 s.
+  const Duration ttr = policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5));
+  EXPECT_DOUBLE_EQ(ttr, 20.0);
+  EXPECT_DOUBLE_EQ(policy.last_rate(), 0.05);
+}
+
+TEST(AdaptiveValueTtr, FlatValueBacksOffGeometrically) {
+  AdaptiveValueTtrPolicy policy(test_config());  // flat_growth = 2
+  // Each quiet interval doubles the TTR: 5 -> 10 -> 20 -> ... -> 600 cap.
+  TimePoint t = 0.0;
+  Duration expected = 5.0;
+  for (int i = 0; i < 12; ++i) {
+    const TimePoint next = t + policy.current_ttr();
+    const Duration ttr = policy.next_ttr(obs(t, next, 100.0, 100.0));
+    expected = std::min(600.0, expected * 2.0);
+    EXPECT_DOUBLE_EQ(ttr, expected);
+    t = next;
+  }
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 600.0);
+}
+
+TEST(AdaptiveValueTtr, QuietIntervalDoesNotEraseRateEstimate) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5));  // r = 0.05
+  EXPECT_DOUBLE_EQ(policy.estimated_rate(), 0.05);
+  policy.next_ttr(obs(10.0, 30.0, 100.5, 100.5));  // quiet
+  EXPECT_DOUBLE_EQ(policy.last_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.estimated_rate(), 0.05);  // survives
+}
+
+TEST(AdaptiveValueTtr, FastMovementClampsToMin) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  // Moved 10 in 1 s -> raw TTR 0.1 s -> clamped to 5.
+  const Duration ttr = policy.next_ttr(obs(0.0, 1.0, 100.0, 110.0));
+  EXPECT_DOUBLE_EQ(ttr, 5.0);
+}
+
+TEST(AdaptiveValueTtr, SmoothingBlendsEstimates) {
+  AdaptiveValueTtrPolicy::Config config = test_config();
+  config.smoothing_w = 0.5;
+  AdaptiveValueTtrPolicy policy(config);
+  // First estimate: raw 20 (smoothed = 20, no previous).
+  policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5));
+  // Second: raw 40; smoothed = 0.5*40 + 0.5*20 = 30.
+  const Duration ttr = policy.next_ttr(obs(10.0, 20.0, 100.5, 100.75));
+  EXPECT_DOUBLE_EQ(ttr, 30.0);
+}
+
+TEST(AdaptiveValueTtr, AlphaMixesWithObservedMinimum) {
+  AdaptiveValueTtrPolicy::Config config = test_config();
+  config.alpha = 0.5;
+  AdaptiveValueTtrPolicy policy(config);
+  // First: raw/smoothed 20; observed min 20; mix = 20.
+  EXPECT_DOUBLE_EQ(policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5)), 20.0);
+  // Second: raw/smoothed 100 (moved 0.1 in 10 s); observed min stays 20;
+  // mix = 0.5*100 + 0.5*20 = 60.  The conservative floor holds the TTR
+  // down exactly as Eq. 10 intends.
+  EXPECT_NEAR(policy.next_ttr(obs(10.0, 20.0, 100.5, 100.6)), 60.0, 1e-9);
+}
+
+TEST(AdaptiveValueTtr, SetDeltaRescalesFutureEstimates) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  policy.set_delta(2.0);
+  // r = 0.05 -> TTR = 2.0/0.05 = 40.
+  EXPECT_DOUBLE_EQ(policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5)), 40.0);
+  EXPECT_THROW(policy.set_delta(0.0), CheckFailure);
+}
+
+TEST(AdaptiveValueTtr, ZeroElapsedKeepsCurrentTtr) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5));  // TTR 20
+  const Duration ttr = policy.next_ttr(obs(10.0, 10.0, 100.5, 100.5));
+  EXPECT_DOUBLE_EQ(ttr, 20.0);
+}
+
+TEST(AdaptiveValueTtr, ResetRestoresColdState) {
+  AdaptiveValueTtrPolicy policy(test_config());
+  policy.next_ttr(obs(0.0, 10.0, 100.0, 100.5));
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.current_ttr(), 5.0);
+  EXPECT_DOUBLE_EQ(policy.last_rate(), 0.0);
+}
+
+TEST(AdaptiveValueTtr, TtrAlwaysWithinBoundsProperty) {
+  AdaptiveValueTtrPolicy::Config config = test_config();
+  config.smoothing_w = 0.4;
+  config.alpha = 0.6;
+  AdaptiveValueTtrPolicy policy(config);
+  double value = 100.0;
+  TimePoint t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint next = t + policy.current_ttr();
+    value += ((i * 31) % 17 - 8) * 0.05;
+    const Duration ttr = policy.next_ttr(obs(t, next, value, value));
+    EXPECT_GE(ttr, config.bounds.min);
+    EXPECT_LE(ttr, config.bounds.max);
+    t = next;
+  }
+}
+
+TEST(AdaptiveValueTtr, ConfigValidation) {
+  auto config = test_config();
+  config.delta = 0.0;
+  EXPECT_THROW(AdaptiveValueTtrPolicy{config}, CheckFailure);
+  config = test_config();
+  config.smoothing_w = 0.0;
+  EXPECT_THROW(AdaptiveValueTtrPolicy{config}, CheckFailure);
+  config = test_config();
+  config.alpha = 1.5;
+  EXPECT_THROW(AdaptiveValueTtrPolicy{config}, CheckFailure);
+}
+
+TEST(AdaptiveValueTtr, PaperDefaults) {
+  const auto config =
+      AdaptiveValueTtrPolicy::Config::paper_defaults(0.5, {5.0, 300.0});
+  EXPECT_DOUBLE_EQ(config.delta, 0.5);
+  EXPECT_DOUBLE_EQ(config.bounds.min, 5.0);
+  EXPECT_DOUBLE_EQ(config.smoothing_w, 0.5);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.7);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,147 @@
+// Violation detection against the two scenarios of the paper's Fig. 1:
+// (a) a single update more than Δ before the poll; (b) multiple updates
+// where only the *first* since the previous poll breaches the bound.
+#include "consistency/violation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+TemporalPollObservation make_obs(TimePoint prev, TimePoint now,
+                                 std::vector<TimePoint> history) {
+  TemporalPollObservation obs;
+  obs.previous_poll_time = prev;
+  obs.poll_time = now;
+  obs.modified = !history.empty();
+  if (!history.empty()) obs.last_modified = history.back();
+  obs.history = std::move(history);
+  return obs;
+}
+
+TEST(ViolationDetector, NoChangeNoViolation) {
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  const auto verdict = detector.examine(make_obs(0.0, 100.0, {}));
+  EXPECT_FALSE(verdict.violated);
+  EXPECT_FALSE(verdict.first_update.has_value());
+}
+
+TEST(ViolationDetector, Fig1aSingleOldUpdateViolates) {
+  // Poll at 100, previous at 0, one update at 20, Δ = 60: the copy was out
+  // of sync for 80 > 60.
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  const auto verdict = detector.examine(make_obs(0.0, 100.0, {20.0}));
+  EXPECT_TRUE(verdict.violated);
+  EXPECT_DOUBLE_EQ(*verdict.first_update, 20.0);
+  EXPECT_DOUBLE_EQ(verdict.out_sync, 80.0);
+}
+
+TEST(ViolationDetector, RecentSingleUpdateDoesNotViolate) {
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  const auto verdict = detector.examine(make_obs(0.0, 100.0, {70.0}));
+  EXPECT_FALSE(verdict.violated);
+  EXPECT_DOUBLE_EQ(verdict.out_sync, 30.0);
+}
+
+TEST(ViolationDetector, BoundaryIsNotAViolation) {
+  // Exactly Δ out of sync satisfies Eq. (2)'s strict inequality at all
+  // earlier instants; the violation begins strictly beyond Δ.
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  const auto verdict = detector.examine(make_obs(0.0, 100.0, {40.0}));
+  EXPECT_FALSE(verdict.violated);
+}
+
+TEST(ViolationDetector, Fig1bMultiUpdateCaughtWithHistory) {
+  // Updates at 20 and 90; the *last* is within Δ=60 of the poll at 100,
+  // but the first breaches the bound.  With the history extension the
+  // detector sees it.
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  const auto verdict = detector.examine(make_obs(0.0, 100.0, {20.0, 90.0}));
+  EXPECT_TRUE(verdict.violated);
+  EXPECT_DOUBLE_EQ(*verdict.first_update, 20.0);
+}
+
+TEST(ViolationDetector, Fig1bMissedWithLastModifiedOnly) {
+  // Same scenario without history: standard HTTP reveals only the newest
+  // update (90), which looks fine — the violation goes undetected.  This
+  // is exactly the §3.1 limitation the extension addresses.
+  ViolationDetector detector(60.0, ViolationDetection::kLastModifiedOnly);
+  TemporalPollObservation obs = make_obs(0.0, 100.0, {20.0, 90.0});
+  obs.history.clear();  // stock HTTP: no history header
+  const auto verdict = detector.examine(obs);
+  EXPECT_FALSE(verdict.violated);
+  EXPECT_DOUBLE_EQ(*verdict.first_update, 90.0);
+}
+
+TEST(ViolationDetector, ExactHistoryFallsBackToLastModified) {
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  TemporalPollObservation obs = make_obs(0.0, 100.0, {20.0});
+  obs.history.clear();  // origin had the extension disabled
+  const auto verdict = detector.examine(obs);
+  EXPECT_TRUE(verdict.violated);  // 20 is also the last-modified
+  EXPECT_DOUBLE_EQ(*verdict.first_update, 20.0);
+}
+
+TEST(ViolationDetector, ProbabilisticLearnsGapAndInfersEarlierUpdate) {
+  ViolationDetector detector(60.0, ViolationDetection::kProbabilistic);
+  // Teach the detector a ~40 s inter-update gap from successive
+  // last-modified values (no history available).
+  TimePoint poll = 0.0;
+  TimePoint update = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const TimePoint prev_poll = poll;
+    poll += 50.0;
+    update += 40.0;
+    TemporalPollObservation obs = make_obs(prev_poll, poll, {update});
+    obs.history.clear();
+    detector.examine(obs);
+  }
+  // Every poll found the object modified, so the detector can only bound
+  // the gap from above: the estimate is conservative (<= the true 40 s)
+  // but must stay in a sane band.
+  EXPECT_LE(detector.estimated_update_gap(), 45.0);
+  EXPECT_GE(detector.estimated_update_gap(), 10.0);
+
+  // Now a long interval where the newest update looks recent but the
+  // learned rate implies earlier updates existed: inferred first update
+  // near prev_poll + gap -> violation.
+  TemporalPollObservation obs =
+      make_obs(poll, poll + 200.0, {poll + 190.0});
+  obs.history.clear();
+  const auto verdict = detector.examine(obs);
+  EXPECT_TRUE(verdict.violated);
+  EXPECT_LT(*verdict.first_update, poll + 100.0);
+}
+
+TEST(ViolationDetector, ProbabilisticWithoutStatsUsesLastModified) {
+  ViolationDetector detector(60.0, ViolationDetection::kProbabilistic);
+  TemporalPollObservation obs = make_obs(0.0, 100.0, {90.0});
+  obs.history.clear();
+  const auto verdict = detector.examine(obs);
+  EXPECT_FALSE(verdict.violated);
+  EXPECT_DOUBLE_EQ(*verdict.first_update, 90.0);
+}
+
+TEST(ViolationDetector, ResetForgetsStatistics) {
+  ViolationDetector detector(60.0, ViolationDetection::kProbabilistic);
+  TemporalPollObservation obs = make_obs(0.0, 50.0, {10.0, 20.0, 30.0});
+  detector.examine(obs);
+  EXPECT_LT(detector.estimated_update_gap(), kTimeInfinity);
+  detector.reset();
+  EXPECT_EQ(detector.estimated_update_gap(), kTimeInfinity);
+}
+
+TEST(ViolationDetector, RejectsBadConstruction) {
+  EXPECT_THROW(ViolationDetector(0.0, ViolationDetection::kExactHistory),
+               CheckFailure);
+}
+
+TEST(ViolationDetector, RejectsOutOfOrderPolls) {
+  ViolationDetector detector(60.0, ViolationDetection::kExactHistory);
+  EXPECT_THROW(detector.examine(make_obs(100.0, 50.0, {})), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,139 @@
+// Virtual-object Mv policy (paper §4.2, Eqs. 11–12).
+#include "consistency/virtual_object.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+VirtualObjectPolicy::Config test_config() {
+  VirtualObjectPolicy::Config config;
+  config.delta = 1.0;
+  config.bounds = {5.0, 600.0};
+  config.smoothing_w = 1.0;  // raw Eq. 12 visible
+  config.alpha = 1.0;
+  config.gamma_backoff = 0.5;
+  config.gamma_recovery = 1.1;
+  config.gamma_min = 0.05;
+  return config;
+}
+
+std::unique_ptr<VirtualObjectPolicy> make_policy(
+    VirtualObjectPolicy::Config config) {
+  return std::make_unique<VirtualObjectPolicy>(
+      std::make_unique<DifferenceFunction>(), config);
+}
+
+TEST(VirtualObjectPolicy, FirstPollReturnsMin) {
+  auto policy = make_policy(test_config());
+  const double values[] = {160.0, 36.0};
+  EXPECT_DOUBLE_EQ(policy->next_ttr(0.0, values), 5.0);
+  EXPECT_DOUBLE_EQ(policy->last_f(), 124.0);
+  EXPECT_DOUBLE_EQ(policy->current_gamma(), 1.0);
+}
+
+TEST(VirtualObjectPolicy, Eq12TtrIsGammaDeltaOverRate) {
+  auto policy = make_policy(test_config());
+  const double first[] = {160.0, 36.0};
+  policy->next_ttr(0.0, first);
+  // f moves 124 -> 124.5 in 10 s: r = 0.05, drift 0.5 < δ=1 -> γ grows to 1
+  // (capped).  TTR = 1 * 1/0.05 = 20.
+  const double second[] = {160.5, 36.0};
+  EXPECT_DOUBLE_EQ(policy->next_ttr(10.0, second), 20.0);
+  EXPECT_DOUBLE_EQ(policy->current_gamma(), 1.0);
+}
+
+TEST(VirtualObjectPolicy, GammaBacksOffOnViolationEvidence) {
+  auto policy = make_policy(test_config());
+  const double first[] = {160.0, 36.0};
+  policy->next_ttr(0.0, first);
+  // f jumps by 2 > δ=1 across the interval: guarantee was violated.
+  const double second[] = {162.0, 36.0};
+  policy->next_ttr(10.0, second);
+  EXPECT_DOUBLE_EQ(policy->current_gamma(), 0.5);
+  // TTR shrinks accordingly: r = 0.2, TTR = 0.5 * 1/0.2 = 2.5 -> clamp 5.
+  EXPECT_DOUBLE_EQ(policy->current_ttr(), 5.0);
+}
+
+TEST(VirtualObjectPolicy, GammaRecoversGradually) {
+  auto policy = make_policy(test_config());
+  const double v0[] = {160.0, 36.0};
+  policy->next_ttr(0.0, v0);
+  const double v1[] = {162.0, 36.0};  // violation: γ -> 0.5
+  policy->next_ttr(10.0, v1);
+  double expected = 0.5;
+  double base = 162.0;
+  TimePoint t = 10.0;
+  for (int i = 0; i < 5; ++i) {
+    base += 0.2;  // small drift, no violation
+    t += 10.0;
+    const double values[] = {base, 36.0};
+    policy->next_ttr(t, values);
+    expected = std::min(1.0, expected * 1.1);
+    EXPECT_NEAR(policy->current_gamma(), expected, 1e-12);
+  }
+}
+
+TEST(VirtualObjectPolicy, GammaFloorHolds) {
+  VirtualObjectPolicy::Config config = test_config();
+  config.gamma_min = 0.2;
+  auto policy = make_policy(config);
+  double base = 160.0;
+  TimePoint t = 0.0;
+  const double v0[] = {base, 36.0};
+  policy->next_ttr(t, v0);
+  for (int i = 0; i < 10; ++i) {
+    base += 5.0;  // repeated violations
+    t += 10.0;
+    const double values[] = {base, 36.0};
+    policy->next_ttr(t, values);
+  }
+  EXPECT_DOUBLE_EQ(policy->current_gamma(), 0.2);
+}
+
+TEST(VirtualObjectPolicy, FlatFunctionBacksOffGeometrically) {
+  auto policy = make_policy(test_config());  // flat_growth = 2
+  const double values[] = {160.0, 36.0};
+  policy->next_ttr(0.0, values);            // TTR_min = 5
+  EXPECT_DOUBLE_EQ(policy->next_ttr(5.0, values), 10.0);
+  EXPECT_DOUBLE_EQ(policy->next_ttr(15.0, values), 20.0);
+  EXPECT_DOUBLE_EQ(policy->next_ttr(35.0, values), 40.0);
+}
+
+TEST(VirtualObjectPolicy, ResetRestoresGammaAndTtr) {
+  auto policy = make_policy(test_config());
+  const double v0[] = {160.0, 36.0};
+  policy->next_ttr(0.0, v0);
+  const double v1[] = {170.0, 36.0};
+  policy->next_ttr(10.0, v1);
+  EXPECT_LT(policy->current_gamma(), 1.0);
+  policy->reset();
+  EXPECT_DOUBLE_EQ(policy->current_gamma(), 1.0);
+  EXPECT_DOUBLE_EQ(policy->current_ttr(), 5.0);
+}
+
+TEST(VirtualObjectPolicy, ArityEnforced) {
+  auto policy = make_policy(test_config());
+  const double three[] = {1.0, 2.0, 3.0};
+  EXPECT_THROW(policy->next_ttr(0.0, three), CheckFailure);
+}
+
+TEST(VirtualObjectPolicy, Validation) {
+  EXPECT_THROW(VirtualObjectPolicy(nullptr, test_config()), CheckFailure);
+  auto config = test_config();
+  config.gamma_backoff = 1.0;
+  EXPECT_THROW(make_policy(config), CheckFailure);
+  config = test_config();
+  config.gamma_recovery = 0.9;
+  EXPECT_THROW(make_policy(config), CheckFailure);
+  config = test_config();
+  config.delta = 0.0;
+  EXPECT_THROW(make_policy(config), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

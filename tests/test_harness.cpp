@@ -1,0 +1,117 @@
+// Harness-level behaviour: determinism of experiment runners and the
+// report-rendering helpers the benches rely on.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/reporting.h"
+#include "trace/paper_workloads.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TEST(Harness, LimdRunsAreDeterministic) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  TemporalRunConfig config;
+  config.delta = minutes(10.0);
+  const auto first = run_limd_individual(trace, config);
+  const auto second = run_limd_individual(trace, config);
+  EXPECT_EQ(first.polls, second.polls);
+  EXPECT_DOUBLE_EQ(first.fidelity.fidelity_time(),
+                   second.fidelity.fidelity_time());
+  ASSERT_EQ(first.ttr_series.size(), second.ttr_series.size());
+}
+
+TEST(Harness, MutualRunsAreDeterministic) {
+  const UpdateTrace a = make_cnn_fn_trace();
+  const UpdateTrace b = make_nytimes_ap_trace();
+  MutualTemporalRunConfig config;
+  config.base.delta = minutes(10.0);
+  config.delta_mutual = minutes(5.0);
+  config.approach = MutualApproach::kHeuristic;
+  const auto first = run_mutual_temporal(a, b, config);
+  const auto second = run_mutual_temporal(a, b, config);
+  EXPECT_EQ(first.polls, second.polls);
+  EXPECT_EQ(first.triggered, second.triggered);
+  EXPECT_DOUBLE_EQ(first.mutual.fidelity_time(),
+                   second.mutual.fidelity_time());
+}
+
+TEST(Harness, ValueRunsAreDeterministic) {
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  MutualValueRunConfig config;
+  config.delta = 1.0;
+  config.approach = MutualValueApproach::kPartitioned;
+  const auto first = run_mutual_value(a, b, config);
+  const auto second = run_mutual_value(a, b, config);
+  EXPECT_EQ(first.polls, second.polls);
+  EXPECT_EQ(first.mutual.violations, second.mutual.violations);
+}
+
+TEST(Harness, SeriesOnlyCollectedWhenAsked) {
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  MutualValueRunConfig config;
+  config.delta = 1.0;
+  config.collect_series = false;
+  EXPECT_TRUE(run_mutual_value(a, b, config).series.empty());
+  config.collect_series = true;
+  EXPECT_FALSE(run_mutual_value(a, b, config).series.empty());
+}
+
+TEST(Harness, MutualRunReportsIndividualFidelity) {
+  const UpdateTrace a = make_cnn_fn_trace();
+  const UpdateTrace b = make_nytimes_ap_trace();
+  MutualTemporalRunConfig config;
+  config.base.delta = minutes(10.0);
+  config.approach = MutualApproach::kTriggered;
+  const auto result = run_mutual_temporal(a, b, config);
+  EXPECT_GT(result.individual_a.windows, 0u);
+  EXPECT_GT(result.individual_b.windows, 0u);
+  EXPECT_FALSE(result.poll_log.empty());
+}
+
+TEST(Reporting, BannerFormat) {
+  std::ostringstream os;
+  print_banner(os, "Table 9");
+  EXPECT_EQ(os.str(), "\n== Table 9 ==\n");
+}
+
+TEST(Reporting, AsciiChartContainsAxesAndGlyphs) {
+  std::vector<std::pair<double, double>> series;
+  for (int i = 0; i <= 10; ++i) {
+    series.emplace_back(i, i * i);
+  }
+  AsciiChartOptions options;
+  options.width = 40;
+  options.height = 10;
+  options.x_label = "x";
+  const std::string chart = render_ascii_chart(series, options);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("100"), std::string::npos);  // y max
+  EXPECT_NE(chart.find('+'), std::string::npos);    // axis corners
+}
+
+TEST(Reporting, AsciiChartTwoSeriesUsesDistinctGlyphs) {
+  std::vector<std::pair<double, double>> up, down;
+  for (int i = 0; i <= 10; ++i) {
+    up.emplace_back(i, i);
+    down.emplace_back(i, 10 - i);
+  }
+  AsciiChartOptions options;
+  options.width = 40;
+  options.height = 10;
+  const std::string chart = render_ascii_chart2(up, down, options);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);  // the crossing point
+}
+
+TEST(Reporting, EmptySeriesHandled) {
+  AsciiChartOptions options;
+  EXPECT_EQ(render_ascii_chart({}, options), "(empty series)\n");
+}
+
+}  // namespace
+}  // namespace broadway

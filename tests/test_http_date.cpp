@@ -1,0 +1,86 @@
+#include "http/date.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TEST(HttpDate, EpochIsMondayAug6_2001) {
+  EXPECT_EQ(format_http_date(0.0), "Mon, 06 Aug 2001 00:00:00 GMT");
+}
+
+TEST(HttpDate, FormatsPaperTraceStart) {
+  // CNN/FN collection started Aug 7 13:04 — one day plus 13h04m in.
+  const TimePoint t = days(1.0) + hours(13.0) + minutes(4.0);
+  EXPECT_EQ(format_http_date(t), "Tue, 07 Aug 2001 13:04:00 GMT");
+}
+
+TEST(HttpDate, TruncatesSubSeconds) {
+  EXPECT_EQ(format_http_date(1.75), "Mon, 06 Aug 2001 00:00:01 GMT");
+}
+
+TEST(HttpDate, RoundTripsWholeSeconds) {
+  for (double t : {0.0, 59.0, 3600.0, 86399.0, 86400.0, 2 * 86400.0 + 3661.0,
+                   30.0 * 86400.0, 365.0 * 86400.0}) {
+    const auto parsed = parse_http_date(format_http_date(t));
+    ASSERT_TRUE(parsed.has_value()) << format_http_date(t);
+    EXPECT_DOUBLE_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDate, CrossesMonthAndYearBoundaries) {
+  // Aug 2001 has 31 days: day offset 26 from Aug 6 lands Sep 1.
+  EXPECT_EQ(format_http_date(days(26.0)), "Sat, 01 Sep 2001 00:00:00 GMT");
+  // 148 days after Aug 6 2001 is Jan 1 2002.
+  EXPECT_EQ(format_http_date(days(148.0)), "Tue, 01 Jan 2002 00:00:00 GMT");
+}
+
+TEST(HttpDate, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_http_date("").has_value());
+  EXPECT_FALSE(parse_http_date("yesterday").has_value());
+  EXPECT_FALSE(parse_http_date("Mon, 06 Aug 2001 00:00:00 PST").has_value());
+  EXPECT_FALSE(parse_http_date("Mon, 06 Xxx 2001 00:00:00 GMT").has_value());
+  // Wrong weekday for the date.
+  EXPECT_FALSE(parse_http_date("Tue, 06 Aug 2001 00:00:00 GMT").has_value());
+  // Before the simulation epoch.
+  EXPECT_FALSE(parse_http_date("Sun, 05 Aug 2001 23:59:59 GMT").has_value());
+}
+
+TEST(HttpDate, FormatRejectsNegative) {
+  EXPECT_THROW(format_http_date(-1.0), CheckFailure);
+}
+
+TEST(CivilCalendar, KnownDates) {
+  using namespace httpdate_detail;
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+  int y;
+  unsigned m, d;
+  civil_from_days(0, y, m, d);
+  EXPECT_EQ(y, 1970);
+  EXPECT_EQ(m, 1u);
+  EXPECT_EQ(d, 1u);
+}
+
+TEST(CivilCalendar, RoundTripsAcrossLeapYears) {
+  using namespace httpdate_detail;
+  for (long long day = -1000; day <= 40000; day += 37) {
+    int y;
+    unsigned m, d;
+    civil_from_days(day, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), day);
+  }
+}
+
+TEST(CivilCalendar, WeekdayKnownValues) {
+  using namespace httpdate_detail;
+  EXPECT_EQ(weekday_from_days(0), 4u);  // 1970-01-01 was a Thursday
+  EXPECT_EQ(weekday_from_days(days_from_civil(2001, 8, 6)), 1u);  // Monday
+  EXPECT_EQ(weekday_from_days(days_from_civil(2001, 9, 11)), 2u);  // Tuesday
+}
+
+}  // namespace
+}  // namespace broadway

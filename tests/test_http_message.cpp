@@ -1,0 +1,100 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+#include "http/extensions.h"
+
+namespace broadway {
+namespace {
+
+TEST(Headers, SetReplacesAllValues) {
+  Headers headers;
+  headers.add("X-Test", "one");
+  headers.add("x-test", "two");
+  headers.set("X-TEST", "final");
+  EXPECT_EQ(headers.get_all("x-test").size(), 1u);
+  EXPECT_EQ(*headers.get("X-Test"), "final");
+}
+
+TEST(Headers, LookupIsCaseInsensitive) {
+  Headers headers;
+  headers.set("Last-Modified", "whenever");
+  EXPECT_TRUE(headers.has("last-modified"));
+  EXPECT_TRUE(headers.has("LAST-MODIFIED"));
+  EXPECT_EQ(*headers.get("lAsT-mOdIfIeD"), "whenever");
+}
+
+TEST(Headers, AddPreservesRepeats) {
+  Headers headers;
+  headers.add("Via", "proxy-1");
+  headers.add("Via", "proxy-2");
+  const auto all = headers.get_all("via");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "proxy-1");
+  EXPECT_EQ(all[1], "proxy-2");
+  // get() returns the first.
+  EXPECT_EQ(*headers.get("Via"), "proxy-1");
+}
+
+TEST(Headers, RemoveReturnsCount) {
+  Headers headers;
+  headers.add("A", "1");
+  headers.add("a", "2");
+  headers.add("B", "3");
+  EXPECT_EQ(headers.remove("A"), 2u);
+  EXPECT_FALSE(headers.has("a"));
+  EXPECT_TRUE(headers.has("B"));
+  EXPECT_EQ(headers.remove("missing"), 0u);
+}
+
+TEST(Headers, EntriesPreserveInsertionOrder) {
+  Headers headers;
+  headers.add("First", "1");
+  headers.add("Second", "2");
+  headers.add("Third", "3");
+  ASSERT_EQ(headers.entries().size(), 3u);
+  EXPECT_EQ(headers.entries()[0].first, "First");
+  EXPECT_EQ(headers.entries()[2].first, "Third");
+}
+
+TEST(Method, Conversions) {
+  EXPECT_EQ(to_string(Method::kGet), "GET");
+  EXPECT_EQ(to_string(Method::kHead), "HEAD");
+  EXPECT_EQ(parse_method("GET"), Method::kGet);
+  EXPECT_EQ(parse_method("HEAD"), Method::kHead);
+  EXPECT_FALSE(parse_method("POST").has_value());
+  EXPECT_FALSE(parse_method("get").has_value());  // methods are case-sensitive
+}
+
+TEST(StatusCode, Conversions) {
+  EXPECT_EQ(reason_phrase(StatusCode::kOk), "OK");
+  EXPECT_EQ(reason_phrase(StatusCode::kNotModified), "Not Modified");
+  EXPECT_EQ(parse_status(200), StatusCode::kOk);
+  EXPECT_EQ(parse_status(304), StatusCode::kNotModified);
+  EXPECT_EQ(parse_status(404), StatusCode::kNotFound);
+  EXPECT_FALSE(parse_status(418).has_value());
+}
+
+TEST(Request, ConditionalGetCarriesValidators) {
+  const Request req = Request::conditional_get("/news/story.html", 3725.5);
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_EQ(req.uri, "/news/story.html");
+  EXPECT_TRUE(req.headers.has(kHdrIfModifiedSince));
+  const auto parsed = get_if_modified_since(req.headers);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(*parsed, 3725.5, 1e-3);  // precise header keeps sub-seconds
+}
+
+TEST(Response, StatusPredicates) {
+  Response ok;
+  ok.status = StatusCode::kOk;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.not_modified());
+  Response nm;
+  nm.status = StatusCode::kNotModified;
+  EXPECT_TRUE(nm.not_modified());
+  EXPECT_FALSE(nm.ok());
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,173 @@
+// Integration coverage beyond the paper's two-object experiments:
+// n-object groups, overlapping groups with multiple coordinators, and the
+// push-channel extension on value traces.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consistency/fixed_poll.h"
+#include "consistency/limd.h"
+#include "consistency/triggered.h"
+#include "harness/experiments.h"
+#include "http/extensions.h"
+#include "metrics/mutual_fidelity.h"
+#include "origin/push.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/paper_workloads.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+// Four correlated objects: a master stream and three derived streams that
+// update (with jitter) when the master does.
+std::vector<UpdateTrace> correlated_group(std::uint64_t seed,
+                                          Duration duration) {
+  Rng rng(seed);
+  const auto master = generate_poisson(rng, 1.0 / minutes(8.0), duration);
+  std::vector<UpdateTrace> out;
+  out.emplace_back("/g/master", master, duration);
+  for (int k = 1; k <= 3; ++k) {
+    std::vector<TimePoint> times;
+    for (TimePoint t : master) {
+      if (rng.bernoulli(0.6)) {
+        times.push_back(
+            std::min(duration * (1 - 1e-9), t + rng.uniform(1.0, 30.0)));
+      }
+    }
+    out.emplace_back("/g/derived" + std::to_string(k),
+                     sort_unique(times), duration);
+  }
+  return out;
+}
+
+TEST(GroupIntegration, FourObjectTriggeredGroupKeepsAllPairsConsistent) {
+  const Duration duration = hours(8.0);
+  const auto traces = correlated_group(91, duration);
+
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine engine(sim, origin);
+  std::vector<std::string> members;
+  for (const UpdateTrace& trace : traces) {
+    origin.attach_update_trace(trace.name(), trace);
+    engine.add_temporal_object(
+        trace.name(), std::make_unique<LimdPolicy>(
+                          LimdPolicy::Config::paper_defaults(
+                              minutes(5.0), minutes(30.0))));
+    members.push_back(trace.name());
+  }
+  const Duration delta_mutual = minutes(1.0);
+  engine.add_coordinator(
+      std::make_unique<TriggeredPollCoordinator>(members, delta_mutual));
+  engine.start();
+  sim.run_until(duration);
+
+  // Every pair in the group must be near-perfectly mutually consistent.
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t j = i + 1; j < traces.size(); ++j) {
+      const auto report = evaluate_mutual_temporal(
+          traces[i], successful_polls(engine.poll_log(), traces[i].name()),
+          traces[j], successful_polls(engine.poll_log(), traces[j].name()),
+          delta_mutual, duration);
+      EXPECT_GT(report.fidelity_time(), 0.99)
+          << traces[i].name() << " vs " << traces[j].name();
+    }
+  }
+  EXPECT_GT(engine.triggered_polls(), 0u);
+}
+
+TEST(GroupIntegration, OverlappingGroupsCoexist) {
+  // Object B belongs to two groups with different δ; both coordinators
+  // must act without interfering.
+  const Duration duration = hours(4.0);
+  Rng rng(17);
+  const UpdateTrace a("/a", generate_poisson(rng, 1.0 / minutes(6.0),
+                                             duration), duration);
+  const UpdateTrace b("/b", generate_poisson(rng, 1.0 / minutes(9.0),
+                                             duration), duration);
+  const UpdateTrace c("/c", generate_poisson(rng, 1.0 / minutes(12.0),
+                                             duration), duration);
+
+  Simulator sim;
+  OriginServer origin(sim);
+  PollingEngine engine(sim, origin);
+  for (const UpdateTrace* trace : {&a, &b, &c}) {
+    origin.attach_update_trace(trace->name(), *trace);
+    engine.add_temporal_object(
+        trace->name(), std::make_unique<LimdPolicy>(
+                           LimdPolicy::Config::paper_defaults(
+                               minutes(5.0), minutes(30.0))));
+  }
+  engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+      std::vector<std::string>{"/a", "/b"}, minutes(1.0)));
+  engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+      std::vector<std::string>{"/b", "/c"}, minutes(2.0)));
+  engine.start();
+  EXPECT_NO_THROW(sim.run_until(duration));
+
+  const auto ab = evaluate_mutual_temporal(
+      a, successful_polls(engine.poll_log(), "/a"), b,
+      successful_polls(engine.poll_log(), "/b"), minutes(1.0), duration);
+  const auto bc = evaluate_mutual_temporal(
+      b, successful_polls(engine.poll_log(), "/b"), c,
+      successful_polls(engine.poll_log(), "/c"), minutes(2.0), duration);
+  EXPECT_GT(ab.fidelity_time(), 0.98);
+  EXPECT_GT(bc.fidelity_time(), 0.98);
+}
+
+TEST(GroupIntegration, PushChannelOnValueTrace) {
+  Simulator sim;
+  OriginServer origin(sim);
+  PushChannel channel(sim, origin, 0.0);
+  const ValueTrace trace("/stock", 100.0,
+                         {{10.0, 101.0}, {20.0, 99.5}, {30.0, 102.0}},
+                         100.0);
+  channel.attach_pushed_trace("/stock", trace);  // creates the object
+  std::vector<double> pushed_values;
+  channel.subscribe("/stock",
+                    [&](const std::string&, const Response& response) {
+                      pushed_values.push_back(
+                          *get_object_value(response.headers));
+                    });
+  sim.run_until(100.0);
+  EXPECT_EQ(pushed_values, (std::vector<double>{101.0, 99.5, 102.0}));
+}
+
+// Detection-mode sweep: with the history extension on, LIMD fidelity
+// never loses to the blind modes on any paper trace.
+class DetectionSweep
+    : public testing::TestWithParam<std::tuple<int, ViolationDetection>> {};
+
+TEST_P(DetectionSweep, ExactHistoryNeverWorse) {
+  const auto traces = make_all_temporal_traces();
+  const UpdateTrace& trace =
+      traces[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const ViolationDetection mode = std::get<1>(GetParam());
+
+  TemporalRunConfig exact;
+  exact.delta = minutes(5.0);
+  exact.detection = ViolationDetection::kExactHistory;
+  exact.origin_history = true;
+  TemporalRunConfig other = exact;
+  other.detection = mode;
+  other.origin_history = false;
+
+  const auto with_history = run_limd_individual(trace, exact);
+  const auto without = run_limd_individual(trace, other);
+  EXPECT_GE(with_history.fidelity.fidelity_time() + 0.03,
+            without.fidelity.fidelity_time())
+      << trace.name() << " vs " << to_string(mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TracesAndModes, DetectionSweep,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(ViolationDetection::kLastModifiedOnly,
+                                     ViolationDetection::kProbabilistic)));
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,151 @@
+// End-to-end Δt experiments on the paper workloads (Fig. 3 / Fig. 4
+// shapes).  These run the same harness as the bench binaries.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "trace/paper_workloads.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TemporalRunConfig limd_config(Duration delta) {
+  TemporalRunConfig config;
+  config.delta = delta;
+  config.ttr_max = minutes(60.0);
+  return config;
+}
+
+TEST(IntegrationTemporal, BaselineFidelityIsPerfect) {
+  // "by definition, this baseline approach always provides perfect
+  // fidelity" (§6.2.1).
+  const UpdateTrace trace = make_cnn_fn_trace();
+  for (double delta_min : {1.0, 10.0, 30.0}) {
+    const auto result =
+        run_baseline_individual(trace, minutes(delta_min));
+    EXPECT_DOUBLE_EQ(result.fidelity.fidelity_violations(), 1.0)
+        << "delta=" << delta_min << " min";
+    EXPECT_DOUBLE_EQ(result.fidelity.fidelity_time(), 1.0);
+  }
+}
+
+TEST(IntegrationTemporal, BaselinePollCountIsDurationOverDelta) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  const auto result = run_baseline_individual(trace, minutes(10.0));
+  const auto expected =
+      static_cast<std::size_t>(trace.duration() / minutes(10.0));
+  EXPECT_NEAR(static_cast<double>(result.polls),
+              static_cast<double>(expected), 2.0);
+}
+
+TEST(IntegrationTemporal, LimdSavesPollsAtTightDelta) {
+  // Fig. 3(a): at Δ = 1 min the paper reports ~6x fewer polls than the
+  // baseline, trading ~20% fidelity.
+  const UpdateTrace trace = make_cnn_fn_trace();
+  const auto limd = run_limd_individual(trace, limd_config(minutes(1.0)));
+  const auto baseline = run_baseline_individual(trace, minutes(1.0));
+  EXPECT_LT(static_cast<double>(limd.polls),
+            0.4 * static_cast<double>(baseline.polls));
+  EXPECT_GT(limd.fidelity.fidelity_violations(), 0.5);
+}
+
+TEST(IntegrationTemporal, LimdApproachesBaselineAtLooseDelta) {
+  // Fig. 3: when Δ exceeds the update interval the LIMD poll count tracks
+  // the baseline's.
+  const UpdateTrace trace = make_cnn_fn_trace();
+  const auto limd = run_limd_individual(trace, limd_config(minutes(45.0)));
+  const auto baseline = run_baseline_individual(trace, minutes(45.0));
+  EXPECT_LT(static_cast<double>(limd.polls),
+            1.6 * static_cast<double>(baseline.polls));
+  EXPECT_GT(static_cast<double>(limd.polls),
+            0.5 * static_cast<double>(baseline.polls));
+}
+
+TEST(IntegrationTemporal, LimdFidelityImprovesWithDelta) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  const auto tight = run_limd_individual(trace, limd_config(minutes(1.0)));
+  const auto loose = run_limd_individual(trace, limd_config(minutes(30.0)));
+  EXPECT_GE(loose.fidelity.fidelity_violations(),
+            tight.fidelity.fidelity_violations());
+  EXPECT_GT(loose.fidelity.fidelity_violations(), 0.9);
+}
+
+TEST(IntegrationTemporal, BothFidelityMetricsAgreeDirectionally) {
+  // Fig. 3(b) vs (c): "both measures of fidelity demonstrate a similar
+  // behavior".
+  const UpdateTrace trace = make_cnn_fn_trace();
+  for (double delta_min : {5.0, 20.0, 60.0}) {
+    const auto result =
+        run_limd_individual(trace, limd_config(minutes(delta_min)));
+    EXPECT_GE(result.fidelity.fidelity_time(), 0.5);
+    // The two metrics should not wildly disagree.
+    EXPECT_NEAR(result.fidelity.fidelity_time(),
+                result.fidelity.fidelity_violations(), 0.45);
+  }
+}
+
+TEST(IntegrationTemporal, TtrClimbsOvernightAndCollapsesByDay) {
+  // Fig. 4(b): TTR grows to TTR_max during the nightly lull and shrinks
+  // back in the morning.
+  const UpdateTrace trace = make_cnn_fn_trace();
+  const auto result = run_limd_individual(trace, limd_config(minutes(10.0)));
+  Duration max_seen = 0.0;
+  Duration min_seen = kTimeInfinity;
+  for (const auto& [time, ttr] : result.ttr_series) {
+    max_seen = std::max(max_seen, ttr);
+    min_seen = std::min(min_seen, ttr);
+  }
+  EXPECT_DOUBLE_EQ(max_seen, minutes(60.0));  // reaches TTR_max at night
+  EXPECT_DOUBLE_EQ(min_seen, minutes(10.0));  // pinned at TTR_min by day
+}
+
+TEST(IntegrationTemporal, TtrSeriesStaysWithinBounds) {
+  for (const UpdateTrace& trace : make_all_temporal_traces()) {
+    const auto result =
+        run_limd_individual(trace, limd_config(minutes(10.0)));
+    for (const auto& [time, ttr] : result.ttr_series) {
+      EXPECT_GE(ttr, minutes(10.0)) << trace.name();
+      EXPECT_LE(ttr, minutes(60.0)) << trace.name();
+    }
+  }
+}
+
+TEST(IntegrationTemporal, HistoryExtensionImprovesViolationDetection) {
+  // A1 ablation shape: with the modification-history extension LIMD sees
+  // Fig. 1(b) violations that Last-Modified alone misses, so it backs off
+  // more (>= polls) and loses no fidelity.
+  const UpdateTrace trace = make_guardian_trace();  // fastest updates
+  TemporalRunConfig with_history = limd_config(minutes(5.0));
+  with_history.detection = ViolationDetection::kExactHistory;
+  with_history.origin_history = true;
+  TemporalRunConfig without = limd_config(minutes(5.0));
+  without.detection = ViolationDetection::kLastModifiedOnly;
+  without.origin_history = false;
+  const auto exact = run_limd_individual(trace, with_history);
+  const auto blind = run_limd_individual(trace, without);
+  EXPECT_GE(exact.polls + 5, blind.polls);
+  EXPECT_GE(exact.fidelity.fidelity_violations(),
+            blind.fidelity.fidelity_violations() - 0.05);
+}
+
+TEST(IntegrationTemporal, ConservativeParamsRaiseFidelityAndPolls) {
+  // §3.1: "the approach can be made conservative by employing a large
+  // multiplicative factor" — more polls, better fidelity.
+  const UpdateTrace trace = make_nytimes_ap_trace();
+  TemporalRunConfig optimistic = limd_config(minutes(5.0));
+  optimistic.linear_increase = 0.6;
+  optimistic.adaptive_m = false;
+  optimistic.multiplicative_decrease = 0.9;
+  TemporalRunConfig conservative = limd_config(minutes(5.0));
+  conservative.linear_increase = 0.05;
+  conservative.adaptive_m = false;
+  conservative.multiplicative_decrease = 0.3;
+  const auto fast = run_limd_individual(trace, optimistic);
+  const auto safe = run_limd_individual(trace, conservative);
+  EXPECT_GT(safe.polls, fast.polls);
+  EXPECT_GE(safe.fidelity.fidelity_violations() + 0.02,
+            fast.fidelity.fidelity_violations());
+}
+
+}  // namespace
+}  // namespace broadway

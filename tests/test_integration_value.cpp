@@ -1,0 +1,139 @@
+// End-to-end Δv / Mv experiments (Fig. 7 / Fig. 8 shapes).
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "trace/paper_workloads.h"
+
+namespace broadway {
+namespace {
+
+MutualValueRunConfig mutual_config(MutualValueApproach approach,
+                                   double delta) {
+  MutualValueRunConfig config;
+  config.delta = delta;
+  config.approach = approach;
+  return config;
+}
+
+TEST(IntegrationValue, IndividualPollsShrinkWithDelta) {
+  const ValueTrace trace = make_att_stock_trace();
+  ValueRunConfig tight;
+  tight.delta = 0.05;
+  ValueRunConfig loose;
+  loose.delta = 0.5;
+  const auto many = run_value_individual(trace, tight);
+  const auto few = run_value_individual(trace, loose);
+  EXPECT_GT(many.polls, few.polls);
+}
+
+TEST(IntegrationValue, IndividualFidelityGrowsWithDelta) {
+  const ValueTrace trace = make_att_stock_trace();
+  ValueRunConfig tight;
+  tight.delta = 0.05;
+  ValueRunConfig loose;
+  loose.delta = 0.5;
+  const auto strict = run_value_individual(trace, tight);
+  const auto tolerant = run_value_individual(trace, loose);
+  EXPECT_GE(tolerant.fidelity.fidelity_time() + 1e-9,
+            strict.fidelity.fidelity_time());
+  EXPECT_GT(tolerant.fidelity.fidelity_time(), 0.9);
+}
+
+TEST(IntegrationValue, VolatileStockNeedsMorePolls) {
+  ValueRunConfig config;
+  config.delta = 0.25;
+  const auto att = run_value_individual(make_att_stock_trace(), config);
+  const auto yahoo = run_value_individual(make_yahoo_stock_trace(), config);
+  EXPECT_GT(yahoo.polls, att.polls);
+}
+
+TEST(IntegrationValue, MutualPollsShrinkWithDelta) {
+  // Fig. 7(a): both approaches poll less as δ grows.
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  for (MutualValueApproach approach : {MutualValueApproach::kAdaptive,
+                                       MutualValueApproach::kPartitioned}) {
+    const auto tight =
+        run_mutual_value(a, b, mutual_config(approach, 0.25));
+    const auto loose =
+        run_mutual_value(a, b, mutual_config(approach, 5.0));
+    EXPECT_GT(tight.polls, loose.polls)
+        << (approach == MutualValueApproach::kAdaptive ? "adaptive"
+                                                       : "partitioned");
+  }
+}
+
+TEST(IntegrationValue, MutualFidelityGrowsWithDelta) {
+  // Fig. 7(b).
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  for (MutualValueApproach approach : {MutualValueApproach::kAdaptive,
+                                       MutualValueApproach::kPartitioned}) {
+    const auto tight =
+        run_mutual_value(a, b, mutual_config(approach, 0.25));
+    const auto loose =
+        run_mutual_value(a, b, mutual_config(approach, 5.0));
+    EXPECT_GE(loose.mutual.fidelity_time() + 1e-9,
+              tight.mutual.fidelity_time());
+  }
+}
+
+TEST(IntegrationValue, PartitionedBeatsAdaptiveOnFidelity) {
+  // Fig. 7(b): "the partitioned approach can offer higher fidelities than
+  // the adaptive TTR approach" — at the cost of more polls (Fig. 7(a)).
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  for (double delta : {0.6, 1.0, 2.0}) {
+    const auto adaptive = run_mutual_value(
+        a, b, mutual_config(MutualValueApproach::kAdaptive, delta));
+    const auto partitioned = run_mutual_value(
+        a, b, mutual_config(MutualValueApproach::kPartitioned, delta));
+    EXPECT_GE(partitioned.mutual.fidelity_time() + 0.02,
+              adaptive.mutual.fidelity_time())
+        << "delta=" << delta;
+    EXPECT_GE(partitioned.polls + 50, adaptive.polls) << "delta=" << delta;
+  }
+}
+
+TEST(IntegrationValue, SeriesCollectedForFig8) {
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  MutualValueRunConfig config =
+      mutual_config(MutualValueApproach::kPartitioned, 0.6);
+  config.collect_series = true;
+  const auto result = run_mutual_value(a, b, config);
+  ASSERT_GT(result.series.size(), 100u);
+  // The proxy-side series must track the server-side series: the mean
+  // absolute divergence stays within a few δ.
+  double total = 0.0;
+  for (const auto& sample : result.series) {
+    total += std::abs(sample.f_server - sample.f_proxy);
+  }
+  EXPECT_LT(total / static_cast<double>(result.series.size()), 3.0 * 0.6);
+}
+
+TEST(IntegrationValue, PartitionedTracksServerMoreTightly) {
+  // Fig. 8: the partitioned proxy-side f hugs the server-side f more
+  // closely than the adaptive approach's.
+  const ValueTrace a = make_att_stock_trace();
+  const ValueTrace b = make_yahoo_stock_trace();
+  auto run_with_series = [&](MutualValueApproach approach) {
+    MutualValueRunConfig config = mutual_config(approach, 0.6);
+    config.collect_series = true;
+    return run_mutual_value(a, b, config);
+  };
+  const auto adaptive = run_with_series(MutualValueApproach::kAdaptive);
+  const auto partitioned =
+      run_with_series(MutualValueApproach::kPartitioned);
+  auto mean_gap = [](const MutualValueRunResult& result) {
+    double total = 0.0;
+    for (const auto& sample : result.series) {
+      total += std::abs(sample.f_server - sample.f_proxy);
+    }
+    return total / static_cast<double>(result.series.size());
+  };
+  EXPECT_LT(mean_gap(partitioned), mean_gap(adaptive) + 0.05);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,80 @@
+#include "metrics/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+PollRecord record(TimePoint t, const std::string& uri, PollCause cause,
+                  bool failed = false) {
+  PollRecord out;
+  out.snapshot_time = t;
+  out.complete_time = t;
+  out.uri = uri;
+  out.cause = cause;
+  out.failed = failed;
+  return out;
+}
+
+std::vector<PollRecord> sample_log() {
+  return {
+      record(0.0, "/a", PollCause::kInitial),
+      record(0.0, "/b", PollCause::kInitial),
+      record(10.0, "/a", PollCause::kScheduled),
+      record(12.0, "/b", PollCause::kScheduled),
+      record(12.0, "/a", PollCause::kTriggered),
+      record(20.0, "/a", PollCause::kScheduled, /*failed=*/true),
+      record(25.0, "/a", PollCause::kRetry),
+      record(35.0, "/b", PollCause::kTriggered),
+  };
+}
+
+TEST(Accounting, CountByCause) {
+  const PollCauseCounts counts = count_by_cause(sample_log());
+  EXPECT_EQ(counts.initial, 2u);
+  EXPECT_EQ(counts.scheduled, 2u);
+  EXPECT_EQ(counts.triggered, 2u);
+  EXPECT_EQ(counts.retry, 1u);
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(counts.total_refreshes(), 5u);
+}
+
+TEST(Accounting, PollsPerBucketAll) {
+  const auto buckets = polls_per_bucket(sample_log(), 10.0, 40.0);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);  // two initial fetches at t=0
+  EXPECT_EQ(buckets[1], 3u);  // 10, 12, 12
+  EXPECT_EQ(buckets[2], 1u);  // 25 (the failed 20 is skipped)
+  EXPECT_EQ(buckets[3], 1u);  // 35
+}
+
+TEST(Accounting, PollsPerBucketFilteredByCause) {
+  const auto triggered = polls_per_bucket(sample_log(), 10.0, 40.0,
+                                          PollCause::kTriggered);
+  EXPECT_EQ(triggered, (std::vector<std::size_t>{0, 1, 0, 1}));
+}
+
+TEST(Accounting, PollsPerBucketFilteredByUri) {
+  const auto only_a =
+      polls_per_bucket(sample_log(), 10.0, 40.0, std::nullopt, "/a");
+  EXPECT_EQ(only_a, (std::vector<std::size_t>{1, 2, 1, 0}));
+}
+
+TEST(Accounting, EventsBeyondHorizonDropped) {
+  auto log = sample_log();
+  log.push_back(record(100.0, "/a", PollCause::kScheduled));
+  const auto buckets = polls_per_bucket(log, 10.0, 40.0);
+  std::size_t total = 0;
+  for (std::size_t b : buckets) total += b;
+  EXPECT_EQ(total, 7u);  // the t=100 record is outside the horizon
+}
+
+TEST(Accounting, Validation) {
+  EXPECT_THROW(polls_per_bucket({}, 0.0, 10.0), CheckFailure);
+  EXPECT_THROW(polls_per_bucket({}, 1.0, 0.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

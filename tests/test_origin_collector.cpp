@@ -1,0 +1,106 @@
+// The paper's trace-collection methodology (§6.1.2) against ground truth.
+#include "origin/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.h"
+#include "trace/paper_workloads.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+TEST(TraceCollector, ReconstructsSparseUpdatesExactly) {
+  // Updates much sparser than the 60 s sampling period: every one is
+  // observed at its exact Last-Modified instant.
+  Simulator sim;
+  OriginServer origin(sim);
+  const UpdateTrace truth("/page", {150.0, 400.0, 900.0}, 1200.0);
+  origin.attach_update_trace("/page", truth);
+  TraceCollector collector(sim, origin, "/page", 60.0);
+  collector.start();
+  sim.run_until(1200.0);
+
+  const UpdateTrace observed = collector.reconstructed_trace(1200.0);
+  EXPECT_EQ(observed.updates(), truth.updates());
+  const auto quality = compare_reconstruction(truth, observed);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_EQ(collector.polls(), 20u);  // every 60 s; 60..1200 inclusive
+}
+
+TEST(TraceCollector, CollapsesSubPeriodBursts) {
+  // Three updates within one sampling interval: only the newest is
+  // visible via Last-Modified — the paper's traces have exactly this
+  // quantisation.
+  Simulator sim;
+  OriginServer origin(sim);
+  const UpdateTrace truth("/page", {100.0, 110.0, 115.0, 500.0}, 1000.0);
+  origin.attach_update_trace("/page", truth);
+  TraceCollector collector(sim, origin, "/page", 60.0);
+  collector.start();
+  sim.run_until(1000.0);
+
+  const UpdateTrace observed = collector.reconstructed_trace(1000.0);
+  EXPECT_EQ(observed.updates(), (std::vector<TimePoint>{115.0, 500.0}));
+  const auto quality = compare_reconstruction(truth, observed);
+  EXPECT_EQ(quality.true_updates, 4u);
+  EXPECT_EQ(quality.observed_updates, 2u);
+  EXPECT_DOUBLE_EQ(quality.recall, 0.5);
+}
+
+TEST(TraceCollector, PaperWorkloadsSurviveCollection) {
+  // The Table 2 traces (update intervals >> 1 min) lose almost nothing to
+  // 1-minute sampling — which is why the paper's methodology was sound.
+  Simulator sim;
+  OriginServer origin(sim);
+  const UpdateTrace truth = make_cnn_fn_trace();
+  origin.attach_update_trace(truth.name(), truth);
+  TraceCollector collector(sim, origin, truth.name(), 60.0);
+  collector.start();
+  sim.run_until(truth.duration());
+
+  const UpdateTrace observed =
+      collector.reconstructed_trace(truth.duration(), truth.start_hour());
+  const auto quality = compare_reconstruction(truth, observed);
+  // The bursty diurnal stream has a few sub-minute update pairs, so
+  // 1-minute sampling genuinely loses ~5% of instants — the same
+  // quantisation the paper's own traces carry.
+  EXPECT_GT(quality.recall, 0.9);
+  EXPECT_NEAR(static_cast<double>(quality.observed_updates),
+              static_cast<double>(quality.true_updates),
+              0.1 * static_cast<double>(quality.true_updates));
+}
+
+TEST(TraceCollector, StopHaltsPolling) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/page");
+  TraceCollector collector(sim, origin, "/page", 60.0);
+  collector.start();
+  sim.run_until(300.0);
+  const std::size_t polls_before = collector.polls();
+  collector.stop();
+  sim.run_until(900.0);
+  EXPECT_EQ(collector.polls(), polls_before);
+}
+
+TEST(TraceCollector, Validation) {
+  Simulator sim;
+  OriginServer origin(sim);
+  EXPECT_THROW(TraceCollector(sim, origin, "/x", 0.0), CheckFailure);
+  // Polling a missing object fails loudly at the first poll.
+  TraceCollector collector(sim, origin, "/missing", 60.0);
+  collector.start();
+  EXPECT_THROW(sim.run_until(120.0), CheckFailure);
+}
+
+TEST(CompareReconstruction, EmptyTruth) {
+  const UpdateTrace truth("t", {}, 100.0);
+  const UpdateTrace observed("o", {}, 100.0);
+  const auto quality = compare_reconstruction(truth, observed);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace broadway

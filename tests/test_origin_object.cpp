@@ -1,0 +1,111 @@
+#include "origin/object.h"
+
+#include <gtest/gtest.h>
+
+#include "origin/store.h"
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+TEST(VersionedObject, StartsAtVersionZero) {
+  VersionedObject object("/a", 5.0);
+  EXPECT_EQ(object.version(), 0u);
+  EXPECT_DOUBLE_EQ(object.last_modified(), 5.0);
+  EXPECT_FALSE(object.value().has_value());
+}
+
+TEST(VersionedObject, UpdatesIncrementVersionMonotonically) {
+  VersionedObject object("/a", 0.0);
+  object.apply_update(10.0);
+  object.apply_update(20.0);
+  EXPECT_EQ(object.version(), 2u);
+  EXPECT_DOUBLE_EQ(object.last_modified(), 20.0);
+  EXPECT_THROW(object.apply_update(15.0), CheckFailure);  // time reversal
+}
+
+TEST(VersionedObject, ModifiedSinceIsStrict) {
+  VersionedObject object("/a", 0.0);
+  object.apply_update(10.0);
+  EXPECT_TRUE(object.modified_since(9.0));
+  EXPECT_FALSE(object.modified_since(10.0));
+  EXPECT_FALSE(object.modified_since(11.0));
+}
+
+TEST(VersionedObject, ValueDomainCarriesValues) {
+  VersionedObject stock("/stock", 0.0, 36.1);
+  EXPECT_DOUBLE_EQ(*stock.value(), 36.1);
+  stock.apply_update(5.0, 36.2);
+  EXPECT_DOUBLE_EQ(*stock.value(), 36.2);
+  // Domain mismatch is a programming error.
+  EXPECT_THROW(stock.apply_update(6.0), CheckFailure);
+  VersionedObject page("/page", 0.0);
+  EXPECT_THROW(page.apply_update(1.0, 3.14), CheckFailure);
+}
+
+TEST(VersionedObject, HistorySinceFiltersAndCaps) {
+  VersionedObject object("/a", 0.0);
+  for (double t : {10.0, 20.0, 30.0, 40.0, 50.0}) object.apply_update(t);
+  EXPECT_EQ(object.history_since(0.0, 0),
+            (std::vector<TimePoint>{10.0, 20.0, 30.0, 40.0, 50.0}));
+  EXPECT_EQ(object.history_since(20.0, 0),
+            (std::vector<TimePoint>{30.0, 40.0, 50.0}));
+  // Cap keeps the *most recent* entries.
+  EXPECT_EQ(object.history_since(0.0, 2),
+            (std::vector<TimePoint>{40.0, 50.0}));
+  EXPECT_TRUE(object.history_since(50.0, 0).empty());
+}
+
+TEST(VersionedObject, RenderBodyEmbedsVersionAndLinks) {
+  VersionedObject object("/news/story", 0.0);
+  object.set_embedded_links({"/news/photo1.jpg", "/news/chart.png"});
+  object.apply_update(1.0);
+  const std::string body = object.render_body();
+  EXPECT_NE(body.find("version 1"), std::string::npos);
+  EXPECT_NE(body.find("src=\"/news/photo1.jpg\""), std::string::npos);
+  EXPECT_NE(body.find("src=\"/news/chart.png\""), std::string::npos);
+}
+
+TEST(VersionedObject, Validation) {
+  EXPECT_THROW(VersionedObject("", 0.0), CheckFailure);
+  EXPECT_THROW(VersionedObject("/a", -1.0), CheckFailure);
+}
+
+TEST(ObjectStore, CreateFindAt) {
+  ObjectStore store;
+  store.create("/a", 0.0);
+  store.create("/b", 0.0, 1.5);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.find("/a"), nullptr);
+  EXPECT_EQ(store.find("/missing"), nullptr);
+  EXPECT_TRUE(store.contains("/b"));
+  EXPECT_DOUBLE_EQ(*store.at("/b").value(), 1.5);
+  EXPECT_THROW(store.at("/missing"), CheckFailure);
+}
+
+TEST(ObjectStore, RejectsDuplicates) {
+  ObjectStore store;
+  store.create("/a", 0.0);
+  EXPECT_THROW(store.create("/a", 1.0), CheckFailure);
+}
+
+TEST(ObjectStore, UrisSorted) {
+  ObjectStore store;
+  store.create("/c", 0.0);
+  store.create("/a", 0.0);
+  store.create("/b", 0.0);
+  EXPECT_EQ(store.uris(), (std::vector<std::string>{"/a", "/b", "/c"}));
+}
+
+TEST(ObjectStore, PointersStableAcrossInserts) {
+  ObjectStore store;
+  VersionedObject& a = store.create("/a", 0.0);
+  for (int i = 0; i < 100; ++i) {
+    store.create("/obj" + std::to_string(i), 0.0);
+  }
+  a.apply_update(1.0);
+  EXPECT_EQ(store.at("/a").version(), 1u);
+}
+
+}  // namespace
+}  // namespace broadway

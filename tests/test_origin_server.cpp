@@ -1,0 +1,189 @@
+#include "origin/origin_server.h"
+
+#include <gtest/gtest.h>
+
+#include "http/extensions.h"
+#include "sim/simulator.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+
+namespace broadway {
+namespace {
+
+TEST(OriginServer, UnknownUriIs404) {
+  Simulator sim;
+  OriginServer origin(sim);
+  Request req;
+  req.uri = "/missing";
+  EXPECT_EQ(origin.handle(req).status, StatusCode::kNotFound);
+}
+
+TEST(OriginServer, UnconditionalGetReturnsFullResponse) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/page");
+  Request req;
+  req.uri = "/page";
+  const Response resp = origin.handle(req);
+  EXPECT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.body.empty());
+  EXPECT_TRUE(get_last_modified(resp.headers).has_value());
+}
+
+TEST(OriginServer, ConditionalGetFreshIs304) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/page");
+  sim.run_until(100.0);
+  const Response resp =
+      origin.handle(Request::conditional_get("/page", 50.0));
+  EXPECT_TRUE(resp.not_modified());
+  EXPECT_TRUE(resp.body.empty());
+  EXPECT_EQ(origin.responses_304(), 1u);
+}
+
+TEST(OriginServer, ConditionalGetStaleIs200) {
+  Simulator sim;
+  OriginServer origin(sim);
+  VersionedObject& object = origin.add_object("/page");
+  sim.run_until(100.0);
+  object.apply_update(100.0);
+  const Response resp =
+      origin.handle(Request::conditional_get("/page", 50.0));
+  EXPECT_TRUE(resp.ok());
+  EXPECT_DOUBLE_EQ(*get_last_modified(resp.headers), 100.0);
+  EXPECT_EQ(origin.responses_200(), 1u);
+}
+
+TEST(OriginServer, HistoryListsUpdatesSinceValidator) {
+  Simulator sim;
+  OriginServer origin(sim);
+  VersionedObject& object = origin.add_object("/page");
+  sim.run_until(400.0);
+  for (double t : {100.0, 200.0, 300.0}) object.apply_update(t);
+  const Response resp =
+      origin.handle(Request::conditional_get("/page", 150.0));
+  const auto history = get_modification_history(resp.headers);
+  ASSERT_TRUE(history.has_value());
+  ASSERT_EQ(history->size(), 2u);  // 200, 300
+  EXPECT_NEAR((*history)[0], 200.0, 1e-3);
+  EXPECT_NEAR((*history)[1], 300.0, 1e-3);
+}
+
+TEST(OriginServer, HistoryLimitKeepsNewest) {
+  Simulator sim;
+  OriginServer::Config config;
+  config.history_enabled = true;
+  config.history_limit = 2;
+  OriginServer origin(sim, config);
+  VersionedObject& object = origin.add_object("/page");
+  sim.run_until(500.0);
+  for (double t : {100.0, 200.0, 300.0, 400.0}) object.apply_update(t);
+  const Response resp =
+      origin.handle(Request::conditional_get("/page", 50.0));
+  const auto history = get_modification_history(resp.headers);
+  ASSERT_TRUE(history.has_value());
+  ASSERT_EQ(history->size(), 2u);
+  EXPECT_NEAR((*history)[0], 300.0, 1e-3);
+  EXPECT_NEAR((*history)[1], 400.0, 1e-3);
+}
+
+TEST(OriginServer, HistoryCanBeDisabled) {
+  Simulator sim;
+  OriginServer::Config config;
+  config.history_enabled = false;
+  OriginServer origin(sim, config);
+  VersionedObject& object = origin.add_object("/page");
+  sim.run_until(200.0);
+  object.apply_update(100.0);
+  const Response resp =
+      origin.handle(Request::conditional_get("/page", 50.0));
+  EXPECT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.headers.has(kHdrModificationHistory));
+}
+
+TEST(OriginServer, ValueObjectsCarryValueHeader) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_value_object("/stock", 36.10);
+  Request req;
+  req.uri = "/stock";
+  const Response resp = origin.handle(req);
+  EXPECT_DOUBLE_EQ(*get_object_value(resp.headers), 36.10);
+}
+
+TEST(OriginServer, AttachUpdateTraceDrivesUpdates) {
+  Simulator sim;
+  OriginServer origin(sim);
+  const UpdateTrace trace("/page", {10.0, 20.0, 30.0}, 100.0);
+  origin.attach_update_trace("/page", trace);
+  sim.run_until(15.0);
+  EXPECT_EQ(origin.store().at("/page").version(), 1u);
+  sim.run_until(100.0);
+  EXPECT_EQ(origin.store().at("/page").version(), 3u);
+  EXPECT_DOUBLE_EQ(origin.store().at("/page").last_modified(), 30.0);
+}
+
+TEST(OriginServer, AttachValueTraceDrivesValues) {
+  Simulator sim;
+  OriginServer origin(sim);
+  const ValueTrace trace("/stock", 100.0, {{10.0, 101.0}, {20.0, 99.5}},
+                         100.0);
+  origin.attach_value_trace("/stock", trace);
+  EXPECT_DOUBLE_EQ(*origin.store().at("/stock").value(), 100.0);
+  sim.run_until(12.0);
+  EXPECT_DOUBLE_EQ(*origin.store().at("/stock").value(), 101.0);
+  sim.run_until(50.0);
+  EXPECT_DOUBLE_EQ(*origin.store().at("/stock").value(), 99.5);
+}
+
+TEST(OriginServer, RequestCountersTrack) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/page");
+  Request req;
+  req.uri = "/page";
+  origin.handle(req);
+  origin.handle(Request::conditional_get("/page", 1000.0));
+  Request missing;
+  missing.uri = "/nope";
+  origin.handle(missing);
+  EXPECT_EQ(origin.requests_served(), 3u);
+  EXPECT_EQ(origin.responses_200(), 1u);
+  EXPECT_EQ(origin.responses_304(), 1u);
+}
+
+TEST(OriginServer, HeadReturnsHeadersWithoutBody) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/page");
+  Request get;
+  get.uri = "/page";
+  const Response full = origin.handle(get);
+  Request head = get;
+  head.method = Method::kHead;
+  const Response bare = origin.handle(head);
+  EXPECT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.body.empty());
+  // Content-Length still describes the GET body (RFC 2616 §9.4).
+  EXPECT_EQ(*bare.headers.get("Content-Length"),
+            std::to_string(full.body.size()));
+  EXPECT_EQ(*bare.headers.get(kHdrLastModified),
+            *full.headers.get(kHdrLastModified));
+}
+
+TEST(OriginServer, BodyChangesAcrossVersions) {
+  Simulator sim;
+  OriginServer origin(sim);
+  VersionedObject& object = origin.add_object("/page");
+  Request req;
+  req.uri = "/page";
+  const std::string v0 = origin.handle(req).body;
+  sim.run_until(10.0);
+  object.apply_update(10.0);
+  const std::string v1 = origin.handle(req).body;
+  EXPECT_NE(v0, v1);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,81 @@
+#include "proxy/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+CacheEntry entry(const std::string& uri, TimePoint snapshot) {
+  CacheEntry out;
+  out.uri = uri;
+  out.snapshot_time = snapshot;
+  out.stored_time = snapshot;
+  out.body = "body@" + std::to_string(snapshot);
+  return out;
+}
+
+TEST(ProxyCache, StoreAndFind) {
+  ProxyCache cache;
+  cache.store(entry("/a", 10.0));
+  EXPECT_TRUE(cache.contains("/a"));
+  EXPECT_EQ(cache.size(), 1u);
+  const CacheEntry* found = cache.find("/a");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->snapshot_time, 10.0);
+  EXPECT_EQ(cache.find("/missing"), nullptr);
+}
+
+TEST(ProxyCache, RefreshReplacesAndCountsRefreshes) {
+  ProxyCache cache;
+  cache.store(entry("/a", 10.0));
+  cache.store(entry("/a", 20.0));
+  cache.store(entry("/a", 30.0));
+  const CacheEntry& current = cache.at("/a");
+  EXPECT_DOUBLE_EQ(current.snapshot_time, 30.0);
+  EXPECT_EQ(current.refresh_count, 2u);
+}
+
+TEST(ProxyCache, MonotonicityEnforced) {
+  // Paper §2: cached versions must increase monotonically.
+  ProxyCache cache;
+  cache.store(entry("/a", 20.0));
+  EXPECT_THROW(cache.store(entry("/a", 10.0)), CheckFailure);
+  // Same-instant refresh is allowed (triggered poll at the same time).
+  EXPECT_NO_THROW(cache.store(entry("/a", 20.0)));
+}
+
+TEST(ProxyCache, AtThrowsOnMiss) {
+  ProxyCache cache;
+  EXPECT_THROW(cache.at("/nope"), CheckFailure);
+}
+
+TEST(ProxyCache, HitMissAccounting) {
+  ProxyCache cache;
+  cache.store(entry("/a", 1.0));
+  EXPECT_NE(cache.lookup_counted("/a"), nullptr);
+  EXPECT_EQ(cache.lookup_counted("/b"), nullptr);
+  EXPECT_NE(cache.lookup_counted("/a"), nullptr);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ProxyCache, UrisAndClear) {
+  ProxyCache cache;
+  cache.store(entry("/b", 1.0));
+  cache.store(entry("/a", 1.0));
+  EXPECT_EQ(cache.uris(), (std::vector<std::string>{"/a", "/b"}));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains("/a"));
+}
+
+TEST(ProxyCache, RejectsAnonymousEntry) {
+  ProxyCache cache;
+  CacheEntry anonymous;
+  EXPECT_THROW(cache.store(anonymous), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,73 @@
+#include "proxy/group_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+TEST(GroupRegistry, AddAndFind) {
+  GroupRegistry registry;
+  registry.add_group("scores", {"/score/home", "/score/away"}, 30.0);
+  const ObjectGroup* group = registry.find("scores");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->members.size(), 2u);
+  EXPECT_DOUBLE_EQ(group->delta_mutual, 30.0);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+}
+
+TEST(GroupRegistry, Validation) {
+  GroupRegistry registry;
+  EXPECT_THROW(registry.add_group("", {"/a", "/b"}, 1.0), CheckFailure);
+  EXPECT_THROW(registry.add_group("g", {"/only"}, 1.0), CheckFailure);
+  EXPECT_THROW(registry.add_group("g", {"/a", "/a"}, 1.0), CheckFailure);
+  EXPECT_THROW(registry.add_group("g", {"/a", "/b"}, -1.0), CheckFailure);
+  registry.add_group("g", {"/a", "/b"}, 1.0);
+  EXPECT_THROW(registry.add_group("g", {"/c", "/d"}, 1.0), CheckFailure);
+}
+
+TEST(GroupRegistry, MembershipIndex) {
+  GroupRegistry registry;
+  registry.add_group("news", {"/page", "/img1", "/img2"}, 60.0);
+  registry.add_group("finance", {"/page", "/ticker"}, 30.0);
+  const auto groups = registry.groups_containing("/page");
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(registry.groups_containing("/img1").size(), 1u);
+  EXPECT_TRUE(registry.groups_containing("/unrelated").empty());
+}
+
+TEST(GroupRegistry, AllMembersDeduplicated) {
+  GroupRegistry registry;
+  registry.add_group("g1", {"/a", "/b"}, 1.0);
+  registry.add_group("g2", {"/b", "/c"}, 1.0);
+  EXPECT_EQ(registry.all_members(),
+            (std::vector<std::string>{"/a", "/b", "/c"}));
+}
+
+TEST(GroupRegistry, SyntacticGroupFromHtml) {
+  GroupRegistry registry;
+  const std::string html =
+      "<html><img src=\"/images/a.jpg\"><img src=\"/images/b.jpg\"></html>";
+  const ObjectGroup* group =
+      registry.add_syntactic_group("/story.html", html, 120.0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->id, "/story.html");
+  EXPECT_EQ(group->members,
+            (std::vector<std::string>{"/story.html", "/images/a.jpg",
+                                      "/images/b.jpg"}));
+  EXPECT_DOUBLE_EQ(group->delta_mutual, 120.0);
+  // The page itself is indexed too.
+  EXPECT_EQ(registry.groups_containing("/story.html").size(), 1u);
+}
+
+TEST(GroupRegistry, SyntacticGroupEmptyPageRegistersNothing) {
+  GroupRegistry registry;
+  EXPECT_EQ(registry.add_syntactic_group("/bare.html",
+                                         "<html>no images</html>", 60.0),
+            nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,97 @@
+#include "proxy/html_links.h"
+
+#include <gtest/gtest.h>
+
+namespace broadway {
+namespace {
+
+TEST(HtmlLinks, ExtractsImgSrc) {
+  const auto links = extract_embedded_links(
+      "<html><body><img src=\"/photo.jpg\"/></body></html>");
+  EXPECT_EQ(links, (std::vector<std::string>{"/photo.jpg"}));
+}
+
+TEST(HtmlLinks, QuoteStylesAndUnquoted) {
+  const auto links = extract_embedded_links(
+      "<img src=\"/a.png\"><img src='/b.png'><img src=/c.png>");
+  EXPECT_EQ(links,
+            (std::vector<std::string>{"/a.png", "/b.png", "/c.png"}));
+}
+
+TEST(HtmlLinks, NewsStoryExample) {
+  // The paper's motivating case: a breaking-news page with embedded
+  // images and clips.
+  const std::string html = R"(
+    <html><head>
+      <link rel="stylesheet" href="/style/news.css">
+      <link rel="alternate" href="/rss">
+      <script src="/js/ticker.js"></script>
+    </head><body>
+      <h1>Breaking</h1>
+      <img src="/images/scene.jpg" alt="scene">
+      <embed src="/clips/report.rm">
+      <a href="/other/story.html">related</a>
+    </body></html>)";
+  const auto links = extract_embedded_links(html);
+  EXPECT_EQ(links, (std::vector<std::string>{
+                       "/style/news.css", "/js/ticker.js",
+                       "/images/scene.jpg", "/clips/report.rm"}));
+  const auto anchors = extract_anchor_links(html);
+  EXPECT_EQ(anchors, (std::vector<std::string>{"/other/story.html"}));
+}
+
+TEST(HtmlLinks, NonStylesheetLinkIgnored) {
+  const auto links = extract_embedded_links(
+      "<link rel=\"prefetch\" href=\"/x\"><link rel=stylesheet href=/y.css>");
+  EXPECT_EQ(links, (std::vector<std::string>{"/y.css"}));
+}
+
+TEST(HtmlLinks, DuplicatesCollapsed) {
+  const auto links = extract_embedded_links(
+      "<img src=\"/a.png\"><img src=\"/a.png\"><img src=\"/b.png\">");
+  EXPECT_EQ(links, (std::vector<std::string>{"/a.png", "/b.png"}));
+}
+
+TEST(HtmlLinks, CommentsSkipped) {
+  const auto links = extract_embedded_links(
+      "<!-- <img src=\"/ghost.png\"> --><img src=\"/real.png\">");
+  EXPECT_EQ(links, (std::vector<std::string>{"/real.png"}));
+}
+
+TEST(HtmlLinks, CaseInsensitiveTagsAndAttributes) {
+  const auto links = extract_embedded_links(
+      "<IMG SRC=\"/upper.png\"><Img Src='/mixed.png'>");
+  EXPECT_EQ(links, (std::vector<std::string>{"/upper.png", "/mixed.png"}));
+}
+
+TEST(HtmlLinks, ClosingTagsAndBareText) {
+  const auto links = extract_embedded_links(
+      "plain text < not a tag <img src=\"/a.png\"></img> more");
+  EXPECT_EQ(links, (std::vector<std::string>{"/a.png"}));
+}
+
+TEST(HtmlLinks, MalformedInputIsTolerated) {
+  EXPECT_TRUE(extract_embedded_links("").empty());
+  EXPECT_TRUE(extract_embedded_links("<img src=").empty());
+  EXPECT_TRUE(extract_embedded_links("<img src=\"unterminated").empty());
+  EXPECT_TRUE(extract_embedded_links("<<<>>>").empty());
+  // Valueless attribute before the one we want.
+  const auto links =
+      extract_embedded_links("<img ismap src=\"/map.png\">");
+  EXPECT_EQ(links, (std::vector<std::string>{"/map.png"}));
+}
+
+TEST(HtmlLinks, OtherEmbeddedKinds) {
+  const auto links = extract_embedded_links(
+      "<iframe src=\"/frame.html\"></iframe>"
+      "<audio src=\"/clip.mp3\"></audio>"
+      "<video src=\"/clip.mpg\"></video>"
+      "<source src=\"/alt.ogv\">"
+      "<frame src=\"/old.html\">");
+  EXPECT_EQ(links, (std::vector<std::string>{"/frame.html", "/clip.mp3",
+                                             "/clip.mpg", "/alt.ogv",
+                                             "/old.html"}));
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,88 @@
+#include "trace/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TEST(DiurnalProfile, FlatIsConstant) {
+  const DiurnalProfile flat = DiurnalProfile::flat();
+  for (double h = 0.0; h < 24.0; h += 0.7) {
+    EXPECT_NEAR(flat.intensity(h), 1.0, 1e-9);
+  }
+}
+
+TEST(DiurnalProfile, FlatCumulativeIsLinear) {
+  const DiurnalProfile flat = DiurnalProfile::flat();
+  const double one_hour = flat.cumulative(hours(1.0), 0.0);
+  EXPECT_NEAR(flat.cumulative(hours(5.0), 0.0), 5.0 * one_hour, 1e-6);
+  EXPECT_NEAR(flat.cumulative(days(2.0), 3.5), 48.0 * one_hour, 1e-6);
+}
+
+TEST(DiurnalProfile, NewsroomQuietAtNight) {
+  const DiurnalProfile news = DiurnalProfile::newsroom();
+  EXPECT_LT(news.intensity(3.0), 0.1);
+  EXPECT_GT(news.intensity(14.0), 1.0);
+  // Night hours at least 10x quieter than mid-day.
+  EXPECT_GT(news.intensity(14.0) / news.intensity(3.0), 10.0);
+}
+
+TEST(DiurnalProfile, IntensityWrapsMidnight) {
+  const DiurnalProfile news = DiurnalProfile::newsroom();
+  EXPECT_NEAR(news.intensity(0.0), news.intensity(24.0), 1e-9);
+  EXPECT_NEAR(news.intensity(-1.0), news.intensity(23.0), 1e-9);
+}
+
+TEST(DiurnalProfile, CumulativeIsMonotone) {
+  const DiurnalProfile news = DiurnalProfile::newsroom();
+  double prev = 0.0;
+  for (double t = 0.0; t <= days(2.0); t += hours(0.5)) {
+    const double c = news.cumulative(t, 13.0);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(DiurnalProfile, CumulativeRespectsStartHourPhase) {
+  const DiurnalProfile news = DiurnalProfile::newsroom();
+  // Starting at 2am, the first 3 hours are quiet; starting at 1pm they are
+  // busy.
+  const double quiet = news.cumulative(hours(3.0), 2.0);
+  const double busy = news.cumulative(hours(3.0), 13.0);
+  EXPECT_LT(quiet * 5.0, busy);
+}
+
+TEST(DiurnalProfile, InverseCumulativeInverts) {
+  const DiurnalProfile news = DiurnalProfile::newsroom();
+  const double start_hour = 13.0;
+  const Duration duration = days(2.0);
+  const double total = news.cumulative(duration, start_hour);
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double target = frac * total;
+    const TimePoint t =
+        news.inverse_cumulative(target, start_hour, duration);
+    EXPECT_NEAR(news.cumulative(t, start_hour), target, total * 1e-6);
+  }
+}
+
+TEST(DiurnalProfile, InverseCumulativeRejectsOverflow) {
+  const DiurnalProfile flat = DiurnalProfile::flat();
+  const double total = flat.cumulative(hours(1.0), 0.0);
+  EXPECT_THROW(flat.inverse_cumulative(total * 2.0, 0.0, hours(1.0)),
+               CheckFailure);
+}
+
+TEST(DiurnalProfile, RejectsInvalidWeights) {
+  std::array<double, 24> zero{};
+  EXPECT_THROW(DiurnalProfile{zero}, CheckFailure);
+  std::array<double, 24> negative{};
+  negative.fill(1.0);
+  negative[5] = -0.5;
+  EXPECT_THROW(DiurnalProfile{negative}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

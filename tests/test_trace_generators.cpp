@@ -1,0 +1,120 @@
+#include "trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/update_trace.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TEST(SortUnique, CollapsesCloseInstants) {
+  const auto out = sort_unique({3.0, 1.0, 1.0000001, 2.0}, 1e-3);
+  EXPECT_EQ(out, (std::vector<TimePoint>{1.0, 2.0, 3.0}));
+}
+
+TEST(GeneratePoisson, CountNearExpectation) {
+  Rng rng(1);
+  const double rate = 1.0 / 60.0;  // one per minute
+  const Duration duration = hours(10.0);
+  const auto times = generate_poisson(rng, rate, duration);
+  const double expected = rate * duration;  // 600
+  EXPECT_NEAR(static_cast<double>(times.size()), expected,
+              4.0 * std::sqrt(expected));
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_GE(times.front(), 0.0);
+  EXPECT_LT(times.back(), duration);
+}
+
+TEST(GeneratePoisson, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(generate_poisson(a, 0.01, 10000.0),
+            generate_poisson(b, 0.01, 10000.0));
+}
+
+TEST(GenerateWithCount, ExactCount) {
+  Rng rng(5);
+  const auto times = generate_with_count(rng, DiurnalProfile::newsroom(),
+                                         13.0, hours(49.5), 113);
+  EXPECT_EQ(times.size(), 113u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_TRUE(std::adjacent_find(times.begin(), times.end()) == times.end());
+  EXPECT_GE(times.front(), 0.0);
+  EXPECT_LT(times.back(), hours(49.5));
+}
+
+TEST(GenerateWithCount, DiurnalShapeShowsQuietNights) {
+  Rng rng(5);
+  // Start at midnight so night hours are [0,6) each day.
+  const auto times = generate_with_count(rng, DiurnalProfile::newsroom(),
+                                         0.0, days(4.0), 800);
+  std::size_t night = 0;
+  for (TimePoint t : times) {
+    const double h = hour_of_day(t);
+    if (h >= 1.0 && h < 6.0) ++night;
+  }
+  // Night spans ~21% of the day but must carry far fewer than 21% of the
+  // updates.
+  EXPECT_LT(static_cast<double>(night) / 800.0, 0.05);
+}
+
+TEST(GenerateWithCount, Deterministic) {
+  Rng a(9);
+  Rng b(9);
+  const DiurnalProfile profile = DiurnalProfile::newsroom();
+  EXPECT_EQ(generate_with_count(a, profile, 13.0, hours(20.0), 100),
+            generate_with_count(b, profile, 13.0, hours(20.0), 100));
+}
+
+TEST(GenerateBursty, ProducesBurstStructure) {
+  Rng rng(21);
+  BurstConfig config;
+  config.burst_rate = 1.0 / 10.0;
+  config.calm_rate = 1.0 / 3600.0;
+  config.mean_burst_length = 300.0;
+  config.mean_calm_length = 3600.0;
+  const auto times = generate_bursty(rng, config, days(1.0));
+  ASSERT_GT(times.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Burstiness: the gap distribution is over-dispersed relative to a
+  // homogeneous Poisson process (coefficient of variation > 1).
+  UpdateTrace trace("bursty", times, days(1.0));
+  double mean = 0.0, m2 = 0.0;
+  std::size_t n = 0;
+  double prev = times.front();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - prev;
+    prev = times[i];
+    ++n;
+    const double d = gap - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (gap - mean);
+  }
+  const double cv = std::sqrt(m2 / static_cast<double>(n - 1)) / mean;
+  EXPECT_GT(cv, 1.2);
+}
+
+TEST(GeneratePeriodic, ExactSchedule) {
+  const auto times = generate_periodic(10.0, 3.0, 35.0);
+  EXPECT_EQ(times, (std::vector<TimePoint>{3.0, 13.0, 23.0, 33.0}));
+}
+
+TEST(GeneratePeriodic, Validation) {
+  EXPECT_THROW(generate_periodic(0.0, 0.0, 10.0), CheckFailure);
+  EXPECT_THROW(generate_periodic(1.0, -1.0, 10.0), CheckFailure);
+}
+
+TEST(Generators, FeedUpdateTraceConstructor) {
+  Rng rng(3);
+  const Duration duration = hours(10.0);
+  const auto times = generate_poisson(rng, 1.0 / 120.0, duration);
+  EXPECT_NO_THROW(UpdateTrace("ok", times, duration));
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,121 @@
+// Calibration tests: the synthetic workloads must match the paper's
+// Table 2 / Table 3 characteristics (see DESIGN.md's substitution table).
+#include "trace/paper_workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.h"
+#include "util/time.h"
+
+namespace broadway {
+namespace {
+
+TEST(PaperWorkloads, CnnFnMatchesTable2) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  EXPECT_EQ(trace.count(), 113u);
+  EXPECT_NEAR(trace.duration(), hours(49.5), 1.0);
+  // "every 26 min" average.
+  EXPECT_NEAR(to_minutes(trace.mean_update_interval()), 26.0, 0.5);
+}
+
+TEST(PaperWorkloads, NytimesApMatchesTable2) {
+  const UpdateTrace trace = make_nytimes_ap_trace();
+  EXPECT_EQ(trace.count(), 233u);
+  EXPECT_NEAR(to_minutes(trace.mean_update_interval()), 11.6, 0.2);
+}
+
+TEST(PaperWorkloads, NytimesReutersMatchesTable2) {
+  const UpdateTrace trace = make_nytimes_reuters_trace();
+  EXPECT_EQ(trace.count(), 133u);
+  EXPECT_NEAR(to_minutes(trace.mean_update_interval()), 20.3, 0.3);
+}
+
+TEST(PaperWorkloads, GuardianMatchesTable2) {
+  const UpdateTrace trace = make_guardian_trace();
+  EXPECT_EQ(trace.count(), 902u);
+  EXPECT_NEAR(to_minutes(trace.mean_update_interval()), 4.9, 0.1);
+}
+
+TEST(PaperWorkloads, AllTemporalTracesInTableOrder) {
+  const auto traces = make_all_temporal_traces();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(traces[0].name(), "CNN/FN");
+  EXPECT_EQ(traces[1].name(), "NYTimes/AP");
+  EXPECT_EQ(traces[2].name(), "NYTimes/Reuters");
+  EXPECT_EQ(traces[3].name(), "Guardian");
+}
+
+TEST(PaperWorkloads, NewsTracesQuietAtNight) {
+  // The Fig. 4(a) shape: far fewer updates in the small hours.
+  for (const UpdateTrace& trace : make_all_temporal_traces()) {
+    std::size_t night = 0;
+    for (TimePoint t : trace.updates()) {
+      const double h = hour_of_day(t + hours(trace.start_hour()));
+      if (h >= 1.0 && h < 6.0) ++night;
+    }
+    EXPECT_LT(static_cast<double>(night) / trace.count(), 0.06)
+        << trace.name();
+  }
+}
+
+TEST(PaperWorkloads, AttMatchesTable3) {
+  const ValueTrace trace = make_att_stock_trace();
+  EXPECT_EQ(trace.count(), 653u);
+  EXPECT_NEAR(trace.duration(), hours(3.0), 1e-6);
+  EXPECT_GE(trace.min_value(), 35.8);
+  EXPECT_LE(trace.max_value(), 36.5);
+  // The band must actually be used (Table 3 reports observed extremes).
+  EXPECT_LT(trace.min_value(), 36.0);
+  EXPECT_GT(trace.max_value(), 36.2);
+}
+
+TEST(PaperWorkloads, YahooMatchesTable3) {
+  const ValueTrace trace = make_yahoo_stock_trace();
+  EXPECT_EQ(trace.count(), 2204u);
+  EXPECT_NEAR(trace.duration(), hours(3.0), 1e-6);
+  EXPECT_GE(trace.min_value(), 160.2);
+  EXPECT_LE(trace.max_value(), 171.2);
+  EXPECT_LT(trace.min_value(), 163.0);
+  EXPECT_GT(trace.max_value(), 168.0);
+}
+
+TEST(PaperWorkloads, YahooIsTheVolatileOne) {
+  // §6.1.2: Yahoo "characterized by frequent changes", AT&T by infrequent
+  // changes in value.
+  const ValueTraceStats att = compute_stats(make_att_stock_trace());
+  const ValueTraceStats yahoo = compute_stats(make_yahoo_stock_trace());
+  EXPECT_GT(yahoo.num_updates, 3 * att.num_updates);
+  EXPECT_GT(yahoo.mean_abs_change, 2.0 * att.mean_abs_change);
+  EXPECT_GT(yahoo.max_value - yahoo.min_value,
+            5.0 * (att.max_value - att.min_value));
+}
+
+TEST(PaperWorkloads, SeedChangesTraceButNotCalibration) {
+  const UpdateTrace a = make_cnn_fn_trace(1);
+  const UpdateTrace b = make_cnn_fn_trace(2);
+  EXPECT_EQ(a.count(), b.count());  // calibration invariant
+  EXPECT_NE(a.updates(), b.updates());
+}
+
+TEST(PaperWorkloads, DefaultSeedReproducible) {
+  const UpdateTrace a = make_guardian_trace();
+  const UpdateTrace b = make_guardian_trace();
+  EXPECT_EQ(a.updates(), b.updates());
+  const ValueTrace va = make_yahoo_stock_trace();
+  const ValueTrace vb = make_yahoo_stock_trace();
+  ASSERT_EQ(va.count(), vb.count());
+  for (std::size_t i = 0; i < va.count(); ++i) {
+    EXPECT_DOUBLE_EQ(va.steps()[i].value, vb.steps()[i].value);
+  }
+}
+
+TEST(TraceStats, UpdateStatsComputed) {
+  const UpdateTraceStats stats = compute_stats(make_cnn_fn_trace());
+  EXPECT_EQ(stats.num_updates, 113u);
+  EXPECT_GT(stats.gap_cv, 0.5);  // diurnal shape makes gaps irregular
+  EXPECT_GT(stats.max_gap, hours(1.0));  // the overnight lull
+  EXPECT_LT(stats.min_gap, minutes(15.0));
+}
+
+}  // namespace
+}  // namespace broadway

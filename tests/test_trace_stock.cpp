@@ -1,0 +1,118 @@
+#include "trace/stock.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+StockWalkConfig test_config() {
+  StockWalkConfig config;
+  config.name = "TEST";
+  config.duration = hours(3.0);
+  config.updates = 500;
+  config.initial_value = 100.0;
+  config.min_value = 95.0;
+  config.max_value = 105.0;
+  config.tick_size = 0.05;
+  config.step_sigma = 0.2;
+  return config;
+}
+
+TEST(StockWalk, ExactTickCount) {
+  Rng rng(1);
+  const ValueTrace trace = generate_stock_walk(rng, test_config());
+  EXPECT_EQ(trace.count(), 500u);
+  EXPECT_EQ(trace.name(), "TEST");
+  EXPECT_DOUBLE_EQ(trace.duration(), hours(3.0));
+}
+
+TEST(StockWalk, ValuesStayInBand) {
+  Rng rng(2);
+  const ValueTrace trace = generate_stock_walk(rng, test_config());
+  for (const auto& step : trace.steps()) {
+    EXPECT_GE(step.value, 95.0);
+    EXPECT_LE(step.value, 105.0);
+  }
+}
+
+TEST(StockWalk, ValuesQuantisedToTick) {
+  Rng rng(3);
+  const StockWalkConfig config = test_config();
+  const ValueTrace trace = generate_stock_walk(rng, config);
+  for (const auto& step : trace.steps()) {
+    const double ticks = (step.value - config.min_value) / config.tick_size;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-6) << "at value " << step.value;
+  }
+}
+
+TEST(StockWalk, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  const ValueTrace ta = generate_stock_walk(a, test_config());
+  const ValueTrace tb = generate_stock_walk(b, test_config());
+  ASSERT_EQ(ta.count(), tb.count());
+  for (std::size_t i = 0; i < ta.count(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.steps()[i].time, tb.steps()[i].time);
+    EXPECT_DOUBLE_EQ(ta.steps()[i].value, tb.steps()[i].value);
+  }
+}
+
+TEST(StockWalk, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  const ValueTrace ta = generate_stock_walk(a, test_config());
+  const ValueTrace tb = generate_stock_walk(b, test_config());
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < std::min(ta.count(), tb.count()); ++i) {
+    if (ta.steps()[i].time == tb.steps()[i].time) ++identical;
+  }
+  EXPECT_LT(identical, ta.count() / 10);
+}
+
+TEST(StockWalk, ActuallyMoves) {
+  Rng rng(11);
+  const ValueTrace trace = generate_stock_walk(rng, test_config());
+  EXPECT_GT(trace.max_value() - trace.min_value(), 1.0);
+}
+
+TEST(StockWalk, HigherSigmaMovesMore) {
+  StockWalkConfig calm = test_config();
+  calm.step_sigma = 0.02;
+  StockWalkConfig wild = test_config();
+  wild.step_sigma = 0.5;
+  Rng rng_a(13);
+  Rng rng_b(13);
+  const ValueTrace calm_trace = generate_stock_walk(rng_a, calm);
+  const ValueTrace wild_trace = generate_stock_walk(rng_b, wild);
+
+  auto mean_move = [](const ValueTrace& trace) {
+    double total = 0.0;
+    double prev = trace.initial_value();
+    for (const auto& step : trace.steps()) {
+      total += std::abs(step.value - prev);
+      prev = step.value;
+    }
+    return total / static_cast<double>(trace.count());
+  };
+  EXPECT_GT(mean_move(wild_trace), 3.0 * mean_move(calm_trace));
+}
+
+TEST(StockWalk, Validation) {
+  Rng rng(1);
+  StockWalkConfig bad = test_config();
+  bad.min_value = 200.0;  // band inverted
+  EXPECT_THROW(generate_stock_walk(rng, bad), CheckFailure);
+  bad = test_config();
+  bad.initial_value = 0.0;  // outside band
+  EXPECT_THROW(generate_stock_walk(rng, bad), CheckFailure);
+  bad = test_config();
+  bad.updates = 0;
+  EXPECT_THROW(generate_stock_walk(rng, bad), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,123 @@
+#include "trace/update_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+UpdateTrace simple_trace() {
+  // Updates at 10, 20, 40 over [0, 100).
+  return UpdateTrace("t", {10.0, 20.0, 40.0}, 100.0);
+}
+
+TEST(UpdateTrace, BasicAccessors) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_EQ(trace.count(), 3u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.mean_update_interval(), 100.0 / 3.0);
+  EXPECT_EQ(trace.name(), "t");
+}
+
+TEST(UpdateTrace, EmptyTraceMeanIntervalInfinite) {
+  const UpdateTrace trace("empty", {}, 50.0);
+  EXPECT_EQ(trace.mean_update_interval(), kTimeInfinity);
+  EXPECT_EQ(trace.version_at(49.0), 0u);
+}
+
+TEST(UpdateTrace, VersionCountsUpdatesAtOrBefore) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_EQ(trace.version_at(0.0), 0u);
+  EXPECT_EQ(trace.version_at(9.999), 0u);
+  EXPECT_EQ(trace.version_at(10.0), 1u);  // inclusive at the instant
+  EXPECT_EQ(trace.version_at(39.0), 2u);
+  EXPECT_EQ(trace.version_at(99.0), 3u);
+}
+
+TEST(UpdateTrace, VersionIsMonotone) {
+  const UpdateTrace trace = simple_trace();
+  std::size_t prev = 0;
+  for (double t = 0.0; t < 100.0; t += 0.5) {
+    const std::size_t v = trace.version_at(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(UpdateTrace, LastUpdateAtOrBefore) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_FALSE(trace.last_update_at_or_before(9.0).has_value());
+  EXPECT_DOUBLE_EQ(*trace.last_update_at_or_before(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(*trace.last_update_at_or_before(25.0), 20.0);
+  EXPECT_DOUBLE_EQ(*trace.last_update_at_or_before(99.0), 40.0);
+}
+
+TEST(UpdateTrace, FirstUpdateAfter) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_DOUBLE_EQ(*trace.first_update_after(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*trace.first_update_after(10.0), 20.0);  // strictly after
+  EXPECT_DOUBLE_EQ(*trace.first_update_after(25.0), 40.0);
+  EXPECT_FALSE(trace.first_update_after(40.0).has_value());
+}
+
+TEST(UpdateTrace, UpdatesInHalfOpenInterval) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_EQ(trace.updates_in(0.0, 100.0), 3u);
+  EXPECT_EQ(trace.updates_in(10.0, 20.0), 1u);  // (10, 20] contains only 20
+  EXPECT_EQ(trace.updates_in(40.0, 99.0), 0u);
+  EXPECT_EQ(trace.updates_in(5.0, 5.0), 0u);
+}
+
+TEST(UpdateTrace, ValidityIntervals) {
+  const UpdateTrace trace = simple_trace();
+  const ValidityInterval v0 = trace.validity_at(5.0);
+  EXPECT_DOUBLE_EQ(v0.begin, 0.0);
+  EXPECT_DOUBLE_EQ(v0.end, 10.0);
+  const ValidityInterval v2 = trace.validity_at(25.0);
+  EXPECT_DOUBLE_EQ(v2.begin, 20.0);
+  EXPECT_DOUBLE_EQ(v2.end, 40.0);
+  const ValidityInterval v3 = trace.validity_at(50.0);
+  EXPECT_DOUBLE_EQ(v3.begin, 40.0);
+  EXPECT_EQ(v3.end, kTimeInfinity);
+}
+
+TEST(UpdateTrace, ValidityOfVersionBoundsChecked) {
+  const UpdateTrace trace = simple_trace();
+  EXPECT_NO_THROW(trace.validity_of_version(3));
+  EXPECT_THROW(trace.validity_of_version(4), CheckFailure);
+}
+
+TEST(UpdateTrace, BucketCounts) {
+  const UpdateTrace trace = simple_trace();
+  const auto buckets = trace.bucket_counts(25.0);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);  // 10, 20
+  EXPECT_EQ(buckets[1], 1u);  // 40
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 0u);
+}
+
+TEST(UpdateTrace, ConstructorValidation) {
+  EXPECT_THROW(UpdateTrace("bad", {2.0, 1.0}, 10.0), CheckFailure);   // unsorted
+  EXPECT_THROW(UpdateTrace("bad", {1.0, 1.0}, 10.0), CheckFailure);   // dup
+  EXPECT_THROW(UpdateTrace("bad", {11.0}, 10.0), CheckFailure);       // outside
+  EXPECT_THROW(UpdateTrace("bad", {}, 0.0), CheckFailure);            // no span
+}
+
+TEST(IntervalGap, OverlapIsZero) {
+  EXPECT_DOUBLE_EQ(interval_gap({0.0, 10.0}, {5.0, 15.0}), 0.0);
+  EXPECT_DOUBLE_EQ(interval_gap({0.0, kTimeInfinity}, {5.0, 6.0}), 0.0);
+}
+
+TEST(IntervalGap, DisjointMeasuresDistance) {
+  EXPECT_DOUBLE_EQ(interval_gap({0.0, 10.0}, {25.0, 30.0}), 15.0);
+  EXPECT_DOUBLE_EQ(interval_gap({25.0, 30.0}, {0.0, 10.0}), 15.0);  // symmetric
+}
+
+TEST(IntervalGap, TouchingIsZero) {
+  EXPECT_DOUBLE_EQ(interval_gap({0.0, 10.0}, {10.0, 20.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace broadway

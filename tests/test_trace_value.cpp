@@ -1,0 +1,100 @@
+#include "trace/value_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+ValueTrace simple_trace() {
+  // 100 initially; 105 at t=10; 95 at t=20; 102 at t=40.  Duration 100.
+  return ValueTrace("v", 100.0,
+                    {{10.0, 105.0}, {20.0, 95.0}, {40.0, 102.0}}, 100.0);
+}
+
+TEST(ValueTrace, ValueAtFollowsSteps) {
+  const ValueTrace trace = simple_trace();
+  EXPECT_DOUBLE_EQ(trace.value_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(9.999), 100.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(10.0), 105.0);  // step is inclusive
+  EXPECT_DOUBLE_EQ(trace.value_at(25.0), 95.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(99.0), 102.0);
+}
+
+TEST(ValueTrace, VersionCounting) {
+  const ValueTrace trace = simple_trace();
+  EXPECT_EQ(trace.version_at(0.0), 0u);
+  EXPECT_EQ(trace.version_at(10.0), 1u);
+  EXPECT_EQ(trace.version_at(39.0), 2u);
+  EXPECT_EQ(trace.version_at(40.0), 3u);
+}
+
+TEST(ValueTrace, MinMaxIncludeInitialValue) {
+  const ValueTrace trace = simple_trace();
+  EXPECT_DOUBLE_EQ(trace.min_value(), 95.0);
+  EXPECT_DOUBLE_EQ(trace.max_value(), 105.0);
+  const ValueTrace flat("flat", 50.0, {}, 10.0);
+  EXPECT_DOUBLE_EQ(flat.min_value(), 50.0);
+  EXPECT_DOUBLE_EQ(flat.max_value(), 50.0);
+}
+
+TEST(ValueTrace, MaxAbsDeviationOverWindow) {
+  const ValueTrace trace = simple_trace();
+  // Reference 100, window (0, 15]: values 100 then 105 -> worst 5.
+  EXPECT_DOUBLE_EQ(trace.max_abs_deviation(0.0, 15.0, 100.0), 5.0);
+  // Window (0, 25]: also sees 95 -> worst 5 either way.
+  EXPECT_DOUBLE_EQ(trace.max_abs_deviation(0.0, 25.0, 100.0), 5.0);
+  // Window (0, 45] vs ref 95: sees 105 -> worst 10.
+  EXPECT_DOUBLE_EQ(trace.max_abs_deviation(0.0, 45.0, 95.0), 10.0);
+  // Empty window.
+  EXPECT_DOUBLE_EQ(trace.max_abs_deviation(5.0, 5.0, 0.0), 0.0);
+}
+
+TEST(ValueTrace, TimeDeviationAtLeast) {
+  const ValueTrace trace = simple_trace();
+  // Ref 100, bound 5: |100-100|=0 on (0,10); |105-100|=5 on [10,20);
+  // |95-100|=5 on [20,40); |102-100|=2 after.  Window (0, 100]:
+  // qualifying spans are [10,20) and [20,40) -> 30 total (>= is inclusive).
+  EXPECT_DOUBLE_EQ(
+      trace.time_deviation_at_least(0.0, 100.0, 100.0, 5.0), 30.0);
+  // Tighter bound 6: nothing qualifies.
+  EXPECT_DOUBLE_EQ(
+      trace.time_deviation_at_least(0.0, 100.0, 100.0, 6.0), 0.0);
+  // Bound 0 qualifies everywhere.
+  EXPECT_DOUBLE_EQ(
+      trace.time_deviation_at_least(0.0, 100.0, 100.0, 0.0), 100.0);
+}
+
+TEST(ValueTrace, TimeDeviationPartialWindow) {
+  const ValueTrace trace = simple_trace();
+  // Window (15, 30] vs ref 100, bound 5: [15,20) at 105 and [20,30] at 95,
+  // all qualifying -> 15.
+  EXPECT_DOUBLE_EQ(
+      trace.time_deviation_at_least(15.0, 30.0, 100.0, 5.0), 15.0);
+}
+
+TEST(ValueTrace, UpdateTimes) {
+  const ValueTrace trace = simple_trace();
+  EXPECT_EQ(trace.update_times(),
+            (std::vector<TimePoint>{10.0, 20.0, 40.0}));
+}
+
+TEST(ValueTrace, ConstructorValidation) {
+  EXPECT_THROW(ValueTrace("bad", 1.0, {{5.0, 1.0}, {5.0, 2.0}}, 10.0),
+               CheckFailure);  // non-increasing times
+  EXPECT_THROW(ValueTrace("bad", 1.0, {{15.0, 1.0}}, 10.0),
+               CheckFailure);  // outside duration
+  EXPECT_THROW(ValueTrace("bad", 1.0, {}, 0.0), CheckFailure);
+}
+
+TEST(ValueTrace, RepeatedEqualValuesAllowed) {
+  // A tick that leaves the price unchanged still counts as an update.
+  const ValueTrace trace("flat-ticks", 10.0, {{1.0, 10.0}, {2.0, 10.0}},
+                         5.0);
+  EXPECT_EQ(trace.count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.value_at(3.0), 10.0);
+}
+
+}  // namespace
+}  // namespace broadway

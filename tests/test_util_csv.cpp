@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace broadway {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(std::vector<std::string>{"a", "b,c", "d"});
+  writer.write_row(std::vector<double>{1.5, 2.0});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n1.5,2\n");
+}
+
+TEST(ParseCsv, SimpleDocument) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, QuotedFields) {
+  const auto rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "multi\nline");
+}
+
+TEST(ParseCsv, CrLfTolerated) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsv, EmptyFields) {
+  const auto rows = parse_csv(",\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", ""}));
+}
+
+TEST(ParseCsv, RoundTripThroughWriter) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with\"quote", "multi\nline"};
+  writer.write_row(original);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+TEST(ParseCsv, MalformedQuoting) {
+  EXPECT_THROW(parse_csv("a\"b\n"), std::runtime_error);
+  EXPECT_THROW(parse_csv("\"unterminated"), std::runtime_error);
+}
+
+TEST(ParseCsv, EmptyDocument) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,132 @@
+// Tests for the table renderer, flag parser, check macros and logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace broadway {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    BROADWAY_CHECK_MSG(1 == 2, "extra " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("extra 42"), std::string::npos);
+    EXPECT_NE(what.find("test_util_misc.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(BROADWAY_CHECK(2 + 2 == 4));
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"b", "10.25"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  // Header present, rule under it, numeric column right-aligned.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("  1.5"), std::string::npos);
+  EXPECT_NE(text.find("10.25"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable table;
+  table.add_row({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(table.print(os));
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, NumericHelper) {
+  TextTable table;
+  table.add_row_numeric({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.973, 1), "97.3%");
+}
+
+TEST(Flags, ParsesAllKinds) {
+  Flags flags;
+  double d = 0.0;
+  long long i = 0;
+  bool b = false;
+  std::string s;
+  flags.add_double("delta", &d, "tolerance");
+  flags.add_int("count", &i, "how many");
+  flags.add_bool("verbose", &b, "chatty");
+  flags.add_string("name", &s, "label");
+
+  const char* argv[] = {"prog", "--delta=2.5", "--count", "7", "--verbose",
+                        "--name=cnn"};
+  EXPECT_TRUE(flags.parse(6, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(i, 7);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "cnn");
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  Flags flags;
+  double d = 0.0;
+  flags.add_double("delta", &d, "tolerance");
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, RejectsBadValue) {
+  Flags flags;
+  long long i = 0;
+  flags.add_int("count", &i, "how many");
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags flags;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, BoolExplicitFalse) {
+  Flags flags;
+  bool b = true;
+  flags.add_bool("verbose", &b, "chatty");
+  const char* argv[] = {"prog", "--verbose=false"};
+  EXPECT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(b);
+}
+
+TEST(Log, LevelFilters) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below threshold: the stream expression must not even be evaluated.
+  int evaluations = 0;
+  BROADWAY_INFO("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace broadway

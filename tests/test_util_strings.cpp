@@ -1,0 +1,83 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace broadway {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTrimmed, DropsEmptyAndTrims) {
+  const auto parts = split_trimmed(" a , , b ,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("Last-Modified"), "last-modified");
+  EXPECT_EQ(to_lower("ABC123xyz"), "abc123xyz");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(ParseDouble, Strict) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("  -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("12x", v));
+  EXPECT_FALSE(parse_double("x12", v));
+}
+
+TEST(ParseInt64, Strict) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int64("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int64(" -7 ", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int64("4.2", v));
+  EXPECT_FALSE(parse_int64("", v));
+  EXPECT_FALSE(parse_int64("abc", v));
+}
+
+}  // namespace
+}  // namespace broadway

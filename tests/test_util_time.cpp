@@ -1,0 +1,71 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace broadway {
+namespace {
+
+TEST(TimeUnits, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(minutes(1.0), 60.0);
+  EXPECT_DOUBLE_EQ(hours(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(days(1.0), 86400.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(26.0)), 26.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(49.5)), 49.5);
+}
+
+TEST(TimeUnits, SecondsIsIdentity) {
+  EXPECT_DOUBLE_EQ(seconds(12.25), 12.25);
+}
+
+TEST(FormatDuration, SecondsRange) {
+  EXPECT_EQ(format_duration(45.0), "45.0 s");
+  EXPECT_EQ(format_duration(0.0), "0.0 s");
+}
+
+TEST(FormatDuration, MinutesRange) {
+  EXPECT_EQ(format_duration(minutes(26.0)), "26.0 min");
+  EXPECT_EQ(format_duration(minutes(4.9)), "4.9 min");
+}
+
+TEST(FormatDuration, HoursRange) {
+  EXPECT_EQ(format_duration(hours(1.0)), "1h 00m");
+  EXPECT_EQ(format_duration(hours(2.0) + minutes(30.0)), "2h 30m");
+}
+
+TEST(FormatDuration, DaysRange) {
+  EXPECT_EQ(format_duration(days(2.0) + hours(1.0) + minutes(30.0)),
+            "2d 1h 30m");
+}
+
+TEST(FormatDuration, Negative) {
+  EXPECT_EQ(format_duration(-45.0), "-45.0 s");
+  EXPECT_EQ(format_duration(-minutes(5.0)), "-5.0 min");
+}
+
+TEST(FormatWallclock, DayZero) {
+  EXPECT_EQ(format_wallclock(0.0), "day 0, 00:00");
+  EXPECT_EQ(format_wallclock(hours(13.0) + minutes(4.0)), "day 0, 13:04");
+}
+
+TEST(FormatWallclock, LaterDays) {
+  EXPECT_EQ(format_wallclock(days(2.0) + hours(14.0) + minutes(34.0)),
+            "day 2, 14:34");
+}
+
+TEST(HourOfDay, WrapsDaily) {
+  EXPECT_DOUBLE_EQ(hour_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(hours(13.0)), 13.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(days(1.0) + hours(5.0)), 5.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(days(3.0)), 0.0);
+}
+
+TEST(HourOfDay, FractionalHours) {
+  EXPECT_NEAR(hour_of_day(hours(9.0) + minutes(30.0)), 9.5, 1e-12);
+}
+
+TEST(TimeInfinity, ComparesAboveEverything) {
+  EXPECT_GT(kTimeInfinity, days(365 * 100));
+}
+
+}  // namespace
+}  // namespace broadway
