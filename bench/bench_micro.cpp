@@ -10,6 +10,7 @@
 #include "http/codec.h"
 #include "http/extensions.h"
 #include "metrics/fidelity.h"
+#include "proxy/poll_log.h"
 #include "sim/simulator.h"
 #include "trace/paper_workloads.h"
 #include "util/rng.h"
@@ -123,6 +124,67 @@ void BM_TemporalFidelityEvaluation(benchmark::State& state) {
                           static_cast<int64_t>(polls.size()));
 }
 BENCHMARK(BM_TemporalFidelityEvaluation);
+
+// A poll log as a harness sweep produces it: `objects` uris polled
+// round-robin, 200 records each.
+PollLog make_poll_log(std::size_t objects, std::vector<std::string>& uris) {
+  PollLog log;
+  uris.clear();
+  for (std::size_t i = 0; i < objects; ++i) {
+    uris.push_back("/object/" + std::to_string(i));
+  }
+  TimePoint t = 0.0;
+  for (std::size_t round = 0; round < 200; ++round) {
+    for (const std::string& uri : uris) {
+      PollRecord record;
+      record.snapshot_time = t;
+      record.complete_time = t;
+      record.uri = uri;
+      record.cause = round == 0 ? PollCause::kInitial : PollCause::kScheduled;
+      record.modified = (round % 3) == 0;
+      log.append(std::move(record));
+      t += 1.0;
+    }
+  }
+  return log;
+}
+
+// Per-object metric extraction through the per-uri index (what the engine
+// accessors and the PollLog successful_polls overload do).
+void BM_PollLogIndexedQueries(benchmark::State& state) {
+  std::vector<std::string> uris;
+  const PollLog log = make_poll_log(
+      static_cast<std::size_t>(state.range(0)), uris);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const std::string& uri : uris) {
+      total += log.polls_performed(uri);
+      total += successful_polls(log, uri).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(uris.size()));
+}
+BENCHMARK(BM_PollLogIndexedQueries)->Arg(16)->Arg(256);
+
+// The same extraction by scanning the whole record vector once per object
+// (the pre-index behaviour) — goes quadratic as objects grow.
+void BM_PollLogScanQueries(benchmark::State& state) {
+  std::vector<std::string> uris;
+  const PollLog log = make_poll_log(
+      static_cast<std::size_t>(state.range(0)), uris);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const std::string& uri : uris) {
+      total += successful_polls(log.records(), uri).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(uris.size()));
+}
+BENCHMARK(BM_PollLogScanQueries)->Arg(16)->Arg(256);
 
 void BM_PaperWorkloadGeneration(benchmark::State& state) {
   std::uint64_t seed = 0;

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   table.add_row({"object", trace.name()});
   table.add_row({"updates at origin", std::to_string(trace.count())});
   table.add_row({"tolerance Delta", format_duration(delta)});
-  table.add_row({"polls issued", std::to_string(proxy.polls_performed())});
+  add_poll_breakdown_rows(table, proxy.poll_log());
   table.add_row(
       {"polls if fixed every Delta",
        std::to_string(static_cast<std::size_t>(duration / delta))});

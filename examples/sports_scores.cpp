@@ -126,9 +126,7 @@ int main(int argc, char** argv) {
   TextTable summary;
   summary.add_row({"final team total", fmt(final_total, 0)});
   summary.add_row({"tolerance delta on total", fmt(delta, 0) + " points"});
-  summary.add_row({"total polls", std::to_string(proxy.polls_performed())});
-  summary.add_row({"lost polls (flaky uplink)",
-                   std::to_string(proxy.failed_polls())});
+  add_poll_breakdown_rows(summary, proxy.poll_log());
   summary.add_row({"Mv fidelity (time)", fmt(report.fidelity_time(), 3)});
   summary.add_row({"Mv violation episodes",
                    std::to_string(report.violations)});

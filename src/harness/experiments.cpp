@@ -125,7 +125,7 @@ MutualTemporalRunResult run_mutual_temporal(
                                                    config.base.delta, horizon);
   result.individual_b = evaluate_temporal_fidelity(trace_b, polls_b,
                                                    config.base.delta, horizon);
-  result.poll_log = engine.poll_log();
+  result.poll_log = engine.poll_log().records();
   return result;
 }
 

@@ -6,10 +6,26 @@
 #include <ostream>
 #include <sstream>
 
+#include "metrics/accounting.h"
+
 namespace broadway {
 
 void print_banner(std::ostream& out, const std::string& title) {
   out << "\n== " << title << " ==\n";
+}
+
+void add_poll_breakdown_rows(TextTable& table, const PollLog& log) {
+  const PollCauseCounts counts = count_by_cause(log);
+  table.add_row({"polls (refreshes)",
+                 std::to_string(counts.total_refreshes())});
+  table.add_row({"  scheduled", std::to_string(counts.scheduled)});
+  if (counts.triggered > 0) {
+    table.add_row({"  triggered", std::to_string(counts.triggered)});
+  }
+  if (counts.retry > 0 || counts.failed > 0) {
+    table.add_row({"  retries", std::to_string(counts.retry)});
+    table.add_row({"lost polls", std::to_string(counts.failed)});
+  }
 }
 
 namespace {

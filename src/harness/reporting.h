@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "proxy/poll_log.h"
+#include "util/table.h"
 #include "util/time.h"
 
 namespace broadway {
@@ -13,6 +15,13 @@ namespace broadway {
 /// Print a figure/table banner:
 ///   == Figure 3(a): Number of polls, CNN/FN trace ==
 void print_banner(std::ostream& out, const std::string& title);
+
+/// Append a run's poll accounting to a two-column summary table: total
+/// refreshes plus the per-cause breakdown (scheduled / triggered / retry)
+/// and failures, read from the log's counters.  Rows with a zero count
+/// for a cause the run cannot produce (no coordinator, no loss) are
+/// omitted.
+void add_poll_breakdown_rows(TextTable& table, const PollLog& log);
 
 /// Render an (x, y) series as a crude ASCII line chart.  Intended as a
 /// quick visual check of the shape a figure reproduces; the exact numbers

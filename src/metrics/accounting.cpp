@@ -32,6 +32,10 @@ PollCauseCounts count_by_cause(const std::vector<PollRecord>& log) {
   return counts;
 }
 
+PollCauseCounts count_by_cause(const PollLog& log) {
+  return count_by_cause(log.records());
+}
+
 std::vector<std::size_t> polls_per_bucket(const std::vector<PollRecord>& log,
                                           Duration bucket, Duration horizon,
                                           std::optional<PollCause> cause,
@@ -52,6 +56,13 @@ std::vector<std::size_t> polls_per_bucket(const std::vector<PollRecord>& log,
     ++counts[i];
   }
   return counts;
+}
+
+std::vector<std::size_t> polls_per_bucket(const PollLog& log,
+                                          Duration bucket, Duration horizon,
+                                          std::optional<PollCause> cause,
+                                          const std::string& uri) {
+  return polls_per_bucket(log.records(), bucket, horizon, cause, uri);
 }
 
 }  // namespace broadway

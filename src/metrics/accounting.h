@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "consistency/types.h"
-#include "proxy/polling_engine.h"
+#include "proxy/poll_log.h"
 #include "util/time.h"
 
 namespace broadway {
@@ -31,12 +31,17 @@ struct PollCauseCounts {
 };
 
 PollCauseCounts count_by_cause(const std::vector<PollRecord>& log);
+PollCauseCounts count_by_cause(const PollLog& log);
 
 /// Successful polls per time bucket over [0, horizon), optionally filtered
 /// by cause and/or uri (empty = all).  The Fig. 6(b) series is
 /// polls_per_bucket(log, 2h, horizon, PollCause::kTriggered).
 std::vector<std::size_t> polls_per_bucket(
     const std::vector<PollRecord>& log, Duration bucket, Duration horizon,
+    std::optional<PollCause> cause = std::nullopt,
+    const std::string& uri = "");
+std::vector<std::size_t> polls_per_bucket(
+    const PollLog& log, Duration bucket, Duration horizon,
     std::optional<PollCause> cause = std::nullopt,
     const std::string& uri = "");
 

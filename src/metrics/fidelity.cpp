@@ -16,6 +16,18 @@ std::vector<PollInstant> successful_polls(const std::vector<PollRecord>& log,
   return out;
 }
 
+std::vector<PollInstant> successful_polls(const PollLog& log,
+                                          const std::string& uri) {
+  const std::vector<std::size_t>& indices = log.successful_records(uri);
+  std::vector<PollInstant> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    const PollRecord& record = log.records()[i];
+    out.push_back(PollInstant{record.snapshot_time, record.complete_time});
+  }
+  return out;
+}
+
 double TemporalFidelityReport::fidelity_violations() const {
   if (windows == 0) return 1.0;
   return 1.0 - static_cast<double>(violations) /

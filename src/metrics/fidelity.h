@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "proxy/polling_engine.h"
+#include "proxy/poll_log.h"
 #include "trace/update_trace.h"
 #include "util/time.h"
 
@@ -29,8 +29,14 @@ struct PollInstant {
   TimePoint complete = 0.0;
 };
 
-/// Extract the successful polls of `uri` from an engine log, ascending.
+/// Extract the successful polls of `uri` from a record vector, ascending.
+/// O(total records); prefer the PollLog overload for engine logs.
 std::vector<PollInstant> successful_polls(const std::vector<PollRecord>& log,
+                                          const std::string& uri);
+
+/// Extract the successful polls of `uri` through the log's per-uri index —
+/// O(records-for-uri) instead of a scan of every object's records.
+std::vector<PollInstant> successful_polls(const PollLog& log,
                                           const std::string& uri);
 
 /// Result of evaluating one object's poll schedule against its trace.

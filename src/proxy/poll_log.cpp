@@ -1,0 +1,72 @@
+#include "proxy/poll_log.h"
+
+namespace broadway {
+
+namespace {
+const std::vector<std::size_t> kNoRecords;
+}  // namespace
+
+void PollLog::append(PollRecord record) {
+  const std::size_t index = records_.size();
+  UriIndex& uri_index = by_uri_[record.uri];
+  if (record.failed) {
+    ++failed_total_;
+  } else {
+    uri_index.successful.push_back(index);
+    if (record.cause != PollCause::kInitial) {
+      ++uri_index.performed;
+      ++performed_total_;
+    }
+    if (record.cause == PollCause::kTriggered) {
+      ++uri_index.triggered;
+      ++triggered_total_;
+    }
+  }
+  records_.push_back(std::move(record));
+}
+
+const PollLog::UriIndex* PollLog::find(const std::string& uri) const {
+  const auto it = by_uri_.find(uri);
+  return it == by_uri_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::size_t>& PollLog::successful_records(
+    const std::string& uri) const {
+  const UriIndex* index = find(uri);
+  return index == nullptr ? kNoRecords : index->successful;
+}
+
+std::vector<TimePoint> PollLog::completion_times(
+    const std::string& uri) const {
+  const std::vector<std::size_t>& indices = successful_records(uri);
+  std::vector<TimePoint> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    out.push_back(records_[i].complete_time);
+  }
+  return out;
+}
+
+std::vector<TimePoint> PollLog::snapshot_times(const std::string& uri) const {
+  const std::vector<std::size_t>& indices = successful_records(uri);
+  std::vector<TimePoint> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    out.push_back(records_[i].snapshot_time);
+  }
+  return out;
+}
+
+std::size_t PollLog::polls_performed(const std::string& uri) const {
+  if (uri.empty()) return performed_total_;
+  const UriIndex* index = find(uri);
+  return index == nullptr ? 0 : index->performed;
+}
+
+std::size_t PollLog::triggered_polls(const std::string& uri) const {
+  if (uri.empty()) return triggered_total_;
+  const UriIndex* index = find(uri);
+  return index == nullptr ? 0 : index->triggered;
+}
+
+}  // namespace broadway

@@ -1,0 +1,107 @@
+// The proxy's poll log: the append-only record stream the paper's
+// evaluation is computed from, with per-uri indices and running counters.
+//
+// Every poll of every tracked object — temporal, value, virtual-group
+// member or partitioned-group member — is appended here by the engine's
+// single poll pipeline.  The harness sweeps query per-object series
+// (completion/snapshot instants) and per-object counters (polls performed,
+// triggered polls) after every run; indexing at append time turns those
+// from O(total-polls) scans of the global log into O(records-for-uri)
+// and O(1) lookups respectively.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/types.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// One completed (or failed) poll.
+struct PollRecord {
+  /// Server-state instant the response reflects (fire time).
+  TimePoint snapshot_time = 0.0;
+  /// Instant the refreshed copy became visible at the proxy.
+  TimePoint complete_time = 0.0;
+  std::string uri;
+  PollCause cause = PollCause::kScheduled;
+  /// True when the server answered 200.
+  bool modified = false;
+  /// True when the poll was lost (no other fields beyond uri/cause/time
+  /// are meaningful).
+  bool failed = false;
+};
+
+/// Append-only, indexed poll log.  Reads behave like the plain record
+/// vector this class replaces (size/operator[]/iteration), and the indexed
+/// queries answer the evaluation's per-object questions without scanning
+/// other objects' records.
+class PollLog {
+ public:
+  /// Append one record, updating the per-uri index and the counters.
+  void append(PollRecord record);
+
+  // ---- whole-log access (vector-compatible) ----
+
+  const std::vector<PollRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const PollRecord& operator[](std::size_t index) const {
+    return records_[index];
+  }
+  std::vector<PollRecord>::const_iterator begin() const {
+    return records_.begin();
+  }
+  std::vector<PollRecord>::const_iterator end() const {
+    return records_.end();
+  }
+
+  // ---- per-uri indexed queries ----
+
+  /// Indices (into records()) of the successful polls of `uri`, ascending.
+  /// Empty for a uri that was never polled.
+  const std::vector<std::size_t>& successful_records(
+      const std::string& uri) const;
+
+  /// Completion instants of successful polls of `uri`, ascending,
+  /// including the initial fetch.
+  std::vector<TimePoint> completion_times(const std::string& uri) const;
+
+  /// Snapshot instants of successful polls of `uri` (same indexing as
+  /// completion_times).
+  std::vector<TimePoint> snapshot_times(const std::string& uri) const;
+
+  // ---- O(1) counters ----
+
+  /// Successful polls excluding initial fetches — the paper's "number of
+  /// polls" metric.  Empty uri = all objects.
+  std::size_t polls_performed(const std::string& uri = "") const;
+
+  /// Successful triggered polls (the mutual-consistency overhead).  Empty
+  /// uri = all objects.
+  std::size_t triggered_polls(const std::string& uri = "") const;
+
+  /// Failed (lost) poll attempts, all objects.
+  std::size_t failed_polls() const { return failed_total_; }
+
+ private:
+  struct UriIndex {
+    std::vector<std::size_t> successful;  ///< record indices, !failed
+    std::size_t performed = 0;            ///< successful, non-initial
+    std::size_t triggered = 0;            ///< successful, kTriggered
+  };
+
+  /// nullptr when the uri has no records.
+  const UriIndex* find(const std::string& uri) const;
+
+  std::vector<PollRecord> records_;
+  std::unordered_map<std::string, UriIndex> by_uri_;
+  std::size_t performed_total_ = 0;
+  std::size_t triggered_total_ = 0;
+  std::size_t failed_total_ = 0;
+};
+
+}  // namespace broadway

@@ -20,23 +20,31 @@ PollingEngine::PollingEngine(Simulator& sim, OriginServer& origin,
   BROADWAY_CHECK(config_.retry_delay > 0.0);
 }
 
+// ---- registration ----------------------------------------------------------
+
+TrackedObject& PollingEngine::register_object(
+    std::unique_ptr<TrackedObject> object, bool self_scheduled) {
+  BROADWAY_CHECK_MSG(!started_, "register objects before start()");
+  const std::string& uri = object->uri();
+  BROADWAY_CHECK_MSG(objects_.find(uri) == objects_.end(),
+                     "duplicate registration of " << uri);
+  auto [it, inserted] = objects_.emplace(uri, std::move(object));
+  BROADWAY_CHECK(inserted);
+  TrackedObject* raw = it->second.get();
+  if (self_scheduled) {
+    raw->attach_task(std::make_unique<PeriodicTask>(sim_, [this, raw] {
+      poll_self(*raw, PollCause::kScheduled);
+      return -1.0;  // the pipeline reschedules explicitly
+    }));
+  }
+  return *raw;
+}
+
 void PollingEngine::add_temporal_object(const std::string& uri,
                                         std::unique_ptr<RefreshPolicy> policy) {
-  BROADWAY_CHECK_MSG(!started_, "register objects before start()");
   BROADWAY_CHECK(policy != nullptr);
-  BROADWAY_CHECK_MSG(temporal_.find(uri) == temporal_.end() &&
-                         value_.find(uri) == value_.end(),
-                     "duplicate registration of " << uri);
-  TemporalEntry entry;
-  entry.uri = uri;
-  entry.policy = std::move(policy);
-  auto [it, inserted] = temporal_.emplace(uri, std::move(entry));
-  BROADWAY_CHECK(inserted);
-  TemporalEntry* raw = &it->second;
-  raw->task = std::make_unique<PeriodicTask>(sim_, [this, raw] {
-    poll_temporal(*raw, PollCause::kScheduled);
-    return -1.0;  // poll_temporal reschedules explicitly
-  });
+  register_object(std::make_unique<TemporalObject>(uri, std::move(policy)),
+                  /*self_scheduled=*/true);
 }
 
 MutualCoordinator& PollingEngine::add_coordinator(
@@ -49,20 +57,8 @@ MutualCoordinator& PollingEngine::add_coordinator(
 
 void PollingEngine::add_value_object(const std::string& uri,
                                      AdaptiveValueTtrPolicy::Config config) {
-  BROADWAY_CHECK_MSG(!started_, "register objects before start()");
-  BROADWAY_CHECK_MSG(temporal_.find(uri) == temporal_.end() &&
-                         value_.find(uri) == value_.end(),
-                     "duplicate registration of " << uri);
-  ValueEntry entry;
-  entry.uri = uri;
-  entry.own_policy = std::make_unique<AdaptiveValueTtrPolicy>(config);
-  auto [it, inserted] = value_.emplace(uri, std::move(entry));
-  BROADWAY_CHECK(inserted);
-  ValueEntry* raw = &it->second;
-  raw->task = std::make_unique<PeriodicTask>(sim_, [this, raw] {
-    poll_value(*raw, PollCause::kScheduled);
-    return -1.0;
-  });
+  register_object(std::make_unique<ValueObject>(uri, config),
+                  /*self_scheduled=*/true);
 }
 
 void PollingEngine::add_virtual_group(
@@ -72,20 +68,17 @@ void PollingEngine::add_virtual_group(
   BROADWAY_CHECK(policy != nullptr);
   BROADWAY_CHECK_MSG(uris.size() == policy->function().arity(),
                      "group size must match the function arity");
-  for (const std::string& uri : uris) {
-    BROADWAY_CHECK_MSG(temporal_.find(uri) == temporal_.end() &&
-                           value_.find(uri) == value_.end(),
-                       "duplicate registration of " << uri);
-    ValueEntry entry;  // no own policy, no task: the group polls it
-    entry.uri = uri;
-    value_.emplace(uri, std::move(entry));
-  }
   auto group = std::make_unique<VirtualGroup>();
-  group->uris = std::move(uris);
+  for (const std::string& uri : uris) {
+    TrackedObject& member =
+        register_object(std::make_unique<VirtualMemberObject>(uri),
+                        /*self_scheduled=*/false);  // the group polls it
+    group->members.push_back(static_cast<VirtualMemberObject*>(&member));
+  }
   group->policy = std::move(policy);
   VirtualGroup* raw = group.get();
   raw->task = std::make_unique<PeriodicTask>(sim_, [this, raw] {
-    poll_virtual_group(*raw, PollCause::kScheduled);
+    poll_group(*raw, PollCause::kScheduled);
     return -1.0;
   });
   virtual_groups_.push_back(std::move(group));
@@ -99,63 +92,46 @@ void PollingEngine::add_partitioned_group(
   BROADWAY_CHECK_MSG(uris.size() == policy->arity(),
                      "group size must match the function arity");
   auto group = std::make_unique<PartitionedGroup>();
-  group->uris = uris;
   group->policy = std::move(policy);
   PartitionedTolerancePolicy* shared = group->policy.get();
   partitioned_groups_.push_back(std::move(group));
 
   for (std::size_t i = 0; i < uris.size(); ++i) {
-    const std::string& uri = uris[i];
-    BROADWAY_CHECK_MSG(temporal_.find(uri) == temporal_.end() &&
-                           value_.find(uri) == value_.end(),
-                       "duplicate registration of " << uri);
-    ValueEntry entry;
-    entry.uri = uri;
-    entry.partitioned = shared;
-    entry.partition_index = i;
-    auto [it, inserted] = value_.emplace(uri, std::move(entry));
-    BROADWAY_CHECK(inserted);
-    ValueEntry* raw = &it->second;
-    raw->task = std::make_unique<PeriodicTask>(sim_, [this, raw] {
-      poll_value(*raw, PollCause::kScheduled);
-      return -1.0;
-    });
+    register_object(
+        std::make_unique<PartitionedMemberObject>(uris[i], shared, i),
+        /*self_scheduled=*/true);
   }
 }
 
 void PollingEngine::start() {
   BROADWAY_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
-  for (auto& [uri, entry] : temporal_) {
-    poll_temporal(entry, PollCause::kInitial);
-  }
-  for (auto& [uri, entry] : value_) {
-    if (entry.task != nullptr) {
-      poll_value(entry, PollCause::kInitial);
+  for (auto& [uri, object] : objects_) {
+    if (object->self_scheduled()) {
+      poll_self(*object, PollCause::kInitial);
     }
   }
   for (auto& group : virtual_groups_) {
-    poll_virtual_group(*group, PollCause::kInitial);
+    poll_group(*group, PollCause::kInitial);
   }
 }
 
 void PollingEngine::crash_and_recover() {
   BROADWAY_CHECK_MSG(started_, "crash before start()");
-  for (auto& [uri, entry] : temporal_) {
-    entry.policy->reset();
-    entry.task->reschedule(entry.policy->initial_ttr());
+  // In-flight retries die with the proxy: §3.1 recovery resets TTRs, it
+  // does not resurrect requests that were pending at the crash.
+  for (const EventId id : pending_retries_) {
+    sim_.cancel(id);
   }
+  pending_retries_.clear();
+  // Shared partitioned policies reset before their members re-arm, so each
+  // member's initial TTR reflects the recovered apportionment.
   for (auto& group : partitioned_groups_) {
     group->policy->reset();
   }
-  for (auto& [uri, entry] : value_) {
-    if (entry.own_policy) entry.own_policy->reset();
-    if (entry.task) {
-      const Duration ttr = entry.own_policy
-                               ? entry.own_policy->initial_ttr()
-                               : entry.partitioned->initial_ttr(
-                                     entry.partition_index);
-      entry.task->reschedule(ttr);
+  for (auto& [uri, object] : objects_) {
+    if (const auto ttr = object->reset()) {
+      object->task()->reschedule(*ttr);
     }
   }
   for (auto& group : virtual_groups_) {
@@ -165,24 +141,10 @@ void PollingEngine::crash_and_recover() {
   for (auto& coordinator : coordinators_) coordinator->reset();
 }
 
-// ---- poll execution -------------------------------------------------------
+// ---- the poll pipeline -----------------------------------------------------
 
-std::optional<Response> PollingEngine::exchange(
-    const std::string& uri, std::optional<TimePoint> if_modified_since,
-    PollCause cause, const std::function<void()>& retry) {
-  if (config_.loss_probability > 0.0 &&
-      loss_rng_.bernoulli(config_.loss_probability)) {
-    ++failed_polls_;
-    PollRecord record;
-    record.snapshot_time = sim_.now();
-    record.complete_time = sim_.now() + config_.rtt;
-    record.uri = uri;
-    record.cause = cause;
-    record.failed = true;
-    poll_log_.push_back(record);
-    sim_.schedule_after(config_.retry_delay, retry);
-    return std::nullopt;
-  }
+Response PollingEngine::exchange(const std::string& uri,
+                                 std::optional<TimePoint> if_modified_since) {
   Request request;
   request.method = Method::kGet;
   request.uri = uri;
@@ -206,157 +168,104 @@ void PollingEngine::store_response(const std::string& uri,
   cache_.store(std::move(entry));
 }
 
-void PollingEngine::poll_temporal(TemporalEntry& entry, PollCause cause) {
+void PollingEngine::record_poll(const std::string& uri, PollCause cause,
+                                bool modified, bool failed) {
+  PollRecord record;
+  record.snapshot_time = sim_.now();
+  record.complete_time = sim_.now() + config_.rtt;
+  record.uri = uri;
+  record.cause = cause;
+  record.modified = modified;
+  record.failed = failed;
+  poll_log_.append(std::move(record));
+}
+
+void PollingEngine::schedule_retry(const std::function<void()>& retry) {
+  // The callback needs its own id to deregister itself; schedule_after
+  // returns before any event can fire, so the box is filled in time.
+  auto id_box = std::make_shared<EventId>(kInvalidEventId);
+  *id_box = sim_.schedule_after(config_.retry_delay, [this, id_box, retry] {
+    pending_retries_.erase(*id_box);
+    retry();
+  });
+  pending_retries_.insert(*id_box);
+}
+
+bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
+                                const std::function<void()>& retry) {
   const TimePoint now = sim_.now();
-  const TimePoint previous = entry.last_poll_completion;
+  const TimePoint previous = object.last_poll_completion();
   const bool initial = cause == PollCause::kInitial;
 
-  TemporalEntry* raw = &entry;
-  const auto response = exchange(
-      entry.uri, initial ? std::nullopt : std::make_optional(previous), cause,
-      [this, raw] { poll_temporal(*raw, PollCause::kRetry); });
-  if (!response) return;  // lost; retry scheduled
-  BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
-                     entry.uri << " not present at origin");
+  // Stage 1: loss injection.
+  const bool lost = config_.loss_probability > 0.0 &&
+                    loss_rng_.bernoulli(config_.loss_probability);
 
-  store_response(entry.uri, *response, now);
-
-  PollRecord record;
-  record.snapshot_time = now;
-  record.complete_time = now + config_.rtt;
-  record.uri = entry.uri;
-  record.cause = cause;
-  record.modified = response->ok();
-  poll_log_.push_back(record);
-
-  Duration ttr;
-  TemporalPollObservation obs;
-  if (initial) {
-    ttr = entry.policy->initial_ttr();
-  } else {
-    obs.poll_time = now;
-    obs.previous_poll_time = previous;
-    obs.modified = response->ok();
-    obs.last_modified = get_last_modified(response->headers);
-    if (const auto history = get_modification_history(response->headers)) {
-      obs.history = *history;
-    }
-    ttr = entry.policy->next_ttr(obs);
+  // Stage 2: the HTTP exchange.
+  std::optional<Response> response;
+  if (!lost) {
+    response = exchange(object.uri(),
+                        initial ? std::nullopt : std::make_optional(previous));
+    BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
+                       object.uri() << " not present at origin");
+    // Stage 3: refresh the cached copy.
+    store_response(object.uri(), *response, now);
   }
-  entry.last_poll_completion = now;
-  entry.ttr_series.emplace_back(now, ttr);
-  entry.task->reschedule(ttr);
 
-  // Coordinators see every non-initial poll — including triggered ones, so
-  // they can cascade (the δ-window test keeps cascades finite).
-  if (!initial) {
+  // Stage 4: record the poll — the single append site for every object
+  // kind, lost and successful polls alike.
+  record_poll(object.uri(), cause, !lost && response->ok(), lost);
+
+  if (lost) {
+    schedule_retry(retry);
+    return false;
+  }
+
+  // Stage 5: policy update.
+  const PollOutcome outcome = object.on_response(*response, now, previous,
+                                                 cause);
+  object.set_last_poll_completion(now);
+  if (outcome.ttr) {
+    object.record_ttr(now, *outcome.ttr);
+    object.task()->reschedule(*outcome.ttr);
+  }
+
+  // Stage 6: coordinators see every non-initial temporal poll — including
+  // triggered ones, so they can cascade (the δ-window test keeps cascades
+  // finite).
+  if (outcome.observation) {
     for (auto& coordinator : coordinators_) {
-      coordinator->on_poll(entry.uri, obs);
+      coordinator->on_poll(object.uri(), *outcome.observation);
     }
   }
+  return true;
 }
 
-void PollingEngine::poll_value(ValueEntry& entry, PollCause cause) {
-  const TimePoint now = sim_.now();
-  const TimePoint previous = entry.last_poll_completion;
-  const bool initial = cause == PollCause::kInitial;
-
-  ValueEntry* raw = &entry;
-  const auto response = exchange(
-      entry.uri, initial ? std::nullopt : std::make_optional(previous), cause,
-      [this, raw] { poll_value(*raw, PollCause::kRetry); });
-  if (!response) return;
-  BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
-                     entry.uri << " not present at origin");
-
-  store_response(entry.uri, *response, now);
-
-  double value = entry.last_value;
-  if (response->ok()) {
-    const auto header_value = get_object_value(response->headers);
-    BROADWAY_CHECK_MSG(header_value.has_value(),
-                       entry.uri << " is not a value-domain object");
-    value = *header_value;
-  }
-
-  PollRecord record;
-  record.snapshot_time = now;
-  record.complete_time = now + config_.rtt;
-  record.uri = entry.uri;
-  record.cause = cause;
-  record.modified = response->ok();
-  poll_log_.push_back(record);
-
-  Duration ttr;
-  if (initial || !entry.has_value) {
-    ttr = entry.own_policy
-              ? entry.own_policy->initial_ttr()
-              : entry.partitioned->initial_ttr(entry.partition_index);
-  } else {
-    ValuePollObservation obs;
-    obs.poll_time = now;
-    obs.previous_poll_time = previous;
-    obs.value = value;
-    obs.previous_value = entry.last_value;
-    ttr = entry.own_policy
-              ? entry.own_policy->next_ttr(obs)
-              : entry.partitioned->next_ttr(entry.partition_index, obs);
-  }
-  entry.last_value = value;
-  entry.has_value = true;
-  entry.last_poll_completion = now;
-  entry.ttr_series.emplace_back(now, ttr);
-  entry.task->reschedule(ttr);
+void PollingEngine::poll_self(TrackedObject& object, PollCause cause) {
+  TrackedObject* raw = &object;
+  poll_object(object, cause,
+              [this, raw] { poll_self(*raw, PollCause::kRetry); });
 }
 
-void PollingEngine::poll_virtual_group(VirtualGroup& group, PollCause cause) {
+void PollingEngine::poll_group(VirtualGroup& group, PollCause cause) {
   const TimePoint now = sim_.now();
   const bool initial = cause == PollCause::kInitial;
+  VirtualGroup* raw = &group;
+  const auto retry = [this, raw] { poll_group(*raw, PollCause::kRetry); };
 
   // A joint poll fetches every member; each fetch is one poll in the
   // paper's accounting (Fig. 7 counts individual server polls).
   std::vector<double> values;
-  values.reserve(group.uris.size());
-  for (const std::string& uri : group.uris) {
-    auto it = value_.find(uri);
-    BROADWAY_CHECK(it != value_.end());
-    ValueEntry& entry = it->second;
-
-    VirtualGroup* raw = &group;
-    const auto response = exchange(
-        uri, initial ? std::nullopt
-                     : std::make_optional(entry.last_poll_completion),
-        cause,
-        [this, raw] { poll_virtual_group(*raw, PollCause::kRetry); });
-    if (!response) return;  // whole joint poll retries
-    BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
-                       uri << " not present at origin");
-    store_response(uri, *response, now);
-
-    double value = entry.last_value;
-    if (response->ok()) {
-      const auto header_value = get_object_value(response->headers);
-      BROADWAY_CHECK_MSG(header_value.has_value(),
-                         uri << " is not a value-domain object");
-      value = *header_value;
+  values.reserve(group.members.size());
+  for (VirtualMemberObject* member : group.members) {
+    if (!poll_object(*member, cause, retry)) {
+      return;  // lost: the whole joint poll retries
     }
-    entry.last_value = value;
-    entry.has_value = true;
-    entry.last_poll_completion = now;
-    values.push_back(value);
-
-    PollRecord record;
-    record.snapshot_time = now;
-    record.complete_time = now + config_.rtt;
-    record.uri = uri;
-    record.cause = cause;
-    record.modified = response->ok();
-    poll_log_.push_back(record);
+    values.push_back(member->last_value());
   }
 
-  const Duration ttr = initial
-                           ? group.policy->initial_ttr()
-                           : group.policy->next_ttr(now, values);
+  const Duration ttr = initial ? group.policy->initial_ttr()
+                               : group.policy->next_ttr(now, values);
   group.task->reschedule(ttr);
 }
 
@@ -376,75 +285,32 @@ CoordinatorHooks PollingEngine::make_hooks() {
   return hooks;
 }
 
-TimePoint PollingEngine::next_poll_time(const std::string& uri) const {
-  auto it = temporal_.find(uri);
-  BROADWAY_CHECK_MSG(it != temporal_.end(), "unknown object " << uri);
-  return it->second.task->next_fire_time();
+TrackedObject& PollingEngine::temporal_object(const std::string& uri) {
+  auto it = objects_.find(uri);
+  BROADWAY_CHECK_MSG(it != objects_.end() && it->second->temporal(),
+                     "unknown temporal object " << uri);
+  return *it->second;
 }
 
-TimePoint PollingEngine::last_poll_time(const std::string& uri) const {
-  auto it = temporal_.find(uri);
-  BROADWAY_CHECK_MSG(it != temporal_.end(), "unknown object " << uri);
-  return it->second.last_poll_completion;
+TimePoint PollingEngine::next_poll_time(const std::string& uri) {
+  return temporal_object(uri).task()->next_fire_time();
+}
+
+TimePoint PollingEngine::last_poll_time(const std::string& uri) {
+  return temporal_object(uri).last_poll_completion();
 }
 
 void PollingEngine::trigger_poll(const std::string& uri) {
-  auto it = temporal_.find(uri);
-  BROADWAY_CHECK_MSG(it != temporal_.end(), "unknown object " << uri);
-  poll_temporal(it->second, PollCause::kTriggered);
+  poll_self(temporal_object(uri), PollCause::kTriggered);
 }
 
 // ---- accessors -------------------------------------------------------------
 
-std::vector<TimePoint> PollingEngine::poll_completion_times(
-    const std::string& uri) const {
-  std::vector<TimePoint> out;
-  for (const PollRecord& record : poll_log_) {
-    if (!record.failed && record.uri == uri) {
-      out.push_back(record.complete_time);
-    }
-  }
-  return out;
-}
-
-std::vector<TimePoint> PollingEngine::poll_snapshot_times(
-    const std::string& uri) const {
-  std::vector<TimePoint> out;
-  for (const PollRecord& record : poll_log_) {
-    if (!record.failed && record.uri == uri) {
-      out.push_back(record.snapshot_time);
-    }
-  }
-  return out;
-}
-
-std::size_t PollingEngine::polls_performed(const std::string& uri) const {
-  std::size_t count = 0;
-  for (const PollRecord& record : poll_log_) {
-    if (record.failed || record.cause == PollCause::kInitial) continue;
-    if (!uri.empty() && record.uri != uri) continue;
-    ++count;
-  }
-  return count;
-}
-
-std::size_t PollingEngine::triggered_polls(const std::string& uri) const {
-  std::size_t count = 0;
-  for (const PollRecord& record : poll_log_) {
-    if (record.failed || record.cause != PollCause::kTriggered) continue;
-    if (!uri.empty() && record.uri != uri) continue;
-    ++count;
-  }
-  return count;
-}
-
 const std::vector<std::pair<TimePoint, Duration>>& PollingEngine::ttr_series(
     const std::string& uri) const {
-  auto it = temporal_.find(uri);
-  if (it != temporal_.end()) return it->second.ttr_series;
-  auto vit = value_.find(uri);
-  BROADWAY_CHECK_MSG(vit != value_.end(), "unknown object " << uri);
-  return vit->second.ttr_series;
+  static const std::vector<std::pair<TimePoint, Duration>> kEmpty;
+  const auto it = objects_.find(uri);
+  return it == objects_.end() ? kEmpty : it->second->ttr_series();
 }
 
 }  // namespace broadway

@@ -8,12 +8,22 @@
 // poll is recorded with its cause (paper Figs. 5–6 account base polls and
 // extras separately).
 //
+// Architecture: every registered uri becomes a TrackedObject (see
+// tracked_object.h) and every poll of every object kind — temporal, value,
+// virtual-group member, partitioned-group member — runs through the single
+// pipeline in poll_object(): exchange → loss/retry → store → record →
+// policy update → coordinator notify.  Records land in an indexed PollLog
+// (see poll_log.h), so the per-object metric accessors below are
+// O(records-for-uri) or O(1) instead of scans of the global log.
+//
 // Failure model:
 //  * lost polls — with `loss_probability`, a poll fails (no response); the
 //    engine retries after `retry_delay`, recording the failure;
 //  * proxy crash — `crash_and_recover()` resets every policy to TTR_min
 //    exactly as §3.1 prescribes ("recovering from a proxy failure simply
-//    involves resetting the TTRs of all objects to TTR_min").
+//    involves resetting the TTRs of all objects to TTR_min").  Retries
+//    pending at the crash die with the proxy: recovery resets TTRs, it
+//    does not resurrect in-flight requests.
 //
 // Latency model: the paper fixes network latency and studies consistency
 // mechanisms, not network dynamics (§6.1.1).  A poll here is atomic at its
@@ -24,10 +34,12 @@
 // switched.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "consistency/coordinator.h"
@@ -37,26 +49,13 @@
 #include "consistency/virtual_object.h"
 #include "origin/origin_server.h"
 #include "proxy/cache.h"
+#include "proxy/poll_log.h"
+#include "proxy/tracked_object.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace broadway {
-
-/// One completed (or failed) poll.
-struct PollRecord {
-  /// Server-state instant the response reflects (fire time).
-  TimePoint snapshot_time = 0.0;
-  /// Instant the refreshed copy became visible at the proxy.
-  TimePoint complete_time = 0.0;
-  std::string uri;
-  PollCause cause = PollCause::kScheduled;
-  /// True when the server answered 200.
-  bool modified = false;
-  /// True when the poll was lost (no other fields beyond uri/cause/time
-  /// are meaningful).
-  bool failed = false;
-};
 
 /// Engine configuration.
 struct EngineConfig {
@@ -115,33 +114,45 @@ class PollingEngine {
 
   /// Simulate a proxy crash + recovery at the current instant: every
   /// policy and coordinator resets; every timer restarts at its policy's
-  /// initial TTR.  Cached payloads survive (they are on disk); learned
-  /// polling state does not.
+  /// initial TTR; retries pending for polls lost before the crash are
+  /// dropped.  Cached payloads survive (they are on disk); learned polling
+  /// state does not.
   void crash_and_recover();
 
   // ---- results ----
 
-  const std::vector<PollRecord>& poll_log() const { return poll_log_; }
+  /// The indexed poll log (vector-compatible reads; see PollLog).
+  const PollLog& poll_log() const { return poll_log_; }
 
   /// Completion instants of successful polls of `uri`, ascending,
   /// including the initial fetch.
-  std::vector<TimePoint> poll_completion_times(const std::string& uri) const;
+  std::vector<TimePoint> poll_completion_times(const std::string& uri) const {
+    return poll_log_.completion_times(uri);
+  }
 
   /// Snapshot instants of successful polls of `uri` (same indexing as
   /// poll_completion_times).
-  std::vector<TimePoint> poll_snapshot_times(const std::string& uri) const;
+  std::vector<TimePoint> poll_snapshot_times(const std::string& uri) const {
+    return poll_log_.snapshot_times(uri);
+  }
 
   /// Successful polls excluding initial fetches — the paper's "number of
-  /// polls" metric.  Empty uri = all objects.
-  std::size_t polls_performed(const std::string& uri = "") const;
+  /// polls" metric.  Empty uri = all objects.  O(1).
+  std::size_t polls_performed(const std::string& uri = "") const {
+    return poll_log_.polls_performed(uri);
+  }
 
-  /// Triggered polls only (the mutual-consistency overhead).
-  std::size_t triggered_polls(const std::string& uri = "") const;
+  /// Triggered polls only (the mutual-consistency overhead).  O(1).
+  std::size_t triggered_polls(const std::string& uri = "") const {
+    return poll_log_.triggered_polls(uri);
+  }
 
   /// Failed (lost) poll attempts.
-  std::size_t failed_polls() const { return failed_polls_; }
+  std::size_t failed_polls() const { return poll_log_.failed_polls(); }
 
-  /// TTR value after each poll of `uri` (Fig. 4(b) series).
+  /// TTR value after each poll of `uri` (Fig. 4(b) series).  Empty for
+  /// unknown uris and for group-polled members (whose schedule is the
+  /// group's), so reporting over mixed registries never aborts a run.
   const std::vector<std::pair<TimePoint, Duration>>& ttr_series(
       const std::string& uri) const;
 
@@ -149,38 +160,17 @@ class PollingEngine {
   ProxyCache& cache() { return cache_; }
 
  private:
-  // A temporal-domain tracked object.
-  struct TemporalEntry {
-    std::string uri;
-    std::unique_ptr<RefreshPolicy> policy;
-    std::unique_ptr<PeriodicTask> task;
-    TimePoint last_poll_completion = 0.0;
-    std::vector<std::pair<TimePoint, Duration>> ttr_series;
-  };
-
-  // A value-domain tracked object.  Exactly one of `own_policy` /
-  // `partitioned` is set; virtual-group members have neither (the group
-  // polls them).
-  struct ValueEntry {
-    std::string uri;
-    std::unique_ptr<AdaptiveValueTtrPolicy> own_policy;
-    PartitionedTolerancePolicy* partitioned = nullptr;
-    std::size_t partition_index = 0;
-    std::unique_ptr<PeriodicTask> task;
-    TimePoint last_poll_completion = 0.0;
-    double last_value = 0.0;
-    bool has_value = false;
-    std::vector<std::pair<TimePoint, Duration>> ttr_series;
-  };
-
+  // A group tracked through a virtual object: members are fetched jointly
+  // and the group policy schedules the next joint poll.
   struct VirtualGroup {
-    std::vector<std::string> uris;
+    std::vector<VirtualMemberObject*> members;  // owned by objects_
     std::unique_ptr<VirtualObjectPolicy> policy;
     std::unique_ptr<PeriodicTask> task;
   };
 
+  // A partitioned-tolerance group: members self-schedule against the
+  // shared policy; the group record owns that policy.
   struct PartitionedGroup {
-    std::vector<std::string> uris;
     std::unique_ptr<PartitionedTolerancePolicy> policy;
   };
 
@@ -191,35 +181,56 @@ class PollingEngine {
   ProxyCache cache_;
   bool started_ = false;
 
-  std::map<std::string, TemporalEntry> temporal_;
-  std::map<std::string, ValueEntry> value_;
+  // unique_ptr elements: scheduled tasks and groups capture raw object
+  // pointers, which must survive container growth.
+  std::map<std::string, std::unique_ptr<TrackedObject>> objects_;
   std::vector<std::unique_ptr<MutualCoordinator>> coordinators_;
-  // unique_ptr elements: scheduled tasks capture raw group pointers, which
-  // must survive container growth.
   std::vector<std::unique_ptr<VirtualGroup>> virtual_groups_;
   std::vector<std::unique_ptr<PartitionedGroup>> partitioned_groups_;
 
-  std::vector<PollRecord> poll_log_;
-  std::size_t failed_polls_ = 0;
+  PollLog poll_log_;
+  // Retry events scheduled for lost polls; cancelled on crash.
+  std::unordered_set<EventId> pending_retries_;
 
-  // ---- poll execution ----
-  void poll_temporal(TemporalEntry& entry, PollCause cause);
-  void poll_value(ValueEntry& entry, PollCause cause);
-  void poll_virtual_group(VirtualGroup& group, PollCause cause);
+  // ---- the poll pipeline ----
 
-  // Perform the HTTP exchange; returns nullopt when loss injection ate the
-  // poll (after scheduling the retry via `retry`).
-  std::optional<Response> exchange(const std::string& uri,
-                                   std::optional<TimePoint> if_modified_since,
-                                   PollCause cause,
-                                   const std::function<void()>& retry);
+  // Poll one object through the shared pipeline.  `retry` is invoked
+  // (after retry_delay) when loss injection eats the poll: for
+  // self-scheduled objects it re-polls the object, for virtual-group
+  // members it re-polls the whole group.  Returns false on loss.
+  bool poll_object(TrackedObject& object, PollCause cause,
+                   const std::function<void()>& retry);
+
+  // Poll a self-scheduled object (retry closure re-polls it).
+  void poll_self(TrackedObject& object, PollCause cause);
+
+  // Jointly poll every member of a virtual group, then reschedule it.
+  void poll_group(VirtualGroup& group, PollCause cause);
+
+  // The one code path that appends to poll_log_, for all object kinds and
+  // for failed and successful polls alike.
+  void record_poll(const std::string& uri, PollCause cause, bool modified,
+                   bool failed);
+
+  // Perform the HTTP exchange (no failure injection; the pipeline draws
+  // losses before calling this).
+  Response exchange(const std::string& uri,
+                    std::optional<TimePoint> if_modified_since);
 
   void store_response(const std::string& uri, const Response& response,
                       TimePoint snapshot);
 
+  void schedule_retry(const std::function<void()>& retry);
+
+  // Register an object under its uri; attaches a self-scheduling task
+  // unless the object is group-polled.
+  TrackedObject& register_object(std::unique_ptr<TrackedObject> object,
+                                 bool self_scheduled);
+
   CoordinatorHooks make_hooks();
-  TimePoint next_poll_time(const std::string& uri) const;
-  TimePoint last_poll_time(const std::string& uri) const;
+  TrackedObject& temporal_object(const std::string& uri);
+  TimePoint next_poll_time(const std::string& uri);
+  TimePoint last_poll_time(const std::string& uri);
   void trigger_poll(const std::string& uri);
 };
 

@@ -1,0 +1,128 @@
+#include "proxy/tracked_object.h"
+
+#include "http/extensions.h"
+#include "util/check.h"
+
+namespace broadway {
+
+// ---- TemporalObject --------------------------------------------------------
+
+TemporalObject::TemporalObject(std::string uri,
+                               std::unique_ptr<RefreshPolicy> policy)
+    : TrackedObject(std::move(uri)), policy_(std::move(policy)) {
+  BROADWAY_CHECK(policy_ != nullptr);
+}
+
+PollOutcome TemporalObject::on_response(const Response& response,
+                                        TimePoint now, TimePoint previous,
+                                        PollCause cause) {
+  PollOutcome outcome;
+  if (cause == PollCause::kInitial) {
+    outcome.ttr = policy_->initial_ttr();
+    return outcome;
+  }
+  TemporalPollObservation obs;
+  obs.poll_time = now;
+  obs.previous_poll_time = previous;
+  obs.modified = response.ok();
+  obs.last_modified = get_last_modified(response.headers);
+  if (const auto history = get_modification_history(response.headers)) {
+    obs.history = *history;
+  }
+  outcome.ttr = policy_->next_ttr(obs);
+  outcome.observation = std::move(obs);
+  return outcome;
+}
+
+std::optional<Duration> TemporalObject::reset() {
+  policy_->reset();
+  return policy_->initial_ttr();
+}
+
+// ---- ValueDomainObject -----------------------------------------------------
+
+ValueDomainObject::ValueSample ValueDomainObject::absorb_value(
+    const Response& response, TimePoint now, TimePoint previous,
+    PollCause cause) {
+  double value = last_value_;
+  if (response.ok()) {
+    const auto header_value = get_object_value(response.headers);
+    BROADWAY_CHECK_MSG(header_value.has_value(),
+                       uri() << " is not a value-domain object");
+    value = *header_value;
+  }
+  ValueSample sample;
+  sample.first = cause == PollCause::kInitial || !has_value_;
+  sample.obs.poll_time = now;
+  sample.obs.previous_poll_time = previous;
+  sample.obs.value = value;
+  sample.obs.previous_value = last_value_;
+  last_value_ = value;
+  has_value_ = true;
+  return sample;
+}
+
+// ---- ValueObject -----------------------------------------------------------
+
+ValueObject::ValueObject(std::string uri,
+                         AdaptiveValueTtrPolicy::Config config)
+    : ValueDomainObject(std::move(uri)), policy_(config) {}
+
+PollOutcome ValueObject::on_response(const Response& response, TimePoint now,
+                                     TimePoint previous, PollCause cause) {
+  const ValueSample sample = absorb_value(response, now, previous, cause);
+  PollOutcome outcome;
+  outcome.ttr =
+      sample.first ? policy_.initial_ttr() : policy_.next_ttr(sample.obs);
+  return outcome;
+}
+
+std::optional<Duration> ValueObject::reset() {
+  policy_.reset();
+  return policy_.initial_ttr();
+}
+
+// ---- PartitionedMemberObject -----------------------------------------------
+
+PartitionedMemberObject::PartitionedMemberObject(
+    std::string uri, PartitionedTolerancePolicy* policy, std::size_t index)
+    : ValueDomainObject(std::move(uri)), policy_(policy), index_(index) {
+  BROADWAY_CHECK(policy_ != nullptr);
+  BROADWAY_CHECK(index_ < policy_->arity());
+}
+
+PollOutcome PartitionedMemberObject::on_response(const Response& response,
+                                                 TimePoint now,
+                                                 TimePoint previous,
+                                                 PollCause cause) {
+  const ValueSample sample = absorb_value(response, now, previous, cause);
+  PollOutcome outcome;
+  outcome.ttr = sample.first ? policy_->initial_ttr(index_)
+                             : policy_->next_ttr(index_, sample.obs);
+  return outcome;
+}
+
+std::optional<Duration> PartitionedMemberObject::reset() {
+  // The shared group policy is reset once by the engine (before any member
+  // re-arms); each member only restarts from the recovered apportionment.
+  return policy_->initial_ttr(index_);
+}
+
+// ---- VirtualMemberObject ---------------------------------------------------
+
+VirtualMemberObject::VirtualMemberObject(std::string uri)
+    : ValueDomainObject(std::move(uri)) {}
+
+PollOutcome VirtualMemberObject::on_response(const Response& response,
+                                             TimePoint now,
+                                             TimePoint previous,
+                                             PollCause cause) {
+  absorb_value(response, now, previous, cause);
+  return PollOutcome{};  // the group owns scheduling
+}
+
+std::optional<Duration> VirtualMemberObject::reset() {
+  return std::nullopt;  // the group resets and re-arms itself
+}
+
+}  // namespace broadway

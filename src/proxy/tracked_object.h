@@ -1,0 +1,177 @@
+// Tracked objects: the per-object half of the polling engine.
+//
+// Every object kind the paper evaluates — temporal-domain (§3),
+// value-domain (§4.1), virtual-group member (§4.2 adaptive) and
+// partitioned-group member (§4.2 partitioned) — flows through one shared
+// poll pipeline in the engine (exchange → loss/retry → store → record →
+// policy update → coordinator notify).  A TrackedObject supplies the
+// policy-specific stages of that pipeline: digesting a successful response
+// and deciding the next TTR, plus crash-recovery reset.  New object kinds
+// plug in by subclassing; the HTTP/retry/accounting logic is written once.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consistency/partitioned.h"
+#include "consistency/types.h"
+#include "consistency/value_ttr.h"
+#include "http/message.h"
+#include "sim/periodic.h"
+
+namespace broadway {
+
+/// What the pipeline should do after an object digested a successful
+/// response.
+struct PollOutcome {
+  /// TTR to re-arm the object's own timer with; nullopt for objects polled
+  /// jointly by a group (their schedule belongs to the group).
+  std::optional<Duration> ttr;
+  /// When set, mutual-consistency coordinators are notified with this
+  /// observation (temporal-domain polls, excluding the initial fetch).
+  std::optional<TemporalPollObservation> observation;
+};
+
+/// One uri tracked by the polling engine.
+class TrackedObject {
+ public:
+  explicit TrackedObject(std::string uri) : uri_(std::move(uri)) {}
+  virtual ~TrackedObject() = default;
+
+  // Scheduled tasks and groups capture raw pointers to tracked objects.
+  TrackedObject(const TrackedObject&) = delete;
+  TrackedObject& operator=(const TrackedObject&) = delete;
+
+  const std::string& uri() const { return uri_; }
+
+  /// Completion instant of the most recent successful poll (0 before any).
+  TimePoint last_poll_completion() const { return last_poll_completion_; }
+  void set_last_poll_completion(TimePoint t) { last_poll_completion_ = t; }
+
+  /// TTR after each poll (Fig. 4(b) series).  Empty for group-polled
+  /// members, whose schedule is the group's.
+  const std::vector<std::pair<TimePoint, Duration>>& ttr_series() const {
+    return ttr_series_;
+  }
+  void record_ttr(TimePoint now, Duration ttr) {
+    ttr_series_.emplace_back(now, ttr);
+  }
+
+  /// The object's own refresh timer; null for group-polled members.
+  PeriodicTask* task() const { return task_.get(); }
+  void attach_task(std::unique_ptr<PeriodicTask> task) {
+    task_ = std::move(task);
+  }
+  bool self_scheduled() const { return task_ != nullptr; }
+
+  /// True for temporal-domain objects — the only kind coordinator hooks
+  /// (trigger_poll and friends) apply to.
+  virtual bool temporal() const { return false; }
+
+  /// Pipeline stage: digest a successful response and decide what happens
+  /// next.  `previous` is the completion instant of the preceding poll.
+  virtual PollOutcome on_response(const Response& response, TimePoint now,
+                                  TimePoint previous, PollCause cause) = 0;
+
+  /// Crash recovery (§3.1): forget learned polling state.  Returns the TTR
+  /// to re-arm the object's timer with; nullopt when the object has no own
+  /// timer.  Cached payloads and observed values survive — they are on
+  /// disk.
+  virtual std::optional<Duration> reset() = 0;
+
+ private:
+  std::string uri_;
+  TimePoint last_poll_completion_ = 0.0;
+  std::vector<std::pair<TimePoint, Duration>> ttr_series_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+/// Temporal-domain object driven by a RefreshPolicy (paper §3).
+class TemporalObject final : public TrackedObject {
+ public:
+  TemporalObject(std::string uri, std::unique_ptr<RefreshPolicy> policy);
+
+  bool temporal() const override { return true; }
+  PollOutcome on_response(const Response& response, TimePoint now,
+                          TimePoint previous, PollCause cause) override;
+  std::optional<Duration> reset() override;
+
+ private:
+  std::unique_ptr<RefreshPolicy> policy_;
+};
+
+/// Shared state of the value-domain kinds: the most recently observed
+/// server value and the Δv poll observation built from each response.
+class ValueDomainObject : public TrackedObject {
+ public:
+  using TrackedObject::TrackedObject;
+
+  double last_value() const { return last_value_; }
+  bool has_value() const { return has_value_; }
+
+ protected:
+  /// One absorbed value-domain response.
+  struct ValueSample {
+    ValuePollObservation obs;
+    /// True when no prior value existed (initial fetch, or a retry racing
+    /// it): policies fall back to their initial TTR.
+    bool first = false;
+  };
+
+  /// Extract the object value of a 200 (a 304 keeps the previous value)
+  /// and remember it.
+  ValueSample absorb_value(const Response& response, TimePoint now,
+                           TimePoint previous, PollCause cause);
+
+ private:
+  double last_value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Value-domain object with its own adaptive Δv policy (paper §4.1).
+class ValueObject final : public ValueDomainObject {
+ public:
+  ValueObject(std::string uri, AdaptiveValueTtrPolicy::Config config);
+
+  PollOutcome on_response(const Response& response, TimePoint now,
+                          TimePoint previous, PollCause cause) override;
+  std::optional<Duration> reset() override;
+
+ private:
+  AdaptiveValueTtrPolicy policy_;
+};
+
+/// Member of a partitioned-tolerance group (paper §4.2): polls
+/// independently against the group policy's δᵢ share for its slot.
+class PartitionedMemberObject final : public ValueDomainObject {
+ public:
+  /// `policy` is owned by the engine's group record and outlives the
+  /// member.
+  PartitionedMemberObject(std::string uri,
+                          PartitionedTolerancePolicy* policy,
+                          std::size_t index);
+
+  PollOutcome on_response(const Response& response, TimePoint now,
+                          TimePoint previous, PollCause cause) override;
+  std::optional<Duration> reset() override;
+
+ private:
+  PartitionedTolerancePolicy* policy_;
+  std::size_t index_;
+};
+
+/// Member of a virtual-object group (paper §4.2): fetched on each joint
+/// poll; the group policy owns all scheduling.
+class VirtualMemberObject final : public ValueDomainObject {
+ public:
+  explicit VirtualMemberObject(std::string uri);
+
+  PollOutcome on_response(const Response& response, TimePoint now,
+                          TimePoint previous, PollCause cause) override;
+  std::optional<Duration> reset() override;
+};
+
+}  // namespace broadway

@@ -72,8 +72,9 @@ TEST(Accounting, EventsBeyondHorizonDropped) {
 }
 
 TEST(Accounting, Validation) {
-  EXPECT_THROW(polls_per_bucket({}, 0.0, 10.0), CheckFailure);
-  EXPECT_THROW(polls_per_bucket({}, 1.0, 0.0), CheckFailure);
+  const std::vector<PollRecord> empty;
+  EXPECT_THROW(polls_per_bucket(empty, 0.0, 10.0), CheckFailure);
+  EXPECT_THROW(polls_per_bucket(empty, 1.0, 0.0), CheckFailure);
 }
 
 }  // namespace

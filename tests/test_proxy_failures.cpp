@@ -81,6 +81,50 @@ TEST(CrashRecovery, ResetsTtrToMin) {
   EXPECT_LE(times.back() - 3000.0, 60.0 + 1e-9);
 }
 
+TEST(CrashRecovery, PendingRetriesDieWithTheProxy) {
+  Simulator sim;
+  OriginServer origin(sim);
+  EngineConfig config;
+  config.loss_probability = 0.6;
+  config.retry_delay = 50.0;  // far longer than the poll period
+  config.seed = 11;
+  PollingEngine engine(sim, origin, config);
+  origin.add_object("/a");
+  engine.add_temporal_object("/a", std::make_unique<FixedPollPolicy>(10.0));
+  engine.start();
+
+  const TimePoint crash_time = 95.0;
+  sim.run_until(crash_time);
+  // Retries fire retry_delay after their loss, so every loss in the last
+  // retry_delay before the crash still has its retry pending.
+  const auto fired_retries = [&engine] {
+    std::size_t fired = 0;
+    for (const PollRecord& record : engine.poll_log()) {
+      if (record.cause == PollCause::kRetry) ++fired;
+    }
+    return fired;
+  };
+  ASSERT_GT(engine.failed_polls(), fired_retries());  // retries in flight
+
+  const std::size_t records_at_crash = engine.poll_log().size();
+  engine.crash_and_recover();
+  sim.run_until(crash_time + config.retry_delay + 5.0);
+
+  // A retry scheduled before the crash would fire within retry_delay of
+  // it; a retry for a post-crash loss cannot.  So no retry may fire in
+  // that window: polls lost before the crash must not replay against the
+  // reset policy state.
+  for (std::size_t i = records_at_crash; i < engine.poll_log().size(); ++i) {
+    const PollRecord& record = engine.poll_log()[i];
+    if (record.complete_time < crash_time + config.retry_delay) {
+      EXPECT_NE(record.cause, PollCause::kRetry)
+          << "pre-crash retry fired at " << record.complete_time;
+    }
+  }
+  // Polling itself carries on from the recovered schedule.
+  EXPECT_GT(engine.poll_log().size(), records_at_crash);
+}
+
 TEST(CrashRecovery, CacheSurvivesCrash) {
   Simulator sim;
   OriginServer origin(sim);

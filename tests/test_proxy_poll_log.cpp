@@ -1,0 +1,230 @@
+// PollLog: the per-uri indices and running counters must agree exactly
+// with a brute-force scan of the full record vector — on a randomized
+// record stream and on a live engine driving all four object kinds.
+#include "proxy/poll_log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/fixed_poll.h"
+#include "consistency/limd.h"
+#include "consistency/partitioned.h"
+#include "consistency/triggered.h"
+#include "consistency/virtual_object.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+// Reference implementations: scan every record.
+std::vector<TimePoint> scan_completion_times(
+    const std::vector<PollRecord>& records, const std::string& uri) {
+  std::vector<TimePoint> out;
+  for (const PollRecord& record : records) {
+    if (!record.failed && record.uri == uri) {
+      out.push_back(record.complete_time);
+    }
+  }
+  return out;
+}
+
+std::vector<TimePoint> scan_snapshot_times(
+    const std::vector<PollRecord>& records, const std::string& uri) {
+  std::vector<TimePoint> out;
+  for (const PollRecord& record : records) {
+    if (!record.failed && record.uri == uri) {
+      out.push_back(record.snapshot_time);
+    }
+  }
+  return out;
+}
+
+std::size_t scan_polls_performed(const std::vector<PollRecord>& records,
+                                 const std::string& uri) {
+  std::size_t count = 0;
+  for (const PollRecord& record : records) {
+    if (record.failed || record.cause == PollCause::kInitial) continue;
+    if (!uri.empty() && record.uri != uri) continue;
+    ++count;
+  }
+  return count;
+}
+
+std::size_t scan_triggered_polls(const std::vector<PollRecord>& records,
+                                 const std::string& uri) {
+  std::size_t count = 0;
+  for (const PollRecord& record : records) {
+    if (record.failed || record.cause != PollCause::kTriggered) continue;
+    if (!uri.empty() && record.uri != uri) continue;
+    ++count;
+  }
+  return count;
+}
+
+std::size_t scan_failed_polls(const std::vector<PollRecord>& records) {
+  std::size_t count = 0;
+  for (const PollRecord& record : records) {
+    if (record.failed) ++count;
+  }
+  return count;
+}
+
+void expect_log_matches_scan(const PollLog& log,
+                             const std::vector<std::string>& uris) {
+  const std::vector<PollRecord>& records = log.records();
+  EXPECT_EQ(log.polls_performed(), scan_polls_performed(records, ""));
+  EXPECT_EQ(log.triggered_polls(), scan_triggered_polls(records, ""));
+  EXPECT_EQ(log.failed_polls(), scan_failed_polls(records));
+  for (const std::string& uri : uris) {
+    SCOPED_TRACE(uri);
+    EXPECT_EQ(log.completion_times(uri), scan_completion_times(records, uri));
+    EXPECT_EQ(log.snapshot_times(uri), scan_snapshot_times(records, uri));
+    EXPECT_EQ(log.polls_performed(uri), scan_polls_performed(records, uri));
+    EXPECT_EQ(log.triggered_polls(uri), scan_triggered_polls(records, uri));
+    const std::vector<std::size_t>& successful = log.successful_records(uri);
+    for (std::size_t i = 0; i < successful.size(); ++i) {
+      ASSERT_LT(successful[i], records.size());
+      EXPECT_FALSE(records[successful[i]].failed);
+      EXPECT_EQ(records[successful[i]].uri, uri);
+      if (i > 0) EXPECT_GT(successful[i], successful[i - 1]);
+    }
+  }
+}
+
+TEST(PollLog, IndexMatchesBruteForceOnRandomizedWorkload) {
+  Rng rng(20260728);
+  const std::vector<std::string> uris = {"/a", "/b", "/c", "/d", "/e",
+                                         "/f", "/g", "/h"};
+  const PollCause causes[] = {PollCause::kInitial, PollCause::kScheduled,
+                              PollCause::kTriggered, PollCause::kRetry};
+  PollLog log;
+  TimePoint t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    PollRecord record;
+    t += rng.uniform(0.0, 5.0);
+    record.snapshot_time = t;
+    record.complete_time = t + rng.uniform(0.0, 2.0);
+    record.uri = uris[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(uris.size()) - 1))];
+    record.cause = causes[rng.uniform_int(0, 3)];
+    record.failed = rng.bernoulli(0.2);
+    record.modified = !record.failed && rng.bernoulli(0.5);
+    log.append(std::move(record));
+  }
+  ASSERT_EQ(log.size(), 5000u);
+
+  std::vector<std::string> queried = uris;
+  queried.push_back("/never-polled");
+  expect_log_matches_scan(log, queried);
+}
+
+TEST(PollLog, UnknownUriAnswersEmpty) {
+  PollLog log;
+  EXPECT_TRUE(log.completion_times("/nope").empty());
+  EXPECT_TRUE(log.snapshot_times("/nope").empty());
+  EXPECT_TRUE(log.successful_records("/nope").empty());
+  EXPECT_EQ(log.polls_performed("/nope"), 0u);
+  EXPECT_EQ(log.triggered_polls("/nope"), 0u);
+  EXPECT_EQ(log.polls_performed(), 0u);
+  EXPECT_EQ(log.failed_polls(), 0u);
+}
+
+// All four object kinds, a coordinator and loss injection drive one
+// engine; every indexed accessor must agree with a scan of the log it
+// produced.
+TEST(PollLog, EngineAccessorsMatchBruteForceScan) {
+  Simulator sim;
+  OriginServer origin(sim);
+  EngineConfig config;
+  config.rtt = 0.5;
+  config.loss_probability = 0.2;
+  config.retry_delay = 3.0;
+  config.seed = 9;
+  PollingEngine engine(sim, origin, config);
+
+  const Duration horizon = 2000.0;
+  origin.attach_update_trace(
+      "/t1", UpdateTrace("/t1", generate_periodic(40.0, 20.0, horizon),
+                         horizon));
+  origin.attach_update_trace(
+      "/t2", UpdateTrace("/t2", generate_periodic(90.0, 45.0, horizon),
+                         horizon));
+  engine.add_temporal_object("/t1", std::make_unique<FixedPollPolicy>(25.0));
+  engine.add_temporal_object(
+      "/t2", std::make_unique<LimdPolicy>(
+                 LimdPolicy::Config::paper_defaults(60.0, 600.0)));
+  engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+      std::vector<std::string>{"/t1", "/t2"}, 30.0));
+
+  origin.attach_value_trace(
+      "/v1", ValueTrace("/v1", 100.0, {{200.0, 104.0}, {900.0, 95.0}},
+                        horizon));
+  AdaptiveValueTtrPolicy::Config value_config;
+  value_config.delta = 0.5;
+  value_config.bounds = {10.0, 200.0};
+  engine.add_value_object("/v1", value_config);
+
+  origin.attach_value_trace(
+      "/g1", ValueTrace("/g1", 50.0, {{300.0, 53.0}}, horizon));
+  origin.attach_value_trace(
+      "/g2", ValueTrace("/g2", 48.0, {{700.0, 44.0}}, horizon));
+  VirtualObjectPolicy::Config virtual_config;
+  virtual_config.delta = 0.5;
+  virtual_config.bounds = {20.0, 200.0};
+  engine.add_virtual_group(
+      {"/g1", "/g2"},
+      std::make_unique<VirtualObjectPolicy>(
+          std::make_unique<DifferenceFunction>(), virtual_config));
+
+  origin.attach_value_trace(
+      "/p1", ValueTrace("/p1", 10.0, {{150.0, 12.5}}, horizon));
+  origin.attach_value_trace(
+      "/p2", ValueTrace("/p2", 11.0, {{450.0, 9.0}}, horizon));
+  engine.add_partitioned_group(
+      {"/p1", "/p2"},
+      std::make_unique<PartitionedTolerancePolicy>(
+          std::make_unique<DifferenceFunction>(),
+          PartitionedTolerancePolicy::Config::paper_defaults(
+              1.0, TtrBounds{15.0, 200.0})));
+
+  engine.start();
+  sim.run_until(horizon);
+
+  const PollLog& log = engine.poll_log();
+  ASSERT_GT(log.size(), 100u);
+  EXPECT_GT(engine.failed_polls(), 0u);
+  EXPECT_GT(engine.triggered_polls(), 0u);
+
+  const std::vector<std::string> uris = {"/t1", "/t2", "/v1", "/g1",
+                                         "/g2", "/p1", "/p2", "/absent"};
+  expect_log_matches_scan(log, uris);
+  for (const std::string& uri : uris) {
+    SCOPED_TRACE(uri);
+    EXPECT_EQ(engine.poll_completion_times(uri), log.completion_times(uri));
+    EXPECT_EQ(engine.poll_snapshot_times(uri), log.snapshot_times(uri));
+    EXPECT_EQ(engine.polls_performed(uri), log.polls_performed(uri));
+    EXPECT_EQ(engine.triggered_polls(uri), log.triggered_polls(uri));
+  }
+
+  // ttr_series over a mixed registry: self-scheduled objects have series,
+  // group-polled members and unknown uris answer empty instead of
+  // aborting the run.
+  EXPECT_FALSE(engine.ttr_series("/t1").empty());
+  EXPECT_FALSE(engine.ttr_series("/v1").empty());
+  EXPECT_FALSE(engine.ttr_series("/p1").empty());
+  EXPECT_TRUE(engine.ttr_series("/g1").empty());
+  EXPECT_TRUE(engine.ttr_series("/g2").empty());
+  EXPECT_TRUE(engine.ttr_series("/absent").empty());
+}
+
+}  // namespace
+}  // namespace broadway
