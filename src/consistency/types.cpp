@@ -56,6 +56,8 @@ std::string to_string(PollCause c) {
       return "triggered";
     case PollCause::kRetry:
       return "retry";
+    case PollCause::kRelay:
+      return "relay";
   }
   return "?";
 }

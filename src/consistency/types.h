@@ -85,6 +85,7 @@ enum class PollCause {
   kScheduled,  ///< TTR expiry
   kTriggered,  ///< forced by a mutual-consistency coordinator
   kRetry,      ///< re-poll after an injected network failure
+  kRelay,      ///< refresh relayed by a sibling proxy (no origin message)
 };
 
 std::string to_string(PollCause c);

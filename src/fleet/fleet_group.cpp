@@ -1,0 +1,67 @@
+#include "fleet/fleet_group.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+FleetDeltaGroup::FleetDeltaGroup(std::vector<FleetMember> members,
+                                 Duration delta_mutual)
+    : members_(std::move(members)), delta_mutual_(delta_mutual) {
+  BROADWAY_CHECK_MSG(members_.size() >= 2, "group needs >= 2 members");
+  BROADWAY_CHECK_MSG(delta_mutual_ >= 0.0, "delta " << delta_mutual_);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      BROADWAY_CHECK_MSG(members_[i].proxy != members_[j].proxy ||
+                             members_[i].uri != members_[j].uri,
+                         "duplicate member " << members_[i].uri);
+    }
+  }
+}
+
+void FleetDeltaGroup::bind(std::vector<CoordinatorHooks> hooks_by_proxy) {
+  for (const FleetMember& member : members_) {
+    BROADWAY_CHECK_MSG(member.proxy < hooks_by_proxy.size(),
+                       "member proxy " << member.proxy << " out of range");
+  }
+  hooks_by_proxy_ = std::move(hooks_by_proxy);
+}
+
+bool FleetDeltaGroup::is_member(std::size_t proxy,
+                                const std::string& uri) const {
+  for (const FleetMember& member : members_) {
+    if (member.proxy == proxy && member.uri == uri) return true;
+  }
+  return false;
+}
+
+bool FleetDeltaGroup::outside_delta_window(const FleetMember& member,
+                                           TimePoint now) const {
+  const CoordinatorHooks& hooks = hooks_by_proxy_[member.proxy];
+  // Same reasoning as MutualCoordinator::outside_delta_window, against the
+  // member's own proxy: a recent refresh (own poll or relay) means its
+  // copy already originated within δ; an imminent poll restores that soon
+  // enough.
+  const TimePoint last = hooks.last_poll_time(member.uri);
+  if (now - last <= delta_mutual_) return false;
+  const TimePoint next = hooks.next_poll_time(member.uri);
+  if (next - now <= delta_mutual_) return false;
+  return true;
+}
+
+void FleetDeltaGroup::on_poll(std::size_t proxy, const std::string& uri,
+                              const TemporalPollObservation& obs) {
+  if (!obs.modified) return;
+  if (!is_member(proxy, uri)) return;
+  BROADWAY_CHECK_MSG(!hooks_by_proxy_.empty(), "group used before bind()");
+  for (const FleetMember& member : members_) {
+    if (member.proxy == proxy && member.uri == uri) continue;
+    if (!outside_delta_window(member, obs.poll_time)) continue;
+    ++triggers_requested_;
+    // Recursion: the triggered poll re-enters on_poll for `member` via the
+    // fleet's listener; its zero-age last poll then falls inside the δ
+    // window, so cascades terminate.
+    hooks_by_proxy_[member.proxy].trigger_poll(member.uri);
+  }
+}
+
+}  // namespace broadway

@@ -1,0 +1,71 @@
+// Cross-proxy δ-groups: mutual temporal consistency spanning a fleet.
+//
+// The paper's §3.2 coordinators keep a group of objects mutually
+// consistent *within one proxy*.  In a fleet, a user may read related
+// objects through different proxies (one edge cache per region serving the
+// same portal page), so the δ bound must hold across proxies: when any
+// fleet member observes an update of one group member, the proxies holding
+// the other members refresh them unless a previous/next poll already falls
+// within δ — the same window test as TriggeredPollCoordinator, evaluated
+// against each member's *own* proxy schedule.  Relay refreshes count as
+// polls for the window test, so cooperative push naturally suppresses
+// redundant triggers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "consistency/coordinator.h"
+#include "consistency/types.h"
+#include "util/time.h"
+
+namespace broadway {
+
+/// One member of a cross-proxy δ-group: object `uri` as tracked by the
+/// fleet proxy with index `proxy`.
+struct FleetMember {
+  std::size_t proxy = 0;
+  std::string uri;
+};
+
+/// Triggered-poll mutual consistency across proxies.  Owned and driven by
+/// ProxyFleet: the fleet forwards every non-initial temporal poll
+/// observation (own polls and applied relays) of a member object and the
+/// group triggers the lagging members' proxies.
+class FleetDeltaGroup {
+ public:
+  /// `members` must name >= 2 distinct (proxy, uri) pairs of temporal
+  /// objects; `delta_mutual` is δ of the paper's Eq. (4).
+  FleetDeltaGroup(std::vector<FleetMember> members, Duration delta_mutual);
+
+  FleetDeltaGroup(const FleetDeltaGroup&) = delete;
+  FleetDeltaGroup& operator=(const FleetDeltaGroup&) = delete;
+
+  /// Attach per-proxy engine hooks, indexed by fleet proxy index.  Called
+  /// once by the fleet at registration.
+  void bind(std::vector<CoordinatorHooks> hooks_by_proxy);
+
+  /// Observation of a completed poll (or applied relay) of `uri` at
+  /// `proxy`.  Triggers polls of the other members outside their δ
+  /// window; cascades terminate because a fresh poll is inside the window.
+  void on_poll(std::size_t proxy, const std::string& uri,
+               const TemporalPollObservation& obs);
+
+  const std::vector<FleetMember>& members() const { return members_; }
+  Duration delta_mutual() const { return delta_mutual_; }
+
+  /// Cross-proxy triggered polls this group has requested.
+  std::size_t triggers_requested() const { return triggers_requested_; }
+
+ private:
+  bool is_member(std::size_t proxy, const std::string& uri) const;
+  bool outside_delta_window(const FleetMember& member, TimePoint now) const;
+
+  std::vector<FleetMember> members_;
+  Duration delta_mutual_;
+  std::vector<CoordinatorHooks> hooks_by_proxy_;
+  std::size_t triggers_requested_ = 0;
+};
+
+}  // namespace broadway

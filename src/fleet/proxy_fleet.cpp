@@ -1,0 +1,167 @@
+#include "fleet/proxy_fleet.h"
+
+#include "http/extensions.h"
+#include "util/check.h"
+
+namespace broadway {
+
+ProxyFleet::ProxyFleet(Simulator& sim, OriginServer& origin,
+                       FleetConfig config)
+    : sim_(sim), origin_(origin), config_(config) {
+  BROADWAY_CHECK_MSG(config_.proxies >= 1,
+                     "fleet needs >= 1 proxy, got " << config_.proxies);
+  BROADWAY_CHECK_MSG(config_.relay_latency >= 0.0,
+                     "relay latency " << config_.relay_latency);
+  engines_.reserve(config_.proxies);
+  for (std::size_t i = 0; i < config_.proxies; ++i) {
+    EngineConfig engine_config = config_.engine;
+    engine_config.seed = config_.engine.seed + i;
+    engines_.push_back(
+        std::make_unique<PollingEngine>(sim_, origin_, engine_config));
+    // The listener feeds δ-groups as well as the relay channel, so it is
+    // installed even when cooperative push is off.
+    engines_.back()->set_poll_listener(
+        [this, i](const PollEvent& event) { on_poll(i, event); });
+  }
+}
+
+PollingEngine& ProxyFleet::proxy(std::size_t index) {
+  BROADWAY_CHECK_MSG(index < engines_.size(), "proxy " << index);
+  return *engines_[index];
+}
+
+const PollingEngine& ProxyFleet::proxy(std::size_t index) const {
+  BROADWAY_CHECK_MSG(index < engines_.size(), "proxy " << index);
+  return *engines_[index];
+}
+
+// ---- registration ----------------------------------------------------------
+
+void ProxyFleet::add_temporal_object(std::size_t proxy_index,
+                                     const std::string& uri,
+                                     std::unique_ptr<RefreshPolicy> policy) {
+  proxy(proxy_index).add_temporal_object(uri, std::move(policy));
+}
+
+void ProxyFleet::add_temporal_object_everywhere(
+    const std::string& uri, const PolicyFactory& make_policy) {
+  BROADWAY_CHECK(make_policy != nullptr);
+  for (auto& engine : engines_) {
+    engine->add_temporal_object(uri, make_policy());
+  }
+}
+
+void ProxyFleet::add_value_object(std::size_t proxy_index,
+                                  const std::string& uri,
+                                  AdaptiveValueTtrPolicy::Config config) {
+  proxy(proxy_index).add_value_object(uri, config);
+}
+
+std::vector<CoordinatorHooks> ProxyFleet::hooks_by_proxy() {
+  std::vector<CoordinatorHooks> hooks;
+  hooks.reserve(engines_.size());
+  for (auto& engine : engines_) {
+    hooks.push_back(engine->coordinator_hooks());
+  }
+  return hooks;
+}
+
+FleetDeltaGroup& ProxyFleet::add_delta_group(std::vector<FleetMember> members,
+                                             Duration delta_mutual) {
+  for (const FleetMember& member : members) {
+    BROADWAY_CHECK_MSG(member.proxy < engines_.size(),
+                       "member proxy " << member.proxy << " out of range");
+    // Temporal-only, checked here so a bad member fails at registration
+    // instead of aborting mid-simulation on the first trigger.
+    BROADWAY_CHECK_MSG(engines_[member.proxy]->tracks_temporal(member.uri),
+                       "member " << member.uri
+                                 << " is not a temporal object of proxy "
+                                 << member.proxy);
+  }
+  auto group =
+      std::make_unique<FleetDeltaGroup>(std::move(members), delta_mutual);
+  group->bind(hooks_by_proxy());
+  groups_.push_back(std::move(group));
+  return *groups_.back();
+}
+
+void ProxyFleet::start() {
+  for (auto& engine : engines_) {
+    engine->start();
+  }
+}
+
+// ---- the relay channel -----------------------------------------------------
+
+void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
+  // Initial fetches are not relayed: every proxy fetches its own working
+  // set once at start-up (siblings may not even have started yet).
+  if (config_.cooperative_push && event.cause != PollCause::kInitial) {
+    for (std::size_t j = 0; j < engines_.size(); ++j) {
+      if (j == proxy_index) continue;
+      if (!engines_[j]->relay_eligible(event.uri)) continue;
+      relay(j, event.uri, event.response, event.snapshot);
+    }
+  }
+  if (event.observation != nullptr) {
+    notify_groups(proxy_index, event.uri, *event.observation);
+  }
+}
+
+void ProxyFleet::relay(std::size_t to, const std::string& uri,
+                       const Response& response, TimePoint snapshot) {
+  if (config_.relay_latency <= 0.0) {
+    deliver(to, uri, response, snapshot);
+    return;
+  }
+  // Copies: the PollEvent's references die with the poll pipeline.
+  sim_.schedule_after(config_.relay_latency,
+                      [this, to, uri, response, snapshot] {
+                        deliver(to, uri, response, snapshot);
+                      });
+}
+
+void ProxyFleet::deliver(std::size_t to, const std::string& uri,
+                         const Response& response, TimePoint snapshot) {
+  ++relays_delivered_;
+  if (!engines_[to]->apply_relay(uri, response, snapshot)) return;
+  ++relays_applied_;
+  if (response.ok()) {
+    // δ-groups hear about the relayed refresh: the receiving member's
+    // copy advanced even though the origin poll happened elsewhere.
+    TemporalPollObservation obs;
+    obs.poll_time = sim_.now();
+    obs.modified = true;
+    obs.last_modified = get_last_modified(response.headers);
+    notify_groups(to, uri, obs);
+  }
+}
+
+void ProxyFleet::notify_groups(std::size_t proxy_index,
+                               const std::string& uri,
+                               const TemporalPollObservation& obs) {
+  for (auto& group : groups_) {
+    group->on_poll(proxy_index, uri, obs);
+  }
+}
+
+// ---- accounting ------------------------------------------------------------
+
+FleetOriginLoad ProxyFleet::origin_load() const {
+  std::vector<const PollLog*> logs;
+  logs.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    logs.push_back(&engine->poll_log());
+  }
+  return fleet_origin_load(logs);
+}
+
+std::size_t ProxyFleet::origin_polls() const {
+  std::size_t total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->polls_performed();
+  }
+  return total;
+}
+
+}  // namespace broadway

@@ -1,0 +1,142 @@
+// A fleet of proxies sharing one origin server (paper §5.1 outlook).
+//
+// The paper evaluates a single proxy against one origin; its extension
+// headers (src/http/extensions.h) and push channel (src/origin/push.h) are
+// explicitly designed for a *network* of caches.  ProxyFleet realises
+// that: N PollingEngines bound to one OriginServer through one simulator,
+// with
+//
+//  * per-fleet origin-load accounting — polls/sec seen by the origin
+//    across all proxies (metrics/accounting's FleetOriginLoad);
+//  * an optional **cooperative push mode**: the proxy that polls an object
+//    relays the response to sibling proxies tracking the same uri over a
+//    PushChannel-style proxy–proxy relay carrying X-Modification-History /
+//    X-Last-Modified-Precise, so siblings refresh (200 relays) or
+//    revalidate (304 relays) without an origin round-trip;
+//  * fleet-aware δ-groups (FleetDeltaGroup): mutual temporal consistency
+//    for groups whose members are cached on *different* proxies.
+//
+// Relay correctness: every successful non-initial poll is relayed, so a
+// sibling's view always advances with the freshest observation anywhere in
+// the fleet; PollingEngine::apply_relay restricts the relayed modification
+// history to the updates the sibling has not seen and rejects stale or
+// non-validating relays.  Each relay is recorded at the receiving proxy as
+// PollCause::kRelay — visible to the fidelity evaluation, excluded from
+// origin-poll counts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_group.h"
+#include "metrics/accounting.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+
+namespace broadway {
+
+/// Fleet configuration.
+struct FleetConfig {
+  /// Number of proxies.
+  std::size_t proxies = 2;
+  /// Relay successful polls (200 refreshes, 304 validations) to sibling
+  /// proxies tracking the same uri.  Off = independent polling.
+  bool cooperative_push = true;
+  /// Proxy–proxy delivery latency; 0 = synchronous relay.
+  Duration relay_latency = 0.0;
+  /// Per-engine template; proxy i runs with seed = engine.seed + i so
+  /// loss-injection streams are independent across the fleet.
+  EngineConfig engine;
+};
+
+/// N polling engines on one origin, with cooperative proxy–proxy push.
+class ProxyFleet {
+ public:
+  ProxyFleet(Simulator& sim, OriginServer& origin, FleetConfig config);
+
+  ProxyFleet(const ProxyFleet&) = delete;
+  ProxyFleet& operator=(const ProxyFleet&) = delete;
+
+  std::size_t size() const { return engines_.size(); }
+  PollingEngine& proxy(std::size_t index);
+  const PollingEngine& proxy(std::size_t index) const;
+  const FleetConfig& config() const { return config_; }
+
+  // ---- registration (before start()) ----
+
+  /// Track a temporal object on one proxy.
+  void add_temporal_object(std::size_t proxy, const std::string& uri,
+                           std::unique_ptr<RefreshPolicy> policy);
+
+  /// Track the same uri on *every* proxy; `make_policy` builds one policy
+  /// instance per proxy (policies carry learned state and cannot be
+  /// shared).
+  using PolicyFactory = std::function<std::unique_ptr<RefreshPolicy>()>;
+  void add_temporal_object_everywhere(const std::string& uri,
+                                      const PolicyFactory& make_policy);
+
+  /// Track a value-domain object on one proxy.
+  void add_value_object(std::size_t proxy, const std::string& uri,
+                        AdaptiveValueTtrPolicy::Config config);
+
+  /// Register a cross-proxy δ-group.  Members must already be registered
+  /// temporal objects on their proxies.
+  FleetDeltaGroup& add_delta_group(std::vector<FleetMember> members,
+                                   Duration delta_mutual);
+
+  /// Start every engine (proxy 0 first; deterministic FIFO ordering).
+  void start();
+
+  // ---- accounting ----
+
+  /// Aggregate origin load over every proxy's poll log.
+  FleetOriginLoad origin_load() const;
+
+  /// Successful non-initial origin polls across the fleet (the paper's
+  /// "number of polls" summed over proxies).
+  std::size_t origin_polls() const;
+
+  /// Relay messages delivered on the proxy–proxy channel (counted at the
+  /// receiving proxy; with relay latency, messages still in flight when
+  /// the simulation stops are not included).
+  std::size_t relays_delivered() const { return relays_delivered_; }
+
+  /// Relay messages the receiving proxy accepted (refresh or validation).
+  std::size_t relays_applied() const { return relays_applied_; }
+
+  const OriginServer& origin() const { return origin_; }
+
+ private:
+  Simulator& sim_;
+  OriginServer& origin_;
+  FleetConfig config_;
+  std::vector<std::unique_ptr<PollingEngine>> engines_;
+  std::vector<std::unique_ptr<FleetDeltaGroup>> groups_;
+  std::size_t relays_delivered_ = 0;
+  std::size_t relays_applied_ = 0;
+
+  /// Fleet-level stage of engine i's poll pipeline: relay to siblings,
+  /// then feed δ-groups.
+  void on_poll(std::size_t proxy, const PollEvent& event);
+
+  /// Send one relay message to proxy `to` (delivered now, or after
+  /// relay_latency).  `snapshot` is the relaying proxy's poll fire time.
+  void relay(std::size_t to, const std::string& uri,
+             const Response& response, TimePoint snapshot);
+
+  /// Delivery: count the message, apply it, feed δ-groups on success.
+  void deliver(std::size_t to, const std::string& uri,
+               const Response& response, TimePoint snapshot);
+
+  /// δ-groups hear about a member refresh (own poll or applied relay).
+  void notify_groups(std::size_t proxy, const std::string& uri,
+                     const TemporalPollObservation& obs);
+
+  std::vector<CoordinatorHooks> hooks_by_proxy();
+};
+
+}  // namespace broadway

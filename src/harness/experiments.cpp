@@ -7,6 +7,7 @@
 #include "consistency/heuristic.h"
 #include "consistency/limd.h"
 #include "consistency/triggered.h"
+#include "fleet/proxy_fleet.h"
 #include "origin/origin_server.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -205,6 +206,58 @@ MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
     result.series = mutual_value_series(trace_a, polls_a, trace_b, polls_b,
                                         difference, horizon);
   }
+  return result;
+}
+
+FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
+                                  const FleetRunConfig& config) {
+  BROADWAY_CHECK_MSG(!traces.empty(), "fleet run needs >= 1 trace");
+  Simulator sim;
+  OriginServer origin(sim, make_origin_config(config.base.origin_history));
+
+  FleetConfig fleet_config;
+  fleet_config.proxies = config.proxies;
+  fleet_config.cooperative_push = config.cooperative_push;
+  fleet_config.relay_latency = config.relay_latency;
+  fleet_config.engine = config.base.engine;
+  ProxyFleet fleet(sim, origin, fleet_config);
+
+  Duration horizon = 0.0;
+  for (const UpdateTrace& trace : traces) {
+    origin.attach_update_trace(trace.name(), trace);
+    fleet.add_temporal_object_everywhere(trace.name(), [&config] {
+      return std::make_unique<LimdPolicy>(make_limd_config(config.base));
+    });
+    horizon = std::max(horizon, trace.duration());
+  }
+  fleet.start();
+  sim.run_until(horizon);
+
+  FleetRunResult result;
+  result.origin_requests = origin.requests_served();
+  result.origin_polls = fleet.origin_polls();
+  result.origin_polls_per_second =
+      fleet.origin_load().polls_per_second(horizon);
+  result.relays_delivered = fleet.relays_delivered();
+  result.relays_applied = fleet.relays_applied();
+
+  double sum_time = 0.0, sum_violations = 0.0;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    for (const UpdateTrace& trace : traces) {
+      const auto polls =
+          successful_polls(fleet.proxy(p).poll_log(), trace.name());
+      const TemporalFidelityReport report = evaluate_temporal_fidelity(
+          trace, polls, config.base.delta, trace.duration());
+      sum_time += report.fidelity_time();
+      sum_violations += report.fidelity_violations();
+      result.min_fidelity_time =
+          std::min(result.min_fidelity_time, report.fidelity_time());
+    }
+  }
+  const double pairs =
+      static_cast<double>(fleet.size()) * static_cast<double>(traces.size());
+  result.mean_fidelity_time = sum_time / pairs;
+  result.mean_fidelity_violations = sum_violations / pairs;
   return result;
 }
 

@@ -151,4 +151,41 @@ MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
                                       const ValueTrace& trace_b,
                                       const MutualValueRunConfig& config);
 
+// ---------- proxy fleet (multi-proxy, §5.1 outlook) ----------
+
+/// One fleet run: N proxies on one origin, every proxy tracking every
+/// trace's object with a LIMD policy built from `base`.
+struct FleetRunConfig {
+  /// Number of proxies sharing the origin.
+  std::size_t proxies = 2;
+  /// Relay successful polls to siblings (off = independent polling).
+  bool cooperative_push = true;
+  /// Proxy–proxy delivery latency.
+  Duration relay_latency = 0.0;
+  /// Per-object Δt policy parameters, shared by every proxy.
+  TemporalRunConfig base;
+};
+
+struct FleetRunResult {
+  /// Messages the origin served (initial fetches + polls, fleet-wide).
+  std::size_t origin_requests = 0;
+  /// Successful non-initial origin polls, fleet-wide.
+  std::size_t origin_polls = 0;
+  /// Mean origin polls per second over the longest trace horizon.
+  double origin_polls_per_second = 0.0;
+  /// Relay messages sent / accepted on the proxy–proxy channel.
+  std::size_t relays_delivered = 0;
+  std::size_t relays_applied = 0;
+  /// Eq. 14 fidelity over every (proxy, object) pair.
+  double mean_fidelity_time = 0.0;
+  double min_fidelity_time = 1.0;
+  /// Eq. 13 fidelity over every (proxy, object) pair.
+  double mean_fidelity_violations = 0.0;
+};
+
+/// Run a fleet over the traces; each object is evaluated per proxy against
+/// its own trace horizon.
+FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
+                                  const FleetRunConfig& config);
+
 }  // namespace broadway

@@ -27,6 +27,9 @@ PollCauseCounts count_by_cause(const std::vector<PollRecord>& log) {
       case PollCause::kRetry:
         ++counts.retry;
         break;
+      case PollCause::kRelay:
+        ++counts.relay;
+        break;
     }
   }
   return counts;
@@ -34,6 +37,24 @@ PollCauseCounts count_by_cause(const std::vector<PollRecord>& log) {
 
 PollCauseCounts count_by_cause(const PollLog& log) {
   return count_by_cause(log.records());
+}
+
+double FleetOriginLoad::polls_per_second(Duration horizon) const {
+  if (horizon <= 0.0) return 0.0;
+  return static_cast<double>(origin_polls) / horizon;
+}
+
+FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs) {
+  FleetOriginLoad load;
+  for (const PollLog* log : logs) {
+    BROADWAY_CHECK(log != nullptr);
+    const PollCauseCounts counts = count_by_cause(*log);
+    load.origin_messages += counts.initial + counts.total_refreshes();
+    load.origin_polls += counts.total_refreshes();
+    load.relay_refreshes += counts.relay;
+    load.failed += counts.failed;
+  }
+  return load;
 }
 
 std::vector<std::size_t> polls_per_bucket(const std::vector<PollRecord>& log,

@@ -21,10 +21,12 @@ struct PollCauseCounts {
   std::size_t scheduled = 0;
   std::size_t triggered = 0;
   std::size_t retry = 0;
+  std::size_t relay = 0;
   std::size_t failed = 0;
 
   /// The paper's "number of polls": everything except the initial fetches
-  /// and failures.
+  /// and failures.  Relay refreshes are excluded too — they refresh the
+  /// cached copy over the proxy–proxy channel, not via an origin message.
   std::size_t total_refreshes() const {
     return scheduled + triggered + retry;
   }
@@ -32,6 +34,28 @@ struct PollCauseCounts {
 
 PollCauseCounts count_by_cause(const std::vector<PollRecord>& log);
 PollCauseCounts count_by_cause(const PollLog& log);
+
+/// Origin load seen across a fleet of proxies sharing one origin: every
+/// message the origin answered (initial fetches, scheduled/triggered/retry
+/// polls) aggregated over all proxies' logs, plus the relay traffic that
+/// replaced origin polls on the proxy–proxy channel.
+struct FleetOriginLoad {
+  /// Origin messages: successful polls including initial fetches.
+  std::size_t origin_messages = 0;
+  /// Origin messages excluding the initial fetches (the paper's "number
+  /// of polls" summed over the fleet).
+  std::size_t origin_polls = 0;
+  /// Refreshes served by sibling relays instead of origin polls.
+  std::size_t relay_refreshes = 0;
+  /// Failed (lost) poll attempts across the fleet.
+  std::size_t failed = 0;
+
+  /// Mean origin polls per second over the horizon (0 for horizon <= 0).
+  double polls_per_second(Duration horizon) const;
+};
+
+/// Aggregate the origin load over any number of proxy poll logs.
+FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs);
 
 /// Successful polls per time bucket over [0, horizon), optionally filtered
 /// by cause and/or uri (empty = all).  The Fig. 6(b) series is

@@ -1,5 +1,6 @@
 #include "origin/push.h"
 
+#include "http/extensions.h"
 #include "util/check.h"
 
 namespace broadway {
@@ -52,6 +53,18 @@ void PushChannel::deliver(const std::string& uri) {
   Request request;
   request.uri = uri;
   const Response response = origin_.handle(request);
+  // Delivery-ordering invariant: a coalesced push carries every update
+  // that rode along, and X-Modification-History must list them newest-last
+  // (strictly ascending) — exactly the order a poll at this instant would
+  // have returned.  Consumers (violation inference, fleet relays) index
+  // the newest update as history.back().
+  if (const auto history = get_modification_history(response.headers)) {
+    for (std::size_t i = 1; i < history->size(); ++i) {
+      BROADWAY_CHECK_MSG((*history)[i - 1] < (*history)[i],
+                         "push history out of order for " << uri << ": "
+                             << (*history)[i - 1] << " !< " << (*history)[i]);
+    }
+  }
   ++pushes_delivered_;
   subscription.delivery(uri, response);
 }

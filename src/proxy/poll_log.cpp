@@ -13,7 +13,13 @@ void PollLog::append(PollRecord record) {
     ++failed_total_;
   } else {
     uri_index.successful.push_back(index);
-    if (record.cause != PollCause::kInitial) {
+    if (record.cause == PollCause::kRelay) {
+      // A relay refreshes the copy without an origin message: it appears
+      // in the successful-record series (the evaluation sees the refresh)
+      // but not in the origin-poll counters.
+      ++uri_index.relays;
+      ++relay_total_;
+    } else if (record.cause != PollCause::kInitial) {
       ++uri_index.performed;
       ++performed_total_;
     }
@@ -67,6 +73,12 @@ std::size_t PollLog::triggered_polls(const std::string& uri) const {
   if (uri.empty()) return triggered_total_;
   const UriIndex* index = find(uri);
   return index == nullptr ? 0 : index->triggered;
+}
+
+std::size_t PollLog::relay_refreshes(const std::string& uri) const {
+  if (uri.empty()) return relay_total_;
+  const UriIndex* index = find(uri);
+  return index == nullptr ? 0 : index->relays;
 }
 
 }  // namespace broadway

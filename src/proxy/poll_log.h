@@ -77,12 +77,18 @@ class PollLog {
   // ---- O(1) counters ----
 
   /// Successful polls excluding initial fetches — the paper's "number of
-  /// polls" metric.  Empty uri = all objects.
+  /// polls" metric.  Empty uri = all objects.  Relay refreshes (PollCause::
+  /// kRelay) are *not* counted: they refresh the cached copy without an
+  /// origin message, so they are not polls in the paper's sense.
   std::size_t polls_performed(const std::string& uri = "") const;
 
   /// Successful triggered polls (the mutual-consistency overhead).  Empty
   /// uri = all objects.
   std::size_t triggered_polls(const std::string& uri = "") const;
+
+  /// Refreshes applied from sibling-proxy relays (cooperative push).
+  /// Empty uri = all objects.
+  std::size_t relay_refreshes(const std::string& uri = "") const;
 
   /// Failed (lost) poll attempts, all objects.
   std::size_t failed_polls() const { return failed_total_; }
@@ -90,8 +96,9 @@ class PollLog {
  private:
   struct UriIndex {
     std::vector<std::size_t> successful;  ///< record indices, !failed
-    std::size_t performed = 0;            ///< successful, non-initial
+    std::size_t performed = 0;            ///< successful, non-initial origin
     std::size_t triggered = 0;            ///< successful, kTriggered
+    std::size_t relays = 0;               ///< successful, kRelay
   };
 
   /// nullptr when the uri has no records.
@@ -101,6 +108,7 @@ class PollLog {
   std::unordered_map<std::string, UriIndex> by_uri_;
   std::size_t performed_total_ = 0;
   std::size_t triggered_total_ = 0;
+  std::size_t relay_total_ = 0;
   std::size_t failed_total_ = 0;
 };
 

@@ -156,23 +156,24 @@ Response PollingEngine::exchange(const std::string& uri,
 
 void PollingEngine::store_response(const std::string& uri,
                                    const Response& response,
-                                   TimePoint snapshot) {
+                                   TimePoint snapshot, TimePoint visible) {
   if (!response.ok()) return;  // 304: the cached copy is still current
   CacheEntry entry;
   entry.uri = uri;
   entry.body = response.body;
   entry.snapshot_time = snapshot;
-  entry.stored_time = snapshot + config_.rtt;
+  entry.stored_time = visible;
   entry.last_modified = get_last_modified(response.headers);
   entry.value = get_object_value(response.headers);
   cache_.store(std::move(entry));
 }
 
 void PollingEngine::record_poll(const std::string& uri, PollCause cause,
-                                bool modified, bool failed) {
+                                bool modified, bool failed,
+                                TimePoint snapshot, TimePoint complete) {
   PollRecord record;
-  record.snapshot_time = sim_.now();
-  record.complete_time = sim_.now() + config_.rtt;
+  record.snapshot_time = snapshot;
+  record.complete_time = complete;
   record.uri = uri;
   record.cause = cause;
   record.modified = modified;
@@ -209,12 +210,13 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
     BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
                        object.uri() << " not present at origin");
     // Stage 3: refresh the cached copy.
-    store_response(object.uri(), *response, now);
+    store_response(object.uri(), *response, now, now + config_.rtt);
   }
 
   // Stage 4: record the poll — the single append site for every object
   // kind, lost and successful polls alike.
-  record_poll(object.uri(), cause, !lost && response->ok(), lost);
+  record_poll(object.uri(), cause, !lost && response->ok(), lost, now,
+              now + config_.rtt);
 
   if (lost) {
     schedule_retry(retry);
@@ -236,6 +238,91 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
   if (outcome.observation) {
     for (auto& coordinator : coordinators_) {
       coordinator->on_poll(object.uri(), *outcome.observation);
+    }
+  }
+
+  // Stage 7: fleet-level observer, after the engine's own state settled so
+  // the listener (e.g. a relaying fleet) sees a consistent proxy.
+  if (poll_listener_) {
+    poll_listener_(PollEvent{
+        object.uri(), cause, *response, now,
+        outcome.observation ? &*outcome.observation : nullptr});
+  }
+  return true;
+}
+
+bool PollingEngine::apply_relay(const std::string& uri,
+                                const Response& response,
+                                TimePoint snapshot) {
+  if (!started_) return false;  // relays may race engine start-up
+  if (!response.ok() && !response.not_modified()) return false;
+  const auto it = objects_.find(uri);
+  if (it == objects_.end() || !it->second->self_scheduled()) return false;
+  TrackedObject& object = *it->second;
+  const TimePoint now = sim_.now();
+  BROADWAY_CHECK_MSG(snapshot <= now, "relay snapshot " << snapshot
+                                                        << " after " << now);
+  const TimePoint previous = object.last_poll_completion();
+  // A relay older than this proxy's own view carries nothing new (e.g. a
+  // delayed delivery overtaken by an own poll).
+  if (snapshot <= previous) return false;
+  const auto relayed_last_modified = get_last_modified(response.headers);
+
+  Response local = response;
+  if (response.not_modified()) {
+    // Validation relay: the sibling's 304 confirms the object unchanged
+    // through `snapshot`.  Applicable only when it validates *this*
+    // proxy's copy, i.e. the reported version is one this proxy has
+    // already seen; otherwise this proxy missed an update and must poll
+    // itself.
+    if (!relayed_last_modified || *relayed_last_modified > previous) {
+      return false;
+    }
+  } else {
+    // Refresh relay.  Skip when the copy is already current (e.g. this
+    // proxy polled at the same instant and the cross-relay arrived late):
+    // applying would mis-report a modification to the policy.
+    if (relayed_last_modified && *relayed_last_modified <= previous) {
+      return false;
+    }
+    if (const CacheEntry* entry = cache_.find(uri)) {
+      if (relayed_last_modified && entry->last_modified &&
+          *relayed_last_modified <= *entry->last_modified) {
+        return false;
+      }
+    }
+    // The sibling's history covers updates since *its* previous poll;
+    // restrict it to the updates this proxy has not seen.  With relays
+    // flowing on every observed modification the sibling's history is a
+    // superset of ours past `previous`, so the restriction is exact.
+    if (const auto history = get_modification_history(response.headers)) {
+      std::vector<TimePoint> unseen;
+      unseen.reserve(history->size());
+      for (const TimePoint t : *history) {
+        if (t > previous) unseen.push_back(t);
+      }
+      set_modification_history(local.headers, unseen);
+    }
+  }
+
+  // The relay pipeline mirrors poll stages 3–6 (no exchange, no loss);
+  // store_response ignores 304s, exactly as for an own poll.  All state is
+  // stamped with the true server snapshot — with delivery latency the
+  // copy reflects state at `snapshot` and becomes visible only `now`, and
+  // the fidelity evaluation must see exactly that.
+  store_response(uri, local, snapshot, now);
+  record_poll(uri, PollCause::kRelay, /*modified=*/local.ok(),
+              /*failed=*/false, snapshot, now);
+  const PollOutcome outcome =
+      object.on_response(local, snapshot, previous, PollCause::kRelay);
+  object.set_last_poll_completion(snapshot);
+  if (outcome.ttr) {
+    object.record_ttr(snapshot, *outcome.ttr);
+    object.task()->reschedule(*outcome.ttr);
+  }
+  if (outcome.observation) {
+    for (auto& coordinator : coordinators_) {
+      coordinator->on_poll(uri, *outcome.observation);
     }
   }
   return true;

@@ -70,9 +70,26 @@ struct EngineConfig {
   std::uint64_t seed = 42;
 };
 
+/// One successful origin poll, as seen by a fleet-level observer.  All
+/// references point at pipeline-owned state and are valid only for the
+/// duration of the listener call — copy what must outlive it.
+struct PollEvent {
+  const std::string& uri;
+  PollCause cause;
+  /// The origin's response (200 or 304) to this poll.
+  const Response& response;
+  /// Fire instant of the poll (server-state snapshot).
+  TimePoint snapshot;
+  /// Coordinator observation for non-initial temporal polls; nullptr
+  /// otherwise.
+  const TemporalPollObservation* observation;
+};
+
 /// The polling engine.
 class PollingEngine {
  public:
+  using PollListener = std::function<void(const PollEvent&)>;
+
   PollingEngine(Simulator& sim, OriginServer& origin);
   PollingEngine(Simulator& sim, OriginServer& origin, EngineConfig config);
 
@@ -110,6 +127,38 @@ class PollingEngine {
   /// refresh timers.  Call exactly once, before running the simulator.
   void start();
 
+  /// True when `uri` is registered with this engine (any object kind).
+  bool tracks(const std::string& uri) const {
+    return objects_.find(uri) != objects_.end();
+  }
+
+  /// True when `uri` is registered as a temporal-domain object — the only
+  /// kind coordinator hooks (and thus δ-group membership) apply to.
+  bool tracks_temporal(const std::string& uri) const {
+    const auto it = objects_.find(uri);
+    return it != objects_.end() && it->second->temporal();
+  }
+
+  /// True when a sibling relay of `uri` could be applied here: tracked and
+  /// self-scheduled (group-polled members follow their group's joint
+  /// schedule and cannot absorb individual relays).
+  bool relay_eligible(const std::string& uri) const {
+    const auto it = objects_.find(uri);
+    return it != objects_.end() && it->second->self_scheduled();
+  }
+
+  /// Observe every *successful origin poll* of this engine (relay
+  /// applications do not fire the listener, so fleet-level relaying cannot
+  /// storm).  One listener per engine; the fleet layer multiplexes.
+  void set_poll_listener(PollListener listener) {
+    poll_listener_ = std::move(listener);
+  }
+
+  /// Engine facilities for coordination layers that span engines (the
+  /// proxy fleet's cross-proxy δ-groups).  Same hooks engine-local
+  /// coordinators receive from add_coordinator().
+  CoordinatorHooks coordinator_hooks() { return make_hooks(); }
+
   // ---- runtime ----
 
   /// Simulate a proxy crash + recovery at the current instant: every
@@ -118,6 +167,30 @@ class PollingEngine {
   /// dropped.  Cached payloads survive (they are on disk); learned polling
   /// state does not.
   void crash_and_recover();
+
+  /// Apply a response relayed by a sibling proxy (cooperative push),
+  /// recording the refresh as PollCause::kRelay (no origin message):
+  ///  * a 200 relay refreshes the cached copy and runs the normal
+  ///    policy/coordinator stages as if this proxy had polled the origin
+  ///    at this instant.  The relayed X-Modification-History — updates
+  ///    since the *sibling's* previous poll — is restricted to the updates
+  ///    this proxy has not yet seen, so violation inference matches an own
+  ///    poll;
+  ///  * a 304 relay is a *validation*: when its Last-Modified names a
+  ///    version this proxy has already seen, the copy is confirmed current
+  ///    through the relayed snapshot and the policy observes an unmodified
+  ///    poll.
+  /// `snapshot` is the server-state instant of the relayed response — the
+  /// relaying proxy's poll fire time (PollEvent::snapshot).  With a
+  /// non-zero relay latency it lies before now; the refresh is recorded
+  /// with that true snapshot and becomes visible at now, so the fidelity
+  /// evaluation never credits the sibling with server state it was not
+  /// actually sent.  Returns false (no state change) when `uri` is not
+  /// tracked here, is group-scheduled, the engine has not started, the
+  /// cached copy is already current (200) or not validated by the relay
+  /// (304).
+  bool apply_relay(const std::string& uri, const Response& response,
+                   TimePoint snapshot);
 
   // ---- results ----
 
@@ -145,6 +218,12 @@ class PollingEngine {
   /// Triggered polls only (the mutual-consistency overhead).  O(1).
   std::size_t triggered_polls(const std::string& uri = "") const {
     return poll_log_.triggered_polls(uri);
+  }
+
+  /// Refreshes applied from sibling-proxy relays.  Empty uri = all
+  /// objects.  O(1).
+  std::size_t relay_refreshes(const std::string& uri = "") const {
+    return poll_log_.relay_refreshes(uri);
   }
 
   /// Failed (lost) poll attempts.
@@ -191,6 +270,8 @@ class PollingEngine {
   PollLog poll_log_;
   // Retry events scheduled for lost polls; cancelled on crash.
   std::unordered_set<EventId> pending_retries_;
+  // Fleet-level observer of successful origin polls (may be empty).
+  PollListener poll_listener_;
 
   // ---- the poll pipeline ----
 
@@ -208,17 +289,22 @@ class PollingEngine {
   void poll_group(VirtualGroup& group, PollCause cause);
 
   // The one code path that appends to poll_log_, for all object kinds and
-  // for failed and successful polls alike.
+  // for failed and successful polls alike.  `snapshot` is the server-state
+  // instant the record reflects; `complete` is when the refreshed copy
+  // became visible at the proxy.
   void record_poll(const std::string& uri, PollCause cause, bool modified,
-                   bool failed);
+                   bool failed, TimePoint snapshot, TimePoint complete);
 
   // Perform the HTTP exchange (no failure injection; the pipeline draws
   // losses before calling this).
   Response exchange(const std::string& uri,
                     std::optional<TimePoint> if_modified_since);
 
+  // Refresh the cached copy: `snapshot` is the server-state instant the
+  // response reflects, `visible` when it is usable at the proxy (snapshot
+  // + rtt for own polls; the delivery instant for relays).
   void store_response(const std::string& uri, const Response& response,
-                      TimePoint snapshot);
+                      TimePoint snapshot, TimePoint visible);
 
   void schedule_retry(const std::function<void()>& retry);
 

@@ -93,6 +93,44 @@ TEST(PushChannel, CoalescedPushPreservesDeltaBound) {
   EXPECT_DOUBLE_EQ(report.fidelity_time(), 1.0);
 }
 
+TEST(PushChannel, CoalescedPushDeliversHistoryNewestLast) {
+  // Delivery-ordering pin: a coalesced push must carry every update that
+  // rode along, newest-last in X-Modification-History — exactly what a
+  // poll at the delivery instant would have returned.
+  PushRig rig;
+  PushChannel channel(rig.sim, rig.origin, 30.0);
+  rig.origin.add_object("/a");
+  std::vector<std::vector<TimePoint>> histories;
+  channel.subscribe("/a", [&](const std::string&, const Response& response) {
+    const auto history = get_modification_history(response.headers);
+    ASSERT_TRUE(history.has_value());
+    histories.push_back(*history);
+  });
+  const UpdateTrace trace("/a", {10.0, 12.0, 20.0, 35.0, 80.0}, 200.0);
+  channel.attach_pushed_trace("/a", trace);
+  rig.sim.run_until(200.0);
+
+  // Push 1 (delivered at 40) coalesces 10/12/20/35; push 2 (at 110)
+  // additionally reports 80.  Each history is strictly ascending — the
+  // newest update is last, never first.
+  ASSERT_EQ(histories.size(), 2u);
+  EXPECT_EQ(histories[0], (std::vector<TimePoint>{10.0, 12.0, 20.0, 35.0}));
+  for (const auto& history : histories) {
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      EXPECT_LT(history[i - 1], history[i]);
+    }
+  }
+
+  // Cross-check against a poll at the same instant: the delivered payload
+  // must match what the origin would have answered.
+  Request request;
+  request.uri = "/a";
+  const Response polled = rig.origin.handle(request);
+  const auto poll_history = get_modification_history(polled.headers);
+  ASSERT_TRUE(poll_history.has_value());
+  EXPECT_EQ(histories.back().back(), poll_history->back());
+}
+
 TEST(PushChannel, UnsubscribedObjectsIgnored) {
   PushRig rig;
   PushChannel channel(rig.sim, rig.origin, 0.0);
