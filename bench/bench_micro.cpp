@@ -1,18 +1,26 @@
 // Micro-benchmarks of the library's hot paths (google-benchmark):
-// policy updates, event queue, evaluators, codec, trace queries.
+// policy updates, event queue, evaluators, codec, trace queries, and
+// end-to-end engine sweeps (the BENCH_results.json perf trajectory; see
+// README "Performance").
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "consistency/limd.h"
 #include "consistency/partitioned.h"
 #include "consistency/value_ttr.h"
+#include "fleet/proxy_fleet.h"
 #include "http/codec.h"
 #include "http/extensions.h"
 #include "metrics/fidelity.h"
+#include "origin/origin_server.h"
 #include "proxy/poll_log.h"
+#include "proxy/polling_engine.h"
 #include "sim/simulator.h"
 #include "trace/paper_workloads.h"
+#include "trace/update_trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -185,6 +193,99 @@ void BM_PollLogScanQueries(benchmark::State& state) {
                           static_cast<int64_t>(uris.size()));
 }
 BENCHMARK(BM_PollLogScanQueries)->Arg(16)->Arg(256);
+
+// ---- end-to-end engine sweeps ---------------------------------------------
+//
+// These drive the full poll pipeline (simulator -> engine -> origin ->
+// policy -> poll log) exactly as the paper's evaluation sweeps do, so they
+// measure what fleet-scale runs actually pay per poll.  The ratio of these
+// benches against the committed bench/BENCH_baseline.json is the CI perf
+// gate (tools/check_bench_regression.py).
+
+constexpr Duration kSweepHorizon = 20000.0;
+
+// Bench origins skip HTML body rendering: the consistency machinery reads
+// only the typed metadata, and no bench consumer looks at payloads.
+OriginServer::Config bench_origin_config() {
+  OriginServer::Config config;
+  config.render_bodies = false;
+  return config;
+}
+
+// Irregular synthetic update streams: deterministic per object, mean
+// inter-update gap swept across objects so LIMD TTRs spread out.
+std::vector<UpdateTrace> make_sweep_traces(std::size_t objects) {
+  std::vector<UpdateTrace> traces;
+  traces.reserve(objects);
+  for (std::size_t i = 0; i < objects; ++i) {
+    Rng rng(1000 + i);
+    std::vector<TimePoint> updates;
+    TimePoint t = 0.0;
+    for (;;) {
+      t += rng.uniform(120.0, 600.0 + 10.0 * static_cast<double>(i % 128));
+      if (t >= kSweepHorizon) break;
+      updates.push_back(t);
+    }
+    traces.emplace_back("/object/" + std::to_string(i), std::move(updates),
+                        kSweepHorizon);
+  }
+  return traces;
+}
+
+// One proxy, N temporal objects under LIMD, full horizon run.
+void BM_EngineTemporalSweep(benchmark::State& state) {
+  const std::size_t objects = static_cast<std::size_t>(state.range(0));
+  const std::vector<UpdateTrace> traces = make_sweep_traces(objects);
+  std::int64_t polls = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    PollingEngine engine(sim, origin);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      engine.add_temporal_object(
+          trace.name(),
+          std::make_unique<LimdPolicy>(LimdPolicy::Config::paper_defaults(600.0)));
+    }
+    engine.start();
+    sim.run_until(kSweepHorizon);
+    polls += static_cast<std::int64_t>(engine.polls_performed());
+    benchmark::DoNotOptimize(engine.poll_log().size());
+  }
+  state.SetItemsProcessed(polls);
+}
+BENCHMARK(BM_EngineTemporalSweep)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// A fleet under cooperative push: every poll relays to every sibling
+// tracking the uri, so the relay path dominates.
+void BM_FleetRelayStorm(benchmark::State& state) {
+  const std::size_t proxies = static_cast<std::size_t>(state.range(0));
+  const std::size_t objects = 64;
+  const std::vector<UpdateTrace> traces = make_sweep_traces(objects);
+  std::int64_t refreshes = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    FleetConfig config;
+    config.proxies = proxies;
+    config.cooperative_push = true;
+    ProxyFleet fleet(sim, origin, config);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      fleet.add_temporal_object_everywhere(trace.name(), [] {
+        return std::make_unique<LimdPolicy>(
+            LimdPolicy::Config::paper_defaults(600.0));
+      });
+    }
+    fleet.start();
+    sim.run_until(kSweepHorizon);
+    refreshes += static_cast<std::int64_t>(fleet.origin_polls() +
+                                           fleet.relays_applied());
+    benchmark::DoNotOptimize(fleet.origin_load().origin_messages);
+  }
+  state.SetItemsProcessed(refreshes);
+}
+BENCHMARK(BM_FleetRelayStorm)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_PaperWorkloadGeneration(benchmark::State& state) {
   std::uint64_t seed = 0;

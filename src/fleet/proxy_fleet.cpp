@@ -99,8 +99,8 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
   if (config_.cooperative_push && event.cause != PollCause::kInitial) {
     for (std::size_t j = 0; j < engines_.size(); ++j) {
       if (j == proxy_index) continue;
-      if (!engines_[j]->relay_eligible(event.uri)) continue;
-      relay(j, event.uri, event.response, event.snapshot);
+      if (!engines_[j]->relay_eligible(event.object)) continue;
+      relay(j, event.object, event.response, event.snapshot);
     }
   }
   if (event.observation != nullptr) {
@@ -108,23 +108,30 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
   }
 }
 
-void ProxyFleet::relay(std::size_t to, const std::string& uri,
+void ProxyFleet::relay(std::size_t to, ObjectId object,
                        const Response& response, TimePoint snapshot) {
   if (config_.relay_latency <= 0.0) {
-    deliver(to, uri, response, snapshot);
+    // Synchronous relay: the receiving engine reads the polling engine's
+    // response in place — no copy anywhere on the path.
+    deliver(to, object, response, snapshot);
     return;
   }
-  // Copies: the PollEvent's references die with the poll pipeline.
+  // One copy: the PollEvent's references die with the poll pipeline, and
+  // a typed history span points into origin storage the object may
+  // outgrow before delivery — detach it into the in-flight message
+  // (shared_ptr keeps the scheduling closure copyable).
+  auto message = std::make_shared<Response>(response);
+  message->meta.own_history();
   sim_.schedule_after(config_.relay_latency,
-                      [this, to, uri, response, snapshot] {
-                        deliver(to, uri, response, snapshot);
+                      [this, to, object, message, snapshot] {
+                        deliver(to, object, *message, snapshot);
                       });
 }
 
-void ProxyFleet::deliver(std::size_t to, const std::string& uri,
+void ProxyFleet::deliver(std::size_t to, ObjectId object,
                          const Response& response, TimePoint snapshot) {
   ++relays_delivered_;
-  if (!engines_[to]->apply_relay(uri, response, snapshot)) return;
+  if (!engines_[to]->apply_relay(object, response, snapshot)) return;
   ++relays_applied_;
   if (response.ok()) {
     // δ-groups hear about the relayed refresh: the receiving member's
@@ -132,8 +139,8 @@ void ProxyFleet::deliver(std::size_t to, const std::string& uri,
     TemporalPollObservation obs;
     obs.poll_time = sim_.now();
     obs.modified = true;
-    obs.last_modified = get_last_modified(response.headers);
-    notify_groups(to, uri, obs);
+    obs.last_modified = wire_last_modified(response);
+    notify_groups(to, origin_.uri_table().uri(object), obs);
   }
 }
 

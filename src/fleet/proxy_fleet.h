@@ -125,12 +125,16 @@ class ProxyFleet {
 
   /// Send one relay message to proxy `to` (delivered now, or after
   /// relay_latency).  `snapshot` is the relaying proxy's poll fire time.
-  void relay(std::size_t to, const std::string& uri,
-             const Response& response, TimePoint snapshot);
+  /// The synchronous path hands the pipeline's response straight through
+  /// by reference; only a latency-delayed relay copies it (detaching the
+  /// typed history span first — the origin may update the object before
+  /// delivery).
+  void relay(std::size_t to, ObjectId object, const Response& response,
+             TimePoint snapshot);
 
   /// Delivery: count the message, apply it, feed δ-groups on success.
-  void deliver(std::size_t to, const std::string& uri,
-               const Response& response, TimePoint snapshot);
+  void deliver(std::size_t to, ObjectId object, const Response& response,
+               TimePoint snapshot);
 
   /// δ-groups hear about a member refresh (own poll or applied relay).
   void notify_groups(std::size_t proxy, const std::string& uri,

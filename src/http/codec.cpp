@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "http/extensions.h"
 #include "util/strings.h"
 
 namespace broadway {
@@ -67,6 +68,16 @@ Headers parse_header_lines(const std::vector<std::string>& lines,
 }  // namespace
 
 std::string serialize(const Request& request) {
+  if (request.meta.active) {
+    // Typed-path message: header strings were never rendered.  Serialising
+    // is the moment they become observable, so materialise into a copy —
+    // this is the lazy half of the typed/string equivalence, off the poll
+    // hot path by construction.
+    Request wire = request;
+    materialize_headers(wire);
+    wire.meta.active = false;
+    return serialize(wire);
+  }
   std::ostringstream os;
   os << to_string(request.method) << ' '
      << (request.uri.empty() ? "/" : request.uri) << ' ' << kVersion << kCrlf;
@@ -76,6 +87,12 @@ std::string serialize(const Request& request) {
 }
 
 std::string serialize(const Response& response) {
+  if (response.meta.active) {
+    Response wire = response;
+    materialize_headers(wire);
+    wire.meta.active = false;
+    return serialize(wire);
+  }
   std::ostringstream os;
   os << kVersion << ' ' << static_cast<int>(response.status) << ' '
      << reason_phrase(response.status) << kCrlf;

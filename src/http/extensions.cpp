@@ -1,6 +1,9 @@
 #include "http/extensions.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "http/date.h"
 #include "util/strings.h"
@@ -115,6 +118,105 @@ std::optional<double> get_object_value(const Headers& headers) {
   double v;
   if (!parse_double(*raw, v)) return std::nullopt;
   return v;
+}
+
+// ---- typed wire metadata ---------------------------------------------------
+
+namespace {
+
+// The authoritative quantiser: format-and-reparse, exactly the double a
+// header round-trip produces.  Stack buffers only — no allocation.
+TimePoint quantize_via_printf(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return std::strtod(buf, nullptr);
+}
+
+}  // namespace
+
+TimePoint quantize_wire_seconds(TimePoint t) {
+  // Hot path (once per poll): arithmetic round-to-milli.  nearbyint under
+  // the default rounding mode resolves exact .5 ties to even, like
+  // printf's correctly-rounded decimal conversion, and k/1000.0 is the
+  // correctly-rounded double of the decimal k·10⁻³ — i.e. what strtod
+  // would return.  The one hazard is t·1000 landing within floating-point
+  // error of a tie, where the product could sit on the wrong side of the
+  // boundary printf sees in the exact decimal expansion; inside that
+  // (vanishingly narrow) guard band we delegate to the printf path, so
+  // the two are equal on *every* input — pinned by test_http_extensions.
+  if (!std::isfinite(t)) return t;
+  const double scaled = t * 1000.0;
+  if (std::abs(scaled) >= 4.5e15) return quantize_via_printf(t);  // ulp >= 0.5
+  const double rounded = std::nearbyint(scaled);
+  const double tie_distance = std::abs(std::abs(scaled - rounded) - 0.5);
+  // The product's error is <= 0.5 ulp(scaled); guard at 8 ulp (plus an
+  // absolute floor near zero) so the delegation stays vanishing at any
+  // horizon instead of widening with simulation time.
+  const double guard =
+      8.0 * std::numeric_limits<double>::epsilon() * std::abs(scaled) +
+      1e-300;
+  if (tie_distance <= guard) return quantize_via_printf(t);
+  return rounded / 1000.0;
+}
+
+std::optional<TimePoint> wire_if_modified_since(const Request& request) {
+  if (request.meta.active) return request.meta.if_modified_since;
+  return get_if_modified_since(request.headers);
+}
+
+std::optional<TimePoint> wire_last_modified(const Response& response) {
+  if (response.meta.active) return response.meta.last_modified;
+  return get_last_modified(response.headers);
+}
+
+std::optional<double> wire_object_value(const Response& response) {
+  if (response.meta.active) return response.meta.value;
+  return get_object_value(response.headers);
+}
+
+bool wire_modification_history(const Response& response,
+                               std::vector<TimePoint>& out) {
+  out.clear();
+  if (response.meta.active) {
+    if (response.meta.history_present) {
+      out.assign(response.meta.history_data(),
+                 response.meta.history_data() + response.meta.history_size());
+    }
+    return true;
+  }
+  const auto history = get_modification_history(response.headers);
+  if (!history) return false;
+  out = *history;
+  return true;
+}
+
+void materialize_headers(Request& request) {
+  if (!request.meta.active) return;
+  if (request.meta.if_modified_since) {
+    set_if_modified_since(request.headers, *request.meta.if_modified_since);
+  }
+}
+
+void materialize_headers(Response& response) {
+  if (!response.meta.active) return;
+  if (response.meta.last_modified) {
+    set_last_modified(response.headers, *response.meta.last_modified);
+  }
+  if (response.meta.value) {
+    set_object_value(response.headers, *response.meta.value);
+  }
+  if (response.meta.history_present) {
+    std::vector<TimePoint> instants(
+        response.meta.history_data(),
+        response.meta.history_data() + response.meta.history_size());
+    set_modification_history(response.headers, instants);
+  }
+  if (response.status == StatusCode::kOk) {
+    // Mirror the string path's entity header so a materialised typed 200
+    // serialises byte-identically (meta.value presence == value-domain).
+    response.headers.set("Content-Type",
+                         response.meta.value ? "text/plain" : "text/html");
+  }
 }
 
 }  // namespace broadway

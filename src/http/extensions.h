@@ -82,4 +82,39 @@ std::optional<Duration> get_group_delta(const Headers& headers);
 void set_object_value(Headers& headers, double value);
 std::optional<double> get_object_value(const Headers& headers);
 
+// ---- typed wire metadata (the in-process fast path) -----------------------
+//
+// The sideband in RequestMeta/ResponseMeta carries the same validators and
+// extensions as the headers above, without formatting or parsing.  The
+// readers below prefer the typed representation and fall back to parsing
+// header strings, so every consumer behaves identically whichever way the
+// message travelled.
+
+/// Quantise an instant exactly as the %.3f header rendering + strtod
+/// re-parse would: the typed path must make the same (millisecond) values
+/// visible to policies as the string path, bit for bit.
+TimePoint quantize_wire_seconds(TimePoint t);
+
+/// If-Modified-Since: typed when request.meta.active, else parsed.
+std::optional<TimePoint> wire_if_modified_since(const Request& request);
+
+/// Last-Modified: typed when response.meta.active, else parsed.
+std::optional<TimePoint> wire_last_modified(const Response& response);
+
+/// X-Object-Value: typed when response.meta.active, else parsed.
+std::optional<double> wire_object_value(const Response& response);
+
+/// X-Modification-History into `out` (cleared first).  Returns false when
+/// the string representation is malformed (out is left empty, matching the
+/// old get_modification_history(...) == nullopt handling).
+bool wire_modification_history(const Response& response,
+                               std::vector<TimePoint>& out);
+
+/// Render the typed sideband into header strings (idempotent; no-op when
+/// the meta is inactive).  The codec and tests call this before
+/// serialising a message that travelled the typed path; the poll hot path
+/// never does.
+void materialize_headers(Request& request);
+void materialize_headers(Response& response);
+
 }  // namespace broadway

@@ -92,6 +92,10 @@ Request Request::conditional_get(std::string uri, double if_modified_since) {
   req.method = Method::kGet;
   req.uri = std::move(uri);
   set_if_modified_since(req.headers, if_modified_since);
+  // The typed sideband mirrors the headers (quantised identically) so
+  // either representation can be read; the headers stay authoritative
+  // (meta.active is not set) because callers inspect them directly.
+  req.meta.if_modified_since = quantize_wire_seconds(if_modified_since);
   return req;
 }
 

@@ -5,13 +5,30 @@
 // answers 304 (fresh) or 200 with a new body and Last-Modified (paper §5).
 // These types model exactly the message surface those mechanisms need,
 // including the user-defined extension headers of §5.1 (see extensions.h).
+//
+// Two representations coexist:
+//  * header strings — the RFC 2616 surface, produced by the codec, the
+//    tests and any component speaking "real" HTTP;
+//  * typed wire metadata (RequestMeta/ResponseMeta) — the same validators
+//    and extensions as plain numbers, exchanged directly when proxy and
+//    origin share a process.  The in-process poll path uses the typed
+//    sideband exclusively; header strings are materialised lazily (see
+//    materialize_headers in extensions.h) only when the codec or a test
+//    serialises the message.  Both carry *identical* information: the
+//    typed values are millisecond-quantised exactly as the %.3f header
+//    rendering would quantise them, so policy decisions never depend on
+//    which representation a message travelled in.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/time.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -53,6 +70,9 @@ class Headers {
   /// Remove all values for `name`; returns how many were removed.
   std::size_t remove(std::string_view name);
 
+  /// Drop every entry, keeping the allocated capacity (scratch reuse).
+  void clear() { entries_.clear(); }
+
   /// Raw entries in order (for serialisation and iteration).
   const std::vector<std::pair<std::string, std::string>>& entries() const {
     return entries_;
@@ -65,16 +85,101 @@ class Headers {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+/// Typed request-side wire metadata (the If-Modified-Since validator as a
+/// number).  `active` marks a message whose authoritative representation
+/// is this sideband rather than header strings.
+struct RequestMeta {
+  bool active = false;
+  /// Millisecond-quantised validator; nullopt = unconditional request.
+  std::optional<TimePoint> if_modified_since;
+};
+
+/// Typed response-side wire metadata: Last-Modified, the value extension,
+/// and the X-Modification-History payload.  History is carried as a *span*
+/// so the origin can point straight into its per-object history storage
+/// instead of rendering and re-parsing a header string per poll.  The span
+/// is valid for the synchronous in-process exchange; copying the message
+/// (e.g. a latency-delayed fleet relay) must call own_history() first —
+/// copies of an owned history stay owned and deep-copy correctly.
+class ResponseMeta {
+ public:
+  bool active = false;
+  /// Millisecond-quantised Last-Modified.
+  std::optional<TimePoint> last_modified;
+  /// X-Object-Value payload (full double precision; %.17g round-trips).
+  std::optional<double> value;
+  /// True when the response carries the history extension at all (an empty
+  /// history header and an absent one decode identically, but the
+  /// materialised header set differs).
+  bool history_present = false;
+
+  const TimePoint* history_data() const {
+    return use_owned_ ? owned_.data() : view_;
+  }
+  std::size_t history_size() const {
+    return use_owned_ ? owned_.size() : view_size_;
+  }
+
+  /// Point at externally-owned, ascending, ms-quantised instants.
+  void set_history_view(const TimePoint* data, std::size_t size) {
+    history_present = true;
+    use_owned_ = false;
+    view_ = data;
+    view_size_ = size;
+  }
+
+  /// Copy a viewed history into owned storage (no-op when already owned).
+  /// Required before the message outlives the exchange that produced it.
+  void own_history() {
+    if (use_owned_ || !history_present) return;
+    owned_.assign(view_, view_ + view_size_);
+    use_owned_ = true;
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  void clear() {
+    active = false;
+    last_modified.reset();
+    value.reset();
+    history_present = false;
+    use_owned_ = false;
+    view_ = nullptr;
+    view_size_ = 0;
+    owned_.clear();  // keeps capacity for scratch reuse
+  }
+
+ private:
+  const TimePoint* view_ = nullptr;
+  std::size_t view_size_ = 0;
+  std::vector<TimePoint> owned_;
+  bool use_owned_ = false;
+};
+
 /// An HTTP request.  `uri` is the absolute path identifying a cached
-/// object (the library treats it as an opaque object id).
+/// object (the library treats it as an opaque object id); `object` is the
+/// interned UriTable handle when sender and receiver share a table
+/// (kInvalidObjectId = resolve by uri string).
 struct Request {
   Method method = Method::kGet;
   std::string uri;
+  ObjectId object = kInvalidObjectId;
   Headers headers;
+  RequestMeta meta;
 
   /// Convenience: build a conditional GET carrying If-Modified-Since (and
   /// the precise-time extension) for the given instant; see extensions.h.
+  /// Stamps both the header strings and the typed sideband.
   static Request conditional_get(std::string uri, double if_modified_since);
+
+  /// Back to a default-constructed state, keeping allocations.
+  void reset() {
+    method = Method::kGet;
+    uri.clear();
+    object = kInvalidObjectId;
+    headers.clear();
+    meta = RequestMeta{};
+  }
 };
 
 /// An HTTP response.
@@ -82,9 +187,18 @@ struct Response {
   StatusCode status = StatusCode::kOk;
   Headers headers;
   std::string body;
+  ResponseMeta meta;
 
   bool ok() const { return status == StatusCode::kOk; }
   bool not_modified() const { return status == StatusCode::kNotModified; }
+
+  /// Back to a default-constructed state, keeping allocations.
+  void reset() {
+    status = StatusCode::kOk;
+    headers.clear();
+    body.clear();
+    meta.clear();
+  }
 };
 
 }  // namespace broadway

@@ -48,11 +48,12 @@ FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs) {
   FleetOriginLoad load;
   for (const PollLog* log : logs) {
     BROADWAY_CHECK(log != nullptr);
-    const PollCauseCounts counts = count_by_cause(*log);
-    load.origin_messages += counts.initial + counts.total_refreshes();
-    load.origin_polls += counts.total_refreshes();
-    load.relay_refreshes += counts.relay;
-    load.failed += counts.failed;
+    // The logs' running counters: O(1) per log, and exact even when a
+    // retention window has evicted old records.
+    load.origin_messages += log->initial_polls() + log->polls_performed();
+    load.origin_polls += log->polls_performed();
+    load.relay_refreshes += log->relay_refreshes();
+    load.failed += log->failed_polls();
   }
   return load;
 }
@@ -83,7 +84,27 @@ std::vector<std::size_t> polls_per_bucket(const PollLog& log,
                                           Duration bucket, Duration horizon,
                                           std::optional<PollCause> cause,
                                           const std::string& uri) {
-  return polls_per_bucket(log.records(), bucket, horizon, cause, uri);
+  if (uri.empty()) {
+    return polls_per_bucket(log.records(), bucket, horizon, cause, uri);
+  }
+  // Per-object query: walk the log's per-object successful-record index
+  // (exactly the non-failed records of `uri`) instead of scanning every
+  // object's records.
+  BROADWAY_CHECK_MSG(bucket > 0.0 && horizon > 0.0,
+                     "bucket " << bucket << " horizon " << horizon);
+  const std::size_t buckets =
+      static_cast<std::size_t>(std::ceil(horizon / bucket));
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const std::size_t index : log.successful_records(uri)) {
+    const PollRecord& record = log[index];
+    if (cause && record.cause != *cause) continue;
+    if (record.complete_time >= horizon) continue;
+    const std::size_t i =
+        std::min(buckets - 1,
+                 static_cast<std::size_t>(record.complete_time / bucket));
+    ++counts[i];
+  }
+  return counts;
 }
 
 }  // namespace broadway

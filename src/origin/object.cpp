@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <sstream>
 
+#include "http/extensions.h"
 #include "util/check.h"
 
 namespace broadway {
 
 VersionedObject::VersionedObject(std::string uri, TimePoint creation_time,
                                  std::optional<double> value)
-    : uri_(std::move(uri)), creation_time_(creation_time), value_(value) {
+    : uri_(std::move(uri)),
+      creation_time_(creation_time),
+      wire_last_modified_(quantize_wire_seconds(creation_time)),
+      value_(value) {
   BROADWAY_CHECK_MSG(!uri_.empty(), "object needs a uri");
   BROADWAY_CHECK_MSG(creation_time_ >= 0.0, "creation at " << creation_time_);
 }
@@ -26,6 +30,10 @@ void VersionedObject::apply_update(TimePoint t,
   BROADWAY_CHECK_MSG(value_.has_value() == new_value.has_value(),
                      uri_ << ": value/temporal domain mismatch");
   modifications_.push_back(t);
+  // Quantise once per *update* so per-poll responses can hand out history
+  // spans and Last-Modified without any formatting work.
+  wire_last_modified_ = quantize_wire_seconds(t);
+  wire_modifications_.push_back(wire_last_modified_);
   if (new_value) value_ = new_value;
 }
 
@@ -38,6 +46,19 @@ std::vector<TimePoint> VersionedObject::history_since(
     out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(limit));
   }
   return out;
+}
+
+VersionedObject::WireHistorySpan VersionedObject::wire_history_since(
+    TimePoint t, std::size_t limit) const {
+  // Select on the *exact* instants (same predicate as history_since), then
+  // serve the index-aligned quantised values.
+  const auto first =
+      std::upper_bound(modifications_.begin(), modifications_.end(), t);
+  std::size_t begin =
+      static_cast<std::size_t>(first - modifications_.begin());
+  const std::size_t end = modifications_.size();
+  if (limit > 0 && end - begin > limit) begin = end - limit;
+  return WireHistorySpan{wire_modifications_.data() + begin, end - begin};
 }
 
 void VersionedObject::set_embedded_links(std::vector<std::string> links) {

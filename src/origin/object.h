@@ -48,6 +48,19 @@ class VersionedObject {
   /// the X-Modification-History extension.
   std::vector<TimePoint> history_since(TimePoint t, std::size_t limit) const;
 
+  /// The same selection as history_since, but as a zero-copy span of
+  /// *millisecond-quantised* instants — exactly the values a proxy would
+  /// read back from the rendered header.  Valid until the next
+  /// apply_update(); the typed wire path points ResponseMeta at it.
+  struct WireHistorySpan {
+    const TimePoint* data = nullptr;
+    std::size_t size = 0;
+  };
+  WireHistorySpan wire_history_since(TimePoint t, std::size_t limit) const;
+
+  /// Millisecond-quantised last_modified(), as the wire reports it.
+  TimePoint wire_last_modified() const { return wire_last_modified_; }
+
   /// Full modification history (ascending).  Ground truth for tests.
   const std::vector<TimePoint>& modifications() const {
     return modifications_;
@@ -71,6 +84,12 @@ class VersionedObject {
   std::string uri_;
   TimePoint creation_time_;
   std::vector<TimePoint> modifications_;
+  /// modifications_, ms-quantised once per update (index-aligned).  The
+  /// history *selection* always compares the exact instants so the typed
+  /// span matches history_since entry for entry; only the transported
+  /// values are quantised.
+  std::vector<TimePoint> wire_modifications_;
+  TimePoint wire_last_modified_;
   std::optional<double> value_;
   std::vector<std::string> embedded_links_;
 };

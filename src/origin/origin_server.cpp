@@ -11,12 +11,20 @@ OriginServer::OriginServer(Simulator& sim, Config config)
     : sim_(sim), config_(config) {}
 
 VersionedObject& OriginServer::add_object(const std::string& uri) {
-  return store_.create(uri, sim_.now());
+  VersionedObject& object = store_.create(uri, sim_.now());
+  const ObjectId id = uris_.intern(uri);
+  if (by_id_.size() <= id) by_id_.resize(id + 1, nullptr);
+  by_id_[id] = &object;
+  return object;
 }
 
 VersionedObject& OriginServer::add_value_object(const std::string& uri,
                                                 double initial_value) {
-  return store_.create(uri, sim_.now(), initial_value);
+  VersionedObject& object = store_.create(uri, sim_.now(), initial_value);
+  const ObjectId id = uris_.intern(uri);
+  if (by_id_.size() <= id) by_id_.resize(id + 1, nullptr);
+  by_id_[id] = &object;
+  return object;
 }
 
 VersionedObject& OriginServer::attach_update_trace(const std::string& uri,
@@ -49,53 +57,85 @@ VersionedObject& OriginServer::attach_value_trace(const std::string& uri,
   return object;
 }
 
+const VersionedObject* OriginServer::find_object(
+    const Request& request) const {
+  if (request.object != kInvalidObjectId) {
+    return request.object < by_id_.size() ? by_id_[request.object] : nullptr;
+  }
+  return store_.find(request.uri);
+}
+
 Response OriginServer::handle(const Request& request) {
-  ++requests_served_;
-  const VersionedObject* object = store_.find(request.uri);
-  if (object == nullptr) {
-    Response resp;
-    resp.status = StatusCode::kNotFound;
-    return resp;
-  }
-  const std::optional<TimePoint> since =
-      get_if_modified_since(request.headers);
-  if (since && !object->modified_since(*since)) {
-    Response resp;
-    resp.status = StatusCode::kNotModified;
-    set_last_modified(resp.headers, object->last_modified());
-    ++responses_304_;
-    return resp;
-  }
-  ++responses_200_;
-  Response response = respond_full(*object, since);
-  if (request.method == Method::kHead) {
-    // HEAD: identical headers, no body (RFC 2616 §9.4).  Content-Length
-    // still describes what GET would return.
-    response.headers.set("Content-Length",
-                         std::to_string(response.body.size()));
-    response.body.clear();
-  }
+  Response response;
+  handle(request, response);
   return response;
 }
 
-Response OriginServer::respond_full(const VersionedObject& object,
-                                    std::optional<TimePoint> since) {
-  Response resp;
-  resp.status = StatusCode::kOk;
-  set_last_modified(resp.headers, object.last_modified());
-  if (object.value()) {
-    set_object_value(resp.headers, *object.value());
+void OriginServer::handle(const Request& request, Response& out) {
+  out.reset();
+  ++requests_served_;
+  const VersionedObject* object = find_object(request);
+  // The typed path covers the engine's GET polls; anything else (HEAD,
+  // codec-parsed messages) renders headers as before.
+  const bool typed = request.meta.active && request.method == Method::kGet;
+  if (object == nullptr) {
+    out.status = StatusCode::kNotFound;
+    out.meta.active = typed;
+    return;
   }
-  if (config_.history_enabled) {
-    // History "of arbitrary length" (paper §5.1): all updates the client
-    // has not seen, newest-capped by history_limit.
-    const TimePoint from = since.value_or(object.creation_time());
-    set_modification_history(
-        resp.headers, object.history_since(from, config_.history_limit));
+  const std::optional<TimePoint> since = wire_if_modified_since(request);
+  if (since && !object->modified_since(*since)) {
+    out.status = StatusCode::kNotModified;
+    if (typed) {
+      out.meta.active = true;
+      out.meta.last_modified = object->wire_last_modified();
+    } else {
+      set_last_modified(out.headers, object->last_modified());
+    }
+    ++responses_304_;
+    return;
   }
-  resp.headers.set("Content-Type", object.value() ? "text/plain" : "text/html");
-  resp.body = object.render_body();
-  return resp;
+  ++responses_200_;
+  respond_full(*object, since, typed, out);
+  if (request.method == Method::kHead) {
+    // HEAD: identical headers, no body (RFC 2616 §9.4).  Content-Length
+    // still describes what GET would return.
+    out.headers.set("Content-Length", std::to_string(out.body.size()));
+    out.body.clear();
+  }
+}
+
+void OriginServer::respond_full(const VersionedObject& object,
+                                std::optional<TimePoint> since, bool typed,
+                                Response& out) {
+  out.status = StatusCode::kOk;
+  if (typed) {
+    out.meta.active = true;
+    out.meta.last_modified = object.wire_last_modified();
+    if (object.value()) out.meta.value = *object.value();
+    if (config_.history_enabled) {
+      // History "of arbitrary length" (paper §5.1) as a span into the
+      // object's quantised history — no rendering, no copy.
+      const auto span = object.wire_history_since(
+          since.value_or(object.creation_time()), config_.history_limit);
+      out.meta.set_history_view(span.data, span.size);
+    }
+  } else {
+    set_last_modified(out.headers, object.last_modified());
+    if (object.value()) {
+      set_object_value(out.headers, *object.value());
+    }
+    if (config_.history_enabled) {
+      const TimePoint from = since.value_or(object.creation_time());
+      set_modification_history(
+          out.headers, object.history_since(from, config_.history_limit));
+    }
+    out.headers.set("Content-Type",
+                    object.value() ? "text/plain" : "text/html");
+  }
+  if (config_.render_bodies) {
+    out.body = object.render_body();
+  }
 }
 
 }  // namespace broadway

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "http/extensions.h"
 #include "http/message.h"
@@ -18,19 +19,30 @@
 #include "sim/simulator.h"
 #include "trace/update_trace.h"
 #include "trace/value_trace.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
 /// Origin server bound to a simulator.  One instance can host any number
 /// of objects, each driven by its own trace.
+///
+/// The server owns the UriTable every co-located consumer (polling
+/// engines, their caches and poll logs, the fleet relay path) shares:
+/// interning happens once at registration, and the poll hot path carries
+/// dense ObjectId handles end to end.
 class OriginServer {
  public:
   /// `history_limit` caps the X-Modification-History entries per response
   /// (0 = unlimited).  `history_enabled` turns the extension off entirely —
   /// the stock-HTTP configuration the paper contrasts against (§3.1).
+  /// `render_bodies` = false elides HTML body rendering on 200s — typed
+  /// responses carry everything the consistency machinery reads in
+  /// ResponseMeta, so simulation sweeps that never inspect payloads (the
+  /// benches; default on there) skip the per-poll body allocation.
   struct Config {
     bool history_enabled = true;
     std::size_t history_limit = 16;
+    bool render_bodies = true;
   };
 
   explicit OriginServer(Simulator& sim);
@@ -59,6 +71,24 @@ class OriginServer {
   /// Handle a request at the current simulation time.
   Response handle(const Request& request);
 
+  /// Allocation-light variant: the response is written into `out` (reset
+  /// first), so a polling engine can reuse one scratch Response across
+  /// polls.  Requests with an active typed sideband are answered on the
+  /// typed path: validators, value and history land in out.meta (history
+  /// as a span into this server's per-object storage — valid until the
+  /// object's next update) and no header strings are rendered.
+  void handle(const Request& request, Response& out);
+
+  /// The shared intern table.  Engines bound to this origin key their
+  /// caches and poll logs through it.
+  UriTable& uri_table() { return uris_; }
+  const UriTable& uri_table() const { return uris_; }
+
+  /// Interned id for a hosted object's uri; kInvalidObjectId if unknown.
+  ObjectId object_id(const std::string& uri) const {
+    return uris_.find(uri);
+  }
+
   /// Direct (non-HTTP) read access for evaluators and tests.
   const ObjectStore& store() const { return store_; }
   ObjectStore& store() { return store_; }
@@ -75,12 +105,20 @@ class OriginServer {
   Simulator& sim_;
   Config config_;
   ObjectStore store_;
+  UriTable uris_;
+  /// Dense ObjectId -> object lookup (nullptr where the table interned a
+  /// uri this origin does not host, e.g. a proxy-only registration).
+  std::vector<VersionedObject*> by_id_;
   std::size_t requests_served_ = 0;
   std::size_t responses_200_ = 0;
   std::size_t responses_304_ = 0;
 
-  Response respond_full(const VersionedObject& object,
-                        std::optional<TimePoint> since);
+  /// Lookup for the request: by interned id when present, else by uri.
+  const VersionedObject* find_object(const Request& request) const;
+
+  void respond_full(const VersionedObject& object,
+                    std::optional<TimePoint> since, bool typed,
+                    Response& out);
 };
 
 }  // namespace broadway

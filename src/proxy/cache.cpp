@@ -1,35 +1,64 @@
 #include "proxy/cache.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace broadway {
 
+ProxyCache::ProxyCache()
+    : owned_table_(std::make_unique<UriTable>()),
+      table_(owned_table_.get()) {}
+
+ProxyCache::ProxyCache(UriTable& table) : table_(&table) {}
+
+std::optional<CacheEntry>& ProxyCache::slot(ObjectId id) {
+  if (entries_.size() <= id) entries_.resize(id + 1);
+  return entries_[id];
+}
+
 void ProxyCache::store(CacheEntry entry) {
   BROADWAY_CHECK_MSG(!entry.uri.empty(), "cache entry without uri");
-  auto it = entries_.find(entry.uri);
-  if (it != entries_.end()) {
-    BROADWAY_CHECK_MSG(entry.snapshot_time >= it->second.snapshot_time,
+  std::optional<CacheEntry>& existing = slot(table_->intern(entry.uri));
+  if (existing) {
+    BROADWAY_CHECK_MSG(entry.snapshot_time >= existing->snapshot_time,
                        entry.uri << ": snapshot would move backwards");
-    entry.refresh_count = it->second.refresh_count + 1;
-    it->second = std::move(entry);
+    entry.refresh_count = existing->refresh_count + 1;
+    *existing = std::move(entry);
     return;
   }
-  entries_.emplace(entry.uri, std::move(entry));
+  ++count_;
+  existing = std::move(entry);
+}
+
+CacheEntry& ProxyCache::refresh_entry(ObjectId id, TimePoint snapshot) {
+  std::optional<CacheEntry>& existing = slot(id);
+  if (existing) {
+    BROADWAY_CHECK_MSG(snapshot >= existing->snapshot_time,
+                       existing->uri << ": snapshot would move backwards");
+    ++existing->refresh_count;
+    return *existing;
+  }
+  ++count_;
+  existing.emplace();
+  existing->uri = table_->uri(id);
+  return *existing;
+}
+
+const CacheEntry* ProxyCache::find(ObjectId id) const {
+  if (id >= entries_.size() || !entries_[id]) return nullptr;
+  return &*entries_[id];
 }
 
 const CacheEntry* ProxyCache::find(const std::string& uri) const {
-  auto it = entries_.find(uri);
-  return it == entries_.end() ? nullptr : &it->second;
+  const ObjectId id = table_->find(uri);
+  return id == kInvalidObjectId ? nullptr : find(id);
 }
 
 const CacheEntry& ProxyCache::at(const std::string& uri) const {
   const CacheEntry* entry = find(uri);
   BROADWAY_CHECK_MSG(entry != nullptr, "cache miss for " << uri);
   return *entry;
-}
-
-bool ProxyCache::contains(const std::string& uri) const {
-  return entries_.find(uri) != entries_.end();
 }
 
 const CacheEntry* ProxyCache::lookup_counted(const std::string& uri) {
@@ -44,11 +73,17 @@ const CacheEntry* ProxyCache::lookup_counted(const std::string& uri) {
 
 std::vector<std::string> ProxyCache::uris() const {
   std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [uri, entry] : entries_) out.push_back(uri);
+  out.reserve(count_);
+  for (const auto& entry : entries_) {
+    if (entry) out.push_back(entry->uri);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-void ProxyCache::clear() { entries_.clear(); }
+void ProxyCache::clear() {
+  entries_.clear();
+  count_ = 0;
+}
 
 }  // namespace broadway

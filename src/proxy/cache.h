@@ -5,14 +5,20 @@
 // snapshot it represents), when it became visible to clients, and the
 // last-modified instant the server reported.  The paper assumes an
 // infinitely large cache (§6.1.1), so there is no eviction.
+//
+// Storage is keyed by interned ObjectId (dense vector — a cache lookup on
+// the poll hot path is one bounds check and one indexed load); the
+// string-uri accessors translate through the shared UriTable and exist for
+// tests, reports and the client-facing read path.
 #pragma once
 
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/time.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -32,29 +38,50 @@ struct CacheEntry {
   std::size_t refresh_count = 0;
 };
 
-/// Uri-keyed cache.  Monotonicity invariant (paper §2: "we implicitly
+/// ObjectId-keyed cache.  Monotonicity invariant (paper §2: "we implicitly
 /// require all cache consistency mechanisms to ensure that P_t
 /// monotonically increases over time"): a store must never move an entry's
 /// snapshot backwards.
 class ProxyCache {
  public:
+  /// Standalone cache with its own intern table (tests, examples).
+  ProxyCache();
+
+  /// Cache sharing an external table (a polling engine shares its
+  /// origin's).  `table` must outlive the cache.
+  explicit ProxyCache(UriTable& table);
+
+  ProxyCache(const ProxyCache&) = delete;
+  ProxyCache& operator=(const ProxyCache&) = delete;
+
   /// Insert or refresh an entry.  Checks snapshot monotonicity.
   void store(CacheEntry entry);
 
+  /// Hot path: return the entry for `id`, creating it if absent (uri
+  /// filled from the table) or bumping refresh_count if present, after
+  /// checking that `snapshot` does not move the entry backwards.  The
+  /// caller overwrites payload and provenance fields in place, reusing
+  /// their allocations.
+  CacheEntry& refresh_entry(ObjectId id, TimePoint snapshot);
+
   /// Lookup; nullptr on miss.
+  const CacheEntry* find(ObjectId id) const;
   const CacheEntry* find(const std::string& uri) const;
 
   /// Lookup that requires presence.
   const CacheEntry& at(const std::string& uri) const;
 
-  bool contains(const std::string& uri) const;
-  std::size_t size() const { return entries_.size(); }
+  bool contains(const std::string& uri) const {
+    return find(uri) != nullptr;
+  }
+  std::size_t size() const { return count_; }
 
   /// Hit/miss accounting for client-facing reads.
   const CacheEntry* lookup_counted(const std::string& uri);
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
 
+  /// All cached uris, sorted (deterministic for tests and reports).
   std::vector<std::string> uris() const;
 
   /// Drop everything (cold-cache experiments; a crash with no persistent
@@ -62,9 +89,14 @@ class ProxyCache {
   void clear();
 
  private:
-  std::map<std::string, CacheEntry> entries_;
+  std::unique_ptr<UriTable> owned_table_;  // null when sharing
+  UriTable* table_;
+  std::vector<std::optional<CacheEntry>> entries_;  // indexed by ObjectId
+  std::size_t count_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+
+  std::optional<CacheEntry>& slot(ObjectId id);
 };
 
 }  // namespace broadway

@@ -1,22 +1,35 @@
 // The proxy's poll log: the append-only record stream the paper's
-// evaluation is computed from, with per-uri indices and running counters.
+// evaluation is computed from, with per-object indices and running
+// counters.
 //
 // Every poll of every tracked object — temporal, value, virtual-group
 // member or partitioned-group member — is appended here by the engine's
 // single poll pipeline.  The harness sweeps query per-object series
 // (completion/snapshot instants) and per-object counters (polls performed,
 // triggered polls) after every run; indexing at append time turns those
-// from O(total-polls) scans of the global log into O(records-for-uri)
+// from O(total-polls) scans of the global log into O(records-for-object)
 // and O(1) lookups respectively.
+//
+// Records and the index are keyed by interned ObjectId (the engine appends
+// by id — no hashing, no string copies on the hot path beyond the record's
+// human-readable uri field); string-uri queries translate through the
+// table.
+//
+// Long-horizon runs can cap memory with a retention window
+// (set_retention_window): each object keeps only its newest W records,
+// while every counter remains exact — eviction compacts storage, it never
+// rewinds accounting.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "consistency/types.h"
 #include "util/time.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -27,6 +40,8 @@ struct PollRecord {
   /// Instant the refreshed copy became visible at the proxy.
   TimePoint complete_time = 0.0;
   std::string uri;
+  /// Interned id of `uri`; filled by PollLog::append when defaulted.
+  ObjectId object = kInvalidObjectId;
   PollCause cause = PollCause::kScheduled;
   /// True when the server answered 200.
   bool modified = false;
@@ -41,8 +56,28 @@ struct PollRecord {
 /// other objects' records.
 class PollLog {
  public:
-  /// Append one record, updating the per-uri index and the counters.
+  /// Standalone log with its own intern table (tests, benches).
+  PollLog();
+
+  /// Log sharing an external table (a polling engine shares its
+  /// origin's).  `table` must outlive the log.
+  explicit PollLog(UriTable& table);
+
+  PollLog(const PollLog&) = delete;
+  PollLog& operator=(const PollLog&) = delete;
+  // Moves are safe: an owned table lives on the heap, so table_ stays
+  // valid across the transfer.
+  PollLog(PollLog&&) = default;
+  PollLog& operator=(PollLog&&) = default;
+
+  /// Append one record, updating the per-object index and the counters.
+  /// Interns record.uri when record.object is defaulted; fills record.uri
+  /// from the table when only the id is set.
   void append(PollRecord record);
+
+  /// Hot-path append by interned id: no hashing, no lookup.
+  void append(ObjectId object, PollCause cause, bool modified, bool failed,
+              TimePoint snapshot, TimePoint complete);
 
   // ---- whole-log access (vector-compatible) ----
 
@@ -59,12 +94,16 @@ class PollLog {
     return records_.end();
   }
 
-  // ---- per-uri indexed queries ----
+  /// The intern table this log resolves uris through.
+  const UriTable& uri_table() const { return *table_; }
+
+  // ---- per-object indexed queries ----
 
   /// Indices (into records()) of the successful polls of `uri`, ascending.
   /// Empty for a uri that was never polled.
   const std::vector<std::size_t>& successful_records(
       const std::string& uri) const;
+  const std::vector<std::size_t>& successful_records(ObjectId object) const;
 
   /// Completion instants of successful polls of `uri`, ascending,
   /// including the initial fetch.
@@ -74,13 +113,14 @@ class PollLog {
   /// completion_times).
   std::vector<TimePoint> snapshot_times(const std::string& uri) const;
 
-  // ---- O(1) counters ----
+  // ---- O(1) counters (exact even under a retention window) ----
 
   /// Successful polls excluding initial fetches — the paper's "number of
   /// polls" metric.  Empty uri = all objects.  Relay refreshes (PollCause::
   /// kRelay) are *not* counted: they refresh the cached copy without an
   /// origin message, so they are not polls in the paper's sense.
   std::size_t polls_performed(const std::string& uri = "") const;
+  std::size_t polls_performed(ObjectId object) const;
 
   /// Successful triggered polls (the mutual-consistency overhead).  Empty
   /// uri = all objects.
@@ -90,8 +130,26 @@ class PollLog {
   /// Empty uri = all objects.
   std::size_t relay_refreshes(const std::string& uri = "") const;
 
+  /// Successful initial fetches, all objects.
+  std::size_t initial_polls() const { return initial_total_; }
+
   /// Failed (lost) poll attempts, all objects.
   std::size_t failed_polls() const { return failed_total_; }
+
+  // ---- windowed retention ----
+
+  /// Keep at most `window` records (of any kind) per object, evicting the
+  /// oldest; 0 (the default) disables eviction.  Counters stay exact;
+  /// per-object record *series* (successful_records and friends) are
+  /// truncated to the retained window, so long-horizon fleet runs that
+  /// only need counters stop growing without bound.  May be set at any
+  /// time; an over-budget log compacts on the next append (or compact()).
+  void set_retention_window(std::size_t window);
+  std::size_t retention_window() const { return window_; }
+
+  /// Force eviction of everything beyond the window now (no-op when the
+  /// window is 0 or nothing is evictable).
+  void compact();
 
  private:
   struct UriIndex {
@@ -99,17 +157,27 @@ class PollLog {
     std::size_t performed = 0;            ///< successful, non-initial origin
     std::size_t triggered = 0;            ///< successful, kTriggered
     std::size_t relays = 0;               ///< successful, kRelay
+    std::size_t live = 0;                 ///< records currently retained
   };
 
-  /// nullptr when the uri has no records.
+  /// nullptr when the object has no records.
   const UriIndex* find(const std::string& uri) const;
+  UriIndex& index_for(ObjectId object);
 
+  void count(UriIndex& index, const PollRecord& record);
+  void maybe_compact();
+
+  std::unique_ptr<UriTable> owned_table_;  // null when sharing
+  UriTable* table_;
   std::vector<PollRecord> records_;
-  std::unordered_map<std::string, UriIndex> by_uri_;
+  std::vector<UriIndex> by_id_;
   std::size_t performed_total_ = 0;
   std::size_t triggered_total_ = 0;
   std::size_t relay_total_ = 0;
+  std::size_t initial_total_ = 0;
   std::size_t failed_total_ = 0;
+  std::size_t window_ = 0;
+  std::size_t evictable_ = 0;  ///< records beyond their object's window
 };
 
 }  // namespace broadway

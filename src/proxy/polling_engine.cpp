@@ -13,7 +13,13 @@ PollingEngine::PollingEngine(Simulator& sim, OriginServer& origin)
 
 PollingEngine::PollingEngine(Simulator& sim, OriginServer& origin,
                              EngineConfig config)
-    : sim_(sim), origin_(origin), config_(config), loss_rng_(config.seed) {
+    : sim_(sim),
+      origin_(origin),
+      uris_(origin.uri_table()),
+      config_(config),
+      loss_rng_(config.seed),
+      cache_(uris_),
+      poll_log_(uris_) {
   BROADWAY_CHECK(config_.rtt >= 0.0);
   BROADWAY_CHECK(config_.loss_probability >= 0.0 &&
                  config_.loss_probability < 1.0);
@@ -25,12 +31,22 @@ PollingEngine::PollingEngine(Simulator& sim, OriginServer& origin,
 TrackedObject& PollingEngine::register_object(
     std::unique_ptr<TrackedObject> object, bool self_scheduled) {
   BROADWAY_CHECK_MSG(!started_, "register objects before start()");
-  const std::string& uri = object->uri();
-  BROADWAY_CHECK_MSG(objects_.find(uri) == objects_.end(),
-                     "duplicate registration of " << uri);
-  auto [it, inserted] = objects_.emplace(uri, std::move(object));
-  BROADWAY_CHECK(inserted);
-  TrackedObject* raw = it->second.get();
+  const ObjectId id = uris_.intern(object->uri());
+  BROADWAY_CHECK_MSG(tracked(id) == nullptr,
+                     "duplicate registration of " << object->uri());
+  object->set_id(id);
+  if (objects_by_id_.size() <= id) objects_by_id_.resize(id + 1);
+  objects_by_id_[id] = std::move(object);
+  TrackedObject* raw = objects_by_id_[id].get();
+  // Keep the deterministic sorted-by-uri sweep order of the uri-keyed map
+  // this structure replaces (registration is cold; insertion cost is
+  // irrelevant).
+  ordered_.insert(std::upper_bound(ordered_.begin(), ordered_.end(), raw,
+                                   [](const TrackedObject* a,
+                                      const TrackedObject* b) {
+                                     return a->uri() < b->uri();
+                                   }),
+                  raw);
   if (self_scheduled) {
     raw->attach_task(std::make_unique<PeriodicTask>(sim_, [this, raw] {
       poll_self(*raw, PollCause::kScheduled);
@@ -106,7 +122,7 @@ void PollingEngine::add_partitioned_group(
 void PollingEngine::start() {
   BROADWAY_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
-  for (auto& [uri, object] : objects_) {
+  for (TrackedObject* object : ordered_) {
     if (object->self_scheduled()) {
       poll_self(*object, PollCause::kInitial);
     }
@@ -129,7 +145,7 @@ void PollingEngine::crash_and_recover() {
   for (auto& group : partitioned_groups_) {
     group->policy->reset();
   }
-  for (auto& [uri, object] : objects_) {
+  for (TrackedObject* object : ordered_) {
     if (const auto ttr = object->reset()) {
       object->task()->reschedule(*ttr);
     }
@@ -143,53 +159,53 @@ void PollingEngine::crash_and_recover() {
 
 // ---- the poll pipeline -----------------------------------------------------
 
-Response PollingEngine::exchange(const std::string& uri,
-                                 std::optional<TimePoint> if_modified_since) {
-  Request request;
-  request.method = Method::kGet;
-  request.uri = uri;
-  if (if_modified_since) {
-    set_if_modified_since(request.headers, *if_modified_since);
+void PollingEngine::exchange(const TrackedObject& object,
+                             std::optional<TimePoint> if_modified_since,
+                             Response& out) {
+  scratch_request_.reset();
+  scratch_request_.method = Method::kGet;
+  if (config_.typed_wire) {
+    // Typed sideband: the interned id addresses the object at the origin;
+    // no header rendering.  The uri still rides along (an assign into the
+    // scratch request's retained capacity — no allocation steady-state) so
+    // serialising a typed request for wire-level debugging stays lossless.
+    scratch_request_.uri = object.uri();
+    scratch_request_.object = object.id();
+    scratch_request_.meta.active = true;
+    if (if_modified_since) {
+      scratch_request_.meta.if_modified_since =
+          quantize_wire_seconds(*if_modified_since);
+    }
+  } else {
+    scratch_request_.uri = object.uri();
+    if (if_modified_since) {
+      set_if_modified_since(scratch_request_.headers, *if_modified_since);
+    }
   }
-  return origin_.handle(request);
+  origin_.handle(scratch_request_, out);
 }
 
-void PollingEngine::store_response(const std::string& uri,
+void PollingEngine::store_response(const TrackedObject& object,
                                    const Response& response,
                                    TimePoint snapshot, TimePoint visible) {
   if (!response.ok()) return;  // 304: the cached copy is still current
-  CacheEntry entry;
-  entry.uri = uri;
-  entry.body = response.body;
+  CacheEntry& entry = cache_.refresh_entry(object.id(), snapshot);
+  entry.body = response.body;  // reuses the entry's allocation
   entry.snapshot_time = snapshot;
   entry.stored_time = visible;
-  entry.last_modified = get_last_modified(response.headers);
-  entry.value = get_object_value(response.headers);
-  cache_.store(std::move(entry));
-}
-
-void PollingEngine::record_poll(const std::string& uri, PollCause cause,
-                                bool modified, bool failed,
-                                TimePoint snapshot, TimePoint complete) {
-  PollRecord record;
-  record.snapshot_time = snapshot;
-  record.complete_time = complete;
-  record.uri = uri;
-  record.cause = cause;
-  record.modified = modified;
-  record.failed = failed;
-  poll_log_.append(std::move(record));
+  entry.last_modified = wire_last_modified(response);
+  entry.value = wire_object_value(response);
 }
 
 void PollingEngine::schedule_retry(const std::function<void()>& retry) {
-  // The callback needs its own id to deregister itself; schedule_after
-  // returns before any event can fire, so the box is filled in time.
-  auto id_box = std::make_shared<EventId>(kInvalidEventId);
-  *id_box = sim_.schedule_after(config_.retry_delay, [this, id_box, retry] {
-    pending_retries_.erase(*id_box);
-    retry();
-  });
-  pending_retries_.insert(*id_box);
+  // The firing callback removes itself from the pending set by asking the
+  // simulator which event is running — no per-retry id box to allocate.
+  const EventId id =
+      sim_.schedule_after(config_.retry_delay, [this, retry] {
+        pending_retries_.erase(sim_.current_event());
+        retry();
+      });
+  pending_retries_.insert(id);
 }
 
 bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
@@ -201,30 +217,38 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
   // Stage 1: loss injection.
   const bool lost = config_.loss_probability > 0.0 &&
                     loss_rng_.bernoulli(config_.loss_probability);
-
-  // Stage 2: the HTTP exchange.
-  std::optional<Response> response;
-  if (!lost) {
-    response = exchange(object.uri(),
-                        initial ? std::nullopt : std::make_optional(previous));
-    BROADWAY_CHECK_MSG(response->status != StatusCode::kNotFound,
-                       object.uri() << " not present at origin");
-    // Stage 3: refresh the cached copy.
-    store_response(object.uri(), *response, now, now + config_.rtt);
-  }
-
-  // Stage 4: record the poll — the single append site for every object
-  // kind, lost and successful polls alike.
-  record_poll(object.uri(), cause, !lost && response->ok(), lost, now,
-              now + config_.rtt);
-
   if (lost) {
+    // Stage 4 for the failure case: the single record site (below) is
+    // shared by every object kind, lost and successful alike.
+    poll_log_.append(object.id(), cause, /*modified=*/false, /*failed=*/true,
+                     now, now + config_.rtt);
     schedule_retry(retry);
     return false;
   }
 
+  // Scratch response for this pipeline depth: a coordinator-triggered
+  // poll re-enters poll_object() from stage 6 while this frame still
+  // reads `response`, so each depth owns its slot.
+  if (response_pool_.size() <= pipeline_depth_) {
+    response_pool_.push_back(std::make_unique<Response>());
+  }
+  Response& response = *response_pool_[pipeline_depth_];
+  ++pipeline_depth_;
+
+  // Stage 2: the HTTP exchange.
+  exchange(object, initial ? std::nullopt : std::make_optional(previous),
+           response);
+  BROADWAY_CHECK_MSG(response.status != StatusCode::kNotFound,
+                     object.uri() << " not present at origin");
+  // Stage 3: refresh the cached copy.
+  store_response(object, response, now, now + config_.rtt);
+
+  // Stage 4: record the poll.
+  poll_log_.append(object.id(), cause, response.ok(), /*failed=*/false, now,
+                   now + config_.rtt);
+
   // Stage 5: policy update.
-  const PollOutcome outcome = object.on_response(*response, now, previous,
+  const PollOutcome outcome = object.on_response(response, now, previous,
                                                  cause);
   object.set_last_poll_completion(now);
   if (outcome.ttr) {
@@ -245,30 +269,28 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
   // the listener (e.g. a relaying fleet) sees a consistent proxy.
   if (poll_listener_) {
     poll_listener_(PollEvent{
-        object.uri(), cause, *response, now,
+        object.uri(), object.id(), cause, response, now,
         outcome.observation ? &*outcome.observation : nullptr});
   }
+  --pipeline_depth_;
   return true;
 }
 
-bool PollingEngine::apply_relay(const std::string& uri,
-                                const Response& response,
+bool PollingEngine::apply_relay(ObjectId id, const Response& response,
                                 TimePoint snapshot) {
   if (!started_) return false;  // relays may race engine start-up
   if (!response.ok() && !response.not_modified()) return false;
-  const auto it = objects_.find(uri);
-  if (it == objects_.end() || !it->second->self_scheduled()) return false;
-  TrackedObject& object = *it->second;
+  TrackedObject* object = tracked(id);
+  if (object == nullptr || !object->self_scheduled()) return false;
   const TimePoint now = sim_.now();
   BROADWAY_CHECK_MSG(snapshot <= now, "relay snapshot " << snapshot
                                                         << " after " << now);
-  const TimePoint previous = object.last_poll_completion();
+  const TimePoint previous = object->last_poll_completion();
   // A relay older than this proxy's own view carries nothing new (e.g. a
   // delayed delivery overtaken by an own poll).
   if (snapshot <= previous) return false;
-  const auto relayed_last_modified = get_last_modified(response.headers);
+  const auto relayed_last_modified = wire_last_modified(response);
 
-  Response local = response;
   if (response.not_modified()) {
     // Validation relay: the sibling's 304 confirms the object unchanged
     // through `snapshot`.  Applicable only when it validates *this*
@@ -285,44 +307,36 @@ bool PollingEngine::apply_relay(const std::string& uri,
     if (relayed_last_modified && *relayed_last_modified <= previous) {
       return false;
     }
-    if (const CacheEntry* entry = cache_.find(uri)) {
+    if (const CacheEntry* entry = cache_.find(id)) {
       if (relayed_last_modified && entry->last_modified &&
           *relayed_last_modified <= *entry->last_modified) {
         return false;
       }
     }
-    // The sibling's history covers updates since *its* previous poll;
-    // restrict it to the updates this proxy has not seen.  With relays
-    // flowing on every observed modification the sibling's history is a
-    // superset of ours past `previous`, so the restriction is exact.
-    if (const auto history = get_modification_history(response.headers)) {
-      std::vector<TimePoint> unseen;
-      unseen.reserve(history->size());
-      for (const TimePoint t : *history) {
-        if (t > previous) unseen.push_back(t);
-      }
-      set_modification_history(local.headers, unseen);
-    }
   }
 
   // The relay pipeline mirrors poll stages 3–6 (no exchange, no loss);
-  // store_response ignores 304s, exactly as for an own poll.  All state is
-  // stamped with the true server snapshot — with delivery latency the
-  // copy reflects state at `snapshot` and becomes visible only `now`, and
-  // the fidelity evaluation must see exactly that.
-  store_response(uri, local, snapshot, now);
-  record_poll(uri, PollCause::kRelay, /*modified=*/local.ok(),
-              /*failed=*/false, snapshot, now);
+  // store_response ignores 304s, exactly as for an own poll.  The
+  // sibling's modification history — updates since *its* previous poll —
+  // is restricted to the updates this proxy has not seen inside
+  // on_response, so the response passes through by const reference,
+  // uncopied.  All state is stamped with the true server snapshot: with
+  // delivery latency the copy reflects state at `snapshot` and becomes
+  // visible only `now`, and the fidelity evaluation must see exactly
+  // that.
+  store_response(*object, response, snapshot, now);
+  poll_log_.append(id, PollCause::kRelay, /*modified=*/response.ok(),
+                   /*failed=*/false, snapshot, now);
   const PollOutcome outcome =
-      object.on_response(local, snapshot, previous, PollCause::kRelay);
-  object.set_last_poll_completion(snapshot);
+      object->on_response(response, snapshot, previous, PollCause::kRelay);
+  object->set_last_poll_completion(snapshot);
   if (outcome.ttr) {
-    object.record_ttr(snapshot, *outcome.ttr);
-    object.task()->reschedule(*outcome.ttr);
+    object->record_ttr(snapshot, *outcome.ttr);
+    object->task()->reschedule(*outcome.ttr);
   }
   if (outcome.observation) {
     for (auto& coordinator : coordinators_) {
-      coordinator->on_poll(uri, *outcome.observation);
+      coordinator->on_poll(object->uri(), *outcome.observation);
     }
   }
   return true;
@@ -342,8 +356,8 @@ void PollingEngine::poll_group(VirtualGroup& group, PollCause cause) {
 
   // A joint poll fetches every member; each fetch is one poll in the
   // paper's accounting (Fig. 7 counts individual server polls).
-  std::vector<double> values;
-  values.reserve(group.members.size());
+  std::vector<double>& values = group.values_scratch;
+  values.clear();
   for (VirtualMemberObject* member : group.members) {
     if (!poll_object(*member, cause, retry)) {
       return;  // lost: the whole joint poll retries
@@ -373,10 +387,10 @@ CoordinatorHooks PollingEngine::make_hooks() {
 }
 
 TrackedObject& PollingEngine::temporal_object(const std::string& uri) {
-  auto it = objects_.find(uri);
-  BROADWAY_CHECK_MSG(it != objects_.end() && it->second->temporal(),
+  TrackedObject* object = tracked(uris_.find(uri));
+  BROADWAY_CHECK_MSG(object != nullptr && object->temporal(),
                      "unknown temporal object " << uri);
-  return *it->second;
+  return *object;
 }
 
 TimePoint PollingEngine::next_poll_time(const std::string& uri) {
@@ -396,8 +410,8 @@ void PollingEngine::trigger_poll(const std::string& uri) {
 const std::vector<std::pair<TimePoint, Duration>>& PollingEngine::ttr_series(
     const std::string& uri) const {
   static const std::vector<std::pair<TimePoint, Duration>> kEmpty;
-  const auto it = objects_.find(uri);
-  return it == objects_.end() ? kEmpty : it->second->ttr_series();
+  const TrackedObject* object = tracked(uris_.find(uri));
+  return object == nullptr ? kEmpty : object->ttr_series();
 }
 
 }  // namespace broadway

@@ -16,6 +16,16 @@
 // (see poll_log.h), so the per-object metric accessors below are
 // O(records-for-uri) or O(1) instead of scans of the global log.
 //
+// Hot-path representation: uris are interned once at registration into the
+// origin's shared UriTable; the pipeline carries dense ObjectId handles
+// into the cache, the poll log and the fleet relay path.  Exchanges use
+// the typed wire sideband (RequestMeta/ResponseMeta, see message.h) with a
+// per-engine scratch Request and a small pool of scratch Responses (one
+// per trigger-cascade depth), so a steady-state poll allocates nothing.
+// `EngineConfig::typed_wire = false` forces the legacy header-string
+// representation — the differential tests pin that both produce
+// byte-identical policy decisions, poll logs and fidelity results.
+//
 // Failure model:
 //  * lost polls — with `loss_probability`, a poll fails (no response); the
 //    engine retries after `retry_delay`, recording the failure;
@@ -35,7 +45,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +63,7 @@
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -68,13 +78,20 @@ struct EngineConfig {
   Duration retry_delay = 5.0;
   /// Seed for the loss-injection stream.
   std::uint64_t seed = 42;
+  /// Exchange typed wire metadata in-process (the fast path).  False =
+  /// render and parse header strings per poll, as real HTTP would; kept
+  /// for the typed≡string differential tests and wire-level debugging.
+  bool typed_wire = true;
 };
 
 /// One successful origin poll, as seen by a fleet-level observer.  All
 /// references point at pipeline-owned state and are valid only for the
-/// duration of the listener call — copy what must outlive it.
+/// duration of the listener call — copy what must outlive it (for a
+/// Response, ResponseMeta::own_history() first).
 struct PollEvent {
   const std::string& uri;
+  /// Interned id of `uri` in the engine's shared table.
+  ObjectId object;
   PollCause cause;
   /// The origin's response (200 or 304) to this poll.
   const Response& response;
@@ -129,22 +146,25 @@ class PollingEngine {
 
   /// True when `uri` is registered with this engine (any object kind).
   bool tracks(const std::string& uri) const {
-    return objects_.find(uri) != objects_.end();
+    return tracked(uris_.find(uri)) != nullptr;
   }
 
   /// True when `uri` is registered as a temporal-domain object — the only
   /// kind coordinator hooks (and thus δ-group membership) apply to.
   bool tracks_temporal(const std::string& uri) const {
-    const auto it = objects_.find(uri);
-    return it != objects_.end() && it->second->temporal();
+    const TrackedObject* object = tracked(uris_.find(uri));
+    return object != nullptr && object->temporal();
   }
 
-  /// True when a sibling relay of `uri` could be applied here: tracked and
-  /// self-scheduled (group-polled members follow their group's joint
+  /// True when a sibling relay of `object` could be applied here: tracked
+  /// and self-scheduled (group-polled members follow their group's joint
   /// schedule and cannot absorb individual relays).
+  bool relay_eligible(ObjectId id) const {
+    const TrackedObject* object = tracked(id);
+    return object != nullptr && object->self_scheduled();
+  }
   bool relay_eligible(const std::string& uri) const {
-    const auto it = objects_.find(uri);
-    return it != objects_.end() && it->second->self_scheduled();
+    return relay_eligible(uris_.find(uri));
   }
 
   /// Observe every *successful origin poll* of this engine (relay
@@ -158,6 +178,9 @@ class PollingEngine {
   /// proxy fleet's cross-proxy δ-groups).  Same hooks engine-local
   /// coordinators receive from add_coordinator().
   CoordinatorHooks coordinator_hooks() { return make_hooks(); }
+
+  /// The shared intern table (the origin's).
+  const UriTable& uri_table() const { return uris_; }
 
   // ---- runtime ----
 
@@ -174,8 +197,9 @@ class PollingEngine {
   ///    policy/coordinator stages as if this proxy had polled the origin
   ///    at this instant.  The relayed X-Modification-History — updates
   ///    since the *sibling's* previous poll — is restricted to the updates
-  ///    this proxy has not yet seen, so violation inference matches an own
-  ///    poll;
+  ///    this proxy has not yet seen (inside TrackedObject::on_response, so
+  ///    the response itself is never copied), and violation inference
+  ///    matches an own poll;
   ///  * a 304 relay is a *validation*: when its Last-Modified names a
   ///    version this proxy has already seen, the copy is confirmed current
   ///    through the relayed snapshot and the policy observes an unmodified
@@ -185,17 +209,28 @@ class PollingEngine {
   /// non-zero relay latency it lies before now; the refresh is recorded
   /// with that true snapshot and becomes visible at now, so the fidelity
   /// evaluation never credits the sibling with server state it was not
-  /// actually sent.  Returns false (no state change) when `uri` is not
-  /// tracked here, is group-scheduled, the engine has not started, the
+  /// actually sent.  Returns false (no state change) when the object is
+  /// not tracked here, is group-scheduled, the engine has not started, the
   /// cached copy is already current (200) or not validated by the relay
   /// (304).
+  bool apply_relay(ObjectId id, const Response& response, TimePoint snapshot);
   bool apply_relay(const std::string& uri, const Response& response,
-                   TimePoint snapshot);
+                   TimePoint snapshot) {
+    return apply_relay(uris_.find(uri), response, snapshot);
+  }
 
   // ---- results ----
 
   /// The indexed poll log (vector-compatible reads; see PollLog).
   const PollLog& poll_log() const { return poll_log_; }
+
+  /// Bound poll-log memory for long-horizon runs: keep at most `window`
+  /// records per object (0 = unlimited, the default).  Counters stay
+  /// exact; per-object record series are truncated to the window — see
+  /// PollLog::set_retention_window.
+  void set_poll_log_retention(std::size_t window) {
+    poll_log_.set_retention_window(window);
+  }
 
   /// Completion instants of successful polls of `uri`, ascending,
   /// including the initial fetch.
@@ -242,9 +277,10 @@ class PollingEngine {
   // A group tracked through a virtual object: members are fetched jointly
   // and the group policy schedules the next joint poll.
   struct VirtualGroup {
-    std::vector<VirtualMemberObject*> members;  // owned by objects_
+    std::vector<VirtualMemberObject*> members;  // owned by objects_by_id_
     std::unique_ptr<VirtualObjectPolicy> policy;
     std::unique_ptr<PeriodicTask> task;
+    std::vector<double> values_scratch;  // reused across joint polls
   };
 
   // A partitioned-tolerance group: members self-schedule against the
@@ -255,14 +291,18 @@ class PollingEngine {
 
   Simulator& sim_;
   OriginServer& origin_;
+  UriTable& uris_;  // the origin's table
   EngineConfig config_;
   Rng loss_rng_;
   ProxyCache cache_;
   bool started_ = false;
 
   // unique_ptr elements: scheduled tasks and groups capture raw object
-  // pointers, which must survive container growth.
-  std::map<std::string, std::unique_ptr<TrackedObject>> objects_;
+  // pointers, which must survive container growth.  Indexed by ObjectId;
+  // ordered_ repeats them sorted by uri for deterministic start/recovery
+  // sweeps (the iteration order of the uri-keyed map this replaces).
+  std::vector<std::unique_ptr<TrackedObject>> objects_by_id_;
+  std::vector<TrackedObject*> ordered_;
   std::vector<std::unique_ptr<MutualCoordinator>> coordinators_;
   std::vector<std::unique_ptr<VirtualGroup>> virtual_groups_;
   std::vector<std::unique_ptr<PartitionedGroup>> partitioned_groups_;
@@ -272,6 +312,15 @@ class PollingEngine {
   std::unordered_set<EventId> pending_retries_;
   // Fleet-level observer of successful origin polls (may be empty).
   PollListener poll_listener_;
+
+  // Scratch messages for the in-process exchange.  The request is reused
+  // within exchange() (no callbacks run inside origin_.handle); responses
+  // are pooled per pipeline depth, because a coordinator-triggered poll
+  // re-enters poll_object() while the outer frame still reads its
+  // response.
+  Request scratch_request_;
+  std::vector<std::unique_ptr<Response>> response_pool_;
+  std::size_t pipeline_depth_ = 0;
 
   // ---- the poll pipeline ----
 
@@ -288,22 +337,15 @@ class PollingEngine {
   // Jointly poll every member of a virtual group, then reschedule it.
   void poll_group(VirtualGroup& group, PollCause cause);
 
-  // The one code path that appends to poll_log_, for all object kinds and
-  // for failed and successful polls alike.  `snapshot` is the server-state
-  // instant the record reflects; `complete` is when the refreshed copy
-  // became visible at the proxy.
-  void record_poll(const std::string& uri, PollCause cause, bool modified,
-                   bool failed, TimePoint snapshot, TimePoint complete);
-
-  // Perform the HTTP exchange (no failure injection; the pipeline draws
-  // losses before calling this).
-  Response exchange(const std::string& uri,
-                    std::optional<TimePoint> if_modified_since);
+  // Perform the HTTP exchange into `out` (no failure injection; the
+  // pipeline draws losses before calling this).
+  void exchange(const TrackedObject& object,
+                std::optional<TimePoint> if_modified_since, Response& out);
 
   // Refresh the cached copy: `snapshot` is the server-state instant the
   // response reflects, `visible` when it is usable at the proxy (snapshot
   // + rtt for own polls; the delivery instant for relays).
-  void store_response(const std::string& uri, const Response& response,
+  void store_response(const TrackedObject& object, const Response& response,
                       TimePoint snapshot, TimePoint visible);
 
   void schedule_retry(const std::function<void()>& retry);
@@ -312,6 +354,13 @@ class PollingEngine {
   // unless the object is group-polled.
   TrackedObject& register_object(std::unique_ptr<TrackedObject> object,
                                  bool self_scheduled);
+
+  const TrackedObject* tracked(ObjectId id) const {
+    return id < objects_by_id_.size() ? objects_by_id_[id].get() : nullptr;
+  }
+  TrackedObject* tracked(ObjectId id) {
+    return id < objects_by_id_.size() ? objects_by_id_[id].get() : nullptr;
+  }
 
   CoordinatorHooks make_hooks();
   TrackedObject& temporal_object(const std::string& uri);

@@ -1,5 +1,7 @@
 #include "proxy/tracked_object.h"
 
+#include <algorithm>
+
 #include "http/extensions.h"
 #include "util/check.h"
 
@@ -25,9 +27,19 @@ PollOutcome TemporalObject::on_response(const Response& response,
   obs.poll_time = now;
   obs.previous_poll_time = previous;
   obs.modified = response.ok();
-  obs.last_modified = get_last_modified(response.headers);
-  if (const auto history = get_modification_history(response.headers)) {
-    obs.history = *history;
+  obs.last_modified = wire_last_modified(response);
+  // Malformed string-path history reads as empty, as before.
+  wire_modification_history(response, obs.history);
+  // Restrict the history to updates this proxy has not seen.  For an own
+  // poll the server already filtered against If-Modified-Since (= the
+  // quantised `previous`), so this is a no-op; for a relayed response the
+  // sibling's history covers updates since *its* previous poll, and the
+  // restriction makes violation inference match an own poll (the relay
+  // path used to copy the whole Response just to rewrite this header).
+  if (!obs.history.empty()) {
+    const auto first =
+        std::upper_bound(obs.history.begin(), obs.history.end(), previous);
+    obs.history.erase(obs.history.begin(), first);
   }
   outcome.ttr = policy_->next_ttr(obs);
   outcome.observation = std::move(obs);
@@ -46,10 +58,10 @@ ValueDomainObject::ValueSample ValueDomainObject::absorb_value(
     PollCause cause) {
   double value = last_value_;
   if (response.ok()) {
-    const auto header_value = get_object_value(response.headers);
-    BROADWAY_CHECK_MSG(header_value.has_value(),
+    const auto wire_value = wire_object_value(response);
+    BROADWAY_CHECK_MSG(wire_value.has_value(),
                        uri() << " is not a value-domain object");
-    value = *header_value;
+    value = *wire_value;
   }
   ValueSample sample;
   sample.first = cause == PollCause::kInitial || !has_value_;

@@ -21,6 +21,7 @@
 #include "consistency/value_ttr.h"
 #include "http/message.h"
 #include "sim/periodic.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -46,6 +47,11 @@ class TrackedObject {
   TrackedObject& operator=(const TrackedObject&) = delete;
 
   const std::string& uri() const { return uri_; }
+
+  /// Interned id of uri() in the engine's shared table; set once at
+  /// registration.
+  ObjectId id() const { return id_; }
+  void set_id(ObjectId id) { id_ = id; }
 
   /// Completion instant of the most recent successful poll (0 before any).
   TimePoint last_poll_completion() const { return last_poll_completion_; }
@@ -84,6 +90,7 @@ class TrackedObject {
 
  private:
   std::string uri_;
+  ObjectId id_ = kInvalidObjectId;
   TimePoint last_poll_completion_ = 0.0;
   std::vector<std::pair<TimePoint, Duration>> ttr_series_;
   std::unique_ptr<PeriodicTask> task_;

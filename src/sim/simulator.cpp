@@ -6,14 +6,50 @@
 
 namespace broadway {
 
+const Simulator::Slot* Simulator::live_slot(EventId id) const {
+  const std::uint32_t index = slot_of(id);
+  if (index >= slots_.size()) return nullptr;
+  const Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation_of(id)) return nullptr;
+  return &slot;
+}
+
+Simulator::Slot* Simulator::live_slot(EventId id) {
+  return const_cast<Slot*>(
+      static_cast<const Simulator*>(this)->live_slot(id));
+}
+
+void Simulator::release(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  ++slot.generation;
+  if (slot.generation == 0) ++slot.generation;  // skip 0 on wrap
+  slot.fn = nullptr;  // drop captured state promptly
+  free_slots_.push_back(index);
+  --pending_count_;
+}
+
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   BROADWAY_CHECK_MSG(std::isfinite(t), "schedule_at(" << t << ")");
   BROADWAY_CHECK_MSG(t >= now_,
                      "schedule_at in the past: t=" << t << " now=" << now_);
   BROADWAY_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    BROADWAY_CHECK_MSG(slots_.size() < 0xffffffffu, "event pool full");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.time = t;
+  slot.live = true;
+  ++pending_count_;
+  const EventId id = make_id(index, slot.generation);
   queue_.push(QueueEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, PendingInfo{std::move(fn), t});
   return id;
 }
 
@@ -22,20 +58,24 @@ EventId Simulator::schedule_after(Duration d, Callback fn) {
   return schedule_at(now_ + d, std::move(fn));
 }
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::cancel(EventId id) {
+  Slot* slot = live_slot(id);
+  if (slot == nullptr) return false;
+  release(slot_of(id));
+  return true;
+}
 
 bool Simulator::is_pending(EventId id) const {
-  return callbacks_.find(id) != callbacks_.end();
+  return live_slot(id) != nullptr;
 }
 
 TimePoint Simulator::fire_time(EventId id) const {
-  auto it = callbacks_.find(id);
-  return it == callbacks_.end() ? kTimeInfinity : it->second.time;
+  const Slot* slot = live_slot(id);
+  return slot == nullptr ? kTimeInfinity : slot->time;
 }
 
 void Simulator::drop_dead_entries() {
-  while (!queue_.empty() &&
-         callbacks_.find(queue_.top().id) == callbacks_.end()) {
+  while (!queue_.empty() && live_slot(queue_.top().id) == nullptr) {
     queue_.pop();
   }
 }
@@ -45,14 +85,20 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   const QueueEntry entry = queue_.top();
   queue_.pop();
-  auto it = callbacks_.find(entry.id);
-  BROADWAY_CHECK(it != callbacks_.end());
-  Callback fn = std::move(it->second.fn);
-  callbacks_.erase(it);
+  Slot* slot = live_slot(entry.id);
+  BROADWAY_CHECK(slot != nullptr);
+  Callback fn = std::move(slot->fn);
+  release(slot_of(entry.id));
   BROADWAY_CHECK_MSG(entry.time >= now_, "event time went backwards");
   now_ = entry.time;
   ++executed_;
+  // Expose the running event's id for the duration of the callback
+  // (callbacks nest only through step()-free paths, so a plain save and
+  // restore covers reentrant step() calls too).
+  const EventId outer = current_event_;
+  current_event_ = entry.id;
   fn();
+  current_event_ = outer;
   return true;
 }
 

@@ -14,12 +14,18 @@
 // already-fired or unknown event is a no-op and reported via the return
 // value, never an error — timers race with the actions that obsolete them
 // in every real proxy, and the engine absorbs that race.
+//
+// Storage: pending callbacks live in a generation-tagged slot pool (an
+// EventId encodes slot index + generation), so scheduling an event is a
+// slot reuse plus a binary-heap push — no per-event node allocation, no
+// hashing — and cancellation just bumps the slot's generation, turning the
+// heap entry into a tombstone that pop skips.  At fleet scale every poll
+// is at least one event; this is the floor under the whole simulation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/time.h"
@@ -81,7 +87,13 @@ class Simulator {
   std::size_t run_until(TimePoint horizon);
 
   /// Number of pending events.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return pending_count_; }
+
+  /// Id of the event whose callback is currently executing;
+  /// kInvalidEventId outside any callback.  Lets a callback deregister
+  /// itself from caller-side bookkeeping (e.g. the polling engine's
+  /// pending-retry set) without capturing its own id at schedule time.
+  EventId current_event() const { return current_event_; }
 
   /// Total events executed over the lifetime of the simulator.
   std::uint64_t executed() const { return executed_; }
@@ -98,19 +110,43 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
-  struct PendingInfo {
+  // One pooled event slot.  `generation` advances every time the slot is
+  // released (fire or cancel), so a stale EventId — and the heap entry
+  // carrying it — can never address a reused slot.
+  struct Slot {
     Callback fn;
-    TimePoint time;
+    TimePoint time = 0.0;
+    std::uint32_t generation = 1;  // generation 0 never exists: see below
+    bool live = false;
   };
 
+  // EventId layout: generation (high 32 bits) | slot index (low 32 bits).
+  // Generations start at 1 so no valid id equals kInvalidEventId (0).
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// The slot addressed by `id` iff it is live and the generation matches.
+  const Slot* live_slot(EventId id) const;
+  Slot* live_slot(EventId id);
+
+  /// Release a slot back to the free list (bumps the generation).
+  void release(std::uint32_t index);
+
   TimePoint now_ = 0.0;
-  std::uint64_t next_id_ = 1;
+  EventId current_event_ = kInvalidEventId;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t pending_count_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
-  // Cancellation is O(1): erase from this map; the heap entry becomes a
-  // tombstone that pop skips.
-  std::unordered_map<EventId, PendingInfo> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 
   // Pop tombstones until the head is live (or the queue is empty).
   void drop_dead_entries();

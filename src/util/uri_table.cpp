@@ -1,0 +1,27 @@
+#include "util/uri_table.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+ObjectId UriTable::intern(std::string_view uri) {
+  const auto it = index_.find(uri);
+  if (it != index_.end()) return it->second;
+  BROADWAY_CHECK_MSG(uris_.size() < kInvalidObjectId, "uri table full");
+  const ObjectId id = static_cast<ObjectId>(uris_.size());
+  uris_.emplace_back(uri);
+  index_.emplace(std::string_view(uris_.back()), id);
+  return id;
+}
+
+ObjectId UriTable::find(std::string_view uri) const {
+  const auto it = index_.find(uri);
+  return it == index_.end() ? kInvalidObjectId : it->second;
+}
+
+const std::string& UriTable::uri(ObjectId id) const {
+  BROADWAY_CHECK_MSG(id < uris_.size(), "unknown ObjectId " << id);
+  return uris_[id];
+}
+
+}  // namespace broadway

@@ -1,0 +1,64 @@
+// Uri interning: dense ObjectId handles for the poll hot path.
+//
+// Every layer of the polling stack used to key its maps and records on
+// full `std::string` uris — one hash + compare (and often one copy) per
+// poll per layer.  A UriTable interns each uri once and hands out a dense
+// uint32 ObjectId; the origin store, the proxy cache, the poll log and the
+// fleet relay path all index plain vectors by that id instead.  String
+// uris remain available for reports, tests and public accessors via
+// `uri(id)`.
+//
+// Storage is a deque so interned strings never move: `uri(id)` references
+// and the string_views handed to PollRecord stay valid for the life of the
+// table.  Tables are append-only (a web origin retires content by updating
+// it, not deleting it — see ObjectStore), so ids are stable forever.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace broadway {
+
+/// Dense handle for an interned uri.  Ids count up from 0 in intern order.
+using ObjectId = std::uint32_t;
+
+/// "No object": returned by find() for unknown uris, and the default of
+/// id-carrying records before they are interned.
+inline constexpr ObjectId kInvalidObjectId = 0xffffffffu;
+
+/// Append-only intern table mapping uri <-> ObjectId.
+class UriTable {
+ public:
+  UriTable() = default;
+
+  // Interned views point into this table; moving or copying it would
+  // silently detach every id already handed out.
+  UriTable(const UriTable&) = delete;
+  UriTable& operator=(const UriTable&) = delete;
+
+  /// Id for `uri`, interning it first if unseen.
+  ObjectId intern(std::string_view uri);
+
+  /// Id for `uri` if already interned; kInvalidObjectId otherwise.
+  ObjectId find(std::string_view uri) const;
+
+  /// The interned uri string.  The reference is stable for the life of the
+  /// table.  `id` must be a value this table returned.
+  const std::string& uri(ObjectId id) const;
+
+  /// Number of interned uris (== the smallest id not yet in use).
+  std::size_t size() const { return uris_.size(); }
+
+  bool contains(std::string_view uri) const {
+    return find(uri) != kInvalidObjectId;
+  }
+
+ private:
+  std::deque<std::string> uris_;  // deque: element addresses never move
+  std::unordered_map<std::string_view, ObjectId> index_;  // views into uris_
+};
+
+}  // namespace broadway

@@ -57,6 +57,67 @@ TEST(Headers, EntriesPreserveInsertionOrder) {
   EXPECT_EQ(headers.entries()[2].first, "Third");
 }
 
+TEST(Headers, SetPushesReplacementToTheBack) {
+  // set() = remove + add: the replacement does not keep the old slot.
+  Headers headers;
+  headers.add("A", "1");
+  headers.add("B", "2");
+  headers.set("a", "updated");
+  ASSERT_EQ(headers.entries().size(), 2u);
+  EXPECT_EQ(headers.entries()[0].first, "B");
+  EXPECT_EQ(headers.entries()[1].first, "a");  // stored as passed to set()
+  EXPECT_EQ(headers.entries()[1].second, "updated");
+}
+
+TEST(Headers, RemovePreservesOrderOfSurvivors) {
+  Headers headers;
+  headers.add("Keep-1", "a");
+  headers.add("Drop", "b");
+  headers.add("Keep-2", "c");
+  headers.add("drop", "d");
+  headers.add("Keep-3", "e");
+  EXPECT_EQ(headers.remove("DROP"), 2u);
+  ASSERT_EQ(headers.size(), 3u);
+  EXPECT_EQ(headers.entries()[0].first, "Keep-1");
+  EXPECT_EQ(headers.entries()[1].first, "Keep-2");
+  EXPECT_EQ(headers.entries()[2].first, "Keep-3");
+}
+
+TEST(Headers, EmptyAndMissingLookups) {
+  Headers headers;
+  EXPECT_TRUE(headers.empty());
+  EXPECT_EQ(headers.size(), 0u);
+  EXPECT_FALSE(headers.get("anything").has_value());
+  EXPECT_TRUE(headers.get_all("anything").empty());
+  headers.add("Empty-Value", "");
+  EXPECT_TRUE(headers.has("empty-value"));
+  EXPECT_EQ(*headers.get("Empty-Value"), "");
+  EXPECT_FALSE(headers.empty());
+}
+
+TEST(Headers, ClearKeepsNothing) {
+  Headers headers;
+  headers.add("A", "1");
+  headers.add("B", "2");
+  headers.clear();
+  EXPECT_TRUE(headers.empty());
+  EXPECT_FALSE(headers.has("A"));
+  headers.add("C", "3");  // usable after clear
+  EXPECT_EQ(*headers.get("C"), "3");
+}
+
+TEST(Headers, GetAllIsCaseInsensitiveAndOrdered) {
+  Headers headers;
+  headers.add("Via", "one");
+  headers.add("VIA", "two");
+  headers.add("via", "three");
+  const auto all = headers.get_all("vIa");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "one");
+  EXPECT_EQ(all[1], "two");
+  EXPECT_EQ(all[2], "three");
+}
+
 TEST(Method, Conversions) {
   EXPECT_EQ(to_string(Method::kGet), "GET");
   EXPECT_EQ(to_string(Method::kHead), "HEAD");
@@ -94,6 +155,54 @@ TEST(Response, StatusPredicates) {
   nm.status = StatusCode::kNotModified;
   EXPECT_TRUE(nm.not_modified());
   EXPECT_FALSE(nm.ok());
+}
+
+TEST(Request, ConditionalGetMirrorsTypedSideband) {
+  // The typed value equals what a parse of the stamped headers yields —
+  // both are millisecond-quantised.
+  const Request req = Request::conditional_get("/page", 3725.5009);
+  ASSERT_TRUE(req.meta.if_modified_since.has_value());
+  EXPECT_EQ(*req.meta.if_modified_since,
+            *get_if_modified_since(req.headers));
+}
+
+TEST(Request, ResetReturnsToDefaults) {
+  Request req = Request::conditional_get("/page", 10.0);
+  req.object = 7;
+  req.meta.active = true;
+  req.reset();
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_TRUE(req.uri.empty());
+  EXPECT_EQ(req.object, kInvalidObjectId);
+  EXPECT_TRUE(req.headers.empty());
+  EXPECT_FALSE(req.meta.active);
+  EXPECT_FALSE(req.meta.if_modified_since.has_value());
+}
+
+TEST(ResponseMeta, HistoryViewAndOwnership) {
+  const std::vector<TimePoint> storage = {1.0, 2.0, 3.0};
+  Response response;
+  response.meta.active = true;
+  response.meta.set_history_view(storage.data(), storage.size());
+  ASSERT_EQ(response.meta.history_size(), 3u);
+  EXPECT_EQ(response.meta.history_data(), storage.data());  // zero-copy
+
+  // Detaching copies the span into owned storage...
+  response.meta.own_history();
+  ASSERT_EQ(response.meta.history_size(), 3u);
+  EXPECT_NE(response.meta.history_data(), storage.data());
+  EXPECT_EQ(response.meta.history_data()[2], 3.0);
+
+  // ...and a copy of an owned history is independent and deep.
+  Response copy = response;
+  ASSERT_EQ(copy.meta.history_size(), 3u);
+  EXPECT_NE(copy.meta.history_data(), response.meta.history_data());
+  EXPECT_EQ(copy.meta.history_data()[0], 1.0);
+
+  response.reset();
+  EXPECT_FALSE(response.meta.active);
+  EXPECT_FALSE(response.meta.history_present);
+  EXPECT_EQ(response.meta.history_size(), 0u);
 }
 
 }  // namespace

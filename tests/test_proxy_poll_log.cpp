@@ -226,5 +226,121 @@ TEST(PollLog, EngineAccessorsMatchBruteForceScan) {
   EXPECT_TRUE(engine.ttr_series("/absent").empty());
 }
 
+// ---- windowed retention ----------------------------------------------------
+
+// Replay the same randomized stream into an unwindowed and a windowed log:
+// every counter must agree exactly; only the retained series shrink.
+TEST(PollLogRetention, CountersMatchUnwindowedExactly) {
+  Rng rng(424242);
+  const std::vector<std::string> uris = {"/a", "/b", "/c", "/d"};
+  const PollCause causes[] = {PollCause::kInitial, PollCause::kScheduled,
+                              PollCause::kTriggered, PollCause::kRetry,
+                              PollCause::kRelay};
+  PollLog unwindowed;
+  PollLog windowed;
+  windowed.set_retention_window(16);
+  TimePoint t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    PollRecord record;
+    t += rng.uniform(0.0, 5.0);
+    record.snapshot_time = t;
+    record.complete_time = t + 1.0;
+    record.uri = uris[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(uris.size()) - 1))];
+    record.cause = causes[rng.uniform_int(0, 4)];
+    record.failed = rng.bernoulli(0.15);
+    record.modified = !record.failed && rng.bernoulli(0.5);
+    PollRecord copy = record;
+    unwindowed.append(std::move(record));
+    windowed.append(std::move(copy));
+  }
+
+  EXPECT_EQ(windowed.polls_performed(), unwindowed.polls_performed());
+  EXPECT_EQ(windowed.triggered_polls(), unwindowed.triggered_polls());
+  EXPECT_EQ(windowed.relay_refreshes(), unwindowed.relay_refreshes());
+  EXPECT_EQ(windowed.initial_polls(), unwindowed.initial_polls());
+  EXPECT_EQ(windowed.failed_polls(), unwindowed.failed_polls());
+  for (const std::string& uri : uris) {
+    SCOPED_TRACE(uri);
+    EXPECT_EQ(windowed.polls_performed(uri), unwindowed.polls_performed(uri));
+    EXPECT_EQ(windowed.triggered_polls(uri), unwindowed.triggered_polls(uri));
+    EXPECT_EQ(windowed.relay_refreshes(uri), unwindowed.relay_refreshes(uri));
+  }
+
+  // The windowed log actually evicted (that is its point) ...
+  EXPECT_LT(windowed.size(), unwindowed.size());
+  windowed.compact();
+  for (const std::string& uri : uris) {
+    SCOPED_TRACE(uri);
+    std::size_t live = 0;
+    for (const PollRecord& record : windowed) {
+      if (record.uri == uri) ++live;
+    }
+    EXPECT_LE(live, 16u);
+    // ... and what it retains is exactly the newest suffix of the full
+    // stream's per-uri series.
+    const std::vector<TimePoint> full = unwindowed.completion_times(uri);
+    const std::vector<TimePoint> kept = windowed.completion_times(uri);
+    ASSERT_LE(kept.size(), full.size());
+    EXPECT_TRUE(std::equal(kept.rbegin(), kept.rend(), full.rbegin()));
+  }
+
+  // Index invariants still hold on the compacted storage.
+  for (const std::string& uri : uris) {
+    const std::vector<std::size_t>& successful =
+        windowed.successful_records(uri);
+    for (std::size_t i = 0; i < successful.size(); ++i) {
+      ASSERT_LT(successful[i], windowed.size());
+      EXPECT_FALSE(windowed[successful[i]].failed);
+      EXPECT_EQ(windowed[successful[i]].uri, uri);
+      if (i > 0) EXPECT_GT(successful[i], successful[i - 1]);
+    }
+  }
+}
+
+TEST(PollLogRetention, WindowCanBeEnabledAfterTheFact) {
+  PollLog log;
+  for (int i = 0; i < 100; ++i) {
+    PollRecord record;
+    record.snapshot_time = record.complete_time = static_cast<double>(i);
+    record.uri = "/only";
+    record.cause = i == 0 ? PollCause::kInitial : PollCause::kScheduled;
+    record.modified = true;
+    log.append(std::move(record));
+  }
+  EXPECT_EQ(log.size(), 100u);
+  log.set_retention_window(10);
+  log.compact();
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.polls_performed("/only"), 99u);  // counters never rewind
+  const std::vector<TimePoint> kept = log.completion_times("/only");
+  ASSERT_EQ(kept.size(), 10u);
+  EXPECT_EQ(kept.front(), 90.0);
+  EXPECT_EQ(kept.back(), 99.0);
+}
+
+// A long-horizon engine run under a retention window: counters equal the
+// unwindowed twin's, memory stays bounded.
+TEST(PollLogRetention, EngineCountersSurviveEviction) {
+  const Duration horizon = 50000.0;
+  auto run = [&](std::size_t window) {
+    Simulator sim;
+    OriginServer origin(sim);
+    origin.attach_update_trace(
+        "/t", UpdateTrace("/t", generate_periodic(40.0, 20.0, horizon),
+                          horizon));
+    PollingEngine engine(sim, origin);
+    engine.add_temporal_object("/t",
+                               std::make_unique<FixedPollPolicy>(25.0));
+    if (window > 0) {
+      engine.set_poll_log_retention(window);
+    }
+    engine.start();
+    sim.run_until(horizon);
+    return engine.polls_performed("/t");
+  };
+  EXPECT_EQ(run(0), run(32));
+}
+
 }  // namespace
 }  // namespace broadway

@@ -177,6 +177,44 @@ TEST(Simulator, ExecutedCounter) {
   EXPECT_EQ(sim.executed(), 7u);
 }
 
+TEST(Simulator, CurrentEventIdentifiesTheRunningCallback) {
+  Simulator sim;
+  EXPECT_EQ(sim.current_event(), kInvalidEventId);
+  EventId seen_first = kInvalidEventId;
+  EventId seen_second = kInvalidEventId;
+  const EventId first = sim.schedule_at(1.0, [&] {
+    seen_first = sim.current_event();
+  });
+  const EventId second = sim.schedule_at(2.0, [&] {
+    seen_second = sim.current_event();
+  });
+  sim.run();
+  EXPECT_EQ(seen_first, first);
+  EXPECT_EQ(seen_second, second);
+  EXPECT_EQ(sim.current_event(), kInvalidEventId);
+}
+
+TEST(Simulator, EventIdsAreNeverRevivedBySlotReuse) {
+  // Slot-pool ids carry a generation: after an event fires (or is
+  // cancelled), its id must stay dead even though the slot is reused by
+  // later schedules.
+  Simulator sim;
+  const EventId first = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.is_pending(first));
+  std::vector<EventId> later;
+  for (int i = 0; i < 64; ++i) {
+    later.push_back(sim.schedule_at(10.0 + i, [] {}));
+  }
+  // The old id addresses a reused slot now, but a stale generation.
+  EXPECT_FALSE(sim.is_pending(first));
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_EQ(sim.fire_time(first), kTimeInfinity);
+  for (const EventId id : later) EXPECT_TRUE(sim.is_pending(id));
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, ManyEventsStaySorted) {
   Simulator sim;
   std::vector<double> fired;

@@ -1,0 +1,57 @@
+#include "util/uri_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace broadway {
+namespace {
+
+TEST(UriTable, InternsDenselyInOrder) {
+  UriTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.intern("/a"), 0u);
+  EXPECT_EQ(table.intern("/b"), 1u);
+  EXPECT_EQ(table.intern("/c"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(UriTable, InternIsIdempotent) {
+  UriTable table;
+  const ObjectId id = table.intern("/object");
+  EXPECT_EQ(table.intern("/object"), id);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(UriTable, FindDoesNotIntern) {
+  UriTable table;
+  EXPECT_EQ(table.find("/missing"), kInvalidObjectId);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.contains("/missing"));
+  table.intern("/present");
+  EXPECT_EQ(table.find("/present"), 0u);
+  EXPECT_TRUE(table.contains("/present"));
+}
+
+TEST(UriTable, UriRoundTrips) {
+  UriTable table;
+  const ObjectId id = table.intern("/news/story.html");
+  EXPECT_EQ(table.uri(id), "/news/story.html");
+}
+
+TEST(UriTable, InternedReferencesAreStableAcrossGrowth) {
+  UriTable table;
+  const std::string& first = table.uri(table.intern("/first"));
+  const char* data = first.data();
+  for (int i = 0; i < 10000; ++i) {
+    table.intern("/filler/" + std::to_string(i));
+  }
+  // Deque storage: the original string never moved.
+  EXPECT_EQ(first.data(), data);
+  EXPECT_EQ(table.uri(0), "/first");
+  EXPECT_EQ(table.size(), 10001u);
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,373 @@
+// Typed-wire ≡ string-wire differential tests.
+//
+// The poll hot path exchanges typed metadata (RequestMeta/ResponseMeta);
+// real HTTP renders and parses header strings.  These tests pin that the
+// two representations are indistinguishable everywhere the consistency
+// machinery can look:
+//  * at the origin, for every status/extension combination, the typed
+//    response carries exactly the values a proxy would parse back out of
+//    the rendered headers (and materialize_headers reproduces those
+//    headers byte for byte);
+//  * over full simulations — temporal LIMD + triggered coordinator +
+//    value objects + virtual and partitioned groups + loss injection +
+//    crash recovery + a cooperative-push fleet with relay latency — the
+//    poll logs, TTR series, fidelity reports and cache contents of a
+//    typed_wire run and a string-wire run are byte-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/function.h"
+#include "consistency/limd.h"
+#include "consistency/triggered.h"
+#include "fleet/proxy_fleet.h"
+#include "http/codec.h"
+#include "http/extensions.h"
+#include "metrics/fidelity.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/update_trace.h"
+#include "trace/value_trace.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+// ---- origin-level matrix ---------------------------------------------------
+
+Request typed_request(const OriginServer& origin, const std::string& uri,
+                      std::optional<TimePoint> ims) {
+  Request request;
+  request.method = Method::kGet;
+  request.object = origin.object_id(uri);
+  request.uri = uri;  // exercised when the id is unknown
+  request.meta.active = true;
+  if (ims) request.meta.if_modified_since = quantize_wire_seconds(*ims);
+  return request;
+}
+
+Request string_request(const std::string& uri, std::optional<TimePoint> ims) {
+  Request request;
+  request.method = Method::kGet;
+  request.uri = uri;
+  if (ims) set_if_modified_since(request.headers, *ims);
+  return request;
+}
+
+// Every value a proxy can read from a response must match between the
+// typed and string representations, and materialising the typed response
+// must reproduce the string response's extension headers byte for byte.
+void expect_equivalent(OriginServer& origin, const std::string& uri,
+                       std::optional<TimePoint> ims) {
+  SCOPED_TRACE(uri + (ims ? " ims=" + std::to_string(*ims) : " unconditional"));
+  Response typed = origin.handle(typed_request(origin, uri, ims));
+  const Response wire = origin.handle(string_request(uri, ims));
+
+  ASSERT_EQ(typed.status, wire.status);
+  EXPECT_TRUE(typed.meta.active);
+  EXPECT_EQ(wire_last_modified(typed), wire_last_modified(wire));
+  EXPECT_EQ(wire_object_value(typed), wire_object_value(wire));
+  std::vector<TimePoint> typed_history;
+  std::vector<TimePoint> wire_history;
+  EXPECT_TRUE(wire_modification_history(typed, typed_history));
+  EXPECT_TRUE(wire_modification_history(wire, wire_history));
+  EXPECT_EQ(typed_history, wire_history);
+  EXPECT_EQ(typed.body, wire.body);
+
+  // Full wire form: serialising the typed message lazily materialises its
+  // headers and yields the same bytes as the string path (including
+  // Content-Type and Content-Length framing).  The test instants sit away
+  // from RFC-1123 whole-second truncation edges, where only the redundant
+  // coarse date — never the authoritative precise header — could differ.
+  EXPECT_EQ(serialize(typed), serialize(wire));
+  EXPECT_EQ(serialize(typed_request(origin, uri, ims)),
+            serialize(string_request(uri, ims)));
+
+  // And the materialised headers match name for name.
+  materialize_headers(typed);
+  for (const std::string_view name :
+       {kHdrLastModified, kHdrLastModifiedPrecise, kHdrModificationHistory,
+        kHdrObjectValue, std::string_view("Content-Type")}) {
+    SCOPED_TRACE(std::string(name));
+    EXPECT_EQ(typed.headers.get(name), wire.headers.get(name));
+  }
+}
+
+TEST(WireDifferential, OriginMatrix) {
+  for (const bool history_enabled : {true, false}) {
+    for (const bool render_bodies : {true, false}) {
+      Simulator sim;
+      OriginServer::Config config;
+      config.history_enabled = history_enabled;
+      config.history_limit = 3;  // exercise capping
+      config.render_bodies = render_bodies;
+      OriginServer origin(sim, config);
+      VersionedObject& page = origin.add_object("/page");
+      origin.add_value_object("/stock", 160.0625);
+      sim.run_until(400.0);
+      for (const double t : {100.125, 200.25, 300.0009, 300.5})
+        page.apply_update(t);
+      origin.store().at("/stock").apply_update(350.0, 161.75);
+
+      for (const std::string uri : {"/page", "/stock"}) {
+        expect_equivalent(origin, uri, std::nullopt);       // 200, full history
+        expect_equivalent(origin, uri, 150.0);              // 200, partial
+        expect_equivalent(origin, uri, 250.3333333);        // 200, sub-ms ims
+        expect_equivalent(origin, uri, 399.0);              // 304
+      }
+      expect_equivalent(origin, "/ghost", std::nullopt);    // 404
+      expect_equivalent(origin, "/ghost", 10.0);            // 404 conditional
+    }
+  }
+}
+
+TEST(WireDifferential, QuantizerMatchesPrintfEverywhere) {
+  // The arithmetic fast path must equal the authoritative %.3f + strtod
+  // round trip bit for bit — including printf's ties-to-even on exact
+  // .5 ties (representable only at odd/16, odd/32, ... grids).
+  const auto printf_quantize = [](double t) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", t);
+    return std::strtod(buf, nullptr);
+  };
+  std::vector<double> cases = {0.0,    0.0005, 0.0015, 0.0625, 0.1875,
+                               1.0 / 3.0, 2.5e-4, 86399.9995, 1234567.8905};
+  for (int i = 1; i < 4000; ++i) {
+    cases.push_back(static_cast<double>(2 * i + 1) / 16.0);   // exact ties
+    cases.push_back(static_cast<double>(2 * i + 1) / 2000.0);  // near-tie grid
+  }
+  // Large-magnitude ties and offsets: the fast path must hold (and stay a
+  // fast path) at year-scale horizons, not just bench-scale ones.
+  for (const double base : {1.0e5, 3.1e7, 1.0e9, 4.0e12}) {
+    for (int j = 0; j < 64; ++j) {
+      cases.push_back(base + static_cast<double>(2 * j + 1) / 16.0);
+      cases.push_back(base + static_cast<double>(j) * 0.3335);
+    }
+  }
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    cases.push_back(rng.uniform(0.0, 2.0e6));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    cases.push_back(rng.uniform(0.0, 4.0e12));
+  }
+  for (const double t : cases) {
+    const double fast = quantize_wire_seconds(t);
+    const double slow = printf_quantize(t);
+    ASSERT_EQ(fast, slow) << "t=" << t;
+  }
+}
+
+// ---- full-simulation differential ------------------------------------------
+
+UpdateTrace irregular_trace(const std::string& name, std::uint64_t seed,
+                            Duration horizon) {
+  Rng rng(seed);
+  std::vector<TimePoint> updates;
+  TimePoint t = 0.0;
+  for (;;) {
+    t += rng.uniform(40.0, 900.0);
+    if (t >= horizon) break;
+    updates.push_back(t);
+  }
+  return UpdateTrace(name, std::move(updates), horizon);
+}
+
+ValueTrace wiggly_trace(const std::string& name, std::uint64_t seed,
+                        Duration horizon) {
+  Rng rng(seed);
+  std::vector<ValueTrace::Step> steps;
+  TimePoint t = 0.0;
+  double value = 100.0;
+  for (;;) {
+    t += rng.uniform(5.0, 30.0);
+    if (t >= horizon) break;
+    value += rng.uniform(-0.4, 0.4);
+    steps.push_back({t, value});
+  }
+  return ValueTrace(name, 100.0, std::move(steps), horizon);
+}
+
+struct RunArtifacts {
+  std::vector<PollRecord> records;
+  std::vector<std::vector<std::pair<TimePoint, Duration>>> ttr_series;
+  std::vector<CacheEntry> cache_entries;
+  TemporalFidelityReport fidelity;
+  std::size_t origin_requests = 0;
+};
+
+void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a.records[i].uri, b.records[i].uri);
+    EXPECT_EQ(a.records[i].object, b.records[i].object);
+    EXPECT_EQ(a.records[i].cause, b.records[i].cause);
+    EXPECT_EQ(a.records[i].modified, b.records[i].modified);
+    EXPECT_EQ(a.records[i].failed, b.records[i].failed);
+    EXPECT_EQ(a.records[i].snapshot_time, b.records[i].snapshot_time);
+    EXPECT_EQ(a.records[i].complete_time, b.records[i].complete_time);
+  }
+  EXPECT_EQ(a.ttr_series, b.ttr_series);
+  ASSERT_EQ(a.cache_entries.size(), b.cache_entries.size());
+  for (std::size_t i = 0; i < a.cache_entries.size(); ++i) {
+    SCOPED_TRACE("cache entry " + std::to_string(i));
+    EXPECT_EQ(a.cache_entries[i].uri, b.cache_entries[i].uri);
+    EXPECT_EQ(a.cache_entries[i].body, b.cache_entries[i].body);
+    EXPECT_EQ(a.cache_entries[i].snapshot_time, b.cache_entries[i].snapshot_time);
+    EXPECT_EQ(a.cache_entries[i].stored_time, b.cache_entries[i].stored_time);
+    EXPECT_EQ(a.cache_entries[i].last_modified, b.cache_entries[i].last_modified);
+    EXPECT_EQ(a.cache_entries[i].value, b.cache_entries[i].value);
+    EXPECT_EQ(a.cache_entries[i].refresh_count, b.cache_entries[i].refresh_count);
+  }
+  EXPECT_EQ(a.fidelity.windows, b.fidelity.windows);
+  EXPECT_EQ(a.fidelity.violations, b.fidelity.violations);
+  EXPECT_EQ(a.fidelity.out_sync_time, b.fidelity.out_sync_time);
+  EXPECT_EQ(a.fidelity.fidelity_time(), b.fidelity.fidelity_time());
+  EXPECT_EQ(a.origin_requests, b.origin_requests);
+}
+
+// One proxy exercising every object kind, with losses and a mid-run crash.
+RunArtifacts run_single_proxy(bool typed_wire) {
+  constexpr Duration kHorizon = 30000.0;
+  const UpdateTrace trace_a = irregular_trace("/news/a", 11, kHorizon);
+  const UpdateTrace trace_b = irregular_trace("/news/b", 12, kHorizon);
+  const ValueTrace stock_a = wiggly_trace("/stock/a", 13, kHorizon);
+  const ValueTrace stock_b = wiggly_trace("/stock/b", 14, kHorizon);
+  const ValueTrace stock_c = wiggly_trace("/stock/c", 15, kHorizon);
+  const ValueTrace stock_d = wiggly_trace("/stock/d", 16, kHorizon);
+  const ValueTrace stock_e = wiggly_trace("/stock/e", 17, kHorizon);
+
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.attach_update_trace("/news/a", trace_a);
+  origin.attach_update_trace("/news/b", trace_b);
+  origin.attach_value_trace("/stock/a", stock_a);
+  origin.attach_value_trace("/stock/b", stock_b);
+  origin.attach_value_trace("/stock/c", stock_c);
+  origin.attach_value_trace("/stock/d", stock_d);
+  origin.attach_value_trace("/stock/e", stock_e);
+
+  EngineConfig config;
+  config.typed_wire = typed_wire;
+  config.rtt = 0.25;
+  config.loss_probability = 0.05;
+  config.retry_delay = 3.0;
+  config.seed = 99;
+  PollingEngine proxy(sim, origin, config);
+  proxy.add_temporal_object(
+      "/news/a",
+      std::make_unique<LimdPolicy>(LimdPolicy::Config::paper_defaults(600.0)));
+  proxy.add_temporal_object(
+      "/news/b",
+      std::make_unique<LimdPolicy>(LimdPolicy::Config::paper_defaults(600.0)));
+  proxy.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+      std::vector<std::string>{"/news/a", "/news/b"}, 300.0));
+  AdaptiveValueTtrPolicy::Config value_config;
+  value_config.delta = 0.5;
+  value_config.bounds = {1.0, 300.0};
+  proxy.add_value_object("/stock/a", value_config);
+  VirtualObjectPolicy::Config virtual_config;
+  virtual_config.delta = 0.75;
+  virtual_config.bounds = {5.0, 300.0};
+  proxy.add_virtual_group(
+      {"/stock/b", "/stock/c"},
+      std::make_unique<VirtualObjectPolicy>(
+          std::make_unique<DifferenceFunction>(), virtual_config));
+  PartitionedTolerancePolicy::Config partitioned_config;
+  partitioned_config.delta = 0.75;
+  partitioned_config.bounds = {5.0, 300.0};
+  proxy.add_partitioned_group(
+      {"/stock/d", "/stock/e"},
+      std::make_unique<PartitionedTolerancePolicy>(
+          std::make_unique<DifferenceFunction>(), partitioned_config));
+
+  proxy.start();
+  sim.run_until(kHorizon / 2);
+  proxy.crash_and_recover();
+  sim.run_until(kHorizon);
+
+  RunArtifacts artifacts;
+  artifacts.records = proxy.poll_log().records();
+  for (const std::string uri : {"/news/a", "/news/b", "/stock/a", "/stock/d"}) {
+    artifacts.ttr_series.push_back(proxy.ttr_series(uri));
+  }
+  for (const std::string& uri : proxy.cache().uris()) {
+    artifacts.cache_entries.push_back(proxy.cache().at(uri));
+  }
+  artifacts.fidelity = evaluate_temporal_fidelity(
+      trace_a, successful_polls(proxy.poll_log(), "/news/a"), 600.0, kHorizon);
+  artifacts.origin_requests = origin.requests_served();
+  return artifacts;
+}
+
+TEST(WireDifferential, SingleProxyRunsAreByteIdentical) {
+  expect_identical(run_single_proxy(/*typed_wire=*/true),
+                   run_single_proxy(/*typed_wire=*/false));
+}
+
+// A cooperative-push fleet with relay latency: relays carry responses
+// across proxies (including the history restriction on apply), in both
+// representations.
+RunArtifacts run_fleet(bool typed_wire) {
+  constexpr Duration kHorizon = 30000.0;
+  std::vector<UpdateTrace> traces;
+  for (int i = 0; i < 6; ++i) {
+    traces.push_back(irregular_trace("/object/" + std::to_string(i),
+                                     100 + i, kHorizon));
+  }
+
+  Simulator sim;
+  OriginServer origin(sim);
+  for (const UpdateTrace& trace : traces) {
+    origin.attach_update_trace(trace.name(), trace);
+  }
+
+  FleetConfig config;
+  config.proxies = 3;
+  config.cooperative_push = true;
+  config.relay_latency = 0.5;
+  config.engine.typed_wire = typed_wire;
+  config.engine.rtt = 0.1;
+  ProxyFleet fleet(sim, origin, config);
+  for (const UpdateTrace& trace : traces) {
+    fleet.add_temporal_object_everywhere(trace.name(), [] {
+      return std::make_unique<LimdPolicy>(
+          LimdPolicy::Config::paper_defaults(600.0));
+    });
+  }
+  fleet.add_delta_group({{0, "/object/0"}, {1, "/object/1"}, {2, "/object/2"}},
+                        300.0);
+  fleet.start();
+  sim.run_until(kHorizon);
+
+  RunArtifacts artifacts;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    const auto& records = fleet.proxy(p).poll_log().records();
+    artifacts.records.insert(artifacts.records.end(), records.begin(),
+                             records.end());
+    for (const UpdateTrace& trace : traces) {
+      artifacts.ttr_series.push_back(fleet.proxy(p).ttr_series(trace.name()));
+    }
+    for (const std::string& uri : fleet.proxy(p).cache().uris()) {
+      artifacts.cache_entries.push_back(fleet.proxy(p).cache().at(uri));
+    }
+  }
+  artifacts.fidelity = evaluate_temporal_fidelity(
+      traces[0], successful_polls(fleet.proxy(1).poll_log(), "/object/0"),
+      600.0, kHorizon);
+  artifacts.origin_requests = origin.requests_served();
+  return artifacts;
+}
+
+TEST(WireDifferential, CooperativeFleetRunsAreByteIdentical) {
+  expect_identical(run_fleet(/*typed_wire=*/true),
+                   run_fleet(/*typed_wire=*/false));
+}
+
+}  // namespace
+}  // namespace broadway

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate the engine-sweep benchmarks against a committed baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.25]
+
+Both files are google-benchmark ``--benchmark_format=json`` output (the
+canonical BENCH_results.json).  Raw nanoseconds are not comparable across
+machines, so each gated benchmark is first *normalised* by a calibration
+benchmark from the same run (the simulator event-queue bench): the gate
+compares
+
+    ratio = time(gated bench) / time(calibration bench)
+
+between the two files and fails when any gated ratio worsened by more than
+``--threshold`` (default 25%).  That catches "the poll pipeline got slower
+relative to the machine" without false-failing on a slower CI runner.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "BM_SimulatorScheduleRun/10000"
+GATED = [
+    "BM_EngineTemporalSweep/64",
+    "BM_EngineTemporalSweep/256",
+    "BM_FleetRelayStorm/4",
+]
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = (
+            float(bench["real_time"]) * UNIT_NS[bench.get("time_unit", "ns")]
+        )
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    for name in [CALIBRATION] + GATED:
+        for label, times in (("current", current), ("baseline", baseline)):
+            if name not in times:
+                print(f"FAIL: {name} missing from {label} results")
+                return 1
+
+    failed = False
+    print(f"calibration: {CALIBRATION}")
+    print(
+        f"{'benchmark':<32} {'baseline':>10} {'current':>10} {'change':>8}"
+    )
+    for name in GATED:
+        base_ratio = baseline[name] / baseline[CALIBRATION]
+        cur_ratio = current[name] / current[CALIBRATION]
+        change = cur_ratio / base_ratio - 1.0
+        verdict = ""
+        if change > args.threshold:
+            verdict = "  <-- REGRESSION"
+            failed = True
+        print(
+            f"{name:<32} {base_ratio:>10.3f} {cur_ratio:>10.3f} "
+            f"{change:>+7.1%}{verdict}"
+        )
+
+    if failed:
+        print(
+            f"\nFAIL: engine benches regressed >{args.threshold:.0%} vs "
+            f"{args.baseline}.\nIf the slowdown is intended, regenerate the "
+            "baseline: ./build/bench_micro --benchmark_format=json "
+            "--benchmark_min_time=1 > bench/BENCH_baseline.json"
+        )
+        return 1
+    print("\nOK: engine benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
