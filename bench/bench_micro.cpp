@@ -4,6 +4,7 @@
 // README "Performance").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -82,10 +83,20 @@ void BM_ApportionTolerances(benchmark::State& state) {
 }
 BENCHMARK(BM_ApportionTolerances)->Arg(2)->Arg(8)->Arg(64);
 
+Simulator::Config scheduler_config(SchedulerBackend backend) {
+  Simulator::Config config;
+  config.scheduler = backend;
+  return config;
+}
+
+// The CI regression gate's calibration benchmark: pinned to the binary
+// heap so its meaning never shifts when the default backend (or the
+// BROADWAY_SCHEDULER variable) changes — the gate compares engine-bench /
+// calibration ratios across machines and baselines.
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Simulator sim;
+    Simulator sim(scheduler_config(SchedulerBackend::kBinaryHeap));
     for (int i = 0; i < events; ++i) {
       sim.schedule_at(((i * 7919) % events) + 1.0, [] {});
     }
@@ -95,6 +106,74 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+// Head-to-head scheduler sweep: N self-rescheduling timers with irregular
+// periods — the shape of a fleet poll schedule, where the event at the
+// queue head constantly re-enqueues itself somewhere in the near future.
+// range(0): 0 = binary heap, 1 = calendar; range(1): timer count.
+void BM_SchedulerSweep(benchmark::State& state) {
+  const Simulator::Config config = scheduler_config(
+      state.range(0) == 0 ? SchedulerBackend::kBinaryHeap
+                          : SchedulerBackend::kCalendar);
+  const int timers = static_cast<int>(state.range(1));
+  constexpr TimePoint kHorizon = 2000.0;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Simulator sim(config);
+    std::vector<std::unique_ptr<PeriodicTask>> tasks;
+    tasks.reserve(static_cast<std::size_t>(timers));
+    for (int i = 0; i < timers; ++i) {
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i + 1);
+      tasks.push_back(std::make_unique<PeriodicTask>(sim, [x]() mutable {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // 1–100 s periods, deterministic per timer; the modulus also
+        // manufactures same-instant collisions across timers.
+        return 1.0 + static_cast<double>(x % 991) / 10.0;
+      }));
+      tasks.back()->start(static_cast<double>(i % 101) * 0.5);
+    }
+    sim.run_until(kHorizon);
+    events += static_cast<std::int64_t>(sim.executed());
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SchedulerSweep)
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Unit(benchmark::kMillisecond);
+
+// The per-poll observation-history build + restriction, exactly as
+// TemporalObject::on_response performs it.  Arg = wire history length:
+// 4 stays inside the SmallVector's inline capacity (no allocation),
+// 32 spills to the heap.
+void BM_ObservationHistory(benchmark::State& state) {
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  std::vector<TimePoint> wire(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    wire[i] = static_cast<double>(i + 1) * 10.0;
+  }
+  Response response;
+  response.status = StatusCode::kOk;
+  response.meta.active = true;
+  response.meta.set_history_view(wire.data(), wire.size());
+  const TimePoint previous = 15.0;  // restriction drops the first entry
+  for (auto _ : state) {
+    TemporalPollObservation obs;
+    wire_modification_history(response, obs.history);
+    const auto first = std::upper_bound(obs.history.begin(),
+                                        obs.history.end(), previous);
+    obs.history.erase(obs.history.begin(), first);
+    benchmark::DoNotOptimize(obs.history.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_ObservationHistory)->Arg(4)->Arg(32);
 
 void BM_HttpCodecRoundTrip(benchmark::State& state) {
   Request req = Request::conditional_get("/news/breaking/story.html",

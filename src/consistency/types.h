@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/small_vector.h"
 #include "util/time.h"
 
 namespace broadway {
@@ -39,8 +40,11 @@ struct TemporalPollObservation {
   std::optional<TimePoint> last_modified;
   /// X-Modification-History payload: update instants since the previous
   /// poll, ascending.  Empty when the extension is disabled — policies
-  /// must not assume it is populated.
-  std::vector<TimePoint> history;
+  /// must not assume it is populated.  Built once per poll on the hot
+  /// path: the inline capacity covers the common few-updates-per-poll
+  /// case without touching the heap; longer histories spill.
+  using History = SmallVector<TimePoint, 8>;
+  History history;
 };
 
 /// What the proxy learns from one value-domain poll.

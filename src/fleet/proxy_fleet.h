@@ -51,6 +51,12 @@ struct FleetConfig {
   /// Per-engine template; proxy i runs with seed = engine.seed + i so
   /// loss-injection streams are independent across the fleet.
   EngineConfig engine;
+  /// Bound every proxy's poll-log memory for long-horizon runs: keep at
+  /// most this many records per object per proxy (0 = unlimited).
+  /// Forwarded to PollingEngine::set_poll_log_retention on every engine;
+  /// fleet counters (origin polls, relays, origin load) stay exact under
+  /// truncation — only per-object record series shorten.
+  std::size_t poll_log_retention = 0;
 };
 
 /// N polling engines on one origin, with cooperative proxy–proxy push.

@@ -174,22 +174,6 @@ std::optional<double> wire_object_value(const Response& response) {
   return get_object_value(response.headers);
 }
 
-bool wire_modification_history(const Response& response,
-                               std::vector<TimePoint>& out) {
-  out.clear();
-  if (response.meta.active) {
-    if (response.meta.history_present) {
-      out.assign(response.meta.history_data(),
-                 response.meta.history_data() + response.meta.history_size());
-    }
-    return true;
-  }
-  const auto history = get_modification_history(response.headers);
-  if (!history) return false;
-  out = *history;
-  return true;
-}
-
 void materialize_headers(Request& request) {
   if (!request.meta.active) return;
   if (request.meta.if_modified_since) {

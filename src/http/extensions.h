@@ -106,9 +106,24 @@ std::optional<double> wire_object_value(const Response& response);
 
 /// X-Modification-History into `out` (cleared first).  Returns false when
 /// the string representation is malformed (out is left empty, matching the
-/// old get_modification_history(...) == nullopt handling).
-bool wire_modification_history(const Response& response,
-                               std::vector<TimePoint>& out);
+/// old get_modification_history(...) == nullopt handling).  `Container`
+/// is any vector-shaped instant sequence — std::vector<TimePoint> or the
+/// observation pipeline's SmallVector (TemporalPollObservation::History).
+template <typename Container>
+bool wire_modification_history(const Response& response, Container& out) {
+  out.clear();
+  if (response.meta.active) {
+    if (response.meta.history_present) {
+      out.assign(response.meta.history_data(),
+                 response.meta.history_data() + response.meta.history_size());
+    }
+    return true;
+  }
+  const auto history = get_modification_history(response.headers);
+  if (!history) return false;
+  out.assign(history->begin(), history->end());
+  return true;
+}
 
 /// Render the typed sideband into header strings (idempotent; no-op when
 /// the meta is inactive).  The codec and tests call this before

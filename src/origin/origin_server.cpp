@@ -1,9 +1,15 @@
 #include "origin/origin_server.h"
 
 #include "util/check.h"
+#include "util/env.h"
 #include "util/log.h"
 
 namespace broadway {
+
+bool OriginServer::Config::default_batch_trace_attachment() {
+  return env_choice("BROADWAY_TRACE_ATTACHMENT", {"batch", "per-update"},
+                    /*fallback=*/0) == 0;
+}
 
 OriginServer::OriginServer(Simulator& sim) : OriginServer(sim, Config()) {}
 
@@ -31,6 +37,10 @@ VersionedObject& OriginServer::attach_update_trace(const std::string& uri,
                                                    const UpdateTrace& trace) {
   VersionedObject* existing = store_.find(uri);
   VersionedObject& object = existing ? *existing : add_object(uri);
+  if (config_.batch_trace_attachment) {
+    attach_chained(object, trace.updates(), {});
+    return object;
+  }
   for (TimePoint t : trace.updates()) {
     BROADWAY_CHECK_MSG(t >= sim_.now(), "trace update in the past at " << t);
     VersionedObject* target = &object;
@@ -45,6 +55,18 @@ VersionedObject& OriginServer::attach_value_trace(const std::string& uri,
                                                   const ValueTrace& trace) {
   BROADWAY_CHECK_MSG(!store_.contains(uri), "duplicate value object " << uri);
   VersionedObject& object = add_value_object(uri, trace.initial_value());
+  if (config_.batch_trace_attachment) {
+    std::vector<TimePoint> times;
+    std::vector<double> values;
+    times.reserve(trace.steps().size());
+    values.reserve(trace.steps().size());
+    for (const auto& step : trace.steps()) {
+      times.push_back(step.time);
+      values.push_back(step.value);
+    }
+    attach_chained(object, std::move(times), std::move(values));
+    return object;
+  }
   for (const auto& step : trace.steps()) {
     BROADWAY_CHECK_MSG(step.time >= sim_.now(),
                        "trace step in the past at " << step.time);
@@ -55,6 +77,53 @@ VersionedObject& OriginServer::attach_value_trace(const std::string& uri,
     });
   }
   return object;
+}
+
+void OriginServer::attach_chained(VersionedObject& object,
+                                  std::vector<TimePoint> times,
+                                  std::vector<double> values) {
+  if (times.empty()) return;
+  // The chain needs non-decreasing instants to re-enqueue itself; traces
+  // guarantee it, but fail loudly here rather than mid-simulation.
+  TimePoint previous = sim_.now();
+  for (TimePoint t : times) {
+    BROADWAY_CHECK_MSG(t >= previous,
+                       "trace update out of order or in the past at " << t);
+    previous = t;
+  }
+  auto cursor = std::make_unique<TraceCursor>();
+  cursor->target = &object;
+  cursor->times = std::move(times);
+  cursor->values = std::move(values);
+  // One reserved sequence number per update: the chain fires in exactly
+  // the same-instant order the eager per-update schedule would have.
+  cursor->seq_base = sim_.reserve_sequence(cursor->times.size());
+  TraceCursor* raw = cursor.get();
+  trace_cursors_.push_back(std::move(cursor));
+  sim_.schedule_at_reserved(raw->times.front(), raw->seq_base,
+                            [this, raw] { step_trace(*raw); });
+}
+
+void OriginServer::step_trace(TraceCursor& cursor) {
+  const std::size_t index = cursor.next++;
+  if (cursor.values.empty()) {
+    cursor.target->apply_update(sim_.now());
+  } else {
+    cursor.target->apply_update(sim_.now(), cursor.values[index]);
+  }
+  const std::size_t following = cursor.next;
+  if (following < cursor.times.size()) {
+    TraceCursor* raw = &cursor;
+    sim_.schedule_at_reserved(cursor.times[following],
+                              cursor.seq_base + following,
+                              [this, raw] { step_trace(*raw); });
+  } else {
+    // The chain is done: release the replay data now instead of holding
+    // O(trace length) per finished trace until origin destruction (the
+    // cursor object itself stays put — addresses must remain stable).
+    cursor.times = {};
+    cursor.values = {};
+  }
 }
 
 const VersionedObject* OriginServer::find_object(

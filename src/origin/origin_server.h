@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +45,18 @@ class OriginServer {
     bool history_enabled = true;
     std::size_t history_limit = 16;
     bool render_bodies = true;
+    /// Attach traces as ONE self-rechaining simulator event per trace
+    /// (the chain re-enqueues itself at the next update instant) instead
+    /// of one pre-scheduled event per update.  The chain spends FIFO
+    /// sequence numbers reserved at attach time, so same-instant
+    /// interleaving with polls is byte-identical either way — pinned by
+    /// tests/test_scheduler_differential.cpp.  Batching keeps the pending
+    /// set proportional to the number of *traces*, not updates.
+    bool batch_trace_attachment = default_batch_trace_attachment();
+
+    /// True, unless the BROADWAY_TRACE_ATTACHMENT environment variable is
+    /// "per-update" (the differential tests and CI flip it).
+    static bool default_batch_trace_attachment();
   };
 
   explicit OriginServer(Simulator& sim);
@@ -102,6 +116,17 @@ class OriginServer {
   std::size_t responses_304() const { return responses_304_; }
 
  private:
+  /// Replay state of one batch-attached trace: the chained event applies
+  /// update `next` and re-enqueues itself for `next + 1` with the
+  /// sequence number reserved for it at attach time.
+  struct TraceCursor {
+    VersionedObject* target = nullptr;
+    std::vector<TimePoint> times;
+    std::vector<double> values;  ///< empty for temporal traces
+    std::size_t next = 0;
+    std::uint64_t seq_base = 0;
+  };
+
   Simulator& sim_;
   Config config_;
   ObjectStore store_;
@@ -109,12 +134,24 @@ class OriginServer {
   /// Dense ObjectId -> object lookup (nullptr where the table interned a
   /// uri this origin does not host, e.g. a proxy-only registration).
   std::vector<VersionedObject*> by_id_;
+  /// Cursors of batch-attached traces (stable addresses: the chained
+  /// events capture raw pointers).
+  std::vector<std::unique_ptr<TraceCursor>> trace_cursors_;
   std::size_t requests_served_ = 0;
   std::size_t responses_200_ = 0;
   std::size_t responses_304_ = 0;
 
   /// Lookup for the request: by interned id when present, else by uri.
   const VersionedObject* find_object(const Request& request) const;
+
+  /// Batch attachment: validate the trace, reserve its sequence numbers
+  /// and schedule the head of the chain.  `values` is empty for temporal
+  /// traces, else parallel to `times`.
+  void attach_chained(VersionedObject& object, std::vector<TimePoint> times,
+                      std::vector<double> values);
+
+  /// Apply update `cursor.next` and re-enqueue the chain.
+  void step_trace(TraceCursor& cursor);
 
   void respond_full(const VersionedObject& object,
                     std::optional<TimePoint> since, bool typed,

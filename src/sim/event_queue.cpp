@@ -1,0 +1,201 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace broadway {
+
+namespace {
+
+// Below this, bucket widths stop being meaningful time intervals (the
+// simulation is double seconds; a nanosecond bucket already holds at most
+// one distinguishable instant) and floor(t / width) risks overflowing.
+constexpr double kMinWidth = 1e-9;
+
+// floor(t / width) can exceed what fits in 64 bits for huge horizons with
+// tiny widths; clamp instead of overflowing.  Clamped entries all share
+// one far-future virtual bucket and are disambiguated by the (time, seq)
+// comparison, so ordering stays exact.
+constexpr double kMaxVbucket = 9.0e18;
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(LiveFn live, const void* context)
+    : live_(live), live_context_(context), buckets_(kMinBuckets) {}
+
+std::uint64_t CalendarQueue::vbucket_of(TimePoint t) const {
+  const double q = t * inv_width_;
+  if (q >= kMaxVbucket) return static_cast<std::uint64_t>(kMaxVbucket);
+  return static_cast<std::uint64_t>(q);
+}
+
+void CalendarQueue::push(const EventEntry& entry) {
+  BROADWAY_CHECK_MSG(entry.time >= 0.0 && std::isfinite(entry.time),
+                     "calendar push at " << entry.time);
+  maybe_resize_for_push();
+  const std::uint64_t vb = vbucket_of(entry.time);
+  const std::size_t b = wrap(vb);
+  buckets_[b].push_back(entry);
+  ++size_;
+  // An entry behind the cursor (possible after a sparse-regime jump)
+  // rewinds it so the next scan cannot walk past the new minimum.
+  if (vb < current_vbucket_) current_vbucket_ = vb;
+  if (cache_valid_ &&
+      fires_before(entry, buckets_[cache_bucket_][cache_index_])) {
+    cache_bucket_ = b;
+    cache_index_ = buckets_[b].size() - 1;
+  }
+}
+
+const EventEntry* CalendarQueue::peek() {
+  // Tombstone-aware pop, lazily: the scan itself compares raw entries —
+  // no liveness calls on the hot path — and only the *selected* minimum
+  // is validated.  A dead winner is swap-removed and the search repeats,
+  // exactly the heap backend's skip loop; cancellations are rare enough
+  // in the engine's workloads (reschedules of already-fired timers are
+  // no-ops) that this beats checking every scanned entry.
+  while (true) {
+    if (!cache_valid_) locate_min();
+    if (!cache_valid_) return nullptr;
+    std::vector<EventEntry>& bucket = buckets_[cache_bucket_];
+    if (is_live(bucket[cache_index_])) return &bucket[cache_index_];
+    bucket[cache_index_] = bucket.back();
+    bucket.pop_back();
+    --size_;
+    cache_valid_ = false;
+  }
+}
+
+EventEntry CalendarQueue::pop() {
+  const EventEntry* head = peek();  // locates + validates the minimum
+  BROADWAY_CHECK_MSG(head != nullptr, "pop from an empty calendar queue");
+  std::vector<EventEntry>& bucket = buckets_[cache_bucket_];
+  const EventEntry entry = bucket[cache_index_];
+  bucket[cache_index_] = bucket.back();
+  bucket.pop_back();
+  --size_;
+  cache_valid_ = false;
+  maybe_resize_for_pop();
+  return entry;
+}
+
+void CalendarQueue::locate_min() {
+  cache_valid_ = false;
+  if (size_ == 0) return;
+  const std::size_t n = buckets_.size();
+  // Walk one calendar year from the cursor.  The first bucket holding an
+  // entry of the cursor's own virtual bucket holds the queue minimum:
+  // every earlier virtual bucket was already scanned empty, and entries
+  // of later virtual buckets — even ones sharing the wrapped slot — have
+  // strictly later times.
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::uint64_t vb = current_vbucket_;
+    const std::vector<EventEntry>& bucket = buckets_[wrap(vb)];
+    std::size_t best = kNpos;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (vbucket_of(bucket[i].time) != vb) continue;  // a later year
+      if (best == kNpos || fires_before(bucket[i], bucket[best])) best = i;
+    }
+    if (best != kNpos) {
+      cache_valid_ = true;
+      cache_bucket_ = wrap(vb);
+      cache_index_ = best;
+      return;
+    }
+    ++current_vbucket_;
+  }
+  // A whole year is empty: the pending set is sparse relative to the
+  // bucket span.  Direct-search the minimum and jump the cursor to it.
+  std::size_t best_bucket = kNpos;
+  std::size_t best_index = kNpos;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+      if (best_bucket == kNpos ||
+          fires_before(buckets_[b][i], buckets_[best_bucket][best_index])) {
+        best_bucket = b;
+        best_index = i;
+      }
+    }
+  }
+  BROADWAY_CHECK(best_bucket != kNpos);  // size_ > 0
+  current_vbucket_ = vbucket_of(buckets_[best_bucket][best_index].time);
+  cache_valid_ = true;
+  cache_bucket_ = best_bucket;
+  cache_index_ = best_index;
+}
+
+void CalendarQueue::maybe_resize_for_push() {
+  // Target load: a handful of entries per bucket.  Fewer, fatter buckets
+  // beat load-1 sizing here — a bucket scan is a short contiguous sweep,
+  // while thousands of near-empty bucket vectors are a cache miss each.
+  if (size_ + 1 > buckets_.size() * 4) rebuild(buckets_.size() * 2);
+}
+
+void CalendarQueue::maybe_resize_for_pop() {
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+    rebuild(buckets_.size() / 2);
+  }
+}
+
+void CalendarQueue::rebuild(std::size_t new_bucket_count) {
+  ++resizes_;
+  std::vector<EventEntry> entries;
+  entries.reserve(size_);
+  for (std::vector<EventEntry>& bucket : buckets_) {
+    for (const EventEntry& entry : bucket) {
+      if (is_live(entry)) entries.push_back(entry);  // drop tombstones
+    }
+    bucket.clear();
+  }
+  size_ = entries.size();
+  width_ = derive_width(entries);
+  inv_width_ = 1.0 / width_;
+  buckets_.assign(new_bucket_count, {});
+  std::uint64_t min_vbucket = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t vb = vbucket_of(entries[i].time);
+    buckets_[wrap(vb)].push_back(entries[i]);
+    if (i == 0 || vb < min_vbucket) min_vbucket = vb;
+  }
+  current_vbucket_ = min_vbucket;
+  cache_valid_ = false;
+}
+
+double CalendarQueue::derive_width(
+    const std::vector<EventEntry>& entries) const {
+  if (entries.size() < 2) return width_;
+  // Sample up to 64 entry times uniformly, sort them, and average the
+  // adjacent gaps after dropping the largest quartile (one far-future
+  // outlier must not blow the width up for everyone else).  Each sampled
+  // gap spans `stride` population intervals, so divide it back out.
+  constexpr std::size_t kSampleLimit = 64;
+  const std::size_t stride =
+      std::max<std::size_t>(1, entries.size() / kSampleLimit);
+  std::vector<double> times;
+  times.reserve(kSampleLimit + 1);
+  for (std::size_t i = 0; i < entries.size(); i += stride) {
+    times.push_back(entries[i].time);
+  }
+  if (times.size() < 2) return width_;
+  std::sort(times.begin(), times.end());
+  std::vector<double> gaps;
+  gaps.reserve(times.size() - 1);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const std::size_t keep = std::max<std::size_t>(1, gaps.size() * 3 / 4);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) sum += gaps[i];
+  const double mean_gap = sum / (static_cast<double>(keep) *
+                                 static_cast<double>(stride));
+  if (mean_gap <= 0.0) return width_;  // simultaneous burst: keep width
+  // A bucket window of ~4 mean intervals pairs with the ~4-entry load
+  // target above: the expected in-window scan stays a short contiguous
+  // sweep while one calendar year still spans the whole pending set.
+  return std::max(4.0 * mean_gap, kMinWidth);
+}
+
+}  // namespace broadway

@@ -1,0 +1,166 @@
+// Event-queue backends for the Simulator: the pending-event structure the
+// whole simulation runs on.
+//
+// Two backends coexist behind Simulator::Config::scheduler:
+//
+//  * kBinaryHeap — std::priority_queue of (time, seq) entries.  O(log n)
+//    per operation; the reference implementation every other backend is
+//    differentially pinned against (tests/test_sim_event_queue.cpp).
+//  * kCalendar — the CalendarQueue below, a calendar/bucket queue in the
+//    style of Brown (CACM '88): events hash into fixed-width time buckets
+//    by floor(t / width), giving O(1) expected schedule and pop when the
+//    bucket width tracks the observed event-interval distribution.  At
+//    fleet scale (every poll is at least one event) the binary heap's
+//    log-factor and its pop-path cache misses dominate the simulator, so
+//    this is the default backend.
+//
+// Ordering contract (both backends): entries leave in strictly
+// non-decreasing (time, seq) order.  `seq` is the Simulator's global
+// schedule sequence number, so events at the same instant fire exactly in
+// the order they were scheduled — the FIFO tie-break every reproducibility
+// guarantee in this codebase leans on.
+//
+// Tombstones: the Simulator cancels events by bumping a slot generation,
+// leaving the queue entry in place.  The CalendarQueue takes an optional
+// liveness predicate and purges dead entries as its scans encounter them
+// (tombstone-aware pop); the heap backend leaves skipping to the
+// Simulator's pop loop, as before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace broadway {
+
+/// Handle for a scheduled event; valid until the event fires or is
+/// cancelled.  Layout (slot index + generation) is the Simulator's.
+using EventId = std::uint64_t;
+
+/// Sentinel returned by APIs that may have nothing scheduled.
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Which pending-event structure a Simulator runs on.
+enum class SchedulerBackend {
+  kBinaryHeap,
+  kCalendar,
+};
+
+/// One pending entry: fire time, FIFO tie-break, event handle.
+struct EventEntry {
+  TimePoint time;
+  std::uint64_t seq;
+  EventId id;
+};
+
+/// Strict event ordering: earlier time first, then lower sequence number
+/// (same-instant FIFO).
+inline bool fires_before(const EventEntry& a, const EventEntry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+/// Calendar/bucket event queue.
+///
+/// Structure: `bucket_count()` (a power of two) unsorted vectors of
+/// entries; an entry at time t lives in bucket floor(t / width) mod count.
+/// A cursor walks virtual (unwrapped) buckets in time order; the earliest
+/// entry whose virtual bucket matches the cursor is the queue minimum, so
+/// a pop scans one lightly-loaded bucket instead of sifting a heap.  When
+/// a whole calendar "year" (count consecutive buckets) is empty the queue
+/// falls back to a direct scan and jumps the cursor to the true minimum —
+/// the sparse regime a fixed-width calendar is otherwise bad at.
+///
+/// Sizing: the queue lazily resizes on load-factor drift (entries > 2x
+/// buckets grows, entries < buckets/4 shrinks) and re-derives the bucket
+/// width from the observed inter-event interval distribution of the
+/// entries present at resize time (trimmed mean of sampled adjacent gaps),
+/// targeting a handful of entries per bucket window.
+///
+/// The queue stores entries only; callers own callbacks and cancellation
+/// state.  Not thread-safe, like the Simulator it backs.
+class CalendarQueue {
+ public:
+  /// Liveness predicate for tombstone purging: return false for entries
+  /// whose event was cancelled (or already fired).  Called with `context`
+  /// during scans; a null function treats every entry as live.
+  using LiveFn = bool (*)(const void* context, EventId id);
+
+  explicit CalendarQueue(LiveFn live = nullptr,
+                         const void* context = nullptr);
+
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  /// Insert an entry.  Entries may arrive in any time order, but never
+  /// earlier than the last popped time (the Simulator schedules only at
+  /// t >= now) — the cursor rewinds when an entry lands behind it.
+  void push(const EventEntry& entry);
+
+  /// Earliest live entry, or nullptr when the queue is empty (dead
+  /// entries encountered on the way are purged).  The returned pointer is
+  /// valid until the next push/pop.
+  const EventEntry* peek();
+
+  /// Remove and return the earliest live entry.  Requires a preceding
+  /// peek() != nullptr (checked).
+  EventEntry pop();
+
+  /// Entries stored, including not-yet-purged tombstones.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // ---- introspection (tests and diagnostics) ----
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  double bucket_width() const { return width_; }
+  std::uint64_t resizes() const { return resizes_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  LiveFn live_;
+  const void* live_context_;
+  std::vector<std::vector<EventEntry>> buckets_;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;  ///< 1 / width_: bucket mapping multiplies
+  /// Cursor: the virtual (unwrapped) bucket index the next minimum is
+  /// searched from.  Advanced by scans, rewound by push, recomputed on
+  /// resize.
+  std::uint64_t current_vbucket_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t resizes_ = 0;
+  // Cached location of the minimum, filled by peek(); invalidated by pop
+  // and resize (push keeps it fresh instead).
+  bool cache_valid_ = false;
+  std::size_t cache_bucket_ = 0;
+  std::size_t cache_index_ = 0;
+
+  bool is_live(const EventEntry& entry) const {
+    return live_ == nullptr || live_(live_context_, entry.id);
+  }
+  std::uint64_t vbucket_of(TimePoint t) const;
+  std::size_t wrap(std::uint64_t vbucket) const {
+    return static_cast<std::size_t>(vbucket &
+                                    (buckets_.size() - 1));  // power of two
+  }
+
+  /// Find the minimum entry (live or tombstone) and fill the cache;
+  /// leaves the cache invalid only when the queue is empty.  peek()
+  /// validates the winner and removes it when dead.
+  void locate_min();
+
+  void maybe_resize_for_push();
+  void maybe_resize_for_pop();
+  void rebuild(std::size_t new_bucket_count);
+
+  /// Bucket width from the inter-event interval distribution of
+  /// `entries` (sorted sample, trimmed mean of adjacent gaps); falls back
+  /// to the current width when the distribution is degenerate.
+  double derive_width(const std::vector<EventEntry>& entries) const;
+};
+
+}  // namespace broadway

@@ -3,8 +3,25 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/env.h"
 
 namespace broadway {
+
+SchedulerBackend Simulator::Config::default_scheduler() {
+  return env_choice("BROADWAY_SCHEDULER",
+                    {"calendar", "heap", "binary-heap"},
+                    /*fallback=*/0) == 0
+             ? SchedulerBackend::kCalendar
+             : SchedulerBackend::kBinaryHeap;
+}
+
+Simulator::Simulator(Config config)
+    : backend_(config.scheduler),
+      calendar_(&Simulator::entry_live, this) {}
+
+bool Simulator::entry_live(const void* context, EventId id) {
+  return static_cast<const Simulator*>(context)->live_slot(id) != nullptr;
+}
 
 const Simulator::Slot* Simulator::live_slot(EventId id) const {
   const std::uint32_t index = slot_of(id);
@@ -29,7 +46,40 @@ void Simulator::release(std::uint32_t index) {
   --pending_count_;
 }
 
-EventId Simulator::schedule_at(TimePoint t, Callback fn) {
+// ---- backend facade --------------------------------------------------------
+
+void Simulator::queue_push(const EventEntry& entry) {
+  if (backend_ == SchedulerBackend::kBinaryHeap) {
+    heap_.push(entry);
+  } else {
+    calendar_.push(entry);
+  }
+}
+
+const EventEntry* Simulator::queue_peek() {
+  if (backend_ == SchedulerBackend::kBinaryHeap) {
+    // Pop tombstones until the head is live (or the heap is empty).
+    while (!heap_.empty() && live_slot(heap_.top().id) == nullptr) {
+      heap_.pop();
+    }
+    return heap_.empty() ? nullptr : &heap_.top();
+  }
+  return calendar_.peek();
+}
+
+EventEntry Simulator::queue_pop() {
+  if (backend_ == SchedulerBackend::kBinaryHeap) {
+    const EventEntry entry = heap_.top();
+    heap_.pop();
+    return entry;
+  }
+  return calendar_.pop();
+}
+
+// ---- scheduling ------------------------------------------------------------
+
+EventId Simulator::schedule_with_seq(TimePoint t, std::uint64_t seq,
+                                     Callback fn) {
   BROADWAY_CHECK_MSG(std::isfinite(t), "schedule_at(" << t << ")");
   BROADWAY_CHECK_MSG(t >= now_,
                      "schedule_at in the past: t=" << t << " now=" << now_);
@@ -49,13 +99,30 @@ EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   slot.live = true;
   ++pending_count_;
   const EventId id = make_id(index, slot.generation);
-  queue_.push(QueueEntry{t, next_seq_++, id});
+  queue_push(EventEntry{t, seq, id});
   return id;
+}
+
+EventId Simulator::schedule_at(TimePoint t, Callback fn) {
+  return schedule_with_seq(t, next_seq_++, std::move(fn));
 }
 
 EventId Simulator::schedule_after(Duration d, Callback fn) {
   BROADWAY_CHECK_MSG(d >= 0.0, "schedule_after(" << d << ")");
   return schedule_at(now_ + d, std::move(fn));
+}
+
+std::uint64_t Simulator::reserve_sequence(std::uint64_t count) {
+  const std::uint64_t base = next_seq_;
+  next_seq_ += count;
+  return base;
+}
+
+EventId Simulator::schedule_at_reserved(TimePoint t, std::uint64_t seq,
+                                        Callback fn) {
+  BROADWAY_CHECK_MSG(seq < next_seq_,
+                     "sequence " << seq << " was never reserved");
+  return schedule_with_seq(t, seq, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
@@ -74,17 +141,11 @@ TimePoint Simulator::fire_time(EventId id) const {
   return slot == nullptr ? kTimeInfinity : slot->time;
 }
 
-void Simulator::drop_dead_entries() {
-  while (!queue_.empty() && live_slot(queue_.top().id) == nullptr) {
-    queue_.pop();
-  }
-}
+// ---- execution -------------------------------------------------------------
 
 bool Simulator::step() {
-  drop_dead_entries();
-  if (queue_.empty()) return false;
-  const QueueEntry entry = queue_.top();
-  queue_.pop();
+  if (queue_peek() == nullptr) return false;
+  const EventEntry entry = queue_pop();
   Slot* slot = live_slot(entry.id);
   BROADWAY_CHECK(slot != nullptr);
   Callback fn = std::move(slot->fn);
@@ -112,8 +173,8 @@ std::size_t Simulator::run_until(TimePoint horizon) {
   BROADWAY_CHECK_MSG(horizon >= now_, "run_until in the past");
   std::size_t executed = 0;
   while (true) {
-    drop_dead_entries();
-    if (queue_.empty() || queue_.top().time > horizon) break;
+    const EventEntry* head = queue_peek();
+    if (head == nullptr || head->time > horizon) break;
     step();
     ++executed;
   }

@@ -17,10 +17,25 @@
 //
 // Storage: pending callbacks live in a generation-tagged slot pool (an
 // EventId encodes slot index + generation), so scheduling an event is a
-// slot reuse plus a binary-heap push — no per-event node allocation, no
-// hashing — and cancellation just bumps the slot's generation, turning the
-// heap entry into a tombstone that pop skips.  At fleet scale every poll
-// is at least one event; this is the floor under the whole simulation.
+// slot reuse plus a queue push — no per-event node allocation, no hashing
+// — and cancellation just bumps the slot's generation, turning the queue
+// entry into a tombstone that pop skips.  At fleet scale every poll is at
+// least one event; this is the floor under the whole simulation.
+//
+// Scheduler backends (see event_queue.h): the ordered queue itself is
+// either a binary heap (the reference) or a calendar/bucket queue (the
+// default — O(1) expected schedule/pop).  Config::scheduler selects one;
+// the BROADWAY_SCHEDULER environment variable ("heap" / "calendar")
+// overrides the default so the whole test suite can run under either
+// backend.  tests/test_sim_event_queue.cpp pins the two to byte-identical
+// fire sequences.
+//
+// FIFO sequence reservation: same-instant order is decided by a global
+// sequence number stamped at schedule time.  A caller that replaces N
+// up-front schedules with one self-rechaining event (batch trace
+// attachment) can reserve the N numbers at attach time and spend them as
+// the chain advances — the interleaving with every other event is then
+// exactly as if all N had been scheduled eagerly.
 #pragma once
 
 #include <cstdint>
@@ -28,16 +43,10 @@
 #include <queue>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "util/time.h"
 
 namespace broadway {
-
-/// Handle for a scheduled event; valid until the event fires or is
-/// cancelled.
-using EventId = std::uint64_t;
-
-/// Sentinel returned by APIs that may have nothing scheduled.
-inline constexpr EventId kInvalidEventId = 0;
 
 /// The simulation engine.  Not thread-safe: a simulation is a single
 /// logical timeline.
@@ -45,12 +54,27 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  /// Engine configuration.
+  struct Config {
+    /// Pending-event structure; defaults to the calendar queue, or to
+    /// the BROADWAY_SCHEDULER environment variable when set.
+    SchedulerBackend scheduler = default_scheduler();
+
+    /// kCalendar, unless BROADWAY_SCHEDULER names a backend ("heap" /
+    /// "binary-heap" / "calendar"); unknown values warn and fall back.
+    static SchedulerBackend default_scheduler();
+  };
+
+  Simulator() : Simulator(Config{}) {}
+  explicit Simulator(Config config);
 
   // A simulation owns its pending callbacks; copying one timeline into
   // another has no meaningful semantics.
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The backend this simulator runs on.
+  SchedulerBackend scheduler() const { return backend_; }
 
   /// Current simulation time.  Starts at 0.
   TimePoint now() const { return now_; }
@@ -62,6 +86,16 @@ class Simulator {
 
   /// Schedule `fn` to run `d` from now.  `d` must be non-negative.
   EventId schedule_after(Duration d, Callback fn);
+
+  /// Reserve `count` consecutive FIFO sequence numbers and return the
+  /// first.  Events scheduled later with these numbers (via
+  /// schedule_at_reserved) tie-break against same-instant events exactly
+  /// as if they had been scheduled at reservation time.
+  std::uint64_t reserve_sequence(std::uint64_t count);
+
+  /// Schedule `fn` at `t` with a previously reserved sequence number.
+  /// Each reserved number must be used at most once.
+  EventId schedule_at_reserved(TimePoint t, std::uint64_t seq, Callback fn);
 
   /// Cancel a pending event.  Returns true if the event existed and was
   /// removed; false if it already fired, was already cancelled, or never
@@ -99,19 +133,13 @@ class Simulator {
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct QueueEntry {
-    TimePoint time;
-    std::uint64_t seq;  // FIFO tie-break for equal times
-    EventId id;
-  };
   struct Later {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    bool operator()(const EventEntry& a, const EventEntry& b) const {
+      return fires_before(b, a);
     }
   };
   // One pooled event slot.  `generation` advances every time the slot is
-  // released (fire or cancel), so a stale EventId — and the heap entry
+  // released (fire or cancel), so a stale EventId — and the queue entry
   // carrying it — can never address a reused slot.
   struct Slot {
     Callback fn;
@@ -136,20 +164,33 @@ class Simulator {
   const Slot* live_slot(EventId id) const;
   Slot* live_slot(EventId id);
 
+  /// CalendarQueue liveness predicate (tombstone purging).
+  static bool entry_live(const void* context, EventId id);
+
   /// Release a slot back to the free list (bumps the generation).
   void release(std::uint32_t index);
+
+  EventId schedule_with_seq(TimePoint t, std::uint64_t seq, Callback fn);
+
+  // ---- backend facade ----
+
+  void queue_push(const EventEntry& entry);
+  /// Earliest live entry, or nullptr when nothing is pending (dead heap
+  /// entries are dropped; the calendar purges internally).
+  const EventEntry* queue_peek();
+  /// Remove the entry last returned by queue_peek().
+  EventEntry queue_pop();
 
   TimePoint now_ = 0.0;
   EventId current_event_ = kInvalidEventId;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t pending_count_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  SchedulerBackend backend_;
+  std::priority_queue<EventEntry, std::vector<EventEntry>, Later> heap_;
+  CalendarQueue calendar_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-
-  // Pop tombstones until the head is live (or the queue is empty).
-  void drop_dead_entries();
 };
 
 }  // namespace broadway

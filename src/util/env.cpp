@@ -1,0 +1,32 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace broadway {
+
+std::size_t env_choice(const char* name,
+                       std::initializer_list<std::string_view> choices,
+                       std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string_view value(env);
+  std::size_t index = 0;
+  for (const std::string_view choice : choices) {
+    if (value == choice) return index;
+    ++index;
+  }
+  std::ostringstream valid;
+  const char* separator = "";
+  for (const std::string_view choice : choices) {
+    valid << separator << choice;
+    separator = " | ";
+  }
+  BROADWAY_WARN("unknown " << name << " '" << value << "' (valid: "
+                           << valid.str() << "); using the default");
+  return fallback;
+}
+
+}  // namespace broadway

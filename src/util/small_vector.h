@@ -1,0 +1,192 @@
+// Inline-storage vector for small runs of trivially-copyable elements.
+//
+// TemporalPollObservation::history is rebuilt once per poll on the
+// engine's hot path; with an adaptive TTR the number of updates revealed
+// per poll is almost always a handful, so a std::vector there means one
+// heap round-trip per modified poll for a few doubles.  SmallVector keeps
+// the first N elements inline in the object and spills to the heap only
+// beyond that — the common case allocates nothing, the rare long history
+// still works.
+//
+// Deliberately minimal: trivially-copyable element types only (memcpy
+// moves, no destructor calls), and just the vector surface the
+// observation pipeline and its consumers use.  Converting assignment from
+// std::vector keeps call sites that build histories eagerly (tests,
+// codecs) unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace broadway {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector handles trivially-copyable elements only");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+  }
+  SmallVector(const SmallVector& other) {
+    assign(other.begin(), other.end());
+  }
+  SmallVector(SmallVector&& other) noexcept { steal(other); }
+
+  ~SmallVector() { deallocate(); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      deallocate();
+      size_ = 0;
+      capacity_ = N;
+      heap_ = nullptr;
+      steal(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  /// Converting assignment so call sites that built a std::vector (tests,
+  /// header parsing) keep working unchanged.
+  SmallVector& operator=(const std::vector<T>& other) {
+    assign(other.data(), other.data() + other.size());
+    return *this;
+  }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_data(); }
+  const T* data() const {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  static constexpr std::size_t inline_capacity() { return N; }
+  /// True once the elements moved to the heap (diagnostics and tests).
+  bool spilled() const { return heap_ != nullptr; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& operator[](std::size_t index) { return data()[index]; }
+  const T& operator[](std::size_t index) const { return data()[index]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow(wanted);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      // `value` may alias an element of this vector; copy it out before
+      // grow() frees the storage it lives in.
+      const T detached = value;
+      grow(capacity_ * 2);
+      data()[size_++] = detached;
+      return;
+    }
+    data()[size_++] = value;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Replace the contents with [first, last).
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    reserve(static_cast<std::size_t>(std::distance(first, last)));
+    T* out = data();
+    for (; first != last; ++first) out[size_++] = *first;
+  }
+
+  /// Remove [first, last), shifting the tail down.  Returns the new
+  /// position of the element that followed `last`.
+  iterator erase(iterator first, iterator last) {
+    if (first != last) {
+      const std::size_t tail =
+          static_cast<std::size_t>(end() - last);
+      std::memmove(first, last, tail * sizeof(T));
+      size_ -= static_cast<std::size_t>(last - first);
+    }
+    return first;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    return std::memcmp(a.data(), b.data(), a.size_ * sizeof(T)) == 0;
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(storage_); }
+  const T* inline_data() const {
+    return reinterpret_cast<const T*>(storage_);
+  }
+
+  void grow(std::size_t wanted) {
+    const std::size_t new_capacity =
+        wanted > capacity_ * 2 ? wanted : capacity_ * 2;
+    T* grown = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::memcpy(grown, data(), size_ * sizeof(T));
+    deallocate();
+    heap_ = grown;
+    capacity_ = new_capacity;
+  }
+
+  /// Move-construct from `other`, leaving it empty (inline).  Heap
+  /// storage transfers by pointer; inline elements copy (N is small by
+  /// construction).
+  void steal(SmallVector& other) {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+    } else {
+      std::memcpy(inline_data(), other.inline_data(),
+                  other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    other.size_ = 0;
+  }
+
+  void deallocate() {
+    if (heap_ != nullptr) ::operator delete(heap_);
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  T* heap_ = nullptr;  ///< null while the elements live inline
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+};
+
+}  // namespace broadway
