@@ -11,6 +11,7 @@
 
 #include "consistency/limd.h"
 #include "consistency/partitioned.h"
+#include "consistency/triggered.h"
 #include "consistency/value_ttr.h"
 #include "fleet/proxy_fleet.h"
 #include "http/codec.h"
@@ -334,6 +335,123 @@ void BM_EngineTemporalSweep(benchmark::State& state) {
   state.SetItemsProcessed(polls);
 }
 BENCHMARK(BM_EngineTemporalSweep)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- coordinator dispatch --------------------------------------------------
+
+// Update streams faster than TTR_min, so every scheduled poll observes a
+// modification: the dispatch path runs its full depth (a coordinator
+// bails immediately on unmodified polls in any dispatch mode), which is
+// exactly the regime where the old fan-out hurt.
+std::vector<UpdateTrace> make_fanout_traces(std::size_t objects) {
+  std::vector<UpdateTrace> traces;
+  traces.reserve(objects);
+  for (std::size_t i = 0; i < objects; ++i) {
+    Rng rng(7000 + i);
+    std::vector<TimePoint> updates;
+    TimePoint t = 0.0;
+    for (;;) {
+      t += rng.uniform(120.0, 360.0);
+      if (t >= kSweepHorizon) break;
+      updates.push_back(t);
+    }
+    traces.emplace_back("/object/" + std::to_string(i), std::move(updates),
+                        kSweepHorizon);
+  }
+  return traces;
+}
+
+// Stage-6 dispatch cost as the number of attached δ-groups grows:
+// eight-member groups over 128 LIMD objects with δ wider than any poll
+// gap, so the window test always answers "recent enough" and no poll is
+// ever actually triggered — the bench isolates dispatch (who is notified,
+// and how the members are looked up) from trigger work.  Id-keyed
+// subscription routing pays O(groups containing the polled object) — at
+// most a handful here — per poll; the pre-interning fan-out paid a
+// string-keyed virtual call into every attached group per poll, each
+// walking its full member list with string compares and uri-hash δ-window
+// probes (the committed BENCH_baseline.json entries were measured on that
+// path — the pre-PR tree — so the trajectory records the routing win;
+// EngineConfig::legacy_dispatch keeps the broadcast *shape* reproducible
+// in-tree for the dispatch differential tests).
+void BM_CoordinatorFanout(benchmark::State& state) {
+  const std::size_t groups = static_cast<std::size_t>(state.range(0));
+  const std::size_t objects = 128;
+  const std::vector<UpdateTrace> traces = make_fanout_traces(objects);
+  std::int64_t polls = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    PollingEngine engine(sim, origin);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      engine.add_temporal_object(
+          trace.name(),
+          std::make_unique<LimdPolicy>(
+              LimdPolicy::Config::paper_defaults(600.0)));
+    }
+    for (std::size_t g = 0; g < groups; ++g) {
+      // Eight consecutive objects per group; past full coverage (128 / 8
+      // = 16 groups) further groups wrap with a stagger, so high group
+      // counts mean several groups per object, never duplicate groups.
+      const std::size_t start = (g * 8 + (g / 16) * 3) % objects;
+      std::vector<std::string> members;
+      members.reserve(8);
+      for (std::size_t j = 0; j < 8; ++j) {
+        members.push_back(traces[(start + j) % objects].name());
+      }
+      engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+          std::move(members), /*delta_mutual=*/kSweepHorizon));
+    }
+    engine.start();
+    sim.run_until(kSweepHorizon);
+    polls += static_cast<std::int64_t>(engine.polls_performed());
+    benchmark::DoNotOptimize(engine.coordinator_notifies());
+  }
+  state.SetItemsProcessed(polls);
+}
+BENCHMARK(BM_CoordinatorFanout)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// A full grouped engine sweep: 256 LIMD objects partitioned into 32
+// eight-member δ-groups with a realistic δ, so triggered polls really
+// fire and cascade — the end-to-end cost of running mutual consistency
+// over a grouped working set.
+void BM_GroupedTemporalSweep(benchmark::State& state) {
+  constexpr std::size_t kObjects = 256;
+  constexpr std::size_t kGroupSize = 8;
+  const std::vector<UpdateTrace> traces = make_sweep_traces(kObjects);
+  std::int64_t polls = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    PollingEngine engine(sim, origin);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      engine.add_temporal_object(
+          trace.name(),
+          std::make_unique<LimdPolicy>(
+              LimdPolicy::Config::paper_defaults(600.0)));
+    }
+    for (std::size_t g = 0; g < kObjects / kGroupSize; ++g) {
+      std::vector<std::string> members;
+      members.reserve(kGroupSize);
+      for (std::size_t i = 0; i < kGroupSize; ++i) {
+        members.push_back(traces[g * kGroupSize + i].name());
+      }
+      engine.add_coordinator(std::make_unique<TriggeredPollCoordinator>(
+          std::move(members), /*delta_mutual=*/120.0));
+    }
+    engine.start();
+    sim.run_until(kSweepHorizon);
+    polls += static_cast<std::int64_t>(engine.polls_performed());
+    benchmark::DoNotOptimize(engine.triggered_polls());
+  }
+  state.SetItemsProcessed(polls);
+}
+BENCHMARK(BM_GroupedTemporalSweep)->Unit(benchmark::kMillisecond);
 
 // A fleet under cooperative push: every poll relays to every sibling
 // tracking the uri, so the relay path dominates.

@@ -92,7 +92,9 @@ NewsRun simulate(const Workload& workload, bool mutual,
   origin.attach_update_trace(workload.clip.name(), workload.clip);
 
   // Discover the group *syntactically* from the page body (paper §5.2).
-  GroupRegistry registry;
+  // Binding the registry to the origin's intern table records the group's
+  // ObjectIds alongside the uris (the id-keyed dispatch representation).
+  GroupRegistry registry(origin.uri_table());
   const ObjectGroup* group = registry.add_syntactic_group(
       workload.story.name(), story.render_body(), delta_mutual);
 

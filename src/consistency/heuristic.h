@@ -9,7 +9,7 @@
 // only the slower object triggers extra polls of the faster one.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -34,20 +34,35 @@ class RateHeuristicCoordinator : public MutualCoordinator {
 
   RateHeuristicCoordinator(std::vector<std::string> members, Config config);
 
-  void on_poll(const std::string& uri,
-               const TemporalPollObservation& obs) override;
+  using MutualCoordinator::on_poll;
+  void on_poll(ObjectId object, const TemporalPollObservation& obs) override;
   void reset() override;
+
+  std::vector<ObjectId> subscriptions() const override { return member_ids_; }
 
   /// Current rate estimate for a member (updates/s; 0 = unknown).
   double estimated_rate(const std::string& uri) const;
+  double estimated_rate(ObjectId object) const;
 
   std::size_t triggers_requested() const { return triggers_requested_; }
   const Config& config() const { return config_; }
+  const std::vector<std::string>& members() const { return members_; }
+  /// Interned member ids, parallel to members(); empty before bind().
+  const std::vector<ObjectId>& member_ids() const { return member_ids_; }
+
+ protected:
+  void on_bind() override;
 
  private:
+  static constexpr std::size_t kNotMember = static_cast<std::size_t>(-1);
+
+  /// Index of `object` in member_ids_, kNotMember when absent.
+  std::size_t member_index(ObjectId object) const;
+
   Config config_;
   std::vector<std::string> members_;
-  std::map<std::string, UpdateRateEstimator> estimators_;
+  std::vector<ObjectId> member_ids_;            // interned at bind()
+  std::vector<UpdateRateEstimator> estimators_;  // parallel to member_ids_
   std::size_t triggers_requested_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "consistency/triggered.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace broadway {
@@ -11,12 +13,22 @@ TriggeredPollCoordinator::TriggeredPollCoordinator(
   BROADWAY_CHECK_MSG(delta_mutual_ >= 0.0, "delta " << delta_mutual_);
 }
 
-void TriggeredPollCoordinator::on_poll(const std::string& uri,
+void TriggeredPollCoordinator::on_bind() {
+  member_ids_ = resolve_members(members_);
+}
+
+void TriggeredPollCoordinator::on_poll(ObjectId object,
                                        const TemporalPollObservation& obs) {
   if (!obs.modified) return;
   BROADWAY_CHECK_MSG(hooks_.trigger_poll, "coordinator used before bind()");
-  for (const std::string& member : members_) {
-    if (member == uri) continue;
+  // Subscription-routed dispatch only delivers member polls; the check
+  // keeps the broadcast (legacy / fleet-style) paths equivalent.
+  if (std::find(member_ids_.begin(), member_ids_.end(), object) ==
+      member_ids_.end()) {
+    return;
+  }
+  for (const ObjectId member : member_ids_) {
+    if (member == object) continue;
     if (!outside_delta_window(member, obs.poll_time, delta_mutual_)) {
       continue;
     }

@@ -22,17 +22,25 @@ class TriggeredPollCoordinator : public MutualCoordinator {
   TriggeredPollCoordinator(std::vector<std::string> members,
                            Duration delta_mutual);
 
-  void on_poll(const std::string& uri,
-               const TemporalPollObservation& obs) override;
+  using MutualCoordinator::on_poll;
+  void on_poll(ObjectId object, const TemporalPollObservation& obs) override;
+
+  std::vector<ObjectId> subscriptions() const override { return member_ids_; }
 
   Duration delta_mutual() const { return delta_mutual_; }
   const std::vector<std::string>& members() const { return members_; }
+  /// Interned member ids, parallel to members(); empty before bind().
+  const std::vector<ObjectId>& member_ids() const { return member_ids_; }
 
   /// Number of triggered polls this coordinator has requested.
   std::size_t triggers_requested() const { return triggers_requested_; }
 
+ protected:
+  void on_bind() override;
+
  private:
   std::vector<std::string> members_;
+  std::vector<ObjectId> member_ids_;  // interned at bind()
   Duration delta_mutual_;
   std::size_t triggers_requested_ = 0;
 };

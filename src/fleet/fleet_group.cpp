@@ -24,43 +24,48 @@ void FleetDeltaGroup::bind(std::vector<CoordinatorHooks> hooks_by_proxy) {
                        "member proxy " << member.proxy << " out of range");
   }
   hooks_by_proxy_ = std::move(hooks_by_proxy);
+  member_ids_.clear();
+  member_ids_.reserve(members_.size());
+  for (const FleetMember& member : members_) {
+    member_ids_.push_back(hooks_by_proxy_[member.proxy].resolve(member.uri));
+  }
 }
 
-bool FleetDeltaGroup::is_member(std::size_t proxy,
-                                const std::string& uri) const {
-  for (const FleetMember& member : members_) {
-    if (member.proxy == proxy && member.uri == uri) return true;
+bool FleetDeltaGroup::is_member(std::size_t proxy, ObjectId object) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].proxy == proxy && member_ids_[i] == object) return true;
   }
   return false;
 }
 
-bool FleetDeltaGroup::outside_delta_window(const FleetMember& member,
+bool FleetDeltaGroup::outside_delta_window(std::size_t index,
                                            TimePoint now) const {
-  const CoordinatorHooks& hooks = hooks_by_proxy_[member.proxy];
+  const CoordinatorHooks& hooks = hooks_by_proxy_[members_[index].proxy];
+  const ObjectId object = member_ids_[index];
   // Same reasoning as MutualCoordinator::outside_delta_window, against the
   // member's own proxy: a recent refresh (own poll or relay) means its
   // copy already originated within δ; an imminent poll restores that soon
   // enough.
-  const TimePoint last = hooks.last_poll_time(member.uri);
+  const TimePoint last = hooks.last_poll_time(object);
   if (now - last <= delta_mutual_) return false;
-  const TimePoint next = hooks.next_poll_time(member.uri);
+  const TimePoint next = hooks.next_poll_time(object);
   if (next - now <= delta_mutual_) return false;
   return true;
 }
 
-void FleetDeltaGroup::on_poll(std::size_t proxy, const std::string& uri,
+void FleetDeltaGroup::on_poll(std::size_t proxy, ObjectId object,
                               const TemporalPollObservation& obs) {
   if (!obs.modified) return;
-  if (!is_member(proxy, uri)) return;
   BROADWAY_CHECK_MSG(!hooks_by_proxy_.empty(), "group used before bind()");
-  for (const FleetMember& member : members_) {
-    if (member.proxy == proxy && member.uri == uri) continue;
-    if (!outside_delta_window(member, obs.poll_time)) continue;
+  if (!is_member(proxy, object)) return;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].proxy == proxy && member_ids_[i] == object) continue;
+    if (!outside_delta_window(i, obs.poll_time)) continue;
     ++triggers_requested_;
-    // Recursion: the triggered poll re-enters on_poll for `member` via the
-    // fleet's listener; its zero-age last poll then falls inside the δ
+    // Recursion: the triggered poll re-enters on_poll for this member via
+    // the fleet's listener; its zero-age last poll then falls inside the δ
     // window, so cascades terminate.
-    hooks_by_proxy_[member.proxy].trigger_poll(member.uri);
+    hooks_by_proxy_[members_[i].proxy].trigger_poll(member_ids_[i]);
   }
 }
 

@@ -10,6 +10,12 @@
 // against each member's *own* proxy schedule.  Relay refreshes count as
 // polls for the window test, so cooperative push naturally suppresses
 // redundant triggers.
+//
+// Like the engine-local coordinators, the group is id-keyed on the hot
+// path: member uris are interned once at bind() through each proxy's
+// `resolve` hook (the fleet shares one origin, so ids are fleet-global),
+// and `on_poll` / the δ-window test work on (proxy, ObjectId) pairs —
+// no per-call uri hashing or string compares.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +25,7 @@
 #include "consistency/coordinator.h"
 #include "consistency/types.h"
 #include "util/time.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -30,9 +37,10 @@ struct FleetMember {
 };
 
 /// Triggered-poll mutual consistency across proxies.  Owned and driven by
-/// ProxyFleet: the fleet forwards every non-initial temporal poll
-/// observation (own polls and applied relays) of a member object and the
-/// group triggers the lagging members' proxies.
+/// ProxyFleet: the fleet routes every non-initial temporal poll
+/// observation (own polls and applied relays) of a member object to the
+/// groups subscribed to it and the group triggers the lagging members'
+/// proxies.
 class FleetDeltaGroup {
  public:
   /// `members` must name >= 2 distinct (proxy, uri) pairs of temporal
@@ -42,27 +50,32 @@ class FleetDeltaGroup {
   FleetDeltaGroup(const FleetDeltaGroup&) = delete;
   FleetDeltaGroup& operator=(const FleetDeltaGroup&) = delete;
 
-  /// Attach per-proxy engine hooks, indexed by fleet proxy index.  Called
+  /// Attach per-proxy engine hooks, indexed by fleet proxy index, and
+  /// intern every member uri through its proxy's resolve hook.  Called
   /// once by the fleet at registration.
   void bind(std::vector<CoordinatorHooks> hooks_by_proxy);
 
-  /// Observation of a completed poll (or applied relay) of `uri` at
+  /// Observation of a completed poll (or applied relay) of `object` at
   /// `proxy`.  Triggers polls of the other members outside their δ
   /// window; cascades terminate because a fresh poll is inside the window.
-  void on_poll(std::size_t proxy, const std::string& uri,
+  void on_poll(std::size_t proxy, ObjectId object,
                const TemporalPollObservation& obs);
 
   const std::vector<FleetMember>& members() const { return members_; }
+  /// Interned member ids, parallel to members(); filled by bind().
+  const std::vector<ObjectId>& member_ids() const { return member_ids_; }
   Duration delta_mutual() const { return delta_mutual_; }
 
   /// Cross-proxy triggered polls this group has requested.
   std::size_t triggers_requested() const { return triggers_requested_; }
 
  private:
-  bool is_member(std::size_t proxy, const std::string& uri) const;
-  bool outside_delta_window(const FleetMember& member, TimePoint now) const;
+  bool is_member(std::size_t proxy, ObjectId object) const;
+  /// δ-window test for the member at `index`, against its own proxy.
+  bool outside_delta_window(std::size_t index, TimePoint now) const;
 
   std::vector<FleetMember> members_;
+  std::vector<ObjectId> member_ids_;  // interned at bind()
   Duration delta_mutual_;
   std::vector<CoordinatorHooks> hooks_by_proxy_;
   std::size_t triggers_requested_ = 0;

@@ -82,6 +82,16 @@ FleetDeltaGroup& ProxyFleet::add_delta_group(std::vector<FleetMember> members,
   auto group =
       std::make_unique<FleetDeltaGroup>(std::move(members), delta_mutual);
   group->bind(hooks_by_proxy());
+  // Subscribe the group to each member's (proxy, object) slot so the
+  // notify path only visits groups actually watching the polled object.
+  if (groups_by_member_.empty()) groups_by_member_.resize(engines_.size());
+  for (std::size_t i = 0; i < group->members().size(); ++i) {
+    const std::size_t proxy_index = group->members()[i].proxy;
+    const ObjectId object = group->member_ids()[i];
+    auto& by_object = groups_by_member_[proxy_index];
+    if (by_object.size() <= object) by_object.resize(object + 1);
+    by_object[object].push_back(group.get());
+  }
   groups_.push_back(std::move(group));
   return *groups_.back();
 }
@@ -105,7 +115,7 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
     }
   }
   if (event.observation != nullptr) {
-    notify_groups(proxy_index, event.uri, *event.observation);
+    notify_groups(proxy_index, event.object, *event.observation);
   }
 }
 
@@ -141,15 +151,17 @@ void ProxyFleet::deliver(std::size_t to, ObjectId object,
     obs.poll_time = sim_.now();
     obs.modified = true;
     obs.last_modified = wire_last_modified(response);
-    notify_groups(to, origin_.uri_table().uri(object), obs);
+    notify_groups(to, object, obs);
   }
 }
 
-void ProxyFleet::notify_groups(std::size_t proxy_index,
-                               const std::string& uri,
+void ProxyFleet::notify_groups(std::size_t proxy_index, ObjectId object,
                                const TemporalPollObservation& obs) {
-  for (auto& group : groups_) {
-    group->on_poll(proxy_index, uri, obs);
+  if (groups_by_member_.empty()) return;  // no δ-groups registered
+  const auto& by_object = groups_by_member_[proxy_index];
+  if (object >= by_object.size()) return;
+  for (FleetDeltaGroup* group : by_object[object]) {
+    group->on_poll(proxy_index, object, obs);
   }
 }
 

@@ -36,6 +36,7 @@
 #include "origin/origin_server.h"
 #include "proxy/polling_engine.h"
 #include "sim/simulator.h"
+#include "util/small_vector.h"
 
 namespace broadway {
 
@@ -122,6 +123,15 @@ class ProxyFleet {
   FleetConfig config_;
   std::vector<std::unique_ptr<PollingEngine>> engines_;
   std::vector<std::unique_ptr<FleetDeltaGroup>> groups_;
+  // Per-(proxy, object) δ-group subscriber index, built at
+  // add_delta_group time: groups_by_member_[proxy][object] lists the
+  // groups watching that member, so notify_groups costs
+  // O(groups-watching-this-object) — nothing for ungrouped objects —
+  // instead of a virtual call into every registered group per poll.
+  // Object ids index the fleet-shared origin table, so a plain vector
+  // (sized lazily) serves as the map.
+  std::vector<std::vector<SmallVector<FleetDeltaGroup*, 2>>>
+      groups_by_member_;
   std::size_t relays_delivered_ = 0;
   std::size_t relays_applied_ = 0;
 
@@ -142,8 +152,9 @@ class ProxyFleet {
   void deliver(std::size_t to, ObjectId object, const Response& response,
                TimePoint snapshot);
 
-  /// δ-groups hear about a member refresh (own poll or applied relay).
-  void notify_groups(std::size_t proxy, const std::string& uri,
+  /// δ-groups subscribed to (proxy, object) hear about a member refresh
+  /// (own poll or applied relay).
+  void notify_groups(std::size_t proxy, ObjectId object,
                      const TemporalPollObservation& obs);
 
   std::vector<CoordinatorHooks> hooks_by_proxy();

@@ -7,6 +7,13 @@
 // syntactic groups built by parsing a page's embedded links; the
 // dependency-graph view answers "which groups must be re-examined when
 // object X changes".
+//
+// A registry may be bound to a UriTable (the origin's, typically): members
+// are then interned at registration, every ObjectGroup carries the interned
+// ids alongside the uris, and the dependency-graph query is answerable by
+// ObjectId — so consumers wiring groups into the id-keyed coordinator
+// dispatch never re-hash member uris.  An unbound registry keeps the plain
+// string behaviour.
 #pragma once
 
 #include <map>
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "util/time.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 
@@ -22,12 +30,22 @@ namespace broadway {
 struct ObjectGroup {
   std::string id;
   std::vector<std::string> members;
+  /// Interned member ids, parallel to `members`; empty when the registry
+  /// is not bound to a UriTable.
+  std::vector<ObjectId> member_ids;
   Duration delta_mutual = 0.0;
 };
 
 /// Registry of groups; an object may belong to several.
 class GroupRegistry {
  public:
+  /// Unbound registry: string-keyed only.
+  GroupRegistry() = default;
+
+  /// Registry interning members into `table` (which must outlive it),
+  /// enabling the ObjectId queries below.
+  explicit GroupRegistry(UriTable& table) : table_(&table) {}
+
   /// Register an explicit (user/semantic) group.  Group ids are unique;
   /// members must number at least two and be distinct.
   const ObjectGroup& add_group(std::string id,
@@ -48,17 +66,27 @@ class GroupRegistry {
   std::vector<const ObjectGroup*> groups_containing(
       const std::string& uri) const;
 
+  /// Id-keyed fan-out query; requires a table-bound registry.  Unknown
+  /// ids yield an empty result.
+  std::vector<const ObjectGroup*> groups_containing(ObjectId object) const;
+
   /// Every distinct object mentioned by any group.
   std::vector<std::string> all_members() const;
+
+  /// The bound intern table, nullptr for an unbound registry.
+  const UriTable* uri_table() const { return table_; }
 
   std::size_t size() const { return groups_.size(); }
 
  private:
+  UriTable* table_ = nullptr;
   std::map<std::string, ObjectGroup> groups_;
   // uri -> group ids (the dependency graph's reverse index).
   std::map<std::string, std::vector<std::string>> membership_;
+  // ObjectId -> group ids; populated only when table-bound.
+  std::map<ObjectId, std::vector<std::string>> id_membership_;
 
-  void index_group(const ObjectGroup& group);
+  void index_group(ObjectGroup& group);
 };
 
 }  // namespace broadway

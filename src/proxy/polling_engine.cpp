@@ -66,7 +66,13 @@ void PollingEngine::add_temporal_object(const std::string& uri,
 MutualCoordinator& PollingEngine::add_coordinator(
     std::unique_ptr<MutualCoordinator> coordinator) {
   BROADWAY_CHECK(coordinator != nullptr);
+  // bind() interns the member uris (unknown members fail here, not on the
+  // first trigger mid-simulation); the subscriptions then feed the
+  // per-object subscriber index the notify stage dispatches through.
   coordinator->bind(make_hooks());
+  for (const ObjectId member : coordinator->subscriptions()) {
+    temporal_object(member).add_subscriber(coordinator.get());
+  }
   coordinators_.push_back(std::move(coordinator));
   return *coordinators_.back();
 }
@@ -240,30 +246,10 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
            response);
   BROADWAY_CHECK_MSG(response.status != StatusCode::kNotFound,
                      object.uri() << " not present at origin");
-  // Stage 3: refresh the cached copy.
-  store_response(object, response, now, now + config_.rtt);
-
-  // Stage 4: record the poll.
-  poll_log_.append(object.id(), cause, response.ok(), /*failed=*/false, now,
-                   now + config_.rtt);
-
-  // Stage 5: policy update.
-  const PollOutcome outcome = object.on_response(response, now, previous,
-                                                 cause);
-  object.set_last_poll_completion(now);
-  if (outcome.ttr) {
-    object.record_ttr(now, *outcome.ttr);
-    object.task()->reschedule(*outcome.ttr);
-  }
-
-  // Stage 6: coordinators see every non-initial temporal poll — including
-  // triggered ones, so they can cascade (the δ-window test keeps cascades
-  // finite).
-  if (outcome.observation) {
-    for (auto& coordinator : coordinators_) {
-      coordinator->on_poll(object.uri(), *outcome.observation);
-    }
-  }
+  // Stages 3–6: the shared post-exchange pipeline.
+  const PollOutcome outcome =
+      apply_outcome(object, response, cause, now, now + config_.rtt,
+                    previous);
 
   // Stage 7: fleet-level observer, after the engine's own state settled so
   // the listener (e.g. a relaying fleet) sees a consistent proxy.
@@ -315,8 +301,8 @@ bool PollingEngine::apply_relay(ObjectId id, const Response& response,
     }
   }
 
-  // The relay pipeline mirrors poll stages 3–6 (no exchange, no loss);
-  // store_response ignores 304s, exactly as for an own poll.  The
+  // The relay runs the same stages 3–6 as an own poll (no exchange, no
+  // loss); store_response ignores 304s, exactly as for an own poll.  The
   // sibling's modification history — updates since *its* previous poll —
   // is restricted to the updates this proxy has not seen inside
   // on_response, so the response passes through by const reference,
@@ -324,22 +310,55 @@ bool PollingEngine::apply_relay(ObjectId id, const Response& response,
   // delivery latency the copy reflects state at `snapshot` and becomes
   // visible only `now`, and the fidelity evaluation must see exactly
   // that.
-  store_response(*object, response, snapshot, now);
-  poll_log_.append(id, PollCause::kRelay, /*modified=*/response.ok(),
-                   /*failed=*/false, snapshot, now);
-  const PollOutcome outcome =
-      object->on_response(response, snapshot, previous, PollCause::kRelay);
-  object->set_last_poll_completion(snapshot);
-  if (outcome.ttr) {
-    object->record_ttr(snapshot, *outcome.ttr);
-    object->task()->reschedule(*outcome.ttr);
-  }
-  if (outcome.observation) {
-    for (auto& coordinator : coordinators_) {
-      coordinator->on_poll(object->uri(), *outcome.observation);
-    }
-  }
+  apply_outcome(*object, response, PollCause::kRelay, snapshot, now,
+                previous);
   return true;
+}
+
+PollOutcome PollingEngine::apply_outcome(TrackedObject& object,
+                                         const Response& response,
+                                         PollCause cause, TimePoint snapshot,
+                                         TimePoint visible,
+                                         TimePoint previous) {
+  // Stage 3: refresh the cached copy.
+  store_response(object, response, snapshot, visible);
+
+  // Stage 4: record the poll.
+  poll_log_.append(object.id(), cause, response.ok(), /*failed=*/false,
+                   snapshot, visible);
+
+  // Stage 5: policy update.
+  PollOutcome outcome = object.on_response(response, snapshot, previous,
+                                           cause);
+  object.set_last_poll_completion(snapshot);
+  if (outcome.ttr) {
+    object.record_ttr(snapshot, *outcome.ttr);
+    object.task()->reschedule(*outcome.ttr);
+  }
+
+  // Stage 6: coordinators see every non-initial temporal poll — including
+  // triggered ones, so they can cascade (the δ-window test keeps cascades
+  // finite).
+  if (outcome.observation) {
+    notify_coordinators(object, *outcome.observation);
+  }
+  return outcome;
+}
+
+void PollingEngine::notify_coordinators(TrackedObject& object,
+                                        const TemporalPollObservation& obs) {
+  if (config_.legacy_dispatch) {
+    // The pre-subscription fan-out: every coordinator, one uri hash each.
+    for (auto& coordinator : coordinators_) {
+      ++coordinator_notifies_;
+      coordinator->on_poll(object.uri(), obs);
+    }
+    return;
+  }
+  for (MutualCoordinator* coordinator : object.subscribers()) {
+    ++coordinator_notifies_;
+    coordinator->on_poll(object.id(), obs);
+  }
 }
 
 void PollingEngine::poll_self(TrackedObject& object, PollCause cause) {
@@ -373,17 +392,31 @@ void PollingEngine::poll_group(VirtualGroup& group, PollCause cause) {
 // ---- coordinator hooks -----------------------------------------------------
 
 CoordinatorHooks PollingEngine::make_hooks() {
+  // All id-keyed: the δ-window test and trigger path resolve the tracked
+  // object by a vector index, never a uri hash.  `resolve` is the one
+  // string-keyed entry point, used once per member at bind time (and per
+  // call by the legacy broadcast wrapper).
   CoordinatorHooks hooks;
-  hooks.next_poll_time = [this](const std::string& uri) {
-    return next_poll_time(uri);
+  hooks.resolve = [this](const std::string& uri) {
+    return temporal_object(uri).id();
   };
-  hooks.last_poll_time = [this](const std::string& uri) {
-    return last_poll_time(uri);
+  hooks.next_poll_time = [this](ObjectId id) {
+    return temporal_object(id).task()->next_fire_time();
   };
-  hooks.trigger_poll = [this](const std::string& uri) {
-    trigger_poll(uri);
+  hooks.last_poll_time = [this](ObjectId id) {
+    return temporal_object(id).last_poll_completion();
+  };
+  hooks.trigger_poll = [this](ObjectId id) {
+    poll_self(temporal_object(id), PollCause::kTriggered);
   };
   return hooks;
+}
+
+TrackedObject& PollingEngine::temporal_object(ObjectId id) {
+  TrackedObject* object = tracked(id);
+  BROADWAY_CHECK_MSG(object != nullptr && object->temporal(),
+                     "unknown temporal object id " << id);
+  return *object;
 }
 
 TrackedObject& PollingEngine::temporal_object(const std::string& uri) {
@@ -391,18 +424,6 @@ TrackedObject& PollingEngine::temporal_object(const std::string& uri) {
   BROADWAY_CHECK_MSG(object != nullptr && object->temporal(),
                      "unknown temporal object " << uri);
   return *object;
-}
-
-TimePoint PollingEngine::next_poll_time(const std::string& uri) {
-  return temporal_object(uri).task()->next_fire_time();
-}
-
-TimePoint PollingEngine::last_poll_time(const std::string& uri) {
-  return temporal_object(uri).last_poll_completion();
-}
-
-void PollingEngine::trigger_poll(const std::string& uri) {
-  poll_self(temporal_object(uri), PollCause::kTriggered);
 }
 
 // ---- accessors -------------------------------------------------------------

@@ -18,7 +18,13 @@
 //
 // Hot-path representation: uris are interned once at registration into the
 // origin's shared UriTable; the pipeline carries dense ObjectId handles
-// into the cache, the poll log and the fleet relay path.  Exchanges use
+// into the cache, the poll log, the coordinator dispatch and the fleet
+// relay path.  Coordinator notification is subscription-routed: each
+// TrackedObject carries the list of coordinators watching it (built at
+// add_coordinator time from the coordinator's interned member set), so the
+// notify stage costs O(subscribers-of-this-object) — nothing at all for
+// ungrouped objects — instead of a string-keyed virtual call per attached
+// coordinator per poll.  Exchanges use
 // the typed wire sideband (RequestMeta/ResponseMeta, see message.h) with a
 // per-engine scratch Request and a small pool of scratch Responses (one
 // per trigger-cascade depth), so a steady-state poll allocates nothing.
@@ -82,6 +88,13 @@ struct EngineConfig {
   /// render and parse header strings per poll, as real HTTP would; kept
   /// for the typed≡string differential tests and wire-level debugging.
   bool typed_wire = true;
+  /// Route coordinator notifications through the pre-subscription fan-out:
+  /// every attached coordinator hears every temporal poll through the
+  /// string-keyed `on_poll(uri)` wrapper (one uri hash per coordinator per
+  /// poll).  Kept for the dispatch differential tests; the default
+  /// id-keyed path notifies only the coordinators subscribed to the
+  /// polled object.  Both paths produce byte-identical poll logs.
+  bool legacy_dispatch = false;
 };
 
 /// One successful origin poll, as seen by a fleet-level observer.  All
@@ -120,8 +133,10 @@ class PollingEngine {
                            std::unique_ptr<RefreshPolicy> policy);
 
   /// Attach a mutual-consistency coordinator.  Its member uris must all be
-  /// registered temporal objects.  Multiple coordinators may coexist
-  /// (disjoint or overlapping groups).
+  /// registered temporal objects *already* — they are interned here and
+  /// the engine subscribes the coordinator to each member, so later polls
+  /// of those objects (and only those) notify it.  Multiple coordinators
+  /// may coexist (disjoint or overlapping groups).
   MutualCoordinator& add_coordinator(
       std::unique_ptr<MutualCoordinator> coordinator);
 
@@ -264,6 +279,17 @@ class PollingEngine {
   /// Failed (lost) poll attempts.
   std::size_t failed_polls() const { return poll_log_.failed_polls(); }
 
+  /// Coordinator notifications dispatched so far (one per coordinator
+  /// `on_poll` call).  An engine with no subscribed coordinators performs
+  /// none — the zero-coordinator pin in the dispatch tests.
+  std::uint64_t coordinator_notifies() const { return coordinator_notifies_; }
+
+  /// Coordinators subscribed to `uri`'s polls (0 for unknown uris).
+  std::size_t subscriber_count(const std::string& uri) const {
+    const TrackedObject* object = tracked(uris_.find(uri));
+    return object == nullptr ? 0 : object->subscribers().size();
+  }
+
   /// TTR value after each poll of `uri` (Fig. 4(b) series).  Empty for
   /// unknown uris and for group-polled members (whose schedule is the
   /// group's), so reporting over mixed registries never aborts a run.
@@ -308,6 +334,8 @@ class PollingEngine {
   std::vector<std::unique_ptr<PartitionedGroup>> partitioned_groups_;
 
   PollLog poll_log_;
+  // Coordinator on_poll calls dispatched (both dispatch modes).
+  std::uint64_t coordinator_notifies_ = 0;
   // Retry events scheduled for lost polls; cancelled on crash.
   std::unordered_set<EventId> pending_retries_;
   // Fleet-level observer of successful origin polls (may be empty).
@@ -342,6 +370,24 @@ class PollingEngine {
   void exchange(const TrackedObject& object,
                 std::optional<TimePoint> if_modified_since, Response& out);
 
+  // Stages 3–6 of the pipeline, shared by own polls and applied relays:
+  // refresh the cache, record the poll, update the policy/schedule, and
+  // notify the subscribed coordinators.  `snapshot` is the server-state
+  // instant the response reflects, `visible` when the refreshed copy is
+  // usable at the proxy, `previous` the completion instant of the
+  // preceding poll.  Returns the outcome so poll_object's fleet-listener
+  // stage can hand the observation on.
+  PollOutcome apply_outcome(TrackedObject& object, const Response& response,
+                            PollCause cause, TimePoint snapshot,
+                            TimePoint visible, TimePoint previous);
+
+  // Stage 6: coordinator dispatch.  The id-keyed default walks the
+  // object's subscriber index (empty for ungrouped objects — the loop
+  // body never runs); EngineConfig::legacy_dispatch restores the
+  // broadcast-to-every-coordinator fan-out through the string wrapper.
+  void notify_coordinators(TrackedObject& object,
+                           const TemporalPollObservation& obs);
+
   // Refresh the cached copy: `snapshot` is the server-state instant the
   // response reflects, `visible` when it is usable at the proxy (snapshot
   // + rtt for own polls; the delivery instant for relays).
@@ -363,10 +409,8 @@ class PollingEngine {
   }
 
   CoordinatorHooks make_hooks();
+  TrackedObject& temporal_object(ObjectId id);
   TrackedObject& temporal_object(const std::string& uri);
-  TimePoint next_poll_time(const std::string& uri);
-  TimePoint last_poll_time(const std::string& uri);
-  void trigger_poll(const std::string& uri);
 };
 
 }  // namespace broadway

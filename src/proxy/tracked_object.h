@@ -21,9 +21,12 @@
 #include "consistency/value_ttr.h"
 #include "http/message.h"
 #include "sim/periodic.h"
+#include "util/small_vector.h"
 #include "util/uri_table.h"
 
 namespace broadway {
+
+class MutualCoordinator;
 
 /// What the pipeline should do after an object digested a successful
 /// response.
@@ -73,6 +76,21 @@ class TrackedObject {
   }
   bool self_scheduled() const { return task_ != nullptr; }
 
+  /// Coordinators watching this object's polls — the engine's per-object
+  /// subscriber index, built at add_coordinator time from the
+  /// coordinator's interned member set.  The poll pipeline notifies
+  /// exactly this list, so an object in no δ-group pays nothing for the
+  /// coordinator machinery.  Inline capacity 2: an object almost never
+  /// belongs to more than a couple of groups.
+  using Subscribers = SmallVector<MutualCoordinator*, 2>;
+  const Subscribers& subscribers() const { return subscribers_; }
+  void add_subscriber(MutualCoordinator* coordinator) {
+    for (MutualCoordinator* existing : subscribers_) {
+      if (existing == coordinator) return;
+    }
+    subscribers_.push_back(coordinator);
+  }
+
   /// True for temporal-domain objects — the only kind coordinator hooks
   /// (trigger_poll and friends) apply to.
   virtual bool temporal() const { return false; }
@@ -94,6 +112,7 @@ class TrackedObject {
   TimePoint last_poll_completion_ = 0.0;
   std::vector<std::pair<TimePoint, Duration>> ttr_series_;
   std::unique_ptr<PeriodicTask> task_;
+  Subscribers subscribers_;
 };
 
 /// Temporal-domain object driven by a RefreshPolicy (paper §3).

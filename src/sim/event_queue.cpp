@@ -23,7 +23,8 @@ constexpr double kMaxVbucket = 9.0e18;
 }  // namespace
 
 CalendarQueue::CalendarQueue(LiveFn live, const void* context)
-    : live_(live), live_context_(context), buckets_(kMinBuckets) {}
+    : live_(live), live_context_(context),
+      bucket_heads_(kMinBuckets, kNilChunk) {}
 
 std::uint64_t CalendarQueue::vbucket_of(TimePoint t) const {
   const double q = t * inv_width_;
@@ -31,22 +32,67 @@ std::uint64_t CalendarQueue::vbucket_of(TimePoint t) const {
   return static_cast<std::uint64_t>(q);
 }
 
+std::uint32_t CalendarQueue::allocate_chunk(std::size_t bucket) {
+  std::uint32_t index;
+  if (free_chunks_ != kNilChunk) {
+    index = free_chunks_;
+    free_chunks_ = arena_[index].next;
+  } else {
+    arena_.emplace_back();
+    index = static_cast<std::uint32_t>(arena_.size() - 1);
+  }
+  Chunk& chunk = arena_[index];
+  chunk.count = 0;
+  chunk.next = bucket_heads_[bucket];
+  bucket_heads_[bucket] = index;
+  return index;
+}
+
+EventEntry CalendarQueue::remove_at(std::size_t bucket, std::uint32_t chunk,
+                                    std::uint32_t slot) {
+  Chunk& node = arena_[chunk];
+  const EventEntry entry = node.entries[slot];
+  node.entries[slot] = node.entries[--node.count];
+  if (node.count == 0) {
+    // Unlink the emptied chunk from its bucket chain (chains are one or
+    // two chunks at the target load) and recycle it.
+    std::uint32_t* link = &bucket_heads_[bucket];
+    while (*link != chunk) link = &arena_[*link].next;
+    *link = node.next;
+    node.next = free_chunks_;
+    free_chunks_ = chunk;
+  }
+  --size_;
+  return entry;
+}
+
+void CalendarQueue::place(const EventEntry& entry, std::uint64_t vbucket) {
+  const std::size_t b = wrap(vbucket);
+  std::uint32_t head = bucket_heads_[b];
+  if (head == kNilChunk || arena_[head].count == kChunkCapacity) {
+    head = allocate_chunk(b);
+  }
+  Chunk& chunk = arena_[head];
+  const std::uint32_t slot = chunk.count++;
+  chunk.entries[slot] = entry;
+  ++size_;
+  if (cache_valid_ &&
+      fires_before(entry, arena_[cache_chunk_].entries[cache_slot_])) {
+    cache_bucket_ = b;
+    cache_chunk_ = head;
+    cache_slot_ = slot;
+  }
+}
+
 void CalendarQueue::push(const EventEntry& entry) {
   BROADWAY_CHECK_MSG(entry.time >= 0.0 && std::isfinite(entry.time),
                      "calendar push at " << entry.time);
   maybe_resize_for_push();
   const std::uint64_t vb = vbucket_of(entry.time);
-  const std::size_t b = wrap(vb);
-  buckets_[b].push_back(entry);
-  ++size_;
   // An entry behind the cursor (possible after a sparse-regime jump)
   // rewinds it so the next scan cannot walk past the new minimum.
   if (vb < current_vbucket_) current_vbucket_ = vb;
-  if (cache_valid_ &&
-      fires_before(entry, buckets_[cache_bucket_][cache_index_])) {
-    cache_bucket_ = b;
-    cache_index_ = buckets_[b].size() - 1;
-  }
+  place(entry, vb);
 }
 
 const EventEntry* CalendarQueue::peek() {
@@ -59,11 +105,9 @@ const EventEntry* CalendarQueue::peek() {
   while (true) {
     if (!cache_valid_) locate_min();
     if (!cache_valid_) return nullptr;
-    std::vector<EventEntry>& bucket = buckets_[cache_bucket_];
-    if (is_live(bucket[cache_index_])) return &bucket[cache_index_];
-    bucket[cache_index_] = bucket.back();
-    bucket.pop_back();
-    --size_;
+    EventEntry& entry = arena_[cache_chunk_].entries[cache_slot_];
+    if (is_live(entry)) return &entry;
+    remove_at(cache_bucket_, cache_chunk_, cache_slot_);
     cache_valid_ = false;
   }
 }
@@ -71,11 +115,8 @@ const EventEntry* CalendarQueue::peek() {
 EventEntry CalendarQueue::pop() {
   const EventEntry* head = peek();  // locates + validates the minimum
   BROADWAY_CHECK_MSG(head != nullptr, "pop from an empty calendar queue");
-  std::vector<EventEntry>& bucket = buckets_[cache_bucket_];
-  const EventEntry entry = bucket[cache_index_];
-  bucket[cache_index_] = bucket.back();
-  bucket.pop_back();
-  --size_;
+  const EventEntry entry = remove_at(cache_bucket_, cache_chunk_,
+                                     cache_slot_);
   cache_valid_ = false;
   maybe_resize_for_pop();
   return entry;
@@ -84,7 +125,7 @@ EventEntry CalendarQueue::pop() {
 void CalendarQueue::locate_min() {
   cache_valid_ = false;
   if (size_ == 0) return;
-  const std::size_t n = buckets_.size();
+  const std::size_t n = bucket_heads_.size();
   // Walk one calendar year from the cursor.  The first bucket holding an
   // entry of the cursor's own virtual bucket holds the queue minimum:
   // every earlier virtual bucket was already scanned empty, and entries
@@ -92,71 +133,103 @@ void CalendarQueue::locate_min() {
   // strictly later times.
   for (std::size_t step = 0; step < n; ++step) {
     const std::uint64_t vb = current_vbucket_;
-    const std::vector<EventEntry>& bucket = buckets_[wrap(vb)];
-    std::size_t best = kNpos;
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      if (vbucket_of(bucket[i].time) != vb) continue;  // a later year
-      if (best == kNpos || fires_before(bucket[i], bucket[best])) best = i;
+    const std::size_t b = wrap(vb);
+    std::uint32_t best_chunk = kNilChunk;
+    std::uint32_t best_slot = 0;
+    for (std::uint32_t c = bucket_heads_[b]; c != kNilChunk;
+         c = arena_[c].next) {
+      const Chunk& chunk = arena_[c];
+      for (std::uint32_t i = 0; i < chunk.count; ++i) {
+        if (vbucket_of(chunk.entries[i].time) != vb) continue;  // later year
+        if (best_chunk == kNilChunk ||
+            fires_before(chunk.entries[i],
+                         arena_[best_chunk].entries[best_slot])) {
+          best_chunk = c;
+          best_slot = i;
+        }
+      }
     }
-    if (best != kNpos) {
+    if (best_chunk != kNilChunk) {
       cache_valid_ = true;
-      cache_bucket_ = wrap(vb);
-      cache_index_ = best;
+      cache_bucket_ = b;
+      cache_chunk_ = best_chunk;
+      cache_slot_ = best_slot;
       return;
     }
     ++current_vbucket_;
   }
   // A whole year is empty: the pending set is sparse relative to the
   // bucket span.  Direct-search the minimum and jump the cursor to it.
-  std::size_t best_bucket = kNpos;
-  std::size_t best_index = kNpos;
+  std::size_t best_bucket = 0;
+  std::uint32_t best_chunk = kNilChunk;
+  std::uint32_t best_slot = 0;
   for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
-      if (best_bucket == kNpos ||
-          fires_before(buckets_[b][i], buckets_[best_bucket][best_index])) {
-        best_bucket = b;
-        best_index = i;
+    for (std::uint32_t c = bucket_heads_[b]; c != kNilChunk;
+         c = arena_[c].next) {
+      const Chunk& chunk = arena_[c];
+      for (std::uint32_t i = 0; i < chunk.count; ++i) {
+        if (best_chunk == kNilChunk ||
+            fires_before(chunk.entries[i],
+                         arena_[best_chunk].entries[best_slot])) {
+          best_bucket = b;
+          best_chunk = c;
+          best_slot = i;
+        }
       }
     }
   }
-  BROADWAY_CHECK(best_bucket != kNpos);  // size_ > 0
-  current_vbucket_ = vbucket_of(buckets_[best_bucket][best_index].time);
+  BROADWAY_CHECK(best_chunk != kNilChunk);  // size_ > 0
+  current_vbucket_ = vbucket_of(arena_[best_chunk].entries[best_slot].time);
   cache_valid_ = true;
   cache_bucket_ = best_bucket;
-  cache_index_ = best_index;
+  cache_chunk_ = best_chunk;
+  cache_slot_ = best_slot;
 }
 
 void CalendarQueue::maybe_resize_for_push() {
   // Target load: a handful of entries per bucket.  Fewer, fatter buckets
   // beat load-1 sizing here — a bucket scan is a short contiguous sweep,
-  // while thousands of near-empty bucket vectors are a cache miss each.
-  if (size_ + 1 > buckets_.size() * 4) rebuild(buckets_.size() * 2);
+  // while thousands of near-empty buckets are a cache miss each.
+  if (size_ + 1 > bucket_heads_.size() * 4) {
+    rebuild(bucket_heads_.size() * 2);
+  }
 }
 
 void CalendarQueue::maybe_resize_for_pop() {
-  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
-    rebuild(buckets_.size() / 2);
+  if (bucket_heads_.size() > kMinBuckets &&
+      size_ < bucket_heads_.size() / 2) {
+    rebuild(bucket_heads_.size() / 2);
   }
 }
 
 void CalendarQueue::rebuild(std::size_t new_bucket_count) {
   ++resizes_;
-  std::vector<EventEntry> entries;
+  std::vector<EventEntry>& entries = rebuild_scratch_;
+  entries.clear();
   entries.reserve(size_);
-  for (std::vector<EventEntry>& bucket : buckets_) {
-    for (const EventEntry& entry : bucket) {
-      if (is_live(entry)) entries.push_back(entry);  // drop tombstones
+  for (const std::uint32_t head : bucket_heads_) {
+    for (std::uint32_t c = head; c != kNilChunk; c = arena_[c].next) {
+      const Chunk& chunk = arena_[c];
+      for (std::uint32_t i = 0; i < chunk.count; ++i) {
+        if (is_live(chunk.entries[i])) {
+          entries.push_back(chunk.entries[i]);  // drop tombstones
+        }
+      }
     }
-    bucket.clear();
   }
-  size_ = entries.size();
+  // Reset the slab wholesale: every chunk is free again (the vector keeps
+  // its capacity, so this is pointer bookkeeping, not an allocation).
+  arena_.clear();
+  free_chunks_ = kNilChunk;
+  bucket_heads_.assign(new_bucket_count, kNilChunk);
+  size_ = 0;
   width_ = derive_width(entries);
   inv_width_ = 1.0 / width_;
-  buckets_.assign(new_bucket_count, {});
+  cache_valid_ = false;
   std::uint64_t min_vbucket = 0;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const std::uint64_t vb = vbucket_of(entries[i].time);
-    buckets_[wrap(vb)].push_back(entries[i]);
+    place(entries[i], vb);
     if (i == 0 || vb < min_vbucket) min_vbucket = vb;
   }
   current_vbucket_ = min_vbucket;

@@ -64,7 +64,7 @@ inline bool fires_before(const EventEntry& a, const EventEntry& b) {
 
 /// Calendar/bucket event queue.
 ///
-/// Structure: `bucket_count()` (a power of two) unsorted vectors of
+/// Structure: `bucket_count()` (a power of two) unsorted buckets of
 /// entries; an entry at time t lives in bucket floor(t / width) mod count.
 /// A cursor walks virtual (unwrapped) buckets in time order; the earliest
 /// entry whose virtual bucket matches the cursor is the queue minimum, so
@@ -78,6 +78,16 @@ inline bool fires_before(const EventEntry& a, const EventEntry& b) {
 /// width from the observed inter-event interval distribution of the
 /// entries present at resize time (trimmed mean of sampled adjacent gaps),
 /// targeting a handful of entries per bucket window.
+///
+/// Storage: bucket entries live in fixed-capacity chunks drawn from one
+/// per-queue slab (`arena_chunks()` introspects it) with an index-threaded
+/// free list — a bucket is a singly-linked chain of chunk indices, and the
+/// chunk capacity matches the ~4-entries-per-bucket load target, so almost
+/// every bucket is one contiguous chunk.  Compared to a vector per bucket,
+/// the whole calendar is two allocations (slab + bucket heads) instead of
+/// `bucket_count()` independently growing arrays: pushes, pops, drains and
+/// rebuilds recycle chunks through the free list and never touch the
+/// global heap once the slab reaches its high-water mark.
 ///
 /// The queue stores entries only; callers own callbacks and cancellation
 /// state.  Not thread-safe, like the Simulator it backs.
@@ -114,17 +124,36 @@ class CalendarQueue {
 
   // ---- introspection (tests and diagnostics) ----
 
-  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t bucket_count() const { return bucket_heads_.size(); }
   double bucket_width() const { return width_; }
   std::uint64_t resizes() const { return resizes_; }
+  /// Chunks the slab has ever allocated (live + free-listed).  Stable
+  /// across drain/refill cycles at equal load — the pin that bucket
+  /// storage recycles instead of re-allocating.
+  std::size_t arena_chunks() const { return arena_.size(); }
 
  private:
   static constexpr std::size_t kMinBuckets = 8;
-  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Entries per chunk: sized to the ~4-entries-per-bucket load target so
+  /// the common bucket is one chunk, with headroom before chaining.
+  static constexpr std::uint32_t kChunkCapacity = 8;
+  /// Null chunk index (bucket chain / free list terminator).
+  static constexpr std::uint32_t kNilChunk = 0xffffffffu;
+
+  /// One slab node: a short unsorted run of entries plus the chain link
+  /// (next chunk of the same bucket, or the next free chunk).
+  struct Chunk {
+    EventEntry entries[kChunkCapacity];
+    std::uint32_t count = 0;
+    std::uint32_t next = kNilChunk;
+  };
 
   LiveFn live_;
   const void* live_context_;
-  std::vector<std::vector<EventEntry>> buckets_;
+  std::vector<Chunk> arena_;                  ///< the per-queue slab
+  std::uint32_t free_chunks_ = kNilChunk;     ///< free list through `next`
+  std::vector<std::uint32_t> bucket_heads_;   ///< kNilChunk = empty bucket
   double width_ = 1.0;
   double inv_width_ = 1.0;  ///< 1 / width_: bucket mapping multiplies
   /// Cursor: the virtual (unwrapped) bucket index the next minimum is
@@ -133,20 +162,34 @@ class CalendarQueue {
   std::uint64_t current_vbucket_ = 0;
   std::size_t size_ = 0;
   std::uint64_t resizes_ = 0;
-  // Cached location of the minimum, filled by peek(); invalidated by pop
-  // and resize (push keeps it fresh instead).
+  // Cached location of the minimum — (bucket, chunk, slot) — filled by
+  // peek(); invalidated by pop and resize (push keeps it fresh instead).
   bool cache_valid_ = false;
   std::size_t cache_bucket_ = 0;
-  std::size_t cache_index_ = 0;
+  std::uint32_t cache_chunk_ = 0;
+  std::uint32_t cache_slot_ = 0;
+  // Scratch for rebuild(): collected live entries (capacity persists, so
+  // steady-state rebuilds allocate nothing).
+  std::vector<EventEntry> rebuild_scratch_;
 
   bool is_live(const EventEntry& entry) const {
     return live_ == nullptr || live_(live_context_, entry.id);
   }
   std::uint64_t vbucket_of(TimePoint t) const;
   std::size_t wrap(std::uint64_t vbucket) const {
-    return static_cast<std::size_t>(vbucket &
-                                    (buckets_.size() - 1));  // power of two
+    return static_cast<std::size_t>(
+        vbucket & (bucket_heads_.size() - 1));  // power of two
   }
+
+  /// Pop a chunk off the free list (or grow the slab) and link it at the
+  /// head of `bucket`'s chain.
+  std::uint32_t allocate_chunk(std::size_t bucket);
+  /// Swap-remove the entry at (bucket, chunk, slot); an emptied chunk is
+  /// unlinked from the bucket chain and returned to the free list.
+  EventEntry remove_at(std::size_t bucket, std::uint32_t chunk,
+                       std::uint32_t slot);
+  /// Insert without load-factor checks (push and rebuild share this).
+  void place(const EventEntry& entry, std::uint64_t vbucket);
 
   /// Find the minimum entry (live or tombstone) and fill the cache;
   /// leaves the cache invalid only when the queue is empty.  peek()

@@ -8,28 +8,35 @@
 #include "consistency/heuristic.h"
 #include "consistency/triggered.h"
 #include "util/check.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 namespace {
 
-// Scripted stand-in for the polling engine.
+// Scripted stand-in for the polling engine: hooks are ObjectId-keyed like
+// the real ones (ids interned into a local table), while the test bodies
+// keep scripting state by uri string.
 struct FakeEngine {
+  UriTable table;
   std::map<std::string, TimePoint> next_poll;
   std::map<std::string, TimePoint> last_poll;
   std::vector<std::string> triggered;
 
   CoordinatorHooks hooks() {
     CoordinatorHooks out;
-    out.next_poll_time = [this](const std::string& uri) {
-      auto it = next_poll.find(uri);
+    out.resolve = [this](const std::string& uri) {
+      return table.intern(uri);
+    };
+    out.next_poll_time = [this](ObjectId id) {
+      auto it = next_poll.find(table.uri(id));
       return it == next_poll.end() ? kTimeInfinity : it->second;
     };
-    out.last_poll_time = [this](const std::string& uri) {
-      auto it = last_poll.find(uri);
+    out.last_poll_time = [this](ObjectId id) {
+      auto it = last_poll.find(table.uri(id));
       return it == last_poll.end() ? 0.0 : it->second;
     };
-    out.trigger_poll = [this](const std::string& uri) {
-      triggered.push_back(uri);
+    out.trigger_poll = [this](ObjectId id) {
+      triggered.push_back(table.uri(id));
     };
     return out;
   }
@@ -232,6 +239,68 @@ TEST(Coordinator, UnboundUseFailsLoudly) {
   TriggeredPollCoordinator coordinator({"a", "b"}, 60.0);
   EXPECT_THROW(coordinator.on_poll("a", modified_at(0.0, 10.0, 5.0)),
                CheckFailure);
+}
+
+TEST(Coordinator, SubscriptionsExposeInternedMembers) {
+  FakeEngine engine;
+  TriggeredPollCoordinator coordinator({"a", "b"}, 60.0);
+  EXPECT_TRUE(coordinator.subscriptions().empty());  // nothing before bind
+  coordinator.bind(engine.hooks());
+  const std::vector<ObjectId> subscriptions = coordinator.subscriptions();
+  ASSERT_EQ(subscriptions.size(), 2u);
+  EXPECT_EQ(subscriptions[0], engine.table.find("a"));
+  EXPECT_EQ(subscriptions[1], engine.table.find("b"));
+  // The null coordinator watches nothing: routed dispatch never calls it.
+  NullCoordinator null_coordinator;
+  null_coordinator.bind(engine.hooks());
+  EXPECT_TRUE(null_coordinator.subscriptions().empty());
+}
+
+TEST(TriggeredCoordinator, IdKeyedDispatchMatchesStringWrapper) {
+  FakeEngine engine;
+  engine.last_poll["b"] = 10.0;
+  engine.next_poll["b"] = 5000.0;
+  TriggeredPollCoordinator coordinator({"a", "b"}, 60.0);
+  coordinator.bind(engine.hooks());
+  // The id fast path — what the engine's subscriber index dispatches.
+  coordinator.on_poll(engine.table.find("a"),
+                      modified_at(900.0, 1000.0, 950.0));
+  EXPECT_EQ(engine.triggered, (std::vector<std::string>{"b"}));
+  // The string wrapper resolves and lands in the same place.
+  engine.triggered.clear();
+  engine.last_poll["b"] = 10.0;
+  coordinator.on_poll("a", modified_at(1900.0, 2000.0, 1950.0));
+  EXPECT_EQ(engine.triggered, (std::vector<std::string>{"b"}));
+}
+
+TEST(TriggeredCoordinator, IgnoresNonMemberPolls) {
+  // Broadcast-style dispatch may hand a coordinator polls of unrelated
+  // objects; they must not re-synchronise the group.
+  FakeEngine engine;
+  engine.last_poll["a"] = 10.0;
+  engine.last_poll["b"] = 10.0;
+  TriggeredPollCoordinator coordinator({"a", "b"}, 60.0);
+  coordinator.bind(engine.hooks());
+  coordinator.on_poll("outsider", modified_at(900.0, 1000.0, 950.0));
+  EXPECT_TRUE(engine.triggered.empty());
+  EXPECT_EQ(coordinator.triggers_requested(), 0u);
+}
+
+TEST(HeuristicCoordinator, IgnoresNonMemberPolls) {
+  FakeEngine engine;
+  engine.last_poll["a"] = 0.0;
+  engine.last_poll["b"] = 0.0;
+  engine.next_poll["a"] = 1e9;
+  engine.next_poll["b"] = 1e9;
+  RateHeuristicCoordinator coordinator({"a", "b"}, heuristic_config());
+  coordinator.bind(engine.hooks());
+  teach_rate(coordinator, engine, "a", 50.0, 2000.0);
+  teach_rate(coordinator, engine, "b", 50.0, 2000.0);
+  engine.triggered.clear();
+  // Both members have established (fast) rates, yet an unrelated object's
+  // update must not trigger either of them.
+  coordinator.on_poll("outsider", modified_at(2000.0, 2400.0, 2200.0));
+  EXPECT_TRUE(engine.triggered.empty());
 }
 
 }  // namespace

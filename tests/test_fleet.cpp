@@ -306,6 +306,11 @@ TEST(ProxyFleet, DeltaGroupTriggersAcrossProxies) {
   const Duration delta_mutual = 60.0;
   FleetDeltaGroup& group = fleet.add_delta_group(
       {{0, "/fast"}, {1, "/slow"}}, delta_mutual);
+  // Members are interned at registration: the id-keyed dispatch
+  // representation, parallel to the uri member list.
+  ASSERT_EQ(group.member_ids().size(), 2u);
+  EXPECT_EQ(group.member_ids()[0], origin.uri_table().find("/fast"));
+  EXPECT_EQ(group.member_ids()[1], origin.uri_table().find("/slow"));
   fleet.start();
   sim.run_until(horizon);
 

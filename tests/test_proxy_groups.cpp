@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/uri_table.h"
 
 namespace broadway {
 namespace {
@@ -35,6 +36,36 @@ TEST(GroupRegistry, MembershipIndex) {
   EXPECT_EQ(groups.size(), 2u);
   EXPECT_EQ(registry.groups_containing("/img1").size(), 1u);
   EXPECT_TRUE(registry.groups_containing("/unrelated").empty());
+}
+
+TEST(GroupRegistry, TableBoundRegistryInternsMembers) {
+  UriTable table;
+  GroupRegistry registry(table);
+  const ObjectGroup& news =
+      registry.add_group("news", {"/page", "/img"}, 60.0);
+  const ObjectGroup& finance =
+      registry.add_group("finance", {"/page", "/ticker"}, 30.0);
+  // Member ids parallel the member uris, interned into the bound table.
+  ASSERT_EQ(news.member_ids.size(), 2u);
+  EXPECT_EQ(news.member_ids[0], table.find("/page"));
+  EXPECT_EQ(news.member_ids[1], table.find("/img"));
+  ASSERT_EQ(finance.member_ids.size(), 2u);
+  EXPECT_EQ(finance.member_ids[0], news.member_ids[0]);  // shared member
+
+  // The dependency-graph fan-out answers by id without re-hashing uris.
+  const auto by_id = registry.groups_containing(table.find("/page"));
+  EXPECT_EQ(by_id.size(), 2u);
+  EXPECT_EQ(registry.groups_containing(table.find("/ticker")).size(), 1u);
+  EXPECT_TRUE(registry.groups_containing(kInvalidObjectId).empty());
+  EXPECT_EQ(registry.uri_table(), &table);
+}
+
+TEST(GroupRegistry, UnboundRegistryHasNoIds) {
+  GroupRegistry registry;
+  const ObjectGroup& group = registry.add_group("g", {"/a", "/b"}, 1.0);
+  EXPECT_TRUE(group.member_ids.empty());
+  EXPECT_EQ(registry.uri_table(), nullptr);
+  EXPECT_THROW(registry.groups_containing(ObjectId{0}), CheckFailure);
 }
 
 TEST(GroupRegistry, AllMembersDeduplicated) {

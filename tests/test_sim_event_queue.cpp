@@ -108,6 +108,42 @@ TEST(CalendarQueue, ResizeMidRunPreservesOrder) {
   EXPECT_GT(queue.resizes(), 1u);
 }
 
+TEST(CalendarQueue, ArenaRecyclesChunksAcrossDrainRefill) {
+  // Bucket storage is a per-queue slab with a free list: draining the
+  // queue returns every chunk to the free list, and an equal refill reuses
+  // them instead of allocating new ones — the slab never grows past the
+  // workload's high-water mark.
+  CalendarQueue queue;
+  std::uint64_t seq = 0;
+  const auto fill = [&queue, &seq](double base) {
+    for (int i = 0; i < 500; ++i) {
+      queue.push(EventEntry{base + static_cast<double>((i * 131) % 500),
+                            seq, seq + 1});
+      ++seq;
+    }
+  };
+  fill(0.0);
+  const std::size_t high_water = queue.arena_chunks();
+  EXPECT_GT(high_water, 0u);
+  while (queue.peek() != nullptr) queue.pop();
+  EXPECT_TRUE(queue.empty());
+  // Refill at the same load (later times keep the monotonic-schedule
+  // contract): recycled chunks, no slab growth beyond the first cycle's
+  // high-water mark (small slack: bucket-boundary rounding of the shifted
+  // times can chain one or two extra chunks).
+  fill(1000.0);
+  EXPECT_LE(queue.arena_chunks(), high_water + 4);
+  std::size_t drained = 0;
+  double last = -1.0;
+  while (queue.peek() != nullptr) {
+    const EventEntry entry = queue.pop();
+    EXPECT_GE(entry.time, last);
+    last = entry.time;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 500u);
+}
+
 struct TombstoneSet {
   std::set<EventId> dead;
   static bool live(const void* context, EventId id) {

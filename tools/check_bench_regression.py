@@ -15,6 +15,12 @@ compares
 between the two files and fails when any gated ratio worsened by more than
 ``--threshold`` (default 25%).  That catches "the poll pipeline got slower
 relative to the machine" without false-failing on a slower CI runner.
+
+The gate additionally fails when any ``BM_*`` benchmark in the current
+results has no baseline entry at all: a perf PR that adds benches must add
+calibration-coherent baseline entries with them, or the new benches would
+never be gated (``--allow-missing-baseline`` disables the coverage check
+for local experiments).
 """
 
 import argparse
@@ -32,6 +38,12 @@ GATED = [
     # reference backend, the calendar entry the default one.
     "BM_SchedulerSweep/0/4096",
     "BM_SchedulerSweep/1/4096",
+    # Coordinator dispatch: fan-out isolation at 8 and 64 groups plus the
+    # end-to-end grouped sweep.  Baselines were measured on the legacy
+    # string-keyed broadcast path, so these also record the routing win.
+    "BM_CoordinatorFanout/8",
+    "BM_CoordinatorFanout/64",
+    "BM_GroupedTemporalSweep",
 ]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -55,6 +67,11 @@ def main():
     parser.add_argument("current")
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="skip the baseline-coverage check for newly added benches",
+    )
     args = parser.parse_args()
 
     current = load_times(args.current)
@@ -65,6 +82,23 @@ def main():
             if name not in times:
                 print(f"FAIL: {name} missing from {label} results")
                 return 1
+
+    # Every benchmark in the current run must have a baseline entry, or a
+    # newly added bench would silently escape the gate forever.
+    if not args.allow_missing_baseline:
+        uncovered = sorted(
+            name
+            for name in current
+            if name.startswith("BM_") and name not in baseline
+        )
+        if uncovered:
+            print(
+                "FAIL: benchmarks missing a bench/BENCH_baseline.json "
+                "entry (add calibration-coherent entries for them):"
+            )
+            for name in uncovered:
+                print(f"  {name}")
+            return 1
 
     failed = False
     print(f"calibration: {CALIBRATION}")
