@@ -14,6 +14,7 @@
 #include "consistency/triggered.h"
 #include "consistency/value_ttr.h"
 #include "fleet/proxy_fleet.h"
+#include "fleet/sharded_fleet.h"
 #include "http/codec.h"
 #include "http/extensions.h"
 #include "metrics/fidelity.h"
@@ -483,6 +484,58 @@ void BM_FleetRelayStorm(benchmark::State& state) {
   state.SetItemsProcessed(refreshes);
 }
 BENCHMARK(BM_FleetRelayStorm)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The sharded fleet at full width: 8 cooperative proxies × 1024 LIMD
+// objects, every proxy tracking every object, relay latency as the
+// conservative-lookahead window.  No δ-groups, so the fleet splits into
+// 8 single-proxy shards and the thread count sweeps the worker pool —
+// threads:1 runs the identical sharded machinery inline (mailboxes,
+// windows, canonical merge), so the ratio to higher thread counts
+// isolates parallel speedup from sharding overhead.  Real time is the
+// measured quantity: with workers doing the simulating, the calling
+// thread's CPU time measures only the barrier.
+void BM_ShardedFleetSweep(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kProxies = 8;
+  constexpr std::size_t kObjects = 1024;
+  const auto traces = std::make_shared<const std::vector<UpdateTrace>>(
+      make_sweep_traces(kObjects));
+  std::int64_t refreshes = 0;
+  for (auto _ : state) {
+    ShardedFleetConfig config;
+    config.fleet.proxies = kProxies;
+    config.fleet.cooperative_push = true;
+    config.fleet.relay_latency = 60.0;
+    config.threads = threads;
+    config.origin = bench_origin_config();
+    config.origin_setup = [traces](OriginServer& origin) {
+      for (const UpdateTrace& trace : *traces) {
+        origin.attach_update_trace(trace.name(), trace);
+      }
+    };
+    ShardedFleet fleet(config);
+    for (const UpdateTrace& trace : *traces) {
+      fleet.add_temporal_object_everywhere(trace.name(), [] {
+        return std::make_unique<LimdPolicy>(
+            LimdPolicy::Config::paper_defaults(600.0));
+      });
+    }
+    fleet.start();
+    fleet.run_until(kSweepHorizon);
+    refreshes += static_cast<std::int64_t>(fleet.origin_polls() +
+                                           fleet.relays_applied());
+    benchmark::DoNotOptimize(fleet.origin_load().origin_messages);
+  }
+  state.SetItemsProcessed(refreshes);
+}
+BENCHMARK(BM_ShardedFleetSweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_PaperWorkloadGeneration(benchmark::State& state) {
   std::uint64_t seed = 0;

@@ -7,15 +7,24 @@ namespace broadway {
 
 ProxyFleet::ProxyFleet(Simulator& sim, OriginServer& origin,
                        FleetConfig config)
-    : sim_(sim), origin_(origin), config_(config) {
-  BROADWAY_CHECK_MSG(config_.proxies >= 1,
-                     "fleet needs >= 1 proxy, got " << config_.proxies);
+    : sim_(sim), origin_(origin), config_(std::move(config)) {
   BROADWAY_CHECK_MSG(config_.relay_latency >= 0.0,
                      "relay latency " << config_.relay_latency);
-  engines_.reserve(config_.proxies);
-  for (std::size_t i = 0; i < config_.proxies; ++i) {
+  // A whole fleet hosts proxies 0..proxies-1; a shard slice hosts the
+  // explicit (global) ids it was given.  Everything id-dependent — seeds,
+  // schedule tags — uses the global id, so a proxy behaves identically
+  // whichever fleet instance hosts it.
+  proxy_ids_ = config_.proxy_ids;
+  if (proxy_ids_.empty()) {
+    BROADWAY_CHECK_MSG(config_.proxies >= 1,
+                       "fleet needs >= 1 proxy, got " << config_.proxies);
+    proxy_ids_.resize(config_.proxies);
+    for (std::size_t i = 0; i < config_.proxies; ++i) proxy_ids_[i] = i;
+  }
+  engines_.reserve(proxy_ids_.size());
+  for (std::size_t i = 0; i < proxy_ids_.size(); ++i) {
     EngineConfig engine_config = config_.engine;
-    engine_config.seed = config_.engine.seed + i;
+    engine_config.seed = config_.engine.seed + proxy_ids_[i];
     engines_.push_back(
         std::make_unique<PollingEngine>(sim_, origin_, engine_config));
     engines_.back()->set_poll_log_retention(config_.poll_log_retention);
@@ -97,9 +106,17 @@ FleetDeltaGroup& ProxyFleet::add_delta_group(std::vector<FleetMember> members,
 }
 
 void ProxyFleet::start() {
-  for (auto& engine : engines_) {
-    engine->start();
+  // Each engine starts under its own global id as the schedule tag: its
+  // timers, their retries, and anything those events schedule later all
+  // inherit the tag (Simulator tag inheritance), giving every event a
+  // stable owning proxy.  Tags never affect single-simulator ordering;
+  // the sharded driver uses them as the cross-shard tie-break.
+  const std::uint32_t outer = sim_.schedule_tag();
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    sim_.set_schedule_tag(static_cast<std::uint32_t>(proxy_ids_[i]));
+    engines_[i]->start();
   }
+  sim_.set_schedule_tag(outer);
 }
 
 // ---- the relay channel -----------------------------------------------------
@@ -113,6 +130,13 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
       if (!engines_[j]->relay_eligible(event.object)) continue;
       relay(j, event.object, event.response, event.snapshot);
     }
+    // Destinations hosted by other fleet instances (sharding): hand the
+    // poll to the exporter, which fans out through the cross-shard
+    // mailboxes.  Local and exported deliveries land on different
+    // simulators, so their relative send order here is immaterial.
+    if (relay_exporter_ != nullptr) {
+      relay_exporter_(proxy_ids_[proxy_index], event);
+    }
   }
   if (event.observation != nullptr) {
     notify_groups(proxy_index, event.object, *event.observation);
@@ -121,6 +145,7 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
 
 void ProxyFleet::relay(std::size_t to, ObjectId object,
                        const Response& response, TimePoint snapshot) {
+  ++relays_sent_;
   if (config_.relay_latency <= 0.0) {
     // Synchronous relay: the receiving engine reads the polling engine's
     // response in place — no copy anywhere on the path.
@@ -133,8 +158,10 @@ void ProxyFleet::relay(std::size_t to, ObjectId object,
   // (shared_ptr keeps the scheduling closure copyable).
   auto message = std::make_shared<Response>(response);
   message->meta.own_history();
+  ++relays_in_flight_;
   sim_.schedule_after(config_.relay_latency,
                       [this, to, object, message, snapshot] {
+                        --relays_in_flight_;
                         deliver(to, object, *message, snapshot);
                       });
 }

@@ -36,6 +36,7 @@
 #include "origin/origin_server.h"
 #include "proxy/polling_engine.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "util/small_vector.h"
 
 namespace broadway {
@@ -58,6 +59,12 @@ struct FleetConfig {
   /// fleet counters (origin polls, relays, origin load) stay exact under
   /// truncation — only per-object record series shorten.
   std::size_t poll_log_retention = 0;
+  /// Global proxy ids hosted by this fleet instance (ShardedFleet builds
+  /// one ProxyFleet *slice* per shard).  Empty = this fleet is the whole
+  /// fleet and proxy i's global id is i.  When set, `proxies` is ignored
+  /// and engine seeds / event tags use the global ids, so a slice's
+  /// engines behave bit-for-bit like the same proxies in a whole fleet.
+  std::vector<std::size_t> proxy_ids;
 };
 
 /// N polling engines on one origin, with cooperative proxy–proxy push.
@@ -72,6 +79,12 @@ class ProxyFleet {
   PollingEngine& proxy(std::size_t index);
   const PollingEngine& proxy(std::size_t index) const;
   const FleetConfig& config() const { return config_; }
+
+  /// Global id of local proxy `index` (== index for a whole fleet).
+  std::size_t global_id(std::size_t index) const {
+    BROADWAY_CHECK_MSG(index < proxy_ids_.size(), "proxy " << index);
+    return proxy_ids_[index];
+  }
 
   // ---- registration (before start()) ----
 
@@ -96,7 +109,34 @@ class ProxyFleet {
                                    Duration delta_mutual);
 
   /// Start every engine (proxy 0 first; deterministic FIFO ordering).
+  /// Each engine starts under a schedule tag equal to its global proxy
+  /// id, so its timers — and everything they transitively schedule —
+  /// carry a stable owner for cross-shard ordering.
   void start();
+
+  // ---- cross-fleet relay (ShardedFleet plumbing) ----
+
+  /// Observer for relays that must leave this fleet instance.  Called
+  /// once per relayable poll (inside the poll event, after local
+  /// siblings were handled); the callee fans out to proxies hosted
+  /// elsewhere.  Event references die with the call — copy the response
+  /// (and own_history()) before stashing it.
+  using RelayExporter =
+      std::function<void(std::size_t from_global, const PollEvent& event)>;
+  void set_relay_exporter(RelayExporter exporter) {
+    relay_exporter_ = std::move(exporter);
+  }
+
+  /// Deliver a relay message that originated outside this fleet instance
+  /// to local proxy `to`.  Counts and δ-group notifications behave
+  /// exactly like a local delivery; the caller is responsible for clock
+  /// position (sim.now() == delivery time) and for setting the schedule
+  /// tag to the sender's so follow-on events inherit it.
+  void deliver_relay(std::size_t to, ObjectId object,
+                     const Response& response, TimePoint snapshot) {
+    BROADWAY_CHECK_MSG(to < engines_.size(), "proxy " << to);
+    deliver(to, object, response, snapshot);
+  }
 
   // ---- accounting ----
 
@@ -115,6 +155,19 @@ class ProxyFleet {
   /// Relay messages the receiving proxy accepted (refresh or validation).
   std::size_t relays_applied() const { return relays_applied_; }
 
+  /// Relay messages sent on the *local* channel (one per destination;
+  /// exported relays are counted by the exporter's owner).  With zero
+  /// latency every send is delivered in the same call, so sent ==
+  /// delivered; with latency the difference is exactly relays_in_flight.
+  std::size_t relays_sent() const { return relays_sent_; }
+
+  /// Local relay messages scheduled but not yet delivered.  At a quiesced
+  /// horizon past the last send + relay_latency this is 0; a sweep that
+  /// stops mid-window sees the exact number of messages the counters have
+  /// not yet absorbed (never silently dropped — extending the run
+  /// delivers them).
+  std::size_t relays_in_flight() const { return relays_in_flight_; }
+
   const OriginServer& origin() const { return origin_; }
 
  private:
@@ -132,6 +185,10 @@ class ProxyFleet {
   // (sized lazily) serves as the map.
   std::vector<std::vector<SmallVector<FleetDeltaGroup*, 2>>>
       groups_by_member_;
+  std::vector<std::size_t> proxy_ids_;  // local index -> global proxy id
+  RelayExporter relay_exporter_;
+  std::size_t relays_sent_ = 0;
+  std::size_t relays_in_flight_ = 0;
   std::size_t relays_delivered_ = 0;
   std::size_t relays_applied_ = 0;
 

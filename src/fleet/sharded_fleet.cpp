@@ -1,0 +1,478 @@
+#include "fleet/sharded_fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace broadway {
+namespace {
+
+/// Union-find over proxy ids (path halving; the fleet is small, but the
+/// structure keeps group closure obviously correct).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller root wins, so a component's representative is its smallest
+    // member — handy for deterministic shard numbering.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ShardedFleet::ShardedFleet(ShardedFleetConfig config)
+    : config_(std::move(config)) {
+  BROADWAY_CHECK_MSG(config_.fleet.proxy_ids.empty(),
+                     "ShardedFleet assigns proxies to shards itself; leave "
+                     "FleetConfig::proxy_ids empty");
+  BROADWAY_CHECK_MSG(config_.fleet.proxies >= 1,
+                     "fleet needs >= 1 proxy, got " << config_.fleet.proxies);
+  BROADWAY_CHECK(config_.origin_setup != nullptr);
+  proxy_count_ = config_.fleet.proxies;
+}
+
+ShardedFleet::~ShardedFleet() = default;
+
+// ---- registration ----------------------------------------------------------
+
+void ShardedFleet::add_temporal_object(std::size_t proxy,
+                                       const std::string& uri,
+                                       PolicyFactory make_policy) {
+  BROADWAY_CHECK_MSG(!started_, "registration after start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  BROADWAY_CHECK(make_policy != nullptr);
+  temporal_registrations_.push_back({proxy, uri, std::move(make_policy)});
+}
+
+void ShardedFleet::add_temporal_object_everywhere(const std::string& uri,
+                                                  PolicyFactory make_policy) {
+  BROADWAY_CHECK(make_policy != nullptr);
+  for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+    add_temporal_object(proxy, uri, make_policy);
+  }
+}
+
+void ShardedFleet::add_value_object(std::size_t proxy, const std::string& uri,
+                                    AdaptiveValueTtrPolicy::Config config) {
+  BROADWAY_CHECK_MSG(!started_, "registration after start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  value_registrations_.push_back({proxy, uri, config});
+}
+
+void ShardedFleet::add_delta_group(std::vector<FleetMember> members,
+                                   Duration delta_mutual) {
+  BROADWAY_CHECK_MSG(!started_, "registration after start()");
+  for (const FleetMember& member : members) {
+    BROADWAY_CHECK_MSG(member.proxy < proxy_count_,
+                       "member proxy " << member.proxy << " out of range");
+  }
+  group_registrations_.push_back({std::move(members), delta_mutual});
+}
+
+// ---- shard construction ----------------------------------------------------
+
+void ShardedFleet::build_shards() {
+  // δ-group coordination is synchronous, so grouped proxies must share a
+  // simulator: shards are the connected components of the group graph.
+  UnionFind components(proxy_count_);
+  for (const GroupRegistration& group : group_registrations_) {
+    for (std::size_t i = 1; i < group.members.size(); ++i) {
+      components.unite(group.members[0].proxy, group.members[i].proxy);
+    }
+  }
+  shard_of_proxy_.assign(proxy_count_, SIZE_MAX);
+  local_of_proxy_.assign(proxy_count_, SIZE_MAX);
+  std::vector<std::size_t> shard_of_root(proxy_count_, SIZE_MAX);
+  std::vector<std::vector<std::size_t>> shard_members;
+  for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+    const std::size_t root = components.find(proxy);
+    if (shard_of_root[root] == SIZE_MAX) {
+      shard_of_root[root] = shard_members.size();
+      shard_members.emplace_back();
+    }
+    const std::size_t shard = shard_of_root[root];
+    shard_of_proxy_[proxy] = shard;
+    local_of_proxy_[proxy] = shard_members[shard].size();
+    shard_members[shard].push_back(proxy);
+  }
+
+  shards_.resize(shard_members.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    shard.proxies = std::move(shard_members[s]);
+    shard.sim = std::make_unique<Simulator>();
+    shard.origin =
+        std::make_unique<OriginServer>(*shard.sim, config_.origin);
+    config_.origin_setup(*shard.origin);
+    FleetConfig slice = config_.fleet;
+    slice.proxy_ids = shard.proxies;
+    shard.fleet =
+        std::make_unique<ProxyFleet>(*shard.sim, *shard.origin, slice);
+    shard.outbox.resize(shards_.size());
+  }
+
+  // Replay the recorded registrations onto the owning shards, in the
+  // original call order (temporal before value, matching the reference
+  // runs the differential tests construct).
+  for (const TemporalRegistration& reg : temporal_registrations_) {
+    Shard& shard = shards_[shard_of_proxy_[reg.proxy]];
+    shard.fleet->add_temporal_object(local_of_proxy_[reg.proxy], reg.uri,
+                                     reg.make_policy());
+  }
+  for (const ValueRegistration& reg : value_registrations_) {
+    Shard& shard = shards_[shard_of_proxy_[reg.proxy]];
+    shard.fleet->add_value_object(local_of_proxy_[reg.proxy], reg.uri,
+                                  reg.config);
+  }
+  for (const GroupRegistration& reg : group_registrations_) {
+    const std::size_t shard_index = shard_of_proxy_[reg.members[0].proxy];
+    std::vector<FleetMember> local_members = reg.members;
+    for (FleetMember& member : local_members) {
+      BROADWAY_CHECK(shard_of_proxy_[member.proxy] == shard_index);
+      member.proxy = local_of_proxy_[member.proxy];
+    }
+    shards_[shard_index].fleet->add_delta_group(std::move(local_members),
+                                               reg.delta_mutual);
+  }
+}
+
+void ShardedFleet::build_remote_dests() {
+  if (!config_.fleet.cooperative_push || shards_.size() <= 1) return;
+  // Relay eligibility (tracked && self-scheduled) is fixed once start()
+  // has run, so the fan-out lists are computed once.  Destinations are
+  // kept in ascending global proxy id — the order the one-simulator
+  // reference sends to them, and therefore the order their per-sender
+  // sequence numbers must follow.
+  const std::size_t objects = shards_[0].origin->uri_table().size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    shard.remote_dests.assign(objects, std::vector<RemoteDest>());
+    for (ObjectId object = 0; object < static_cast<ObjectId>(objects);
+         ++object) {
+      for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+        const std::size_t dest_shard = shard_of_proxy_[proxy];
+        if (dest_shard == s) continue;  // local siblings relay in-fleet
+        const PollingEngine& engine =
+            shards_[dest_shard].fleet->proxy(local_of_proxy_[proxy]);
+        if (!engine.relay_eligible(object)) continue;
+        shard.remote_dests[object].push_back(
+            {static_cast<std::uint32_t>(dest_shard),
+             static_cast<std::uint32_t>(local_of_proxy_[proxy])});
+      }
+    }
+  }
+}
+
+void ShardedFleet::start() {
+  BROADWAY_CHECK_MSG(!started_, "start() called twice");
+  build_shards();
+  if (config_.fleet.cooperative_push && shards_.size() > 1) {
+    BROADWAY_CHECK_MSG(
+        config_.fleet.relay_latency > 0.0,
+        "cross-shard cooperative push needs relay_latency > 0 (it is the "
+        "conservative lookahead window); got "
+            << config_.fleet.relay_latency);
+  }
+
+  // Every replica must have interned the same uris in the same order —
+  // ObjectIds travel across shards inside relay messages.
+  const UriTable& reference = shards_[0].origin->uri_table();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const UriTable& replica = shards_[s].origin->uri_table();
+    BROADWAY_CHECK_MSG(replica.size() == reference.size(),
+                       "origin replicas interned different uri sets ("
+                           << replica.size() << " vs " << reference.size()
+                           << "); origin_setup must attach every object");
+    for (ObjectId id = 0; id < static_cast<ObjectId>(reference.size());
+         ++id) {
+      BROADWAY_CHECK_MSG(replica.uri(id) == reference.uri(id),
+                         "origin replicas disagree on ObjectId "
+                             << id << ": " << replica.uri(id) << " vs "
+                             << reference.uri(id));
+    }
+  }
+
+  // Seal the tables: from here on the poll pipeline only looks uris up,
+  // and an unexpected intern fails loudly instead of skewing ids.
+  for (Shard& shard : shards_) {
+    shard.origin->uri_table().freeze();
+  }
+  // Start engines shard-by-shard, proxies ascending within each (the
+  // slice starts its proxies in local order == ascending global order).
+  for (Shard& shard : shards_) {
+    shard.fleet->start();
+  }
+  build_remote_dests();
+  if (config_.fleet.cooperative_push && shards_.size() > 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].fleet->set_relay_exporter(
+          [this, s](std::size_t from_global, const PollEvent& event) {
+            export_relay(s, from_global, event);
+          });
+    }
+  }
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
+  started_ = true;
+}
+
+// ---- execution -------------------------------------------------------------
+
+bool ShardedFleet::message_order(const Message& a, const Message& b) {
+  if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+  if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+  if (a.tag != b.tag) return a.tag < b.tag;
+  return a.seq < b.seq;
+}
+
+void ShardedFleet::export_relay(std::size_t shard_index,
+                                std::size_t from_global,
+                                const PollEvent& event) {
+  (void)from_global;
+  Shard& shard = shards_[shard_index];
+  if (event.object >= shard.remote_dests.size()) return;
+  const std::vector<RemoteDest>& dests = shard.remote_dests[event.object];
+  if (dests.empty()) return;
+  // One copy per message, shared across its destinations (the PollEvent's
+  // references die with this call; the history span must be detached from
+  // origin storage the object may outgrow before delivery).
+  auto response = std::make_shared<Response>(event.response);
+  response->meta.own_history();
+  Message message;
+  message.sent_at = shard.sim->now();
+  message.deliver_at = message.sent_at + config_.fleet.relay_latency;
+  // The exporter runs inside the sender's poll event, so the simulator's
+  // schedule tag is the sender chain's — the same tag the reference's
+  // delivery event would have inherited.
+  message.tag = shard.sim->schedule_tag();
+  message.object = event.object;
+  message.snapshot = event.snapshot;
+  message.response = response;
+  for (const RemoteDest& dest : dests) {
+    message.seq = shard.export_seq++;
+    message.dest_local = dest.local;
+    shard.outbox[dest.shard].push_back(message);
+  }
+  shard.exported_sent += dests.size();
+}
+
+void ShardedFleet::run_shard_window(std::size_t shard_index,
+                                    TimePoint window_end) {
+  Shard& shard = shards_[shard_index];
+  // Interleave the inbox (sorted by the canonical key; deliverable
+  // messages form a prefix because deliver_at is the primary key) with
+  // the local event queue under that same key, reproducing the exact
+  // firing order of the one-simulator reference.
+  std::size_t delivered = 0;
+  while (delivered < shard.inbox.size() &&
+         shard.inbox[delivered].deliver_at <= window_end) {
+    const Message& message = shard.inbox[delivered];
+    for (;;) {
+      const Simulator::NextEvent head = shard.sim->next_event_info();
+      if (!head.valid || head.time > window_end) break;
+      // Local event first iff its (time, scheduled_at, tag) precedes the
+      // message's (deliver_at, sent_at, tag).  Tags cannot tie: the
+      // sender proxy is never hosted on the destination shard.
+      bool local_first;
+      if (head.time != message.deliver_at) {
+        local_first = head.time < message.deliver_at;
+      } else if (head.scheduled_at != message.sent_at) {
+        local_first = head.scheduled_at < message.sent_at;
+      } else {
+        local_first = head.tag < message.tag;
+      }
+      if (!local_first) break;
+      shard.sim->step();
+    }
+    // Inject the delivery exactly where the reference's delivery event
+    // would have fired: clock at deliver_at, schedule tag set to the
+    // sender chain's so follow-on events inherit it.
+    shard.sim->advance_clock(message.deliver_at);
+    const std::uint32_t outer_tag = shard.sim->schedule_tag();
+    shard.sim->set_schedule_tag(message.tag);
+    shard.fleet->deliver_relay(message.dest_local, message.object,
+                               *message.response, message.snapshot);
+    shard.sim->set_schedule_tag(outer_tag);
+    ++delivered;
+  }
+  shard.inbox.erase(shard.inbox.begin(),
+                    shard.inbox.begin() + static_cast<std::ptrdiff_t>(
+                                              delivered));
+  shard.sim->run_until(window_end);
+}
+
+void ShardedFleet::exchange_mailboxes() {
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    Shard& dest = shards_[d];
+    bool added = false;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::vector<Message>& box = shards_[s].outbox[d];
+      if (box.empty()) continue;
+      dest.inbox.insert(dest.inbox.end(),
+                        std::make_move_iterator(box.begin()),
+                        std::make_move_iterator(box.end()));
+      box.clear();
+      added = true;
+    }
+    if (added) {
+      // The key is total: tags identify the sending proxy (hence its
+      // shard) and seq is monotone per source shard.
+      std::sort(dest.inbox.begin(), dest.inbox.end(), message_order);
+    }
+  }
+}
+
+void ShardedFleet::run_until(TimePoint horizon) {
+  BROADWAY_CHECK_MSG(started_, "run_until before start()");
+  BROADWAY_CHECK_MSG(horizon >= now_, "run_until in the past");
+  const bool windowed =
+      config_.fleet.cooperative_push && shards_.size() > 1;
+  if (!windowed) {
+    // Shards are fully independent: one window to the horizon.
+    pool_->run_batch(shards_.size(), [this, horizon](std::size_t s) {
+      shards_[s].sim->run_until(horizon);
+    });
+    now_ = horizon;
+    return;
+  }
+  // Conservative lookahead: a relay sent in window k delivers strictly
+  // after the window's edge, so every message deliverable in window k+1
+  // is already in its destination inbox when the window starts.
+  while (now_ < horizon) {
+    const TimePoint edge =
+        std::min(horizon, now_ + config_.fleet.relay_latency);
+    pool_->run_batch(shards_.size(), [this, edge](std::size_t s) {
+      run_shard_window(s, edge);
+    });
+    exchange_mailboxes();
+    now_ = edge;
+  }
+}
+
+// ---- topology accessors ----------------------------------------------------
+
+std::size_t ShardedFleet::thread_count() const {
+  return pool_ != nullptr ? pool_->parallelism()
+                          : std::max<std::size_t>(1, config_.threads);
+}
+
+std::size_t ShardedFleet::shard_of(std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "shard_of before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return shard_of_proxy_[proxy];
+}
+
+PollingEngine& ShardedFleet::proxy(std::size_t proxy) {
+  BROADWAY_CHECK_MSG(started_, "proxy() before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return shards_[shard_of_proxy_[proxy]].fleet->proxy(
+      local_of_proxy_[proxy]);
+}
+
+const PollingEngine& ShardedFleet::proxy(std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "proxy() before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return shards_[shard_of_proxy_[proxy]].fleet->proxy(
+      local_of_proxy_[proxy]);
+}
+
+const OriginServer& ShardedFleet::origin_for_proxy(std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "origin_for_proxy before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return *shards_[shard_of_proxy_[proxy]].origin;
+}
+
+// ---- accounting ------------------------------------------------------------
+
+std::size_t ShardedFleet::origin_requests() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.origin->requests_served();
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::origin_polls() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->origin_polls();
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_sent() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_sent() + shard.exported_sent;
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_delivered() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_delivered();
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_applied() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_applied();
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_in_flight() const {
+  // Local in-flight relays are scheduled inside their shard's simulator;
+  // cross-shard ones sit in the mailboxes (outboxes are drained into
+  // inboxes at every window edge, so at rest the inboxes hold them all).
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_in_flight() + shard.inbox.size();
+    for (const std::vector<Message>& box : shard.outbox) {
+      total += box.size();
+    }
+  }
+  return total;
+}
+
+FleetOriginLoad ShardedFleet::origin_load() const {
+  FleetOriginLoad load;
+  for (const Shard& shard : shards_) {
+    load.merge(shard.fleet->origin_load());
+  }
+  return load;
+}
+
+std::vector<PollRecord> ShardedFleet::merged_poll_records() const {
+  std::vector<ProxyPollRecords> logs;
+  logs.reserve(proxy_count_);
+  for (const Shard& shard : shards_) {
+    for (std::size_t local = 0; local < shard.proxies.size(); ++local) {
+      logs.push_back({shard.proxies[local],
+                      &shard.fleet->proxy(local).poll_log().records()});
+    }
+  }
+  return merge_poll_records(std::move(logs));
+}
+
+}  // namespace broadway

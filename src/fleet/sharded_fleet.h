@@ -1,0 +1,256 @@
+// Sharded multithreaded fleet simulation with conservative lookahead.
+//
+// ProxyFleet runs N proxies on ONE simulator — one logical timeline, one
+// core.  ShardedFleet partitions the fleet into shards that each own a
+// full simulation stack (Simulator, OriginServer replica, a ProxyFleet
+// *slice* hosting that shard's proxies, metrics), and runs the shards on
+// a ThreadPool.  The proxy–proxy relay latency is the classic
+// conservative-lookahead window of parallel discrete-event simulation: a
+// relay sent at time t cannot affect another shard before t + latency,
+// so every shard may run `relay_latency` ahead of the slowest one
+// without ever seeing a message from its past.  Execution proceeds in
+// windows of that width: run every shard to the window edge in parallel,
+// barrier, exchange the cross-shard relays through per-pair mailboxes,
+// repeat.
+//
+// Determinism is the acceptance bar, not a best effort: a sharded run
+// must produce byte-identical per-proxy poll logs, TTR series and
+// fidelity as the single-simulator ProxyFleet, at any thread count
+// (tests/test_sharded_differential.cpp).  Three mechanisms make it hold:
+//
+//  * Owner tags.  Every event carries the Simulator schedule tag of the
+//    chain that created it (ProxyFleet::start seeds each proxy's timers
+//    with its global id; retries, reschedules and relay deliveries
+//    inherit it).  A cross-shard message is stamped with its sender's
+//    tag, send time and a per-source-shard sequence number.
+//  * Canonical merge order.  Inside a window, a shard interleaves its
+//    local events with its inbox by the key (fire time, schedule time,
+//    owner tag, source seq) — the same order in which the one-simulator
+//    reference fires those events.  Messages are injected between local
+//    events via Simulator::advance_clock + ProxyFleet::deliver_relay
+//    under the sender's tag, exactly as if the reference's delivery
+//    event had fired there.
+//  * Replicated, frozen state.  Each shard's origin replica is built by
+//    the same setup callback, so intern order — and therefore every
+//    ObjectId — is identical across shards (verified at start());
+//    origin state is a pure function of time given the traces, so
+//    replicas never need reconciling.  All UriTables are frozen at
+//    start(): the hot path does lookups only, and an unexpected intern
+//    is a loud CheckFailure instead of a cross-shard id skew.
+//
+// δ-groups couple their member proxies synchronously (a member's poll
+// can trigger immediate early polls on sibling members), so grouped
+// proxies must share a timeline: shard assignment is the union-find
+// closure of the δ-group topology.  Ungrouped proxies shard freely.
+// Shards depend only on the topology — never on the thread count — so
+// the merged output is thread-schedule independent by construction.
+//
+// Accounting merges deterministically at sweep end: FleetOriginLoad
+// counters are sums, and merged_poll_records() orders the fleet-wide
+// record stream by (snapshot time, proxy, in-log position) — see
+// metrics/accounting.h.  In-flight relays are never dropped: messages
+// that outlive a run_until horizon stay in the mailboxes and deliver
+// when the clock catches up (relays_in_flight() counts them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/proxy_fleet.h"
+#include "metrics/accounting.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+
+namespace broadway {
+
+/// Sharded-fleet configuration.
+struct ShardedFleetConfig {
+  /// The fleet being simulated (proxies, cooperative push, relay
+  /// latency, engine template, retention).  With cooperative push across
+  /// more than one shard, relay_latency must be > 0 — it is the
+  /// lookahead window.  FleetConfig::proxy_ids must be empty; the driver
+  /// assigns proxies to shards itself.
+  FleetConfig fleet;
+
+  /// Worker threads driving the shards (<= 1 runs shards inline on the
+  /// calling thread, in shard order).  The shard *structure* — and hence
+  /// every simulation result — depends only on the topology, never on
+  /// this value.
+  std::size_t threads = 1;
+
+  /// Builds one shard's origin content.  Called once per shard; must
+  /// attach the same traces in the same order every time so replicas
+  /// intern identically (verified at start()).  Runs before any proxy
+  /// registration touches the shard.
+  using OriginSetup = std::function<void(OriginServer&)>;
+  OriginSetup origin_setup;
+
+  /// Per-shard origin replica configuration.
+  OriginServer::Config origin;
+};
+
+/// A fleet of proxies simulated as parallel shards.
+class ShardedFleet {
+ public:
+  using PolicyFactory = ProxyFleet::PolicyFactory;
+
+  explicit ShardedFleet(ShardedFleetConfig config);
+  ~ShardedFleet();
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  // ---- registration (before start()) ----
+  // Registrations are recorded and replayed onto the shards at start(),
+  // once the δ-group topology has fixed the shard assignment.
+
+  /// Track a temporal object on one proxy.  `make_policy` is invoked at
+  /// start() (policies carry learned state; the shard owns the instance).
+  void add_temporal_object(std::size_t proxy, const std::string& uri,
+                           PolicyFactory make_policy);
+
+  /// Track the same uri on every proxy (one policy instance per proxy).
+  void add_temporal_object_everywhere(const std::string& uri,
+                                      PolicyFactory make_policy);
+
+  /// Track a value-domain object on one proxy.
+  void add_value_object(std::size_t proxy, const std::string& uri,
+                        AdaptiveValueTtrPolicy::Config config);
+
+  /// Register a cross-proxy δ-group.  Member proxies are unioned into
+  /// one shard (their coordination is synchronous).
+  void add_delta_group(std::vector<FleetMember> members,
+                       Duration delta_mutual);
+
+  /// Build the shards, replay registrations, freeze every UriTable,
+  /// start every engine.  No registration may follow.
+  void start();
+
+  /// Advance the whole fleet to `horizon`, running shards in parallel
+  /// windows of relay_latency.  Callable repeatedly with increasing
+  /// horizons; cross-shard relays still in flight at one call's horizon
+  /// deliver during the next.
+  void run_until(TimePoint horizon);
+
+  // ---- topology ----
+
+  std::size_t size() const { return proxy_count_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const;
+  /// Shard hosting global proxy `proxy` (valid after start()).
+  std::size_t shard_of(std::size_t proxy) const;
+  TimePoint now() const { return now_; }
+
+  /// Global proxy accessors (valid after start()).
+  PollingEngine& proxy(std::size_t proxy);
+  const PollingEngine& proxy(std::size_t proxy) const;
+  /// The origin replica serving global proxy `proxy`.
+  const OriginServer& origin_for_proxy(std::size_t proxy) const;
+
+  // ---- accounting (deterministic merges over the shards) ----
+
+  /// Origin requests served, summed over the replicas (each replica
+  /// serves exactly its own proxies, so the sum is the fleet total).
+  std::size_t origin_requests() const;
+
+  /// Successful non-initial origin polls across the fleet.
+  std::size_t origin_polls() const;
+
+  /// Relay messages sent / delivered / accepted, local and cross-shard.
+  std::size_t relays_sent() const;
+  std::size_t relays_delivered() const;
+  std::size_t relays_applied() const;
+
+  /// Relay messages sent but not yet delivered (scheduled local
+  /// deliveries plus mailbox residents).  Always equals
+  /// relays_sent() - relays_delivered(); 0 once the clock passes the
+  /// last send + relay_latency.
+  std::size_t relays_in_flight() const;
+
+  /// Aggregate origin load over every proxy's poll log.
+  FleetOriginLoad origin_load() const;
+
+  /// Fleet-wide record stream in (snapshot time, proxy, log position)
+  /// order — byte-identical to the same merge over a single-simulator
+  /// reference run.
+  std::vector<PollRecord> merged_poll_records() const;
+
+ private:
+  /// One cross-shard relay message at rest.  Ordering key: (deliver_at,
+  /// sent_at, tag, seq) — see the file comment.
+  struct Message {
+    TimePoint deliver_at = 0.0;
+    TimePoint sent_at = 0.0;
+    std::uint32_t tag = 0;   ///< sender chain's schedule tag
+    std::uint64_t seq = 0;   ///< per-source-shard send order
+    std::uint32_t dest_local = 0;  ///< local proxy index in the dest shard
+    ObjectId object = kInvalidObjectId;
+    TimePoint snapshot = 0.0;
+    std::shared_ptr<const Response> response;
+  };
+
+  /// A remote relay destination, precomputed per (source shard, object).
+  struct RemoteDest {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;  ///< local proxy index within `shard`
+  };
+
+  struct Shard {
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<OriginServer> origin;
+    std::unique_ptr<ProxyFleet> fleet;
+    std::vector<std::size_t> proxies;  ///< global ids, ascending
+    /// Messages awaiting delivery here, sorted by the canonical key.
+    std::vector<Message> inbox;
+    /// Messages produced this window, keyed by destination shard.
+    std::vector<std::vector<Message>> outbox;
+    /// Remote destinations per object for relays leaving this shard,
+    /// ascending global proxy id.  Empty slot = no remote trackers.
+    std::vector<std::vector<RemoteDest>> remote_dests;
+    std::uint64_t export_seq = 0;
+    std::size_t exported_sent = 0;
+  };
+
+  struct TemporalRegistration {
+    std::size_t proxy;
+    std::string uri;
+    PolicyFactory make_policy;
+  };
+  struct ValueRegistration {
+    std::size_t proxy;
+    std::string uri;
+    AdaptiveValueTtrPolicy::Config config;
+  };
+  struct GroupRegistration {
+    std::vector<FleetMember> members;
+    Duration delta_mutual;
+  };
+
+  static bool message_order(const Message& a, const Message& b);
+  void build_shards();
+  void build_remote_dests();
+  void export_relay(std::size_t shard_index, std::size_t from_global,
+                    const PollEvent& event);
+  void run_shard_window(std::size_t shard_index, TimePoint window_end);
+  void exchange_mailboxes();
+
+  ShardedFleetConfig config_;
+  std::size_t proxy_count_ = 0;
+  bool started_ = false;
+  TimePoint now_ = 0.0;
+  std::vector<TemporalRegistration> temporal_registrations_;
+  std::vector<ValueRegistration> value_registrations_;
+  std::vector<GroupRegistration> group_registrations_;
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> shard_of_proxy_;   // global id -> shard index
+  std::vector<std::size_t> local_of_proxy_;   // global id -> local index
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace broadway

@@ -58,6 +58,32 @@ FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs) {
   return load;
 }
 
+std::vector<PollRecord> merge_poll_records(
+    std::vector<ProxyPollRecords> logs) {
+  // Proxy-ascending concatenation + stable sort by snapshot time gives
+  // the (snapshot_time, proxy, in-log position) order independent of the
+  // order the caller listed the logs in.
+  std::sort(logs.begin(), logs.end(),
+            [](const ProxyPollRecords& a, const ProxyPollRecords& b) {
+              return a.proxy < b.proxy;
+            });
+  std::size_t total = 0;
+  for (const ProxyPollRecords& log : logs) {
+    BROADWAY_CHECK(log.records != nullptr);
+    total += log.records->size();
+  }
+  std::vector<PollRecord> merged;
+  merged.reserve(total);
+  for (const ProxyPollRecords& log : logs) {
+    merged.insert(merged.end(), log.records->begin(), log.records->end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const PollRecord& a, const PollRecord& b) {
+                     return a.snapshot_time < b.snapshot_time;
+                   });
+  return merged;
+}
+
 std::vector<std::size_t> polls_per_bucket(const std::vector<PollRecord>& log,
                                           Duration bucket, Duration horizon,
                                           std::optional<PollCause> cause,

@@ -52,10 +52,37 @@ struct FleetOriginLoad {
 
   /// Mean origin polls per second over the horizon (0 for horizon <= 0).
   double polls_per_second(Duration horizon) const;
+
+  /// Fold another fleet's load into this one (shard-local accounting is
+  /// merged at sweep end; all four counters are plain sums).
+  FleetOriginLoad& merge(const FleetOriginLoad& other) {
+    origin_messages += other.origin_messages;
+    origin_polls += other.origin_polls;
+    relay_refreshes += other.relay_refreshes;
+    failed += other.failed;
+    return *this;
+  }
 };
 
 /// Aggregate the origin load over any number of proxy poll logs.
 FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs);
+
+/// One proxy's poll records tagged with its (global) proxy id, as input
+/// to merge_poll_records.  `records` must outlive the call.
+struct ProxyPollRecords {
+  std::size_t proxy = 0;
+  const std::vector<PollRecord>* records = nullptr;
+};
+
+/// Deterministic fleet-wide record stream: the concatenation of every
+/// proxy's records ordered by (snapshot_time, proxy, in-log position).
+/// In-log order is *not* snapshot-sorted (a relay record carries the
+/// sender's earlier poll snapshot but is logged at delivery), so a
+/// stable sort over the proxy-ordered concatenation is the defined
+/// semantics — the same bytes whether the logs came from one simulator
+/// or from per-shard replicas, at any thread count.
+std::vector<PollRecord> merge_poll_records(
+    std::vector<ProxyPollRecords> logs);
 
 /// Successful polls per time bucket over [0, horizon), optionally filtered
 /// by cause and/or uri (empty = all).  The Fig. 6(b) series is

@@ -96,6 +96,8 @@ EventId Simulator::schedule_with_seq(TimePoint t, std::uint64_t seq,
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
   slot.time = t;
+  slot.scheduled_at = now_;
+  slot.tag = schedule_tag_;
   slot.live = true;
   ++pending_count_;
   const EventId id = make_id(index, slot.generation);
@@ -149,18 +151,46 @@ bool Simulator::step() {
   Slot* slot = live_slot(entry.id);
   BROADWAY_CHECK(slot != nullptr);
   Callback fn = std::move(slot->fn);
+  const std::uint32_t tag = slot->tag;
   release(slot_of(entry.id));
   BROADWAY_CHECK_MSG(entry.time >= now_, "event time went backwards");
   now_ = entry.time;
   ++executed_;
   // Expose the running event's id for the duration of the callback
   // (callbacks nest only through step()-free paths, so a plain save and
-  // restore covers reentrant step() calls too).
+  // restore covers reentrant step() calls too).  The schedule tag reverts
+  // to the firing event's tag so follow-on schedules inherit its owner.
   const EventId outer = current_event_;
+  const std::uint32_t outer_tag = schedule_tag_;
   current_event_ = entry.id;
+  schedule_tag_ = tag;
   fn();
+  schedule_tag_ = outer_tag;
   current_event_ = outer;
   return true;
+}
+
+Simulator::NextEvent Simulator::next_event_info() {
+  NextEvent info;
+  const EventEntry* head = queue_peek();
+  if (head == nullptr) return info;
+  const Slot* slot = live_slot(head->id);
+  BROADWAY_CHECK(slot != nullptr);
+  info.valid = true;
+  info.time = head->time;
+  info.scheduled_at = slot->scheduled_at;
+  info.tag = slot->tag;
+  info.seq = head->seq;
+  return info;
+}
+
+void Simulator::advance_clock(TimePoint t) {
+  BROADWAY_CHECK_MSG(t >= now_, "advance_clock into the past: t="
+                                    << t << " now=" << now_);
+  const EventEntry* head = queue_peek();
+  BROADWAY_CHECK_MSG(head == nullptr || head->time >= t,
+                     "advance_clock would skip a pending event");
+  now_ = t;
 }
 
 std::size_t Simulator::run(std::size_t limit) {

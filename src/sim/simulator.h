@@ -54,6 +54,17 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  /// Peek at the earliest pending event without running it (see
+  /// next_event_info).  `valid` is false when the queue is empty and the
+  /// other fields are then meaningless.
+  struct NextEvent {
+    bool valid = false;
+    TimePoint time = 0.0;          ///< when the event fires
+    TimePoint scheduled_at = 0.0;  ///< now() at the moment it was scheduled
+    std::uint32_t tag = 0;         ///< schedule tag in force when scheduled
+    std::uint64_t seq = 0;         ///< FIFO tie-break sequence number
+  };
+
   /// Engine configuration.
   struct Config {
     /// Pending-event structure; defaults to the calendar queue, or to
@@ -120,6 +131,28 @@ class Simulator {
   /// beyond the horizon remain pending.
   std::size_t run_until(TimePoint horizon);
 
+  /// Earliest pending event, without running it: fire time, the clock
+  /// value at which it was scheduled, and the schedule tag in force then.
+  /// A parallel driver interleaving an external message stream with the
+  /// local queue needs exactly this triple to decide which side fires
+  /// next under the canonical (fire, scheduled, tag) order.
+  NextEvent next_event_info();
+
+  /// Jump the clock forward to `t` without running anything.  `t` must
+  /// not be in the past and no pending event may fire before it — this is
+  /// for drivers that deliver externally-ordered work (e.g. cross-shard
+  /// messages) between events, not for skipping them.
+  void advance_clock(TimePoint t);
+
+  /// Tag stamped on events scheduled from now on.  While an event runs,
+  /// the tag reverts to the one it was scheduled under, so chains of
+  /// events (timers rescheduling themselves, retries) inherit the tag of
+  /// the action that started them.  The fleet uses proxy ids as tags to
+  /// give every event a stable owner for deterministic cross-shard
+  /// ordering; standalone simulations can ignore tags entirely (tag 0).
+  void set_schedule_tag(std::uint32_t tag) { schedule_tag_ = tag; }
+  std::uint32_t schedule_tag() const { return schedule_tag_; }
+
   /// Number of pending events.
   std::size_t pending() const { return pending_count_; }
 
@@ -144,7 +177,9 @@ class Simulator {
   struct Slot {
     Callback fn;
     TimePoint time = 0.0;
+    TimePoint scheduled_at = 0.0;  // now() when the event was scheduled
     std::uint32_t generation = 1;  // generation 0 never exists: see below
+    std::uint32_t tag = 0;         // schedule tag in force at schedule time
     bool live = false;
   };
 
@@ -183,6 +218,7 @@ class Simulator {
 
   TimePoint now_ = 0.0;
   EventId current_event_ = kInvalidEventId;
+  std::uint32_t schedule_tag_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t pending_count_ = 0;

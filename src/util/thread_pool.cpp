@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace broadway {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode: no workers at all
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    ++active_;
+    while (next_index_ < batch_count_) {
+      const std::size_t index = next_index_++;
+      const IndexedTask* task = task_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*task)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
+    }
+    --active_;
+    if (active_ == 0 && next_index_ >= batch_count_) {
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::size_t count, const IndexedTask& task) {
+  BROADWAY_CHECK(task != nullptr);
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  BROADWAY_CHECK_MSG(task_ == nullptr, "run_batch is not reentrant");
+  task_ = &task;
+  batch_count_ = count;
+  next_index_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  work_ready_.notify_all();
+  batch_done_.wait(
+      lock, [&] { return next_index_ >= batch_count_ && active_ == 0; });
+  task_ = nullptr;
+  batch_count_ = 0;
+  next_index_ = 0;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace broadway

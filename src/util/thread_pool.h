@@ -1,0 +1,82 @@
+// Fixed worker pool with batch-and-barrier semantics.
+//
+// The sharded fleet runs every shard one lookahead window forward, then
+// exchanges cross-shard relays, then repeats — a strict fork/join cadence
+// with no task graph, no futures and no work stealing.  This pool is
+// shaped to exactly that: run_batch(count, fn) invokes fn(0..count-1)
+// across the workers and returns only when every index has finished, so
+// the return *is* the barrier.  Workers persist across batches (a sweep
+// crosses thousands of windows; spawning threads per window would dwarf
+// the work).
+//
+// Determinism contract: with `threads <= 1` no worker threads exist at
+// all and run_batch executes the indices inline, in order, on the calling
+// thread — the single-threaded differential path is the plain serial
+// loop, not a one-worker pool with different interleaving.  With more
+// threads, indices are claimed dynamically; anything fn touches must be
+// index-local (the sharded fleet gives each shard its own simulator,
+// origin and metrics precisely so this holds).
+//
+// The completion wait happens under the pool mutex, which gives the
+// caller a happens-before edge from every task body to run_batch's return
+// — merged metrics can be read without further synchronisation, and TSan
+// agrees.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace broadway {
+
+/// A fixed-size pool of worker threads running indexed batches.
+class ThreadPool {
+ public:
+  using IndexedTask = std::function<void(std::size_t)>;
+
+  /// `threads` is the requested parallelism.  0 and 1 both mean "no
+  /// worker threads": batches run inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when batches run inline).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Number of tasks that can genuinely run at once (>= 1).
+  std::size_t parallelism() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Invoke task(i) for every i in [0, count) and block until all have
+  /// completed.  Indices are claimed dynamically by the workers; with no
+  /// workers they run inline in ascending order.  If any invocation
+  /// throws, the first exception (in completion order) is rethrown here
+  /// after the batch drains; the pool remains usable.  Not reentrant —
+  /// one batch at a time, from one thread.
+  void run_batch(std::size_t count, const IndexedTask& task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const IndexedTask* task_ = nullptr;  // valid only during a batch
+  std::size_t batch_count_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t active_ = 0;  // workers currently inside the batch
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace broadway

@@ -7,6 +7,9 @@ namespace broadway {
 ObjectId UriTable::intern(std::string_view uri) {
   const auto it = index_.find(uri);
   if (it != index_.end()) return it->second;
+  BROADWAY_CHECK_MSG(!frozen_,
+                     "intern(\"" << std::string(uri)
+                                 << "\") on a frozen uri table");
   BROADWAY_CHECK_MSG(uris_.size() < kInvalidObjectId, "uri table full");
   const ObjectId id = static_cast<ObjectId>(uris_.size());
   uris_.emplace_back(uri);

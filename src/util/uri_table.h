@@ -39,8 +39,17 @@ class UriTable {
   UriTable(const UriTable&) = delete;
   UriTable& operator=(const UriTable&) = delete;
 
-  /// Id for `uri`, interning it first if unseen.
+  /// Id for `uri`, interning it first if unseen.  On a frozen table a
+  /// known uri degrades to a lookup; an unseen one is a hard error.
   ObjectId intern(std::string_view uri);
+
+  /// Seal the table: every object the simulation will ever touch must be
+  /// interned by now.  After freeze() the table is immutable, so lookups
+  /// (find / uri / contains, and intern of already-known uris) are safe
+  /// from any number of threads without synchronisation; interning a NEW
+  /// uri throws CheckFailure.  Idempotent.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
   /// Id for `uri` if already interned; kInvalidObjectId otherwise.
   ObjectId find(std::string_view uri) const;
@@ -59,6 +68,7 @@ class UriTable {
  private:
   std::deque<std::string> uris_;  // deque: element addresses never move
   std::unordered_map<std::string_view, ObjectId> index_;  // views into uris_
+  bool frozen_ = false;
 };
 
 }  // namespace broadway

@@ -424,6 +424,65 @@ TEST(ProxyFleet, RelayLatencyStillConverges) {
   EXPECT_GT(report.fidelity_time(), 0.5);
 }
 
+// The relay-latency edge in the counters: a sweep (or a sharded barrier)
+// that stops while messages are on the wire must see exact accounting —
+// sent == delivered + in_flight at every horizon, in-flight relays
+// drained (never silently dropped) when the run extends, and
+// FleetOriginLoad identical to a run that never paused.
+TEST(ProxyFleet, InFlightRelaysAreCountedAndDrainedExactly) {
+  const Duration horizon = 4000.0;
+  const UpdateTrace trace("/a", generate_periodic(250.0, 30.0, horizon),
+                          horizon);
+
+  auto build = [&](Simulator& sim, OriginServer& origin) {
+    FleetConfig config;
+    config.proxies = 3;
+    config.relay_latency = 5.0;  // long enough to catch messages mid-air
+    auto fleet = std::make_unique<ProxyFleet>(sim, origin, config);
+    origin.attach_update_trace("/a", trace);
+    for (std::size_t p = 0; p < 3; ++p) {
+      fleet->add_temporal_object(p, "/a",
+                                 std::make_unique<LimdPolicy>(limd_config(
+                                     60.0 + 15.0 * p, 600.0 + 100.0 * p)));
+    }
+    fleet->start();
+    return fleet;
+  };
+
+  // Paused run: stop at every relay-sized step and require the counter
+  // identity to hold at each horizon.
+  Simulator sim;
+  OriginServer origin(sim);
+  auto fleet = build(sim, origin);
+  bool saw_in_flight = false;
+  for (TimePoint h = 97.0; h < horizon; h += 97.0) {  // never a multiple
+    sim.run_until(h);
+    EXPECT_EQ(fleet->relays_sent(),
+              fleet->relays_delivered() + fleet->relays_in_flight());
+    saw_in_flight = saw_in_flight || fleet->relays_in_flight() > 0;
+  }
+  sim.run_until(horizon + 10.0);  // past the last send + latency
+  EXPECT_TRUE(saw_in_flight);
+  EXPECT_EQ(fleet->relays_in_flight(), 0u);
+  EXPECT_EQ(fleet->relays_sent(), fleet->relays_delivered());
+  EXPECT_GT(fleet->relays_delivered(), 0u);
+
+  // Ground truth: the same fleet run straight through.
+  Simulator control_sim;
+  OriginServer control_origin(control_sim);
+  auto control = build(control_sim, control_origin);
+  control_sim.run_until(horizon + 10.0);
+  EXPECT_EQ(control->relays_sent(), fleet->relays_sent());
+  EXPECT_EQ(control->relays_delivered(), fleet->relays_delivered());
+  EXPECT_EQ(control->relays_applied(), fleet->relays_applied());
+  const FleetOriginLoad control_load = control->origin_load();
+  const FleetOriginLoad paused_load = fleet->origin_load();
+  EXPECT_EQ(control_load.origin_messages, paused_load.origin_messages);
+  EXPECT_EQ(control_load.origin_polls, paused_load.origin_polls);
+  EXPECT_EQ(control_load.relay_refreshes, paused_load.relay_refreshes);
+  EXPECT_EQ(control_load.failed, paused_load.failed);
+}
+
 // FleetConfig::poll_log_retention forwards to every engine's
 // set_poll_log_retention.  Truncation must shorten the per-object record
 // series without perturbing a single fleet counter: an identical run with

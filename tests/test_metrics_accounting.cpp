@@ -77,5 +77,66 @@ TEST(Accounting, Validation) {
   EXPECT_THROW(polls_per_bucket(empty, 1.0, 0.0), CheckFailure);
 }
 
+TEST(Accounting, FleetOriginLoadMerge) {
+  FleetOriginLoad a;
+  a.origin_messages = 10;
+  a.origin_polls = 8;
+  a.relay_refreshes = 3;
+  a.failed = 1;
+  FleetOriginLoad b;
+  b.origin_messages = 5;
+  b.origin_polls = 4;
+  b.relay_refreshes = 2;
+  b.failed = 2;
+  a.merge(b);
+  EXPECT_EQ(a.origin_messages, 15u);
+  EXPECT_EQ(a.origin_polls, 12u);
+  EXPECT_EQ(a.relay_refreshes, 5u);
+  EXPECT_EQ(a.failed, 3u);
+  EXPECT_DOUBLE_EQ(a.polls_per_second(6.0), 2.0);
+}
+
+TEST(Accounting, MergePollRecordsOrdersBySnapshotThenProxy) {
+  // Proxy 1's log contains a relay record whose snapshot (5.0) predates
+  // the record logged before it — in-log order is not snapshot order,
+  // which is exactly why the merge semantics are a stable sort.
+  const std::vector<PollRecord> log0 = {
+      record(0.0, "/a", PollCause::kInitial),
+      record(10.0, "/a", PollCause::kScheduled),
+  };
+  const std::vector<PollRecord> log1 = {
+      record(0.0, "/a", PollCause::kInitial),
+      record(10.0, "/b", PollCause::kScheduled),
+      record(5.0, "/a", PollCause::kRelay),
+  };
+  const auto merged =
+      merge_poll_records({{0, &log0}, {1, &log1}});
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].snapshot_time, 0.0);  // proxy 0 initial
+  EXPECT_EQ(merged[0].uri, "/a");
+  EXPECT_EQ(merged[1].snapshot_time, 0.0);  // proxy 1 initial
+  EXPECT_EQ(merged[2].cause, PollCause::kRelay);  // snapshot 5.0
+  EXPECT_EQ(merged[3].snapshot_time, 10.0);  // proxy 0 before proxy 1
+  EXPECT_EQ(merged[3].uri, "/a");
+  EXPECT_EQ(merged[4].uri, "/b");
+}
+
+TEST(Accounting, MergePollRecordsIsCallerOrderIndependent) {
+  const std::vector<PollRecord> log0 = {
+      record(1.0, "/a", PollCause::kScheduled),
+      record(2.0, "/a", PollCause::kScheduled),
+  };
+  const std::vector<PollRecord> log1 = {
+      record(1.0, "/b", PollCause::kScheduled),
+  };
+  const auto forward = merge_poll_records({{0, &log0}, {1, &log1}});
+  const auto backward = merge_poll_records({{1, &log1}, {0, &log0}});
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].uri, backward[i].uri) << "record " << i;
+    EXPECT_EQ(forward[i].snapshot_time, backward[i].snapshot_time);
+  }
+}
+
 }  // namespace
 }  // namespace broadway

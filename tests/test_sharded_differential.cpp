@@ -1,0 +1,464 @@
+// Sharded-vs-single-simulator differential tests.
+//
+// ShardedFleet partitions the fleet across per-shard simulators and runs
+// them on worker threads with conservative-lookahead windows; exactly
+// like heap-vs-calendar and routed-vs-broadcast before it, the
+// single-simulator ProxyFleet is the differential reference.  These
+// tests run randomized topologies under {1, 2, 4, 8} threads and both
+// scheduler backends and assert byte-identical per-proxy poll logs, TTR
+// series, merged record streams and fleet counters — determinism at any
+// thread count is the acceptance bar, not statistical closeness.
+//
+// The workloads use adaptive (LIMD) policies and non-harmonic constants
+// (relay latency != rtt != retry delay), so same-instant collisions
+// between unrelated proxies' event chains — where the reference's global
+// FIFO order is not reproducible from per-event metadata — have measure
+// zero.  Fixed-TTL fleets with harmonically related periods can
+// manufacture such ties; the sharded driver's ordering contract (fire
+// time, schedule time, owner tag, source seq) is documented in
+// src/fleet/sharded_fleet.h.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consistency/limd.h"
+#include "fleet/proxy_fleet.h"
+#include "fleet/sharded_fleet.h"
+#include "metrics/accounting.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/update_trace.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+// Set an environment variable for the current scope (the CI matrix
+// idiom; see test_scheduler_differential.cpp).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    had_previous_ = old != nullptr;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_previous_) {
+      ::setenv(name_, previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+constexpr Duration kHorizon = 12000.0;
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+UpdateTrace irregular_trace(const std::string& name, std::uint64_t seed,
+                            Duration horizon) {
+  Rng rng(seed);
+  std::vector<TimePoint> updates;
+  TimePoint t = 0.0;
+  for (;;) {
+    t += rng.uniform(40.0, 900.0);
+    if (t >= horizon) break;
+    updates.push_back(t);
+  }
+  return UpdateTrace(name, std::move(updates), horizon);
+}
+
+/// A fleet topology: traces, who tracks what, δ-groups.  Both the
+/// reference and the sharded run are built from the same instance, with
+/// registrations in the same order.
+struct Topology {
+  std::size_t proxies = 0;
+  std::vector<UpdateTrace> traces;
+  std::vector<std::pair<std::size_t, std::string>> tracked;
+  std::vector<std::pair<std::vector<FleetMember>, Duration>> groups;
+};
+
+Topology random_topology(std::uint64_t seed) {
+  Rng rng(seed);
+  Topology topo;
+  topo.proxies = 3 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  const std::size_t objects = 3 + static_cast<std::size_t>(
+                                      rng.uniform(0.0, 2.0));
+  for (std::size_t o = 0; o < objects; ++o) {
+    topo.traces.push_back(irregular_trace("/object/" + std::to_string(o),
+                                          seed * 100 + o, kHorizon));
+  }
+  // Tracking matrix: every proxy tracks a random subset (never empty;
+  // every object has at least one tracker by construction of the first
+  // proxy's row).
+  for (std::size_t p = 0; p < topo.proxies; ++p) {
+    bool any = false;
+    for (std::size_t o = 0; o < objects; ++o) {
+      if (p == 0 || rng.uniform(0.0, 1.0) < 0.7) {
+        topo.tracked.push_back({p, topo.traces[o].name()});
+        any = true;
+      }
+    }
+    if (!any) topo.tracked.push_back({p, topo.traces[0].name()});
+  }
+  // Zero, one or two δ-groups over proxies that track the group's uri.
+  const std::size_t group_count =
+      static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  for (std::size_t g = 0; g < group_count; ++g) {
+    const std::string& uri =
+        topo.traces[static_cast<std::size_t>(
+                        rng.uniform(0.0, static_cast<double>(objects)))]
+            .name();
+    std::vector<FleetMember> members;
+    for (std::size_t p = 0; p < topo.proxies; ++p) {
+      const bool tracks = [&] {
+        for (const auto& entry : topo.tracked) {
+          if (entry.first == p && entry.second == uri) return true;
+        }
+        return false;
+      }();
+      if (tracks && rng.uniform(0.0, 1.0) < 0.6) {
+        members.push_back({p, uri});
+      }
+    }
+    if (members.size() >= 2) {
+      topo.groups.push_back({std::move(members), 400.0});
+    }
+  }
+  return topo;
+}
+
+FleetConfig fleet_config(std::size_t proxies) {
+  FleetConfig config;
+  config.proxies = proxies;
+  config.cooperative_push = true;
+  // Non-harmonic constants: the relay latency (= lookahead window) must
+  // not equal the rtt or the retry delay, or same-instant (fire,
+  // schedule) collisions between deliveries and unrelated local events
+  // become possible — see the file comment.
+  config.relay_latency = 0.7;
+  config.engine.rtt = 0.1;
+  config.engine.loss_probability = 0.05;
+  config.engine.retry_delay = 2.0;
+  return config;
+}
+
+ShardedFleet::PolicyFactory limd_factory() {
+  return [] {
+    return std::make_unique<LimdPolicy>(
+        LimdPolicy::Config::paper_defaults(600.0));
+  };
+}
+
+/// Everything a run produces, keyed by global proxy id.
+struct Artifacts {
+  std::vector<std::vector<PollRecord>> records_by_proxy;
+  std::vector<std::vector<std::pair<TimePoint, Duration>>> ttr_series;
+  std::vector<PollRecord> merged;
+  std::size_t origin_requests = 0;
+  std::size_t origin_polls = 0;
+  std::size_t relays_sent = 0;
+  std::size_t relays_delivered = 0;
+  std::size_t relays_applied = 0;
+  std::size_t relays_in_flight = 0;
+  FleetOriginLoad load;
+};
+
+Artifacts reference_run(const Topology& topo, Duration horizon) {
+  Simulator sim;
+  OriginServer origin(sim);
+  for (const UpdateTrace& trace : topo.traces) {
+    origin.attach_update_trace(trace.name(), trace);
+  }
+  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies));
+  const auto factory = limd_factory();
+  for (const auto& [proxy, uri] : topo.tracked) {
+    fleet.add_temporal_object(proxy, uri, factory());
+  }
+  for (const auto& [members, delta] : topo.groups) {
+    fleet.add_delta_group(members, delta);
+  }
+  fleet.start();
+  sim.run_until(horizon);
+
+  Artifacts artifacts;
+  std::vector<ProxyPollRecords> logs;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    artifacts.records_by_proxy.push_back(
+        fleet.proxy(p).poll_log().records());
+    for (const UpdateTrace& trace : topo.traces) {
+      artifacts.ttr_series.push_back(fleet.proxy(p).ttr_series(trace.name()));
+    }
+    logs.push_back({p, &fleet.proxy(p).poll_log().records()});
+  }
+  artifacts.merged = merge_poll_records(std::move(logs));
+  artifacts.origin_requests = origin.requests_served();
+  artifacts.origin_polls = fleet.origin_polls();
+  artifacts.relays_sent = fleet.relays_sent();
+  artifacts.relays_delivered = fleet.relays_delivered();
+  artifacts.relays_applied = fleet.relays_applied();
+  artifacts.relays_in_flight = fleet.relays_in_flight();
+  artifacts.load = fleet.origin_load();
+  return artifacts;
+}
+
+ShardedFleetConfig sharded_config(const Topology& topo,
+                                  std::size_t threads) {
+  ShardedFleetConfig config;
+  config.fleet = fleet_config(topo.proxies);
+  config.threads = threads;
+  config.origin_setup = [traces = topo.traces](OriginServer& origin) {
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+    }
+  };
+  return config;
+}
+
+std::unique_ptr<ShardedFleet> make_sharded(const Topology& topo,
+                                           std::size_t threads) {
+  auto fleet = std::make_unique<ShardedFleet>(sharded_config(topo, threads));
+  const auto factory = limd_factory();
+  for (const auto& [proxy, uri] : topo.tracked) {
+    fleet->add_temporal_object(proxy, uri, factory);
+  }
+  for (const auto& [members, delta] : topo.groups) {
+    fleet->add_delta_group(members, delta);
+  }
+  return fleet;
+}
+
+Artifacts sharded_run(const Topology& topo, std::size_t threads,
+                      Duration horizon) {
+  auto fleet = make_sharded(topo, threads);
+  fleet->start();
+  fleet->run_until(horizon);
+
+  Artifacts artifacts;
+  for (std::size_t p = 0; p < fleet->size(); ++p) {
+    artifacts.records_by_proxy.push_back(
+        fleet->proxy(p).poll_log().records());
+    for (const UpdateTrace& trace : topo.traces) {
+      artifacts.ttr_series.push_back(
+          fleet->proxy(p).ttr_series(trace.name()));
+    }
+  }
+  artifacts.merged = fleet->merged_poll_records();
+  artifacts.origin_requests = fleet->origin_requests();
+  artifacts.origin_polls = fleet->origin_polls();
+  artifacts.relays_sent = fleet->relays_sent();
+  artifacts.relays_delivered = fleet->relays_delivered();
+  artifacts.relays_applied = fleet->relays_applied();
+  artifacts.relays_in_flight = fleet->relays_in_flight();
+  artifacts.load = fleet->origin_load();
+  return artifacts;
+}
+
+void expect_records_identical(const std::vector<PollRecord>& a,
+                              const std::vector<PollRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a[i].uri, b[i].uri);
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].cause, b[i].cause);
+    EXPECT_EQ(a[i].modified, b[i].modified);
+    EXPECT_EQ(a[i].failed, b[i].failed);
+    EXPECT_EQ(a[i].snapshot_time, b[i].snapshot_time);
+    EXPECT_EQ(a[i].complete_time, b[i].complete_time);
+  }
+}
+
+void expect_artifacts_identical(const Artifacts& reference,
+                                const Artifacts& candidate) {
+  ASSERT_EQ(reference.records_by_proxy.size(),
+            candidate.records_by_proxy.size());
+  for (std::size_t p = 0; p < reference.records_by_proxy.size(); ++p) {
+    SCOPED_TRACE("proxy " + std::to_string(p));
+    expect_records_identical(reference.records_by_proxy[p],
+                             candidate.records_by_proxy[p]);
+  }
+  EXPECT_EQ(reference.ttr_series, candidate.ttr_series);
+  expect_records_identical(reference.merged, candidate.merged);
+  EXPECT_EQ(reference.origin_requests, candidate.origin_requests);
+  EXPECT_EQ(reference.origin_polls, candidate.origin_polls);
+  EXPECT_EQ(reference.relays_sent, candidate.relays_sent);
+  EXPECT_EQ(reference.relays_delivered, candidate.relays_delivered);
+  EXPECT_EQ(reference.relays_applied, candidate.relays_applied);
+  EXPECT_EQ(reference.relays_in_flight, candidate.relays_in_flight);
+  EXPECT_EQ(reference.load.origin_messages, candidate.load.origin_messages);
+  EXPECT_EQ(reference.load.origin_polls, candidate.load.origin_polls);
+  EXPECT_EQ(reference.load.relay_refreshes, candidate.load.relay_refreshes);
+  EXPECT_EQ(reference.load.failed, candidate.load.failed);
+}
+
+// ---- the differential ------------------------------------------------------
+
+TEST(ShardedDifferential, ByteIdenticalAcrossThreadCountsAndSchedulers) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    for (const std::uint64_t seed : {11u, 23u, 47u}) {
+      SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                   std::to_string(seed));
+      const Topology topo = random_topology(seed);
+      const Artifacts reference = reference_run(topo, kHorizon);
+      ASSERT_FALSE(reference.merged.empty());
+      EXPECT_GT(reference.relays_delivered, 0u);
+      for (const std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expect_artifacts_identical(reference,
+                                   sharded_run(topo, threads, kHorizon));
+      }
+    }
+  }
+}
+
+// Same seed, different thread schedules: the merged stream depends only
+// on the topology, never on the interleaving of the workers.
+TEST(ShardedDifferential, MergeOrderIsThreadScheduleIndependent) {
+  const Topology topo = random_topology(5);
+  const Artifacts two = sharded_run(topo, 2, kHorizon);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const Artifacts eight = sharded_run(topo, 8, kHorizon);
+    expect_records_identical(two.merged, eight.merged);
+  }
+}
+
+// δ-group members must land on one shard (their coordination is
+// synchronous); ungrouped proxies shard freely.
+TEST(ShardedDifferential, DeltaGroupsAreColocated) {
+  Topology topo;
+  topo.proxies = 5;
+  for (std::size_t o = 0; o < 3; ++o) {
+    topo.traces.push_back(irregular_trace("/object/" + std::to_string(o),
+                                          900 + o, kHorizon));
+  }
+  for (std::size_t p = 0; p < topo.proxies; ++p) {
+    for (const UpdateTrace& trace : topo.traces) {
+      topo.tracked.push_back({p, trace.name()});
+    }
+  }
+  // One group spanning proxies 1 and 3; proxies 0, 2, 4 stay free.
+  topo.groups.push_back(
+      {{{1, topo.traces[0].name()}, {3, topo.traces[0].name()}}, 500.0});
+
+  auto fleet = make_sharded(topo, 4);
+  fleet->start();
+  EXPECT_EQ(fleet->shard_count(), 4u);  // {0}, {1,3}, {2}, {4}
+  EXPECT_EQ(fleet->shard_of(1), fleet->shard_of(3));
+  EXPECT_NE(fleet->shard_of(0), fleet->shard_of(1));
+  fleet->run_until(kHorizon);
+
+  const Artifacts reference = reference_run(topo, kHorizon);
+  Artifacts candidate;
+  for (std::size_t p = 0; p < fleet->size(); ++p) {
+    candidate.records_by_proxy.push_back(
+        fleet->proxy(p).poll_log().records());
+    for (const UpdateTrace& trace : topo.traces) {
+      candidate.ttr_series.push_back(
+          fleet->proxy(p).ttr_series(trace.name()));
+    }
+  }
+  ASSERT_EQ(reference.records_by_proxy.size(),
+            candidate.records_by_proxy.size());
+  for (std::size_t p = 0; p < reference.records_by_proxy.size(); ++p) {
+    SCOPED_TRACE("proxy " + std::to_string(p));
+    expect_records_identical(reference.records_by_proxy[p],
+                             candidate.records_by_proxy[p]);
+  }
+  EXPECT_EQ(reference.ttr_series, candidate.ttr_series);
+}
+
+// ---- in-flight relays (counter exactness at barriers / sweep end) ----------
+
+TEST(ShardedDifferential, InFlightRelaysDrainExactlyAcrossHorizons) {
+  const Topology topo = random_topology(31);
+  // Stop mid-window at an hour that is no multiple of anything: relays
+  // in flight there must be counted, not dropped, and extending the run
+  // must deliver every one of them.
+  const Duration partial = 7777.7;
+  auto fleet = make_sharded(topo, 4);
+  fleet->start();
+  fleet->run_until(partial);
+  EXPECT_EQ(fleet->relays_sent(),
+            fleet->relays_delivered() + fleet->relays_in_flight());
+  fleet->run_until(kHorizon);
+  // Horizon is far past the last send + latency: everything drained.
+  EXPECT_EQ(fleet->relays_in_flight(), 0u);
+  EXPECT_EQ(fleet->relays_sent(), fleet->relays_delivered());
+
+  // And the two-stage run is byte-identical to the straight one — the
+  // pause neither reorders nor loses anything.
+  const Artifacts straight = sharded_run(topo, 4, kHorizon);
+  std::vector<PollRecord> merged = fleet->merged_poll_records();
+  expect_records_identical(straight.merged, merged);
+  EXPECT_EQ(straight.relays_delivered, fleet->relays_delivered());
+  EXPECT_EQ(straight.relays_applied, fleet->relays_applied());
+  const FleetOriginLoad straight_load = straight.load;
+  const FleetOriginLoad paused_load = fleet->origin_load();
+  EXPECT_EQ(straight_load.origin_messages, paused_load.origin_messages);
+  EXPECT_EQ(straight_load.origin_polls, paused_load.origin_polls);
+  EXPECT_EQ(straight_load.relay_refreshes, paused_load.relay_refreshes);
+  EXPECT_EQ(straight_load.failed, paused_load.failed);
+}
+
+// ---- fail-fast contracts ---------------------------------------------------
+
+TEST(ShardedDifferential, CrossShardPushRequiresPositiveLatency) {
+  Topology topo = random_topology(11);
+  topo.groups.clear();  // ungrouped: every proxy is its own shard
+  ShardedFleetConfig config = sharded_config(topo, 2);
+  config.fleet.relay_latency = 0.0;  // no lookahead window
+  ShardedFleet fleet(config);
+  const auto factory = limd_factory();
+  for (const auto& [proxy, uri] : topo.tracked) {
+    fleet.add_temporal_object(proxy, uri, factory);
+  }
+  EXPECT_THROW(fleet.start(), CheckFailure);
+}
+
+TEST(ShardedDifferential, RegistrationAfterStartIsRejected) {
+  const Topology topo = random_topology(11);
+  auto fleet = make_sharded(topo, 1);
+  fleet->start();
+  EXPECT_THROW(
+      fleet->add_temporal_object(0, topo.traces[0].name(), limd_factory()),
+      CheckFailure);
+}
+
+TEST(ShardedDifferential, MismatchedOriginReplicasAreRejected) {
+  Topology topo = random_topology(11);
+  topo.groups.clear();  // ungrouped: every proxy is its own shard
+  ShardedFleetConfig config = sharded_config(topo, 2);
+  // A setup callback with per-replica behaviour (here: an extra object
+  // on every shard after the first) skews intern order — caught at
+  // start(), not discovered as silent id corruption mid-run.
+  config.origin_setup = [traces = topo.traces,
+                         calls = std::make_shared<int>(0)](
+                            OriginServer& origin) {
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+    }
+    if ((*calls)++ > 0) origin.add_object("/replica-only");
+  };
+  ShardedFleet fleet(config);
+  const auto factory = limd_factory();
+  for (const auto& [proxy, uri] : topo.tracked) {
+    fleet.add_temporal_object(proxy, uri, factory);
+  }
+  EXPECT_THROW(fleet.start(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace broadway

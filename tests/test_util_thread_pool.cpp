@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace broadway {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsInOrderOnCallingThread) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.parallelism(), 1u);
+    std::vector<std::size_t> order;
+    const std::thread::id caller = std::this_thread::get_id();
+    bool off_thread = false;
+    pool.run_batch(8, [&](std::size_t index) {
+      order.push_back(index);
+      if (std::this_thread::get_id() != caller) off_thread = true;
+    });
+    EXPECT_FALSE(off_thread);
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_batch(kTasks, [&](std::size_t index) { ++hits[index]; });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReturnIsABarrier) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.run_batch(7, [&](std::size_t) { ++completed; });
+    // Every task of every batch so far has finished by the time
+    // run_batch returns — no stragglers bleed into later batches.
+    EXPECT_EQ(completed.load(), (batch + 1) * 7);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run_batch(10,
+                     [&](std::size_t index) {
+                       ++ran;
+                       if (index == 3) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);  // the batch still drained fully
+  std::atomic<int> after{0};
+  pool.run_batch(5, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 5);
+}
+
+TEST(ThreadPool, ZeroCountBatchIsANoOp) {
+  ThreadPool pool(2);
+  pool.run_batch(0, [](std::size_t) { FAIL() << "task ran"; });
+}
+
+TEST(ThreadPool, MoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  constexpr std::size_t kTasks = 1000;
+  pool.run_batch(kTasks,
+                 [&](std::size_t index) { sum += static_cast<long>(index); });
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks * (kTasks - 1) / 2));
+}
+
+}  // namespace
+}  // namespace broadway

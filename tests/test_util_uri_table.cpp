@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "util/check.h"
 
 namespace broadway {
 namespace {
@@ -51,6 +55,62 @@ TEST(UriTable, InternedReferencesAreStableAcrossGrowth) {
   EXPECT_EQ(first.data(), data);
   EXPECT_EQ(table.uri(0), "/first");
   EXPECT_EQ(table.size(), 10001u);
+}
+
+TEST(UriTable, FreezeRejectsNewUris) {
+  UriTable table;
+  const ObjectId a = table.intern("/a");
+  EXPECT_FALSE(table.frozen());
+  table.freeze();
+  EXPECT_TRUE(table.frozen());
+  // Interning a known uri degrades to a lookup...
+  EXPECT_EQ(table.intern("/a"), a);
+  // ...but a new uri is a setup bug, caught loudly.
+  EXPECT_THROW(table.intern("/new"), CheckFailure);
+  EXPECT_EQ(table.size(), 1u);
+  // Read-only surface still works.
+  EXPECT_EQ(table.find("/a"), a);
+  EXPECT_EQ(table.find("/new"), kInvalidObjectId);
+  EXPECT_EQ(table.uri(a), "/a");
+}
+
+TEST(UriTable, FreezeIsIdempotent) {
+  UriTable table;
+  table.intern("/x");
+  table.freeze();
+  table.freeze();
+  EXPECT_TRUE(table.frozen());
+  EXPECT_EQ(table.intern("/x"), 0u);
+}
+
+TEST(UriTable, FrozenTableIsSafeForConcurrentLookup) {
+  UriTable table;
+  constexpr int kUris = 256;
+  for (int i = 0; i < kUris; ++i) {
+    table.intern("/object/" + std::to_string(i));
+  }
+  table.freeze();
+  // Hammer the read-only surface — including intern() of known uris, the
+  // exact call the shard hot path makes — from several threads.  Run
+  // under TSan this pins the "frozen => concurrent lookup is safe"
+  // contract; without TSan it still checks the answers.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, &mismatches] {
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < kUris; ++i) {
+          const std::string uri = "/object/" + std::to_string(i);
+          if (table.intern(uri) != static_cast<ObjectId>(i)) ++mismatches;
+          if (table.find(uri) != static_cast<ObjectId>(i)) ++mismatches;
+          if (table.uri(static_cast<ObjectId>(i)) != uri) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kUris));
 }
 
 }  // namespace

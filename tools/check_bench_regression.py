@@ -44,6 +44,15 @@ GATED = [
     "BM_CoordinatorFanout/8",
     "BM_CoordinatorFanout/64",
     "BM_GroupedTemporalSweep",
+    # Sharded fleet sweep (8 proxies x 1024 objects) across the worker
+    # pool.  These measure wall-clock (UseRealTime — workers do the
+    # simulating, the main thread just barriers), hence the /real_time
+    # suffix.  The threads:1 entry guards the sharded machinery's
+    # single-thread overhead; higher counts guard the parallel path.
+    "BM_ShardedFleetSweep/threads:1/real_time",
+    "BM_ShardedFleetSweep/threads:2/real_time",
+    "BM_ShardedFleetSweep/threads:4/real_time",
+    "BM_ShardedFleetSweep/threads:8/real_time",
 ]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
