@@ -141,15 +141,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Client-traffic leg: drive aggregated client streams at a cooperative
+  // fleet and check the client-side headline properties.  Every proxy
+  // polls at most ttr_max apart (rtt later the content lands), and relays
+  // only tighten the serve series, so a transaction δ of
+  // ttr_max + rtt + relay_latency bounds the cross-proxy snapshot spread:
+  // with δ respected, violations must be exactly zero.
+  ClientFleetRunConfig client_config;
+  client_config.fleet = make_config(/*proxies=*/2, /*cooperative=*/true);
+  client_config.client.request_rate = 2.0;
+  client_config.transactions.rate = 0.05;
+  client_config.transactions.objects = 3;
+  client_config.transactions.delta = client_config.fleet.base.ttr_max +
+                                     client_config.fleet.base.engine.rtt +
+                                     client_config.fleet.relay_latency + 60.0;
+  const auto client_result = run_fleet_client_temporal(
+      make_working_set(object_counts.front(), horizon), client_config);
+  const bool clients_hit = client_result.clients.hit_rate() > 0.0;
+  const bool delta_respected =
+      client_result.transactions.complete > 0 &&
+      client_result.transactions.violations == 0;
   if (!csv) {
     table.print(std::cout);
+    std::cout << "\nClient traffic (2 cooperative proxies, "
+              << object_counts.front() << " objects):\n  requests "
+              << client_result.clients.requests << ", hit rate "
+              << fmt(client_result.clients.hit_rate(), 4) << ", mean age "
+              << fmt(client_result.clients.age.mean(), 2)
+              << " s, mean staleness "
+              << fmt(client_result.clients.staleness.mean(), 2)
+              << " s\n  transactions "
+              << client_result.transactions.transactions << " (complete "
+              << client_result.transactions.complete << "), spread mean "
+              << fmt(client_result.transactions.spread.mean(), 2)
+              << " s, violations "
+              << client_result.transactions.violations << "\n";
     std::cout << "\nChecks:\n  - cooperative push cheaper at the origin "
                  "for every N > 1: "
               << (cooperative_always_cheaper ? "yes" : "NO")
               << "\n  - cooperative fidelity >= independent fidelity: "
-              << (cooperative_fidelity_holds ? "yes" : "NO") << "\n";
+              << (cooperative_fidelity_holds ? "yes" : "NO")
+              << "\n  - client reads hit the prefetched cache: "
+              << (clients_hit ? "yes" : "NO")
+              << "\n  - zero violations at delta = ttr_max + rtt + relay: "
+              << (delta_respected ? "yes" : "NO") << "\n";
   }
   // Non-zero exit keeps the CI smoke run honest: the fleet path must keep
-  // its headline property, not merely run to completion.
-  return cooperative_always_cheaper && cooperative_fidelity_holds ? 0 : 1;
+  // its headline properties, not merely run to completion.
+  return cooperative_always_cheaper && cooperative_fidelity_holds &&
+                 clients_hit && delta_respected
+             ? 0
+             : 1;
 }

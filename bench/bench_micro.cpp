@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "client/client_traffic.h"
 #include "consistency/limd.h"
 #include "consistency/partitioned.h"
 #include "consistency/triggered.h"
@@ -22,6 +23,7 @@
 #include "proxy/poll_log.h"
 #include "proxy/polling_engine.h"
 #include "sim/simulator.h"
+#include "trace/diurnal.h"
 #include "trace/paper_workloads.h"
 #include "trace/update_trace.h"
 #include "util/rng.h"
@@ -536,6 +538,49 @@ BENCHMARK(BM_ShardedFleetSweep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The client-traffic layer over a cooperative fleet: aggregated Poisson
+// streams (Zipf popularity, diurnal thinning) reading through every
+// proxy's cache while the polling engines refresh underneath.  The items
+// rate counts client requests, so this measures the per-request cost of
+// thinning + popularity sampling + serve_client_read + classification.
+void BM_ClientFleetSweep(benchmark::State& state) {
+  const std::size_t proxies = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kObjects = 64;
+  const std::vector<UpdateTrace> traces = make_sweep_traces(kObjects);
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    FleetConfig config;
+    config.proxies = proxies;
+    config.cooperative_push = true;
+    ClientTrafficConfig traffic;
+    traffic.request_rate = 5.0;
+    traffic.zipf_exponent = 0.9;
+    traffic.profile = DiurnalProfile::newsroom();
+    config.client_traffic = traffic;
+    ProxyFleet fleet(sim, origin, config);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      fleet.add_temporal_object_everywhere(trace.name(), [] {
+        return std::make_unique<LimdPolicy>(
+            LimdPolicy::Config::paper_defaults(600.0));
+      });
+    }
+    fleet.start();
+    sim.run_until(kSweepHorizon);
+    requests += static_cast<std::int64_t>(
+        fleet.client_traffic().requests_issued());
+    benchmark::DoNotOptimize(fleet.merged_client_metrics().hit_rate());
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ClientFleetSweep)
+    ->ArgName("proxies")
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PaperWorkloadGeneration(benchmark::State& state) {
   std::uint64_t seed = 0;

@@ -38,7 +38,7 @@ struct NewsRun {
   std::size_t triggered = 0;
   double mutual_fidelity = 1.0;
   double story_fidelity = 1.0;
-  ClientStats clients;
+  ClientMetrics clients;
 };
 
 // The three related objects: story text updates most often; the photo and
@@ -109,13 +109,15 @@ NewsRun simulate(const Workload& workload, bool mutual,
         group->members, group->delta_mutual));
   }
 
-  // Readers hammer the story page; media fetched alongside.
-  ClientWorkload::Config client_config;
-  client_config.request_rate = 0.2;
-  client_config.popularity = {{workload.story.name(), 4.0},
-                              {workload.photo.name(), 1.0},
-                              {workload.clip.name(), 1.0}};
-  ClientWorkload clients(sim, proxy.cache(), origin, client_config);
+  // Readers hammer the story page; media fetched alongside.  The uris
+  // resolve to interned ids here — a typo'd uri throws instead of
+  // silently getting zero traffic.
+  ClientWorkload clients(
+      sim, proxy.cache(), origin,
+      ClientWorkload::Config::from_uris(origin, /*request_rate=*/0.2,
+                                        {{workload.story.name(), 4.0},
+                                         {workload.photo.name(), 1.0},
+                                         {workload.clip.name(), 1.0}}));
 
   proxy.start();
   clients.start();

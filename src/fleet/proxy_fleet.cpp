@@ -33,6 +33,27 @@ ProxyFleet::ProxyFleet(Simulator& sim, OriginServer& origin,
     engines_.back()->set_poll_listener(
         [this, i](const PollEvent& event) { on_poll(i, event); });
   }
+  if (config_.client_traffic) {
+    std::vector<FleetClientTraffic::ProxyBinding> bindings;
+    bindings.reserve(engines_.size());
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      bindings.push_back({engines_[i].get(), proxy_ids_[i]});
+    }
+    client_traffic_ = std::make_unique<FleetClientTraffic>(
+        sim_, origin_, std::move(bindings), *config_.client_traffic);
+  }
+}
+
+FleetClientTraffic& ProxyFleet::client_traffic() {
+  BROADWAY_CHECK_MSG(client_traffic_ != nullptr,
+                     "fleet configured without client traffic");
+  return *client_traffic_;
+}
+
+const FleetClientTraffic& ProxyFleet::client_traffic() const {
+  BROADWAY_CHECK_MSG(client_traffic_ != nullptr,
+                     "fleet configured without client traffic");
+  return *client_traffic_;
 }
 
 PollingEngine& ProxyFleet::proxy(std::size_t index) {
@@ -117,6 +138,11 @@ void ProxyFleet::start() {
     engines_[i]->start();
   }
   sim_.set_schedule_tag(outer);
+  // Client streams arm after every engine: the reference order is
+  // "engines 0..N-1, then clients 0..N-1", and each shard slice replays
+  // the same relative order over its own proxies, so same-instant FIFO
+  // ties resolve identically under sharding.
+  if (client_traffic_ != nullptr) client_traffic_->start();
 }
 
 // ---- the relay channel -----------------------------------------------------

@@ -28,9 +28,11 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "client/client_traffic.h"
 #include "fleet/fleet_group.h"
 #include "metrics/accounting.h"
 #include "origin/origin_server.h"
@@ -65,6 +67,12 @@ struct FleetConfig {
   /// and engine seeds / event tags use the global ids, so a slice's
   /// engines behave bit-for-bit like the same proxies in a whole fleet.
   std::vector<std::size_t> proxy_ids;
+  /// Drive client request streams at every proxy (src/client/): one
+  /// aggregated Poisson stream per proxy, seeded and tagged by global
+  /// proxy id, started at start() after the engines.  A shard slice
+  /// inherits this config unchanged, so sharded client metrics are
+  /// byte-identical to the whole-fleet run.
+  std::optional<ClientTrafficConfig> client_traffic;
 };
 
 /// N polling engines on one origin, with cooperative proxy–proxy push.
@@ -155,6 +163,28 @@ class ProxyFleet {
   /// Relay messages the receiving proxy accepted (refresh or validation).
   std::size_t relays_applied() const { return relays_applied_; }
 
+  // ---- client traffic ----
+
+  /// True when FleetConfig::client_traffic armed request streams.
+  bool has_client_traffic() const { return client_traffic_ != nullptr; }
+
+  /// The client traffic driver (requires has_client_traffic()).
+  FleetClientTraffic& client_traffic();
+  const FleetClientTraffic& client_traffic() const;
+
+  /// Client metrics folded over the local proxies in ascending global id
+  /// order (requires has_client_traffic()).
+  ClientMetrics merged_client_metrics() const {
+    return client_traffic().merged_metrics();
+  }
+
+  /// Fleet-wide request stream in (time, proxy, in-stream position)
+  /// order (requires has_client_traffic() and
+  /// ClientTrafficConfig::record_requests).
+  std::vector<ClientRequestRecord> merged_client_records() const {
+    return merge_client_records(client_traffic().tagged_records());
+  }
+
   /// Relay messages sent on the *local* channel (one per destination;
   /// exported relays are counted by the exporter's owner).  With zero
   /// latency every send is delivered in the same call, so sent ==
@@ -186,6 +216,7 @@ class ProxyFleet {
   std::vector<std::vector<SmallVector<FleetDeltaGroup*, 2>>>
       groups_by_member_;
   std::vector<std::size_t> proxy_ids_;  // local index -> global proxy id
+  std::unique_ptr<FleetClientTraffic> client_traffic_;  // null = no clients
   RelayExporter relay_exporter_;
   std::size_t relays_sent_ = 0;
   std::size_t relays_in_flight_ = 0;

@@ -118,7 +118,9 @@ void ShardedFleet::build_shards() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = shards_[s];
     shard.proxies = std::move(shard_members[s]);
-    shard.sim = std::make_unique<Simulator>();
+    Simulator::Config sim_config;
+    if (config_.scheduler) sim_config.scheduler = *config_.scheduler;
+    shard.sim = std::make_unique<Simulator>(sim_config);
     shard.origin =
         std::make_unique<OriginServer>(*shard.sim, config_.origin);
     config_.origin_setup(*shard.origin);
@@ -461,6 +463,35 @@ FleetOriginLoad ShardedFleet::origin_load() const {
     load.merge(shard.fleet->origin_load());
   }
   return load;
+}
+
+const ClientMetrics& ShardedFleet::client_metrics(std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "client_metrics before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return shards_[shard_of_proxy_[proxy]].fleet->client_traffic().metrics(
+      local_of_proxy_[proxy]);
+}
+
+ClientMetrics ShardedFleet::merged_client_metrics() const {
+  // Ascending global proxy id, whatever the shard layout — the same fold
+  // order as the single-simulator reference, so the floating-point
+  // aggregates come out bit-identical.
+  ClientMetrics merged;
+  for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+    merged.merge(client_metrics(proxy));
+  }
+  return merged;
+}
+
+std::vector<ClientRequestRecord> ShardedFleet::merged_client_records() const {
+  std::vector<ProxyClientRecords> streams;
+  streams.reserve(proxy_count_);
+  for (const Shard& shard : shards_) {
+    const std::vector<ProxyClientRecords> tagged =
+        shard.fleet->client_traffic().tagged_records();
+    streams.insert(streams.end(), tagged.begin(), tagged.end());
+  }
+  return merge_client_records(std::move(streams));
 }
 
 std::vector<PollRecord> ShardedFleet::merged_poll_records() const {

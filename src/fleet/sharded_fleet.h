@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,10 @@ struct ShardedFleetConfig {
 
   /// Per-shard origin replica configuration.
   OriginServer::Config origin;
+
+  /// Event-queue backend for every shard simulator; unset = the
+  /// Simulator default (the BROADWAY_SCHEDULER environment knob).
+  std::optional<SchedulerBackend> scheduler;
 };
 
 /// A fleet of proxies simulated as parallel shards.
@@ -180,6 +185,24 @@ class ShardedFleet {
   /// order — byte-identical to the same merge over a single-simulator
   /// reference run.
   std::vector<PollRecord> merged_poll_records() const;
+
+  // ---- client traffic (FleetConfig::client_traffic) ----
+
+  /// True when the fleet config armed client request streams.
+  bool has_client_traffic() const {
+    return config_.fleet.client_traffic.has_value();
+  }
+
+  /// Client metrics of global proxy `proxy` (valid after start()).
+  const ClientMetrics& client_metrics(std::size_t proxy) const;
+
+  /// Fleet-wide client metrics, folded in ascending global proxy id
+  /// order — byte-identical to the single-simulator reference.
+  ClientMetrics merged_client_metrics() const;
+
+  /// Fleet-wide request stream in (time, proxy, in-stream position)
+  /// order (requires ClientTrafficConfig::record_requests).
+  std::vector<ClientRequestRecord> merged_client_records() const;
 
  private:
   /// One cross-shard relay message at rest.  Ordering key: (deliver_at,

@@ -8,6 +8,7 @@
 #include "consistency/limd.h"
 #include "consistency/triggered.h"
 #include "fleet/proxy_fleet.h"
+#include "fleet/sharded_fleet.h"
 #include "origin/origin_server.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -36,24 +37,49 @@ OriginServer::Config make_origin_config(bool history_enabled) {
   return config;
 }
 
+// Simulator cannot be returned by value (it owns pending callbacks and is
+// non-movable), so the scenario hands back a Config to construct in place.
+Simulator::Config scenario_sim_config(const ScenarioBase& scenario) {
+  Simulator::Config config;
+  if (scenario.scheduler) config.scheduler = *scenario.scheduler;
+  return config;
+}
+
+/// Horizon of a run: the explicit duration when set, else the longest
+/// trace.  Fidelity over one trace is always evaluated up to
+/// min(trace horizon, run horizon) — never past the ground truth.
+Duration scenario_horizon(const ScenarioBase& scenario,
+                          const std::vector<UpdateTrace>& traces) {
+  if (scenario.duration > 0.0) return scenario.duration;
+  Duration horizon = 0.0;
+  for (const UpdateTrace& trace : traces) {
+    horizon = std::max(horizon, trace.duration());
+  }
+  return horizon;
+}
+
 TemporalRunResult run_temporal(const UpdateTrace& trace,
                                std::unique_ptr<RefreshPolicy> policy,
-                               Duration delta, bool origin_history,
-                               const EngineConfig& engine_config) {
-  Simulator sim;
+                               Duration delta,
+                               const ScenarioBase& scenario,
+                               bool origin_history) {
+  Simulator sim(scenario_sim_config(scenario));
   OriginServer origin(sim, make_origin_config(origin_history));
-  PollingEngine engine(sim, origin, engine_config);
+  PollingEngine engine(sim, origin, scenario.engine);
+  engine.set_poll_log_retention(scenario.poll_log_retention);
 
   origin.attach_update_trace(trace.name(), trace);
   engine.add_temporal_object(trace.name(), std::move(policy));
   engine.start();
-  sim.run_until(trace.duration());
+  const Duration horizon =
+      scenario.duration > 0.0 ? scenario.duration : trace.duration();
+  sim.run_until(horizon);
 
   TemporalRunResult result;
   result.polls = engine.polls_performed(trace.name());
   result.fidelity = evaluate_temporal_fidelity(
       trace, successful_polls(engine.poll_log(), trace.name()), delta,
-      trace.duration());
+      std::min(trace.duration(), horizon));
   result.ttr_series = engine.ttr_series(trace.name());
   return result;
 }
@@ -64,22 +90,25 @@ TemporalRunResult run_limd_individual(const UpdateTrace& trace,
                                       const TemporalRunConfig& config) {
   return run_temporal(trace,
                       std::make_unique<LimdPolicy>(make_limd_config(config)),
-                      config.delta, config.origin_history, config.engine);
+                      config.delta, config, config.origin_history);
 }
 
 TemporalRunResult run_baseline_individual(const UpdateTrace& trace,
                                           Duration delta,
                                           EngineConfig engine) {
+  ScenarioBase scenario;
+  scenario.engine = engine;
   return run_temporal(trace, std::make_unique<FixedPollPolicy>(delta), delta,
-                      /*origin_history=*/true, engine);
+                      scenario, /*origin_history=*/true);
 }
 
 MutualTemporalRunResult run_mutual_temporal(
     const UpdateTrace& trace_a, const UpdateTrace& trace_b,
     const MutualTemporalRunConfig& config) {
-  Simulator sim;
+  Simulator sim(scenario_sim_config(config.base));
   OriginServer origin(sim, make_origin_config(config.base.origin_history));
   PollingEngine engine(sim, origin, config.base.engine);
+  engine.set_poll_log_retention(config.base.poll_log_retention);
 
   origin.attach_update_trace(trace_a.name(), trace_a);
   origin.attach_update_trace(trace_b.name(), trace_b);
@@ -109,11 +138,14 @@ MutualTemporalRunResult run_mutual_temporal(
     }
   }
 
-  // Evaluate the pair over the window both traces cover.
-  const Duration horizon =
-      std::min(trace_a.duration(), trace_b.duration());
+  // Evaluate the pair over the window both traces cover (or the explicit
+  // scenario duration, capped at that window for ground-truth fidelity).
+  const Duration covered = std::min(trace_a.duration(), trace_b.duration());
+  const Duration run_horizon =
+      config.base.duration > 0.0 ? config.base.duration : covered;
+  const Duration horizon = std::min(covered, run_horizon);
   engine.start();
-  sim.run_until(horizon);
+  sim.run_until(run_horizon);
 
   MutualTemporalRunResult result;
   result.polls = engine.polls_performed();
@@ -132,9 +164,10 @@ MutualTemporalRunResult run_mutual_temporal(
 
 ValueRunResult run_value_individual(const ValueTrace& trace,
                                     const ValueRunConfig& config) {
-  Simulator sim;
+  Simulator sim(scenario_sim_config(config));
   OriginServer origin(sim);
   PollingEngine engine(sim, origin, config.engine);
+  engine.set_poll_log_retention(config.poll_log_retention);
 
   origin.attach_value_trace(trace.name(), trace);
   AdaptiveValueTtrPolicy::Config policy;
@@ -144,22 +177,26 @@ ValueRunResult run_value_individual(const ValueTrace& trace,
   policy.alpha = config.alpha;
   engine.add_value_object(trace.name(), policy);
   engine.start();
-  sim.run_until(trace.duration());
+  const Duration horizon =
+      config.duration > 0.0 ? std::min(config.duration, trace.duration())
+                            : trace.duration();
+  sim.run_until(horizon);
 
   ValueRunResult result;
   result.polls = engine.polls_performed(trace.name());
   result.fidelity = evaluate_value_fidelity(
       trace, successful_polls(engine.poll_log(), trace.name()),
-      config.delta, trace.duration());
+      config.delta, horizon);
   return result;
 }
 
 MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
                                       const ValueTrace& trace_b,
                                       const MutualValueRunConfig& config) {
-  Simulator sim;
+  Simulator sim(scenario_sim_config(config));
   OriginServer origin(sim);
   PollingEngine engine(sim, origin, config.engine);
+  engine.set_poll_log_retention(config.poll_log_retention);
 
   origin.attach_value_trace(trace_a.name(), trace_a);
   origin.attach_value_trace(trace_b.name(), trace_b);
@@ -190,8 +227,9 @@ MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
     }
   }
 
+  const Duration covered = std::min(trace_a.duration(), trace_b.duration());
   const Duration horizon =
-      std::min(trace_a.duration(), trace_b.duration());
+      config.duration > 0.0 ? std::min(config.duration, covered) : covered;
   engine.start();
   sim.run_until(horizon);
 
@@ -209,32 +247,27 @@ MutualValueRunResult run_mutual_value(const ValueTrace& trace_a,
   return result;
 }
 
-FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
-                                  const FleetRunConfig& config) {
-  BROADWAY_CHECK_MSG(!traces.empty(), "fleet run needs >= 1 trace");
-  Simulator sim;
-  OriginServer origin(sim, make_origin_config(config.base.origin_history));
+namespace {
 
+FleetConfig make_fleet_config(const FleetRunConfig& config) {
   FleetConfig fleet_config;
   fleet_config.proxies = config.proxies;
   fleet_config.cooperative_push = config.cooperative_push;
   fleet_config.relay_latency = config.relay_latency;
   fleet_config.engine = config.base.engine;
-  ProxyFleet fleet(sim, origin, fleet_config);
+  fleet_config.poll_log_retention = config.base.poll_log_retention;
+  return fleet_config;
+}
 
-  Duration horizon = 0.0;
-  for (const UpdateTrace& trace : traces) {
-    origin.attach_update_trace(trace.name(), trace);
-    fleet.add_temporal_object_everywhere(trace.name(), [&config] {
-      return std::make_unique<LimdPolicy>(make_limd_config(config.base));
-    });
-    horizon = std::max(horizon, trace.duration());
-  }
-  fleet.start();
-  sim.run_until(horizon);
-
+/// Shared fleet-side accounting + fidelity evaluation; works on both
+/// ProxyFleet and ShardedFleet (identical accessor surface).
+template <typename Fleet>
+FleetRunResult summarize_fleet(Fleet& fleet, std::size_t origin_requests,
+                               const std::vector<UpdateTrace>& traces,
+                               const FleetRunConfig& config,
+                               Duration horizon) {
   FleetRunResult result;
-  result.origin_requests = origin.requests_served();
+  result.origin_requests = origin_requests;
   result.origin_polls = fleet.origin_polls();
   result.origin_polls_per_second =
       fleet.origin_load().polls_per_second(horizon);
@@ -247,7 +280,8 @@ FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
       const auto polls =
           successful_polls(fleet.proxy(p).poll_log(), trace.name());
       const TemporalFidelityReport report = evaluate_temporal_fidelity(
-          trace, polls, config.base.delta, trace.duration());
+          trace, polls, config.base.delta,
+          std::min(trace.duration(), horizon));
       sum_time += report.fidelity_time();
       sum_violations += report.fidelity_violations();
       result.min_fidelity_time =
@@ -258,6 +292,114 @@ FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
       static_cast<double>(fleet.size()) * static_cast<double>(traces.size());
   result.mean_fidelity_time = sum_time / pairs;
   result.mean_fidelity_violations = sum_violations / pairs;
+  return result;
+}
+
+}  // namespace
+
+FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
+                                  const FleetRunConfig& config) {
+  BROADWAY_CHECK_MSG(!traces.empty(), "fleet run needs >= 1 trace");
+  Simulator sim(scenario_sim_config(config.base));
+  OriginServer origin(sim, make_origin_config(config.base.origin_history));
+  ProxyFleet fleet(sim, origin, make_fleet_config(config));
+
+  for (const UpdateTrace& trace : traces) {
+    origin.attach_update_trace(trace.name(), trace);
+    fleet.add_temporal_object_everywhere(trace.name(), [&config] {
+      return std::make_unique<LimdPolicy>(make_limd_config(config.base));
+    });
+  }
+  const Duration horizon = scenario_horizon(config.base, traces);
+  fleet.start();
+  sim.run_until(horizon);
+
+  return summarize_fleet(fleet, origin.requests_served(), traces, config,
+                         horizon);
+}
+
+ClientFleetRunResult run_fleet_client_temporal(
+    const std::vector<UpdateTrace>& traces,
+    const ClientFleetRunConfig& config) {
+  BROADWAY_CHECK_MSG(!traces.empty(), "fleet run needs >= 1 trace");
+  const Duration horizon = scenario_horizon(config.fleet.base, traces);
+
+  // One seed pins the run: the engine keeps EngineConfig::seed, while the
+  // stochastic layers above it derive from the scenario seed.
+  FleetConfig fleet_config = make_fleet_config(config.fleet);
+  ClientTrafficConfig client = config.client;
+  client.seed = config.fleet.base.seed;
+  fleet_config.client_traffic = client;
+  ReadTransactionConfig transactions = config.transactions;
+  transactions.seed = config.fleet.base.seed + 1;
+  if (transactions.rate > 0.0) {
+    BROADWAY_CHECK_MSG(config.fleet.base.poll_log_retention == 0,
+                       "read transactions need full poll logs");
+  }
+
+  const auto add_objects = [&traces, &config](auto& fleet) {
+    for (const UpdateTrace& trace : traces) {
+      fleet.add_temporal_object_everywhere(trace.name(), [&config] {
+        return std::make_unique<LimdPolicy>(
+            make_limd_config(config.fleet.base));
+      });
+    }
+  };
+  const auto evaluate_transactions = [&](auto& fleet) {
+    TransactionStats stats;
+    if (transactions.rate <= 0.0) return stats;
+    std::vector<const PollLog*> logs;
+    logs.reserve(fleet.size());
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      logs.push_back(&fleet.proxy(p).poll_log());
+    }
+    return evaluate_read_transactions(logs, transactions, horizon);
+  };
+
+  ClientFleetRunResult result;
+  if (config.threads <= 1) {
+    Simulator sim(scenario_sim_config(config.fleet.base));
+    OriginServer origin(sim,
+                        make_origin_config(config.fleet.base.origin_history));
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+    }
+    ProxyFleet fleet(sim, origin, fleet_config);
+    add_objects(fleet);
+    fleet.start();
+    sim.run_until(horizon);
+
+    result.fleet = summarize_fleet(fleet, origin.requests_served(), traces,
+                                   config.fleet, horizon);
+    result.clients = fleet.merged_client_metrics();
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      result.per_proxy_clients.push_back(fleet.client_traffic().metrics(p));
+    }
+    result.transactions = evaluate_transactions(fleet);
+  } else {
+    ShardedFleetConfig sharded;
+    sharded.fleet = fleet_config;
+    sharded.threads = config.threads;
+    sharded.scheduler = config.fleet.base.scheduler;
+    sharded.origin = make_origin_config(config.fleet.base.origin_history);
+    sharded.origin_setup = [&traces](OriginServer& origin) {
+      for (const UpdateTrace& trace : traces) {
+        origin.attach_update_trace(trace.name(), trace);
+      }
+    };
+    ShardedFleet fleet(std::move(sharded));
+    add_objects(fleet);
+    fleet.start();
+    fleet.run_until(horizon);
+
+    result.fleet = summarize_fleet(fleet, fleet.origin_requests(), traces,
+                                   config.fleet, horizon);
+    result.clients = fleet.merged_client_metrics();
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      result.per_proxy_clients.push_back(fleet.client_metrics(p));
+    }
+    result.transactions = evaluate_transactions(fleet);
+  }
   return result;
 }
 

@@ -5,23 +5,51 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "client/client_metrics.h"
+#include "client/client_traffic.h"
+#include "client/read_transactions.h"
 #include "consistency/types.h"
 #include "metrics/fidelity.h"
 #include "metrics/mutual_fidelity.h"
 #include "metrics/value_fidelity.h"
 #include "proxy/polling_engine.h"
+#include "sim/simulator.h"
 #include "trace/update_trace.h"
 #include "trace/value_trace.h"
 
 namespace broadway {
 
+// ---------- shared scenario knobs ----------
+
+/// Knobs every run_* scenario shares.  The per-approach configs below
+/// derive from this instead of each repeating the fields; configs that
+/// embed a TemporalRunConfig (`base`) carry their scenario knobs there.
+struct ScenarioBase {
+  /// Simulated horizon; 0 = derive from the trace(s) — the per-runner
+  /// default documented on each runner.
+  Duration duration = 0.0;
+  /// Experiment-level seed for stochastic layers above the engine (client
+  /// traffic, transaction sampling).  The engine's loss-injection stream
+  /// keeps its own EngineConfig::seed.
+  std::uint64_t seed = 42;
+  /// Event-queue backend override; unset = the Simulator default (the
+  /// BROADWAY_SCHEDULER environment knob).
+  std::optional<SchedulerBackend> scheduler;
+  /// Per-object poll-log retention window (0 = unlimited).  Bounds
+  /// memory on long horizons; counters stay exact, record series shorten.
+  std::size_t poll_log_retention = 0;
+  /// Engine failure/latency model.
+  EngineConfig engine;
+};
+
 // ---------- individual temporal (paper §6.2.1, Fig. 3 / Fig. 4) ----------
 
 /// Configuration of one Δt run.
-struct TemporalRunConfig {
+struct TemporalRunConfig : ScenarioBase {
   /// Δt tolerance.
   Duration delta = 600.0;
   /// TTR upper bound (TTR_min is Δ, as in the paper).
@@ -35,8 +63,6 @@ struct TemporalRunConfig {
   /// modification-history extension (the A1 ablation toggles these).
   ViolationDetection detection = ViolationDetection::kExactHistory;
   bool origin_history = true;
-  /// Engine failure/latency model.
-  EngineConfig engine;
 };
 
 /// Result of one Δt run.
@@ -98,7 +124,7 @@ MutualTemporalRunResult run_mutual_temporal(
 
 // ---------- individual value (paper §4.1) ----------
 
-struct ValueRunConfig {
+struct ValueRunConfig : ScenarioBase {
   /// Δv tolerance (value units).
   double delta = 1.0;
   /// TTR bounds (seconds).  Stock traces tick every few seconds; TTR_min
@@ -109,7 +135,6 @@ struct ValueRunConfig {
   /// Eq. 10 parameters.
   double smoothing_w = 0.5;
   double alpha = 0.7;
-  EngineConfig engine;
 };
 
 struct ValueRunResult {
@@ -128,14 +153,13 @@ enum class MutualValueApproach {
   kPartitioned,  ///< δ split across objects (linear f)
 };
 
-struct MutualValueRunConfig {
+struct MutualValueRunConfig : ScenarioBase {
   /// Mv tolerance δ on f (the paper sweeps $0.25–$5 with f = difference).
   double delta = 1.0;
   TtrBounds bounds{1.0, 300.0};
   double smoothing_w = 0.5;
   double alpha = 0.7;
   MutualValueApproach approach = MutualValueApproach::kPartitioned;
-  EngineConfig engine;
   /// Collect the Fig. 8 (time, f_server, f_proxy) series.
   bool collect_series = false;
 };
@@ -187,5 +211,47 @@ struct FleetRunResult {
 /// its own trace horizon.
 FleetRunResult run_fleet_temporal(const std::vector<UpdateTrace>& traces,
                                   const FleetRunConfig& config);
+
+// ---------- fleet + client traffic (§6.1.1 request streams) ----------
+
+/// One fleet run with client request streams layered on top: every proxy
+/// serves a Poisson stream of simulated-client reads (client/
+/// client_traffic.h), and an offline pass samples k-object read
+/// transactions against the δ-group bound (client/read_transactions.h).
+struct ClientFleetRunConfig {
+  /// The fleet under test.  Scenario knobs (duration, seed, scheduler,
+  /// retention) live in fleet.base; the client and transaction seeds
+  /// derive from fleet.base.seed so one seed pins the whole run.
+  FleetRunConfig fleet;
+  /// Client traffic shape (rate, Zipf exponent, diurnal profile,
+  /// clients_per_proxy, record_requests).  `seed` is overridden with
+  /// fleet.base.seed; `popularity` empty = Zipf over the hosted objects.
+  ClientTrafficConfig client;
+  /// Read-transaction sampling (rate 0 = skip the transaction pass).
+  /// `seed` is overridden with fleet.base.seed + 1.  Requires
+  /// fleet.base.poll_log_retention == 0 (full serve series).
+  ReadTransactionConfig transactions;
+  /// Worker threads: 1 = single-simulator ProxyFleet; > 1 = ShardedFleet
+  /// with this many workers.  Results are byte-identical either way.
+  std::size_t threads = 1;
+};
+
+struct ClientFleetRunResult {
+  /// The usual fleet-side accounting and proxy fidelity.
+  FleetRunResult fleet;
+  /// Fleet-wide client-observed metrics (hits, age, staleness), merged
+  /// in ascending global proxy id order.
+  ClientMetrics clients;
+  /// Per-proxy client metrics, indexed by global proxy id.
+  std::vector<ClientMetrics> per_proxy_clients;
+  /// Mutual-consistency evaluation of sampled read transactions
+  /// (zero-initialised when transactions.rate == 0).
+  TransactionStats transactions;
+};
+
+/// Run a fleet with client traffic over the traces.  The horizon is
+/// fleet.base.duration when set, else the longest trace horizon.
+ClientFleetRunResult run_fleet_client_temporal(
+    const std::vector<UpdateTrace>& traces, const ClientFleetRunConfig& config);
 
 }  // namespace broadway

@@ -107,6 +107,13 @@ class OriginServer {
   const ObjectStore& store() const { return store_; }
   ObjectStore& store() { return store_; }
 
+  /// Hosted object for an interned id; nullptr when the table interned a
+  /// uri this origin does not host (e.g. a proxy-only registration).
+  /// O(1) — the client layer's ground-truth read.
+  const VersionedObject* object_by_id(ObjectId id) const {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
+
   const Config& config() const { return config_; }
   void set_config(Config config) { config_ = config; }
 

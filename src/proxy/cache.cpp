@@ -61,14 +61,19 @@ const CacheEntry& ProxyCache::at(const std::string& uri) const {
   return *entry;
 }
 
-const CacheEntry* ProxyCache::lookup_counted(const std::string& uri) {
-  const CacheEntry* entry = find(uri);
+const CacheEntry* ProxyCache::lookup_counted(ObjectId id) {
+  const CacheEntry* entry =
+      id == kInvalidObjectId ? nullptr : find(id);
   if (entry != nullptr) {
     ++hits_;
   } else {
     ++misses_;
   }
   return entry;
+}
+
+const CacheEntry* ProxyCache::lookup_counted(const std::string& uri) {
+  return lookup_counted(table_->find(uri));
 }
 
 std::vector<std::string> ProxyCache::uris() const {

@@ -76,7 +76,10 @@ class ProxyCache {
   }
   std::size_t size() const { return count_; }
 
-  /// Hit/miss accounting for client-facing reads.
+  /// Hit/miss accounting for client-facing reads.  The id overload is
+  /// the client-traffic hot path (one bounds check, one indexed load);
+  /// the string overload translates through the shared table.
+  const CacheEntry* lookup_counted(ObjectId id);
   const CacheEntry* lookup_counted(const std::string& uri);
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }

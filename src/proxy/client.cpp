@@ -4,6 +4,22 @@
 
 namespace broadway {
 
+ClientWorkload::Config ClientWorkload::Config::from_uris(
+    const OriginServer& origin, double request_rate,
+    const std::map<std::string, double>& popularity, std::uint64_t seed) {
+  Config config;
+  config.request_rate = request_rate;
+  config.seed = seed;
+  config.popularity.reserve(popularity.size());
+  for (const auto& [uri, weight] : popularity) {
+    const ObjectId id = origin.uri_table().find(uri);
+    BROADWAY_CHECK_MSG(id != kInvalidObjectId,
+                       uri << " is not interned at the origin");
+    config.popularity.push_back({id, weight});
+  }
+  return config;
+}
+
 ClientWorkload::ClientWorkload(Simulator& sim, ProxyCache& cache,
                                const OriginServer& origin, Config config)
     : sim_(sim),
@@ -18,10 +34,16 @@ ClientWorkload::ClientWorkload(Simulator& sim, ProxyCache& cache,
   BROADWAY_CHECK_MSG(config_.request_rate > 0.0,
                      "rate " << config_.request_rate);
   BROADWAY_CHECK_MSG(!config_.popularity.empty(), "no objects to request");
-  for (const auto& [uri, weight] : config_.popularity) {
-    BROADWAY_CHECK_MSG(weight >= 0.0, "negative popularity for " << uri);
-    uris_.push_back(uri);
-    weights_.push_back(weight);
+  for (const ObjectWeight& entry : config_.popularity) {
+    // Fail fast: a ground-truth read needs the origin to host the object,
+    // and an id the table never handed out can only be a caller bug.
+    BROADWAY_CHECK_MSG(origin_.object_by_id(entry.object) != nullptr,
+                       "popularity object " << entry.object
+                                            << " not hosted at the origin");
+    BROADWAY_CHECK_MSG(entry.weight >= 0.0, "negative popularity for "
+                                                << entry.object);
+    objects_.push_back(entry.object);
+    weights_.push_back(entry.weight);
   }
 }
 
@@ -32,32 +54,13 @@ void ClientWorkload::start() {
 void ClientWorkload::stop() { task_.stop(); }
 
 void ClientWorkload::issue_request() {
-  const std::string& uri = uris_[rng_.weighted_index(weights_)];
-  ++stats_.requests;
-
-  const CacheEntry* entry = cache_.lookup_counted(uri);
-  if (entry == nullptr) {
-    ++stats_.misses;
-    return;
-  }
-  ++stats_.hits;
-
-  // Ground-truth freshness: the copy reflects origin state at
-  // snapshot_time; it is stale iff the origin modified the object after
-  // that snapshot.
-  const VersionedObject* object = origin_.store().find(uri);
-  BROADWAY_CHECK_MSG(object != nullptr, "cached object missing at origin");
-  if (object->modified_since(entry->snapshot_time)) {
-    ++stats_.stale;
-    // Lag: how long ago the first unseen update happened.
-    const auto& mods = object->modifications();
-    auto first_unseen = std::upper_bound(mods.begin(), mods.end(),
-                                         entry->snapshot_time);
-    BROADWAY_CHECK(first_unseen != mods.end());
-    stats_.staleness.add(sim_.now() - *first_unseen);
-  } else {
-    ++stats_.fresh;
-  }
+  const ObjectId object = objects_[rng_.weighted_index(weights_)];
+  const CacheEntry* entry = cache_.lookup_counted(object);
+  const ClientReadSample sample = classify_client_read(
+      sim_.now(), entry != nullptr,
+      entry != nullptr ? entry->snapshot_time : 0.0,
+      origin_.object_by_id(object));
+  record_client_read(stats_, sample);
 }
 
 }  // namespace broadway

@@ -1,36 +1,34 @@
-// Client request workload against the proxy cache.
+// Client request workload against a single proxy cache.
 //
 // The paper's simulator "simulates a proxy cache that receives requests
 // from several clients" (§6.1.1); its metrics are poll counts and fidelity,
 // but the examples in this repository also report the staleness clients
 // actually observe.  This generator issues a Poisson stream of requests
-// over a weighted object set and records, for each request, whether the
-// served copy was fresh (identical to the origin's current version) and by
-// how much it lagged.
+// over a weighted object set and classifies each served copy against the
+// origin's ground truth (see client/client_metrics.h).
+//
+// Popularity is id-keyed: Config carries ObjectWeight entries resolved
+// through the shared UriTable, so the request path is a dense indexed
+// lookup with no hashing — the same PR 3/5 surface pattern as the cache,
+// poll log and coordinator dispatch.  Config::from_uris is the string
+// translating wrapper; unknown uris fail fast at construction instead of
+// silently getting zero traffic.  For traffic over a whole ProxyFleet use
+// client/client_traffic.h, which adds Zipf × diurnal shaping and
+// per-proxy aggregated streams.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "client/client_metrics.h"
 #include "origin/origin_server.h"
 #include "proxy/cache.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace broadway {
-
-/// Aggregate view of what clients experienced.
-struct ClientStats {
-  std::size_t requests = 0;
-  std::size_t hits = 0;          ///< served from cache
-  std::size_t misses = 0;        ///< object not cached at request time
-  std::size_t fresh = 0;         ///< served copy matched the origin version
-  std::size_t stale = 0;         ///< served copy lagged the origin
-  OnlineStats staleness;         ///< lag (s) of stale responses
-};
 
 /// Poisson client stream.  Construct, then `start()`, then run the
 /// simulator; read `stats()` afterwards.
@@ -39,10 +37,18 @@ class ClientWorkload {
   struct Config {
     /// Aggregate request rate (requests/s across all objects).
     double request_rate = 1.0;
-    /// Object popularity weights (uri -> weight).  Requests pick an object
-    /// with probability proportional to weight.
-    std::map<std::string, double> popularity;
+    /// Object popularity: requests pick an object with probability
+    /// proportional to weight.  Every object must be hosted by the
+    /// origin (checked at construction).
+    std::vector<ObjectWeight> popularity;
     std::uint64_t seed = 7;
+
+    /// Translating wrapper: resolve string-keyed weights through the
+    /// origin's shared UriTable.  Unknown uris are a CheckFailure —
+    /// a typo'd uri fails fast instead of draining traffic silently.
+    static Config from_uris(const OriginServer& origin, double request_rate,
+                            const std::map<std::string, double>& popularity,
+                            std::uint64_t seed = 7);
   };
 
   ClientWorkload(Simulator& sim, ProxyCache& cache,
@@ -57,7 +63,7 @@ class ClientWorkload {
   /// Stop issuing further requests.
   void stop();
 
-  const ClientStats& stats() const { return stats_; }
+  const ClientMetrics& stats() const { return stats_; }
 
  private:
   Simulator& sim_;
@@ -65,10 +71,10 @@ class ClientWorkload {
   const OriginServer& origin_;
   Config config_;
   Rng rng_;
-  std::vector<std::string> uris_;
+  std::vector<ObjectId> objects_;
   std::vector<double> weights_;
   PeriodicTask task_;
-  ClientStats stats_;
+  ClientMetrics stats_;
 
   void issue_request();
 };

@@ -315,6 +315,16 @@ bool PollingEngine::apply_relay(ObjectId id, const Response& response,
   return true;
 }
 
+PollingEngine::ClientRead PollingEngine::serve_client_read(ObjectId id) {
+  ClientRead read;
+  const CacheEntry* entry = cache_.lookup_counted(id);
+  if (entry == nullptr) return read;
+  read.hit = true;
+  read.snapshot = entry->snapshot_time;
+  read.visible = entry->stored_time;
+  return read;
+}
+
 PollOutcome PollingEngine::apply_outcome(TrackedObject& object,
                                          const Response& response,
                                          PollCause cause, TimePoint snapshot,

@@ -234,6 +234,24 @@ class PollingEngine {
     return apply_relay(uris_.find(uri), response, snapshot);
   }
 
+  /// One client read served by this proxy at the current instant.
+  struct ClientRead {
+    bool hit = false;
+    /// Server-state instant of the served copy.  A relay-delivered copy
+    /// reports the *relayed* snapshot (the sender's poll fire time) —
+    /// delivery latency is never credited as freshness.
+    TimePoint snapshot = 0.0;
+    /// When the copy became usable at this proxy (snapshot + rtt for own
+    /// polls; the delivery instant for relays).
+    TimePoint visible = 0.0;
+  };
+
+  /// Serve a client read of `id` from the cache, counting it in the
+  /// cache's hit/miss accounting.  The request hook of the client traffic
+  /// layer (src/client/) — read-only: a miss does not trigger a fetch
+  /// (the paper's proxy polls by policy, it does not fault on demand).
+  ClientRead serve_client_read(ObjectId id);
+
   // ---- results ----
 
   /// The indexed poll log (vector-compatible reads; see PollLog).

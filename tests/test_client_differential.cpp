@@ -1,0 +1,277 @@
+// Client-traffic differential tests: the sharded fleet must reproduce
+// the single-simulator fleet's client-side observations byte for byte.
+//
+// The poll-log differential (test_sharded_differential.cpp) pins the
+// proxy-side streams; this file pins the layer above them — per-proxy
+// ClientMetrics (including the floating-point OnlineStats), the merged
+// fleet metrics, the recorded request streams, and the read-transaction
+// evaluation derived from the logs — across {1, 2, 4, 8} worker threads
+// and both scheduler backends.  Client streams are seeded and tagged by
+// global proxy id and read only shard-local state, so determinism holds
+// by construction; these tests are the teeth.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client_metrics.h"
+#include "client/client_traffic.h"
+#include "client/read_transactions.h"
+#include "consistency/limd.h"
+#include "fleet/proxy_fleet.h"
+#include "fleet/sharded_fleet.h"
+#include "origin/origin_server.h"
+#include "proxy/polling_engine.h"
+#include "sim/simulator.h"
+#include "trace/diurnal.h"
+#include "trace/update_trace.h"
+#include "util/rng.h"
+
+namespace broadway {
+namespace {
+
+// Set an environment variable for the current scope (the CI matrix
+// idiom; see test_scheduler_differential.cpp).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    had_previous_ = old != nullptr;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_previous_) {
+      ::setenv(name_, previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+constexpr Duration kHorizon = 9000.0;
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+UpdateTrace irregular_trace(const std::string& name, std::uint64_t seed,
+                            Duration horizon) {
+  Rng rng(seed);
+  std::vector<TimePoint> updates;
+  TimePoint t = 0.0;
+  for (;;) {
+    t += rng.uniform(40.0, 900.0);
+    if (t >= horizon) break;
+    updates.push_back(t);
+  }
+  return UpdateTrace(name, std::move(updates), horizon);
+}
+
+struct Topology {
+  std::size_t proxies = 0;
+  std::vector<UpdateTrace> traces;
+};
+
+Topology random_topology(std::uint64_t seed) {
+  Rng rng(seed);
+  Topology topo;
+  topo.proxies = 3 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  const std::size_t objects =
+      2 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  for (std::size_t o = 0; o < objects; ++o) {
+    topo.traces.push_back(irregular_trace("/object/" + std::to_string(o),
+                                          seed * 100 + o, kHorizon));
+  }
+  return topo;
+}
+
+FleetConfig fleet_config(std::size_t proxies) {
+  FleetConfig config;
+  config.proxies = proxies;
+  config.cooperative_push = true;
+  // Non-harmonic constants, as in the poll-log differential.
+  config.relay_latency = 0.7;
+  config.engine.rtt = 0.1;
+  config.engine.loss_probability = 0.05;
+  config.engine.retry_delay = 2.0;
+
+  ClientTrafficConfig traffic;
+  traffic.request_rate = 1.5;
+  traffic.zipf_exponent = 0.9;
+  traffic.profile = DiurnalProfile::newsroom();
+  traffic.start_hour = 9.0;  // start inside the busy hours
+  traffic.seed = 17;
+  traffic.record_requests = true;
+  config.client_traffic = traffic;
+  return config;
+}
+
+ProxyFleet::PolicyFactory limd_factory() {
+  return [] {
+    return std::make_unique<LimdPolicy>(
+        LimdPolicy::Config::paper_defaults(600.0));
+  };
+}
+
+struct Artifacts {
+  std::vector<ClientMetrics> per_proxy;
+  ClientMetrics merged;
+  std::vector<ClientRequestRecord> records;
+  TransactionStats transactions;
+};
+
+ReadTransactionConfig transaction_config() {
+  ReadTransactionConfig config;
+  config.rate = 0.05;
+  config.objects = 3;
+  config.delta = 300.0;
+  config.seed = 23;
+  return config;
+}
+
+template <typename Fleet>
+TransactionStats evaluate_transactions(Fleet& fleet) {
+  std::vector<const PollLog*> logs;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    logs.push_back(&fleet.proxy(p).poll_log());
+  }
+  return evaluate_read_transactions(logs, transaction_config(), kHorizon);
+}
+
+Artifacts reference_run(const Topology& topo, Duration horizon) {
+  Simulator sim;
+  OriginServer origin(sim);
+  for (const UpdateTrace& trace : topo.traces) {
+    origin.attach_update_trace(trace.name(), trace);
+  }
+  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies));
+  const auto factory = limd_factory();
+  for (const UpdateTrace& trace : topo.traces) {
+    fleet.add_temporal_object_everywhere(trace.name(), factory);
+  }
+  fleet.start();
+  sim.run_until(horizon);
+
+  Artifacts artifacts;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    artifacts.per_proxy.push_back(fleet.client_traffic().metrics(p));
+  }
+  artifacts.merged = fleet.merged_client_metrics();
+  artifacts.records = fleet.merged_client_records();
+  artifacts.transactions = evaluate_transactions(fleet);
+  return artifacts;
+}
+
+Artifacts sharded_run(const Topology& topo, std::size_t threads,
+                      Duration horizon) {
+  ShardedFleetConfig config;
+  config.fleet = fleet_config(topo.proxies);
+  config.threads = threads;
+  config.origin_setup = [traces = topo.traces](OriginServer& origin) {
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+    }
+  };
+  ShardedFleet fleet(std::move(config));
+  const auto factory = limd_factory();
+  for (const UpdateTrace& trace : topo.traces) {
+    fleet.add_temporal_object_everywhere(trace.name(), factory);
+  }
+  fleet.start();
+  fleet.run_until(horizon);
+
+  Artifacts artifacts;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    artifacts.per_proxy.push_back(fleet.client_metrics(p));
+  }
+  artifacts.merged = fleet.merged_client_metrics();
+  artifacts.records = fleet.merged_client_records();
+  artifacts.transactions = evaluate_transactions(fleet);
+  return artifacts;
+}
+
+// Every double compared with ==: the bar is byte-identical, not close.
+void expect_stats_identical(const OnlineStats& a, const OnlineStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void expect_metrics_identical(const ClientMetrics& a, const ClientMetrics& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.fresh, b.fresh);
+  EXPECT_EQ(a.stale, b.stale);
+  expect_stats_identical(a.age, b.age);
+  expect_stats_identical(a.staleness, b.staleness);
+}
+
+void expect_artifacts_identical(const Artifacts& reference,
+                                const Artifacts& candidate) {
+  ASSERT_EQ(reference.per_proxy.size(), candidate.per_proxy.size());
+  for (std::size_t p = 0; p < reference.per_proxy.size(); ++p) {
+    SCOPED_TRACE("proxy " + std::to_string(p));
+    expect_metrics_identical(reference.per_proxy[p], candidate.per_proxy[p]);
+  }
+  expect_metrics_identical(reference.merged, candidate.merged);
+
+  ASSERT_EQ(reference.records.size(), candidate.records.size());
+  for (std::size_t i = 0; i < reference.records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    const ClientRequestRecord& a = reference.records[i];
+    const ClientRequestRecord& b = candidate.records[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.proxy, b.proxy);
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.object, b.object);
+    EXPECT_EQ(a.read.hit, b.read.hit);
+    EXPECT_EQ(a.read.fresh, b.read.fresh);
+    EXPECT_EQ(a.read.snapshot, b.read.snapshot);
+    EXPECT_EQ(a.read.age, b.read.age);
+    EXPECT_EQ(a.read.staleness, b.read.staleness);
+  }
+
+  EXPECT_EQ(reference.transactions.transactions,
+            candidate.transactions.transactions);
+  EXPECT_EQ(reference.transactions.complete, candidate.transactions.complete);
+  EXPECT_EQ(reference.transactions.incomplete,
+            candidate.transactions.incomplete);
+  EXPECT_EQ(reference.transactions.violations,
+            candidate.transactions.violations);
+  expect_stats_identical(reference.transactions.spread,
+                         candidate.transactions.spread);
+}
+
+TEST(ClientDifferential, ByteIdenticalAcrossThreadCountsAndSchedulers) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    for (const std::uint64_t seed : {13u, 29u}) {
+      SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                   std::to_string(seed));
+      const Topology topo = random_topology(seed);
+      const Artifacts reference = reference_run(topo, kHorizon);
+      // The workload must actually exercise the interesting paths.
+      ASSERT_GT(reference.merged.requests, 0u);
+      ASSERT_GT(reference.merged.hits, 0u);
+      ASSERT_GT(reference.transactions.complete, 0u);
+      for (const std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expect_artifacts_identical(reference,
+                                   sharded_run(topo, threads, kHorizon));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace broadway

@@ -72,6 +72,126 @@ TEST(Harness, MutualRunReportsIndividualFidelity) {
   EXPECT_FALSE(result.poll_log.empty());
 }
 
+// ---- ScenarioBase knobs ----------------------------------------------------
+
+TEST(Harness, DurationKnobTruncatesTheRun) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  TemporalRunConfig config;
+  config.delta = minutes(10.0);
+  const auto full = run_limd_individual(trace, config);
+  config.duration = trace.duration() / 2.0;
+  const auto half = run_limd_individual(trace, config);
+  EXPECT_LT(half.polls, full.polls);
+  EXPECT_GT(half.polls, 0u);
+}
+
+TEST(Harness, SchedulerKnobIsResultInvariant) {
+  // The calendar queue is pinned event-for-event against the heap, so an
+  // explicit backend override must not change any result.
+  const UpdateTrace trace = make_cnn_fn_trace();
+  TemporalRunConfig config;
+  config.delta = minutes(10.0);
+  config.scheduler = SchedulerBackend::kBinaryHeap;
+  const auto heap = run_limd_individual(trace, config);
+  config.scheduler = SchedulerBackend::kCalendar;
+  const auto calendar = run_limd_individual(trace, config);
+  EXPECT_EQ(heap.polls, calendar.polls);
+  EXPECT_EQ(heap.ttr_series, calendar.ttr_series);
+  EXPECT_DOUBLE_EQ(heap.fidelity.fidelity_time(),
+                   calendar.fidelity.fidelity_time());
+}
+
+TEST(Harness, RetentionKnobKeepsPollCountsExact) {
+  const UpdateTrace trace = make_cnn_fn_trace();
+  TemporalRunConfig config;
+  config.delta = minutes(10.0);
+  const auto unlimited = run_limd_individual(trace, config);
+  config.poll_log_retention = 4;
+  const auto windowed = run_limd_individual(trace, config);
+  // Counters never rewind under eviction; only record series shorten.
+  EXPECT_EQ(windowed.polls, unlimited.polls);
+}
+
+// ---- fleet + client traffic ------------------------------------------------
+
+namespace client_fleet {
+
+std::vector<UpdateTrace> synthetic_traces() {
+  std::vector<UpdateTrace> traces;
+  for (int o = 0; o < 3; ++o) {
+    std::vector<TimePoint> updates;
+    for (TimePoint t = 120.0 + 70.0 * o; t < 6000.0; t += 240.0 + 35.0 * o) {
+      updates.push_back(t);
+    }
+    traces.push_back(UpdateTrace("/object/" + std::to_string(o),
+                                 std::move(updates), 6000.0));
+  }
+  return traces;
+}
+
+ClientFleetRunConfig config() {
+  ClientFleetRunConfig config;
+  config.fleet.proxies = 3;
+  config.fleet.cooperative_push = true;
+  config.fleet.relay_latency = 0.7;
+  config.fleet.base.delta = 600.0;
+  config.fleet.base.engine.rtt = 0.1;
+  config.fleet.base.engine.loss_probability = 0.05;
+  config.fleet.base.engine.retry_delay = 2.0;
+  config.fleet.base.seed = 71;
+  config.client.request_rate = 1.0;
+  config.transactions.rate = 0.02;
+  config.transactions.objects = 2;
+  config.transactions.delta = 300.0;
+  return config;
+}
+
+}  // namespace client_fleet
+
+TEST(Harness, ClientFleetRunReportsClientSideMetrics) {
+  const auto traces = client_fleet::synthetic_traces();
+  const auto result =
+      run_fleet_client_temporal(traces, client_fleet::config());
+  EXPECT_GT(result.fleet.origin_polls, 0u);
+  EXPECT_GT(result.clients.requests, 0u);
+  EXPECT_GT(result.clients.hit_rate(), 0.0);
+  EXPECT_EQ(result.clients.fresh + result.clients.stale, result.clients.hits);
+  ASSERT_EQ(result.per_proxy_clients.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const ClientMetrics& per : result.per_proxy_clients) {
+    sum += per.requests;
+  }
+  EXPECT_EQ(sum, result.clients.requests);
+  EXPECT_GT(result.transactions.transactions, 0u);
+  EXPECT_EQ(result.transactions.complete + result.transactions.incomplete,
+            result.transactions.transactions);
+}
+
+TEST(Harness, ClientFleetRunIsIdenticalSingleSimAndSharded) {
+  const auto traces = client_fleet::synthetic_traces();
+  ClientFleetRunConfig config = client_fleet::config();
+  const auto reference = run_fleet_client_temporal(traces, config);
+  config.threads = 4;
+  const auto sharded = run_fleet_client_temporal(traces, config);
+
+  EXPECT_EQ(reference.fleet.origin_requests, sharded.fleet.origin_requests);
+  EXPECT_EQ(reference.fleet.origin_polls, sharded.fleet.origin_polls);
+  EXPECT_EQ(reference.fleet.relays_applied, sharded.fleet.relays_applied);
+  EXPECT_EQ(reference.fleet.mean_fidelity_time,
+            sharded.fleet.mean_fidelity_time);
+  EXPECT_EQ(reference.clients.requests, sharded.clients.requests);
+  EXPECT_EQ(reference.clients.hits, sharded.clients.hits);
+  EXPECT_EQ(reference.clients.stale, sharded.clients.stale);
+  EXPECT_EQ(reference.clients.age.mean(), sharded.clients.age.mean());
+  EXPECT_EQ(reference.clients.staleness.sum(), sharded.clients.staleness.sum());
+  EXPECT_EQ(reference.transactions.transactions,
+            sharded.transactions.transactions);
+  EXPECT_EQ(reference.transactions.violations,
+            sharded.transactions.violations);
+  EXPECT_EQ(reference.transactions.spread.mean(),
+            sharded.transactions.spread.mean());
+}
+
 TEST(Reporting, BannerFormat) {
   std::ostringstream os;
   print_banner(os, "Table 9");

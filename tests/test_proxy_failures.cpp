@@ -156,17 +156,17 @@ TEST(ClientWorkload, ObservesFreshAndStaleResponses) {
   engine.add_temporal_object("/page",
                              std::make_unique<FixedPollPolicy>(40.0));
 
-  ClientWorkload::Config client_config;
-  client_config.request_rate = 0.5;  // one every 2 s
-  client_config.popularity = {{"/page", 1.0}};
-  client_config.seed = 99;
-  ClientWorkload client(sim, engine.cache(), origin, client_config);
+  // 0.5 req/s: one every 2 s on average.
+  ClientWorkload client(sim, engine.cache(), origin,
+                        ClientWorkload::Config::from_uris(
+                            origin, /*request_rate=*/0.5, {{"/page", 1.0}},
+                            /*seed=*/99));
 
   engine.start();
   client.start();
   sim.run_until(2000.0);
 
-  const ClientStats& stats = client.stats();
+  const ClientMetrics& stats = client.stats();
   EXPECT_GT(stats.requests, 500u);
   EXPECT_EQ(stats.hits, stats.requests);  // everything was prefetched
   EXPECT_GT(stats.fresh, 0u);
@@ -184,15 +184,30 @@ TEST(ClientWorkload, MissesForUnregisteredObjects) {
   origin.add_object("/uncached");
   engine.add_temporal_object("/cached",
                              std::make_unique<FixedPollPolicy>(10.0));
-  ClientWorkload::Config config;
-  config.request_rate = 1.0;
-  config.popularity = {{"/cached", 1.0}, {"/uncached", 1.0}};
-  ClientWorkload client(sim, engine.cache(), origin, config);
+  ClientWorkload client(sim, engine.cache(), origin,
+                        ClientWorkload::Config::from_uris(
+                            origin, /*request_rate=*/1.0,
+                            {{"/cached", 1.0}, {"/uncached", 1.0}}));
   engine.start();
   client.start();
   sim.run_until(200.0);
   EXPECT_GT(client.stats().misses, 0u);
   EXPECT_GT(client.stats().hits, 0u);
+}
+
+TEST(ClientWorkload, UnknownUriFailsFastAtConstruction) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/real");
+  // A uri the origin never interned cannot silently get zero traffic.
+  EXPECT_THROW(ClientWorkload::Config::from_uris(origin, 1.0,
+                                                 {{"/tpyo", 1.0}}),
+               CheckFailure);
+  // Nor can a raw id the table never handed out.
+  ClientWorkload::Config config;
+  config.popularity = {{static_cast<ObjectId>(12345), 1.0}};
+  ProxyCache cache(origin.uri_table());
+  EXPECT_THROW(ClientWorkload(sim, cache, origin, config), CheckFailure);
 }
 
 }  // namespace

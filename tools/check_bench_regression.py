@@ -53,6 +53,10 @@ GATED = [
     "BM_ShardedFleetSweep/threads:2/real_time",
     "BM_ShardedFleetSweep/threads:4/real_time",
     "BM_ShardedFleetSweep/threads:8/real_time",
+    # Client traffic over a cooperative fleet: per-request cost of the
+    # thinning + Zipf sampling + cache-read + classification pipeline.
+    "BM_ClientFleetSweep/proxies:2",
+    "BM_ClientFleetSweep/proxies:8",
 ]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
