@@ -539,6 +539,142 @@ BENCHMARK(BM_ShardedFleetSweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Zero-relay topology under cooperative push: the proxies' working sets
+// are disjoint, so every relay fan-out is empty and a lookahead window
+// carries nothing — what remains is the pure per-window cost (cost
+// hints, batch dispatch, barrier, bound scan, mailbox exchange).  The
+// fixed policy pays horizon / relay_latency of those rounds; the
+// adaptive policy sees an infinite send bound and collapses the run to
+// one window, so the adaptive:0 / adaptive:1 ratio brackets the
+// windowing overhead the adaptive edge removes.
+void BM_ShardedWindowOverhead(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  constexpr std::size_t kProxies = 4;
+  constexpr std::size_t kObjectsPerProxy = 32;
+  const auto traces = std::make_shared<const std::vector<UpdateTrace>>(
+      make_sweep_traces(kProxies * kObjectsPerProxy));
+  std::int64_t polls = 0;
+  for (auto _ : state) {
+    ShardedFleetConfig config;
+    config.fleet.proxies = kProxies;
+    config.fleet.cooperative_push = true;
+    config.fleet.relay_latency = 5.0;  // 4000 fixed windows to the horizon
+    config.threads = 2;
+    config.window_policy =
+        adaptive ? WindowPolicy::kAdaptive : WindowPolicy::kFixed;
+    config.origin = bench_origin_config();
+    config.origin_setup = [traces](OriginServer& origin) {
+      for (const UpdateTrace& trace : *traces) {
+        origin.attach_update_trace(trace.name(), trace);
+      }
+    };
+    ShardedFleet fleet(config);
+    for (std::size_t p = 0; p < kProxies; ++p) {
+      for (std::size_t o = 0; o < kObjectsPerProxy; ++o) {
+        fleet.add_temporal_object(
+            p, (*traces)[p * kObjectsPerProxy + o].name(), [] {
+              return std::make_unique<LimdPolicy>(
+                  LimdPolicy::Config::paper_defaults(600.0));
+            });
+      }
+    }
+    fleet.start();
+    fleet.run_until(kSweepHorizon);
+    polls += static_cast<std::int64_t>(fleet.origin_polls());
+    benchmark::DoNotOptimize(fleet.relays_sent());
+  }
+  state.SetItemsProcessed(polls);
+}
+BENCHMARK(BM_ShardedWindowOverhead)
+    ->ArgName("adaptive")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Sparse-relay topology: each proxy polls its own private working set
+// (the bulk of the events) plus a few slowly-updating objects shared
+// fleet-wide — the only relay traffic.  The fixed policy still cuts the
+// run into horizon / relay_latency windows; the adaptive policy jumps
+// each edge to the next instant a shared pair can send, so the window
+// count tracks the actual cross-shard traffic.  The adaptive:0 vs
+// adaptive:1 pair at each thread count is the tentpole's headline
+// speedup; object partitioning keeps the private pairs spread across
+// more shards than proxies.
+void BM_ShardedSparseRelaySweep(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  constexpr std::size_t kProxies = 8;
+  constexpr std::size_t kPrivatePerProxy = 48;
+  constexpr std::size_t kShared = 4;
+  auto build_traces = [] {
+    std::vector<UpdateTrace> traces;
+    for (std::size_t i = 0; i < kShared; ++i) {
+      Rng rng(7000 + i);
+      std::vector<TimePoint> updates;
+      TimePoint t = 0.0;
+      for (;;) {
+        t += rng.uniform(2500.0, 6000.0);  // slow: LIMD TTRs stretch out
+        if (t >= kSweepHorizon) break;
+        updates.push_back(t);
+      }
+      traces.emplace_back("/shared/" + std::to_string(i),
+                          std::move(updates), kSweepHorizon);
+    }
+    std::vector<UpdateTrace> privates =
+        make_sweep_traces(kProxies * kPrivatePerProxy);
+    for (UpdateTrace& trace : privates) traces.push_back(std::move(trace));
+    return traces;
+  };
+  const auto traces =
+      std::make_shared<const std::vector<UpdateTrace>>(build_traces());
+  std::int64_t refreshes = 0;
+  for (auto _ : state) {
+    ShardedFleetConfig config;
+    config.fleet.proxies = kProxies;
+    config.fleet.cooperative_push = true;
+    config.fleet.relay_latency = 5.0;
+    config.threads = threads;
+    config.shards = kProxies + 4;  // object-partitioned layout
+    config.window_policy =
+        adaptive ? WindowPolicy::kAdaptive : WindowPolicy::kFixed;
+    config.origin = bench_origin_config();
+    config.origin_setup = [traces](OriginServer& origin) {
+      for (const UpdateTrace& trace : *traces) {
+        origin.attach_update_trace(trace.name(), trace);
+      }
+    };
+    ShardedFleet fleet(config);
+    const auto policy = [] {
+      return std::make_unique<LimdPolicy>(
+          LimdPolicy::Config::paper_defaults(600.0));
+    };
+    for (std::size_t i = 0; i < kShared; ++i) {
+      fleet.add_temporal_object_everywhere((*traces)[i].name(), policy);
+    }
+    for (std::size_t p = 0; p < kProxies; ++p) {
+      for (std::size_t o = 0; o < kPrivatePerProxy; ++o) {
+        fleet.add_temporal_object(
+            p, (*traces)[kShared + p * kPrivatePerProxy + o].name(), policy);
+      }
+    }
+    fleet.start();
+    fleet.run_until(kSweepHorizon);
+    refreshes += static_cast<std::int64_t>(fleet.origin_polls() +
+                                           fleet.relays_applied());
+    benchmark::DoNotOptimize(fleet.origin_load().origin_messages);
+  }
+  state.SetItemsProcessed(refreshes);
+}
+BENCHMARK(BM_ShardedSparseRelaySweep)
+    ->ArgNames({"threads", "adaptive"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // The client-traffic layer over a cooperative fleet: aggregated Poisson
 // streams (Zipf popularity, diurnal thinning) reading through every
 // proxy's cache while the polling engines refresh underneath.  The items

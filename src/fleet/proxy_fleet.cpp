@@ -185,9 +185,16 @@ void ProxyFleet::relay(std::size_t to, ObjectId object,
   auto message = std::make_shared<Response>(response);
   message->meta.own_history();
   ++relays_in_flight_;
+  // Deliveries to watched pairs feed the adaptive window bound: push the
+  // delivery time now, pop it when the message lands.  Sends are in time
+  // order and the latency is constant, so the FIFO stays sorted and the
+  // delivery lambdas pop in push order.
+  const bool watched = watched_dest(to, object);
+  if (watched) pending_watched_.push_back(sim_.now() + config_.relay_latency);
   sim_.schedule_after(config_.relay_latency,
-                      [this, to, object, message, snapshot] {
+                      [this, to, object, message, snapshot, watched] {
                         --relays_in_flight_;
+                        if (watched) pending_watched_.pop_front();
                         deliver(to, object, *message, snapshot);
                       });
 }

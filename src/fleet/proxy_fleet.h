@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -146,6 +147,22 @@ class ProxyFleet {
     deliver(to, object, response, snapshot);
   }
 
+  /// Mark the (local proxy, object) pairs whose relay *deliveries* can
+  /// cause a cross-fleet-visible send at the delivery instant (a delivery
+  /// can trigger δ-sibling polls, which may export).  `watch[local]` is a
+  /// per-ObjectId flag vector; pairs beyond its length are unwatched.
+  /// Pending latency-delayed relays to watched pairs contribute their
+  /// delivery times to next_watched_delivery(), the fleet's share of the
+  /// sharded driver's adaptive window bound.
+  void set_send_watch(std::vector<std::vector<bool>> watch) {
+    send_watch_ = std::move(watch);
+  }
+
+  /// Earliest pending watched relay delivery; kTimeInfinity when none.
+  TimePoint next_watched_delivery() const {
+    return pending_watched_.empty() ? kTimeInfinity : pending_watched_.front();
+  }
+
   // ---- accounting ----
 
   /// Aggregate origin load over every proxy's poll log.
@@ -218,6 +235,12 @@ class ProxyFleet {
   std::vector<std::size_t> proxy_ids_;  // local index -> global proxy id
   std::unique_ptr<FleetClientTraffic> client_traffic_;  // null = no clients
   RelayExporter relay_exporter_;
+  // Watched destination pairs (see set_send_watch) and the delivery times
+  // of in-flight relays headed to them, ascending.  The relay latency is
+  // a fleet constant, so schedule order is delivery order and a FIFO
+  // suffices.
+  std::vector<std::vector<bool>> send_watch_;
+  std::deque<TimePoint> pending_watched_;
   std::size_t relays_sent_ = 0;
   std::size_t relays_in_flight_ = 0;
   std::size_t relays_delivered_ = 0;
@@ -244,6 +267,11 @@ class ProxyFleet {
   /// (own poll or applied relay).
   void notify_groups(std::size_t proxy, ObjectId object,
                      const TemporalPollObservation& obs);
+
+  bool watched_dest(std::size_t to, ObjectId object) const {
+    return to < send_watch_.size() && object < send_watch_[to].size() &&
+           send_watch_[to][object];
+  }
 
   std::vector<CoordinatorHooks> hooks_by_proxy();
 };

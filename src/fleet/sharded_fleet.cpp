@@ -1,6 +1,8 @@
 #include "fleet/sharded_fleet.h"
 
 #include <algorithm>
+#include <map>
+#include <numeric>
 #include <utility>
 
 #include "util/check.h"
@@ -8,8 +10,8 @@
 namespace broadway {
 namespace {
 
-/// Union-find over proxy ids (path halving; the fleet is small, but the
-/// structure keeps group closure obviously correct).
+/// Union-find over dense indices (path halving; the fleet is small, but
+/// the structure keeps group closure obviously correct).
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n) : parent_(n) {
@@ -90,34 +92,223 @@ void ShardedFleet::add_delta_group(std::vector<FleetMember> members,
 // ---- shard construction ----------------------------------------------------
 
 void ShardedFleet::build_shards() {
-  // δ-group coordination is synchronous, so grouped proxies must share a
-  // simulator: shards are the connected components of the group graph.
-  UnionFind components(proxy_count_);
-  for (const GroupRegistration& group : group_registrations_) {
-    for (std::size_t i = 1; i < group.members.size(); ++i) {
-      components.unite(group.members[0].proxy, group.members[i].proxy);
-    }
+  // ---- enumerate registered (proxy, uri) pairs ----
+  // Pairs are the atoms of both layouts: the legacy layout colocates all
+  // of a proxy's pairs, the object-partition layout moves them
+  // independently (modulo the closure below).  Pair indices follow
+  // registration-scan order, so everything derived from them is
+  // deterministic.
+  pairs_.clear();
+  std::map<std::pair<std::size_t, std::string>, std::size_t> pair_index;
+  auto intern_pair = [&](std::size_t proxy, const std::string& uri) {
+    auto [it, inserted] =
+        pair_index.try_emplace({proxy, uri}, pairs_.size());
+    if (inserted) pairs_.push_back({proxy, uri, 0, 0});
+    return it->second;
+  };
+  for (const TemporalRegistration& reg : temporal_registrations_) {
+    intern_pair(reg.proxy, reg.uri);
   }
-  shard_of_proxy_.assign(proxy_count_, SIZE_MAX);
-  local_of_proxy_.assign(proxy_count_, SIZE_MAX);
-  std::vector<std::size_t> shard_of_root(proxy_count_, SIZE_MAX);
-  std::vector<std::vector<std::size_t>> shard_members;
-  for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
-    const std::size_t root = components.find(proxy);
-    if (shard_of_root[root] == SIZE_MAX) {
-      shard_of_root[root] = shard_members.size();
-      shard_members.emplace_back();
-    }
-    const std::size_t shard = shard_of_root[root];
-    shard_of_proxy_[proxy] = shard;
-    local_of_proxy_[proxy] = shard_members[shard].size();
-    shard_members[shard].push_back(proxy);
+  for (const ValueRegistration& reg : value_registrations_) {
+    intern_pair(reg.proxy, reg.uri);
   }
 
+  // ---- pair-level colocation closure ----
+  // (a) A δ-group's members coordinate synchronously (one member's poll
+  //     triggers sibling polls in the same event): one unit.
+  UnionFind pair_components(pairs_.size());
+  std::map<std::string, std::size_t> uri_index;
+  for (const GroupRegistration& group : group_registrations_) {
+    std::size_t first = SIZE_MAX;
+    for (const FleetMember& member : group.members) {
+      const auto it = pair_index.find({member.proxy, member.uri});
+      BROADWAY_CHECK_MSG(it != pair_index.end(),
+                         "δ-group member " << member.uri
+                                           << " is not a registered object "
+                                              "of proxy "
+                                           << member.proxy);
+      if (first == SIZE_MAX) {
+        first = it->second;
+      } else {
+        pair_components.unite(first, it->second);
+      }
+      uri_index.try_emplace(member.uri, uri_index.size());
+    }
+  }
+  // (b) Group-sibling *objects* colocate per proxy, transitively across
+  //     chained groups: one cascade can relay several sibling objects to
+  //     the same destination proxy in one event, and those records must
+  //     land in one slice log so the per-proxy merge can preserve the
+  //     reference order (the cross-slice tie-break replays registration
+  //     order, which same-instant cascade records do not follow).
+  UnionFind uri_components(uri_index.size());
+  for (const GroupRegistration& group : group_registrations_) {
+    const std::size_t first = uri_index.at(group.members[0].uri);
+    for (std::size_t i = 1; i < group.members.size(); ++i) {
+      uri_components.unite(first, uri_index.at(group.members[i].uri));
+    }
+  }
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> sibling_first;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const auto it = uri_index.find(pairs_[i].uri);
+    if (it == uri_index.end()) continue;  // not a grouped object anywhere
+    const auto key =
+        std::make_pair(pairs_[i].proxy, uri_components.find(it->second));
+    const auto [slot, inserted] = sibling_first.try_emplace(key, i);
+    if (!inserted) pair_components.unite(slot->second, i);
+  }
+  // (b2) Cooperative push couples every relay-receiving pair of a proxy:
+  //      applying a relay reschedules the receiver's refresh timer, and
+  //      one send burst delivers to several of a proxy's objects at the
+  //      same instant (the latency is a fleet constant), so those timers
+  //      synchronise and later fire together.  Their same-instant poll
+  //      order is the reference's schedule order — reproducible only
+  //      inside one slice — so under push a proxy's pairs whose uri a
+  //      second proxy also tracks form one unit.  Single-tracker pairs
+  //      never receive a relay and stay free to split; they are also
+  //      exactly the pairs that add no cross-shard traffic.
+  if (config_.fleet.cooperative_push) {
+    std::map<std::string, std::size_t> tracker_count;
+    for (const PairInfo& pair : pairs_) ++tracker_count[pair.uri];
+    std::vector<std::size_t> first_multi(proxy_count_, SIZE_MAX);
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      if (tracker_count.at(pairs_[i].uri) < 2) continue;
+      std::size_t& first = first_multi[pairs_[i].proxy];
+      if (first == SIZE_MAX) {
+        first = i;
+      } else {
+        pair_components.unite(first, i);
+      }
+    }
+  }
+  // (c) Client request streams read a proxy's whole cache through one
+  //     engine binding, so client traffic pins each proxy together.
+  if (config_.fleet.client_traffic) {
+    std::vector<std::size_t> first_of_proxy(proxy_count_, SIZE_MAX);
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      std::size_t& first = first_of_proxy[pairs_[i].proxy];
+      if (first == SIZE_MAX) {
+        first = i;
+      } else {
+        pair_components.unite(first, i);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    pairs_[i].root = pair_components.find(i);
+  }
+  // Per-proxy registration ranks for merge_slice_logs: pairs_ is in
+  // registration-scan order, so the per-proxy subsequence is the order
+  // the reference engine registered — and therefore started — the
+  // proxy's objects.
+  reg_rank_.assign(proxy_count_, {});
+  for (const PairInfo& pair : pairs_) {
+    auto& ranks = reg_rank_[pair.proxy];
+    ranks.try_emplace(pair.uri, ranks.size());
+  }
+
+  // ---- shard layout ----
+  std::vector<std::vector<std::size_t>> shard_members;
+  if (config_.shards == 0) {
+    // Legacy layout: one shard per δ-closure component of whole proxies,
+    // numbered by smallest member proxy.
+    UnionFind components(proxy_count_);
+    for (const GroupRegistration& group : group_registrations_) {
+      for (std::size_t i = 1; i < group.members.size(); ++i) {
+        components.unite(group.members[0].proxy, group.members[i].proxy);
+      }
+    }
+    std::vector<std::size_t> shard_of_proxy(proxy_count_, SIZE_MAX);
+    std::vector<std::size_t> shard_of_root(proxy_count_, SIZE_MAX);
+    for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+      const std::size_t root = components.find(proxy);
+      if (shard_of_root[root] == SIZE_MAX) {
+        shard_of_root[root] = shard_members.size();
+        shard_members.emplace_back();
+      }
+      shard_of_proxy[proxy] = shard_of_root[root];
+      shard_members[shard_of_root[root]].push_back(proxy);
+    }
+    for (PairInfo& pair : pairs_) {
+      pair.shard = shard_of_proxy[pair.proxy];
+    }
+  } else {
+    // Object-partition layout: colocation units (pair components) packed
+    // into the requested bins by greedy LPT on pair count — the cheap
+    // stand-in for a per-object poll-rate estimate, exact enough because
+    // every registered object polls continuously.  Deterministic: units
+    // order by (weight desc, smallest pair index asc), ties pick the
+    // lowest-numbered bin.
+    BROADWAY_CHECK_MSG(!pairs_.empty(),
+                       "object-partition sharding needs at least one "
+                       "registered object");
+    std::vector<bool> has_pair(proxy_count_, false);
+    for (const PairInfo& pair : pairs_) has_pair[pair.proxy] = true;
+    for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+      BROADWAY_CHECK_MSG(has_pair[proxy],
+                         "object-partition sharding: proxy "
+                             << proxy
+                             << " has no registered objects, so no slice "
+                                "could host it");
+    }
+    // Units in ascending-root order (a root is its component's smallest
+    // pair index — see UnionFind::unite).
+    std::vector<std::size_t> unit_of_root(pairs_.size(), SIZE_MAX);
+    std::vector<std::size_t> unit_weight;
+    for (const PairInfo& pair : pairs_) {
+      if (unit_of_root[pair.root] == SIZE_MAX) {
+        unit_of_root[pair.root] = unit_weight.size();
+        unit_weight.push_back(0);
+      }
+      ++unit_weight[unit_of_root[pair.root]];
+    }
+    std::vector<std::size_t> order(unit_weight.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&unit_weight](std::size_t a, std::size_t b) {
+                       return unit_weight[a] > unit_weight[b];
+                     });
+    const std::size_t bins = config_.shards;
+    std::vector<std::size_t> bin_load(bins, 0);
+    std::vector<std::size_t> bin_of_unit(unit_weight.size(), SIZE_MAX);
+    for (const std::size_t unit : order) {
+      std::size_t best = 0;
+      for (std::size_t b = 1; b < bins; ++b) {
+        if (bin_load[b] < bin_load[best]) best = b;
+      }
+      bin_of_unit[unit] = best;
+      bin_load[best] += unit_weight[unit];
+    }
+    // Drop empty bins (more bins than units) and renumber ascending.
+    std::vector<std::size_t> shard_of_bin(bins, SIZE_MAX);
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (bin_load[b] == 0) continue;
+      shard_of_bin[b] = shard_members.size();
+      shard_members.emplace_back();
+    }
+    std::vector<std::vector<bool>> proxy_on_shard(
+        shard_members.size(), std::vector<bool>(proxy_count_, false));
+    for (PairInfo& pair : pairs_) {
+      pair.shard = shard_of_bin[bin_of_unit[unit_of_root[pair.root]]];
+      proxy_on_shard[pair.shard][pair.proxy] = true;
+    }
+    for (std::size_t s = 0; s < shard_members.size(); ++s) {
+      for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+        if (proxy_on_shard[s][proxy]) shard_members[s].push_back(proxy);
+      }
+    }
+  }
+
+  // ---- build the slices ----
+  slices_of_proxy_.assign(proxy_count_, {});
   shards_.resize(shard_members.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = shards_[s];
     shard.proxies = std::move(shard_members[s]);
+    for (std::size_t local = 0; local < shard.proxies.size(); ++local) {
+      slices_of_proxy_[shard.proxies[local]].push_back(
+          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(local)});
+    }
     Simulator::Config sim_config;
     if (config_.scheduler) sim_config.scheduler = *config_.scheduler;
     shard.sim = std::make_unique<Simulator>(sim_config);
@@ -131,25 +322,37 @@ void ShardedFleet::build_shards() {
     shard.outbox.resize(shards_.size());
   }
 
-  // Replay the recorded registrations onto the owning shards, in the
-  // original call order (temporal before value, matching the reference
-  // runs the differential tests construct).
+  // ---- replay the recorded registrations onto the owning slices ----
+  // Original call order (temporal before value, matching the reference
+  // runs the differential tests construct); each pair goes to the slice
+  // its component was assigned to.
+  auto local_of = [this](std::size_t s, std::size_t proxy) {
+    const std::vector<std::size_t>& members = shards_[s].proxies;
+    const auto it =
+        std::lower_bound(members.begin(), members.end(), proxy);
+    BROADWAY_CHECK(it != members.end() && *it == proxy);
+    return static_cast<std::size_t>(it - members.begin());
+  };
   for (const TemporalRegistration& reg : temporal_registrations_) {
-    Shard& shard = shards_[shard_of_proxy_[reg.proxy]];
-    shard.fleet->add_temporal_object(local_of_proxy_[reg.proxy], reg.uri,
-                                     reg.make_policy());
+    const std::size_t s = pairs_[pair_index.at({reg.proxy, reg.uri})].shard;
+    shards_[s].fleet->add_temporal_object(local_of(s, reg.proxy), reg.uri,
+                                          reg.make_policy());
   }
   for (const ValueRegistration& reg : value_registrations_) {
-    Shard& shard = shards_[shard_of_proxy_[reg.proxy]];
-    shard.fleet->add_value_object(local_of_proxy_[reg.proxy], reg.uri,
-                                  reg.config);
+    const std::size_t s = pairs_[pair_index.at({reg.proxy, reg.uri})].shard;
+    shards_[s].fleet->add_value_object(local_of(s, reg.proxy), reg.uri,
+                                       reg.config);
   }
   for (const GroupRegistration& reg : group_registrations_) {
-    const std::size_t shard_index = shard_of_proxy_[reg.members[0].proxy];
+    const std::size_t shard_index =
+        pairs_[pair_index.at({reg.members[0].proxy, reg.members[0].uri})]
+            .shard;
     std::vector<FleetMember> local_members = reg.members;
     for (FleetMember& member : local_members) {
-      BROADWAY_CHECK(shard_of_proxy_[member.proxy] == shard_index);
-      member.proxy = local_of_proxy_[member.proxy];
+      const std::size_t member_shard =
+          pairs_[pair_index.at({member.proxy, member.uri})].shard;
+      BROADWAY_CHECK(member_shard == shard_index);
+      member.proxy = local_of(shard_index, member.proxy);
     }
     shards_[shard_index].fleet->add_delta_group(std::move(local_members),
                                                reg.delta_mutual);
@@ -162,7 +365,10 @@ void ShardedFleet::build_remote_dests() {
   // has run, so the fan-out lists are computed once.  Destinations are
   // kept in ascending global proxy id — the order the one-simulator
   // reference sends to them, and therefore the order their per-sender
-  // sequence numbers must follow.
+  // sequence numbers must follow.  A (proxy, object) pair lives on
+  // exactly one slice, so per source shard each proxy contributes at
+  // most one destination, and the source pair itself is never among
+  // them (its slice is the source shard).
   const std::size_t objects = shards_[0].origin->uri_table().size();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = shards_[s];
@@ -170,17 +376,66 @@ void ShardedFleet::build_remote_dests() {
     for (ObjectId object = 0; object < static_cast<ObjectId>(objects);
          ++object) {
       for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
-        const std::size_t dest_shard = shard_of_proxy_[proxy];
-        if (dest_shard == s) continue;  // local siblings relay in-fleet
-        const PollingEngine& engine =
-            shards_[dest_shard].fleet->proxy(local_of_proxy_[proxy]);
-        if (!engine.relay_eligible(object)) continue;
-        shard.remote_dests[object].push_back(
-            {static_cast<std::uint32_t>(dest_shard),
-             static_cast<std::uint32_t>(local_of_proxy_[proxy])});
+        for (const SliceRef& slice : slices_of_proxy_[proxy]) {
+          if (slice.shard == s) continue;  // local siblings relay in-fleet
+          const PollingEngine& engine =
+              shards_[slice.shard].fleet->proxy(slice.local);
+          if (!engine.relay_eligible(object)) continue;
+          shard.remote_dests[object].push_back({slice.shard, slice.local});
+        }
       }
     }
   }
+}
+
+void ShardedFleet::build_send_watches() {
+  // The adaptive window bound needs, per shard, the set of local pairs
+  // whose own-schedule fire can lead — possibly through a same-instant
+  // δ-trigger cascade — to a cross-shard-visible send.  That set is the
+  // export closure: pairs with remote relay destinations (the export
+  // set E), widened to every pair sharing a colocation component with
+  // one (triggers only travel inside δ-groups, and group members share
+  // a component by construction; the component may be wider — client
+  // pinning, sibling-object rule — which only makes the bound more
+  // conservative, never wrong).  The same closure marks the relay
+  // *destinations* whose deliveries can spark a send, which the slice
+  // fleets track through set_send_watch.
+  if (!config_.fleet.cooperative_push || shards_.size() <= 1) {
+    pairs_.clear();
+    return;
+  }
+  const UriTable& table = shards_[0].origin->uri_table();
+  std::vector<ObjectId> pair_object(pairs_.size(), kInvalidObjectId);
+  std::vector<bool> marked(pairs_.size(), false);
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    pair_object[i] = table.find(pairs_[i].uri);
+    const Shard& home = shards_[pairs_[i].shard];
+    if (pair_object[i] < home.remote_dests.size() &&
+        !home.remote_dests[pair_object[i]].empty()) {
+      marked[pairs_[i].root] = true;
+    }
+  }
+  std::vector<std::vector<std::vector<bool>>> filters(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    filters[s].resize(shards_[s].proxies.size());
+  }
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (!marked[pairs_[i].root]) continue;
+    const std::size_t s = pairs_[i].shard;
+    const std::vector<std::size_t>& members = shards_[s].proxies;
+    const std::size_t local = static_cast<std::size_t>(
+        std::lower_bound(members.begin(), members.end(), pairs_[i].proxy) -
+        members.begin());
+    shards_[s].export_watch.push_back(
+        {&shards_[s].fleet->proxy(local), pair_object[i]});
+    std::vector<bool>& flags = filters[s][local];
+    if (flags.size() <= pair_object[i]) flags.resize(pair_object[i] + 1);
+    flags[pair_object[i]] = true;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].fleet->set_send_watch(std::move(filters[s]));
+  }
+  pairs_.clear();
 }
 
 void ShardedFleet::start() {
@@ -231,6 +486,7 @@ void ShardedFleet::start() {
           });
     }
   }
+  build_send_watches();
   pool_ = std::make_unique<ThreadPool>(config_.threads);
   started_ = true;
 }
@@ -290,8 +546,12 @@ void ShardedFleet::run_shard_window(std::size_t shard_index,
       const Simulator::NextEvent head = shard.sim->next_event_info();
       if (!head.valid || head.time > window_end) break;
       // Local event first iff its (time, scheduled_at, tag) precedes the
-      // message's (deliver_at, sent_at, tag).  Tags cannot tie: the
-      // sender proxy is never hosted on the destination shard.
+      // message's (deliver_at, sent_at, tag).  A full tie would need the
+      // sender proxy's chains on two shards to fire at one instant —
+      // impossible for whole-proxy shards, and measure-zero under object
+      // partitioning (a proxy's same-instant δ-cascade is colocated by
+      // construction; its slices otherwise run independent timers).  On
+      // a tie the message is delivered first, deterministically.
       bool local_first;
       if (head.time != message.deliver_at) {
         local_first = head.time < message.deliver_at;
@@ -341,28 +601,89 @@ void ShardedFleet::exchange_mailboxes() {
   }
 }
 
+TimePoint ShardedFleet::shard_send_bound(const Shard& shard,
+                                         TimePoint cutoff) const {
+  // Three sources can produce this shard's next cross-shard-visible
+  // send, each strictly in the future at a window barrier:
+  //  * an inbox message — its delivery can trigger watched polls at the
+  //    delivery instant (the inbox is sorted, so front is earliest);
+  //  * an in-flight local relay headed to a watched pair — same trigger
+  //    argument (the slice fleet tracks those deliveries);
+  //  * a watched pair's own refresh timer or pending lost-poll retry.
+  // Trigger cascades are same-instant, so a bound over these instants
+  // bounds every send.  The scan stops early once the running bound
+  // reaches `cutoff` — the caller falls back to a fixed-width window
+  // there, which keeps dense topologies at near-zero scan cost.
+  TimePoint bound = kTimeInfinity;
+  if (!shard.inbox.empty()) {
+    bound = std::min(bound, shard.inbox.front().deliver_at);
+  }
+  bound = std::min(bound, shard.fleet->next_watched_delivery());
+  if (bound <= cutoff) return bound;
+  for (const auto& [engine, object] : shard.export_watch) {
+    bound = std::min(bound, engine->next_send_time(object));
+    if (bound <= cutoff) return bound;
+  }
+  return bound;
+}
+
 void ShardedFleet::run_until(TimePoint horizon) {
   BROADWAY_CHECK_MSG(started_, "run_until before start()");
   BROADWAY_CHECK_MSG(horizon >= now_, "run_until in the past");
   const bool windowed =
       config_.fleet.cooperative_push && shards_.size() > 1;
+  window_costs_.resize(shards_.size());
+  const auto fill_costs = [this] {
+    // Cheap per-shard load estimate for LPT claiming: pending events
+    // plus deliverable inbox messages.  Hints never affect results —
+    // only which worker runs which shard first.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      window_costs_[s] = static_cast<double>(shards_[s].sim->pending() +
+                                             shards_[s].inbox.size());
+    }
+  };
   if (!windowed) {
     // Shards are fully independent: one window to the horizon.
-    pool_->run_batch(shards_.size(), [this, horizon](std::size_t s) {
-      shards_[s].sim->run_until(horizon);
-    });
+    fill_costs();
+    pool_->run_batch(
+        shards_.size(),
+        [this, horizon](std::size_t s) { shards_[s].sim->run_until(horizon); },
+        window_costs_);
     now_ = horizon;
     return;
   }
   // Conservative lookahead: a relay sent in window k delivers strictly
   // after the window's edge, so every message deliverable in window k+1
   // is already in its destination inbox when the window starts.
+  const Duration latency = config_.fleet.relay_latency;
+  const bool adaptive = config_.window_policy == WindowPolicy::kAdaptive;
   while (now_ < horizon) {
-    const TimePoint edge =
-        std::min(horizon, now_ + config_.fleet.relay_latency);
-    pool_->run_batch(shards_.size(), [this, edge](std::size_t s) {
-      run_shard_window(s, edge);
-    });
+    TimePoint edge = std::min(horizon, now_ + latency);
+    if (adaptive && edge < horizon) {
+      // Jump the edge to min(horizon, max(now + L, bound)), where bound
+      // is the earliest instant any shard can next produce a
+      // cross-shard-visible send.  Safety: every send in the window
+      // happens at or after bound (bound > now strictly — all its
+      // sources are future instants), so every delivery lands at or
+      // after bound + L > edge, strictly outside the window — no
+      // delivery instant's local events are ever consumed early.  Note
+      // the edge stops *at* bound, not bound + L: Simulator::run_until
+      // is inclusive, so closing the window at bound + L would consume
+      // local events at the very instant a message sent at bound
+      // arrives.
+      const TimePoint cutoff = now_ + latency;
+      TimePoint bound = kTimeInfinity;
+      for (const Shard& shard : shards_) {
+        bound = std::min(bound, shard_send_bound(shard, cutoff));
+        if (bound <= cutoff) break;  // a fixed window is already tight
+      }
+      if (bound > cutoff) edge = std::min(horizon, bound);
+    }
+    fill_costs();
+    pool_->run_batch(
+        shards_.size(),
+        [this, edge](std::size_t s) { run_shard_window(s, edge); },
+        window_costs_);
     exchange_mailboxes();
     now_ = edge;
   }
@@ -375,30 +696,41 @@ std::size_t ShardedFleet::thread_count() const {
                           : std::max<std::size_t>(1, config_.threads);
 }
 
-std::size_t ShardedFleet::shard_of(std::size_t proxy) const {
-  BROADWAY_CHECK_MSG(started_, "shard_of before start()");
+const ShardedFleet::SliceRef& ShardedFleet::sole_slice(
+    std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "per-proxy access before start()");
   BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
-  return shard_of_proxy_[proxy];
+  const std::vector<SliceRef>& slices = slices_of_proxy_[proxy];
+  BROADWAY_CHECK_MSG(slices.size() == 1,
+                     "proxy " << proxy << " is partition-split across "
+                              << slices.size()
+                              << " shards; per-proxy accessors need a "
+                                 "single slice (use the merged views)");
+  return slices[0];
+}
+
+std::size_t ShardedFleet::shard_of(std::size_t proxy) const {
+  return sole_slice(proxy).shard;
+}
+
+std::size_t ShardedFleet::slice_count(std::size_t proxy) const {
+  BROADWAY_CHECK_MSG(started_, "slice_count before start()");
+  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
+  return slices_of_proxy_[proxy].size();
 }
 
 PollingEngine& ShardedFleet::proxy(std::size_t proxy) {
-  BROADWAY_CHECK_MSG(started_, "proxy() before start()");
-  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
-  return shards_[shard_of_proxy_[proxy]].fleet->proxy(
-      local_of_proxy_[proxy]);
+  const SliceRef& slice = sole_slice(proxy);
+  return shards_[slice.shard].fleet->proxy(slice.local);
 }
 
 const PollingEngine& ShardedFleet::proxy(std::size_t proxy) const {
-  BROADWAY_CHECK_MSG(started_, "proxy() before start()");
-  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
-  return shards_[shard_of_proxy_[proxy]].fleet->proxy(
-      local_of_proxy_[proxy]);
+  const SliceRef& slice = sole_slice(proxy);
+  return shards_[slice.shard].fleet->proxy(slice.local);
 }
 
 const OriginServer& ShardedFleet::origin_for_proxy(std::size_t proxy) const {
-  BROADWAY_CHECK_MSG(started_, "origin_for_proxy before start()");
-  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
-  return *shards_[shard_of_proxy_[proxy]].origin;
+  return *shards_[sole_slice(proxy).shard].origin;
 }
 
 // ---- accounting ------------------------------------------------------------
@@ -466,10 +798,10 @@ FleetOriginLoad ShardedFleet::origin_load() const {
 }
 
 const ClientMetrics& ShardedFleet::client_metrics(std::size_t proxy) const {
-  BROADWAY_CHECK_MSG(started_, "client_metrics before start()");
-  BROADWAY_CHECK_MSG(proxy < proxy_count_, "proxy " << proxy);
-  return shards_[shard_of_proxy_[proxy]].fleet->client_traffic().metrics(
-      local_of_proxy_[proxy]);
+  // Client traffic pins each proxy to one slice (see build_shards), so
+  // the sole-slice lookup cannot fail for a client-bearing fleet.
+  const SliceRef& slice = sole_slice(proxy);
+  return shards_[slice.shard].fleet->client_traffic().metrics(slice.local);
 }
 
 ClientMetrics ShardedFleet::merged_client_metrics() const {
@@ -494,13 +826,85 @@ std::vector<ClientRequestRecord> ShardedFleet::merged_client_records() const {
   return merge_client_records(std::move(streams));
 }
 
+std::vector<PollRecord> ShardedFleet::merge_slice_logs(
+    std::size_t proxy) const {
+  // A partition-split proxy's records live in several slice logs.
+  // Rebuild the reference single-engine log order by merging on append
+  // time — the instant the reference engine would have appended the
+  // record: a relay is logged at its delivery (complete_time),
+  // everything else at its fire (snapshot_time).  Cross-slice ties are
+  // broken by the pair's per-proxy *registration rank*: after the
+  // colocation rules, the only pairs that can tie systematically are
+  // never-relayed ones (the t = 0 initial burst, first fires under the
+  // shared initial TTR, quiet periods multiplying equal TTRs), and those
+  // replay the reference's start order — registration order — because
+  // every tied firing reschedules in pop order, keeping the invariant
+  // inductively.  Same-instant δ-cascade and relay-coupled records share
+  // a slice by construction (colocation rules a/b/b2), so their relative
+  // order is in-log and preserved.
+  struct Cursor {
+    const std::vector<PollRecord>* records;
+    std::size_t next = 0;
+  };
+  const auto append_time = [](const PollRecord& record) {
+    return record.cause == PollCause::kRelay ? record.complete_time
+                                             : record.snapshot_time;
+  };
+  std::vector<Cursor> cursors;
+  std::size_t total = 0;
+  for (const SliceRef& slice : slices_of_proxy_[proxy]) {
+    const std::vector<PollRecord>& records =
+        shards_[slice.shard].fleet->proxy(slice.local).poll_log().records();
+    cursors.push_back({&records, 0});
+    total += records.size();
+  }
+  const std::map<std::string, std::size_t>& ranks = reg_rank_[proxy];
+  const auto rank_of = [&ranks](const PollRecord& record) {
+    return ranks.at(record.uri);
+  };
+  std::vector<PollRecord> merged;
+  merged.reserve(total);
+  while (merged.size() < total) {
+    std::size_t best = SIZE_MAX;
+    for (std::size_t c = 0; c < cursors.size(); ++c) {
+      if (cursors[c].next >= cursors[c].records->size()) continue;
+      if (best == SIZE_MAX) {
+        best = c;
+        continue;
+      }
+      const PollRecord& candidate = (*cursors[c].records)[cursors[c].next];
+      const PollRecord& leader = (*cursors[best].records)[cursors[best].next];
+      const TimePoint tc = append_time(candidate);
+      const TimePoint tl = append_time(leader);
+      if (tc < tl || (tc == tl && rank_of(candidate) < rank_of(leader))) {
+        best = c;
+      }
+    }
+    merged.push_back((*cursors[best].records)[cursors[best].next]);
+    ++cursors[best].next;
+  }
+  return merged;
+}
+
 std::vector<PollRecord> ShardedFleet::merged_poll_records() const {
+  // merge_poll_records keys on (snapshot_time, proxy, in-log position),
+  // so each proxy's records must arrive in its reference in-log order:
+  // directly for single-slice proxies, via the slice merge for split
+  // ones (owned storage, reserved up front so the pointers stay put).
+  std::vector<std::vector<PollRecord>> split_storage;
+  split_storage.reserve(proxy_count_);
   std::vector<ProxyPollRecords> logs;
   logs.reserve(proxy_count_);
-  for (const Shard& shard : shards_) {
-    for (std::size_t local = 0; local < shard.proxies.size(); ++local) {
-      logs.push_back({shard.proxies[local],
-                      &shard.fleet->proxy(local).poll_log().records()});
+  for (std::size_t proxy = 0; proxy < proxy_count_; ++proxy) {
+    const std::vector<SliceRef>& slices = slices_of_proxy_[proxy];
+    if (slices.size() == 1) {
+      logs.push_back({proxy, &shards_[slices[0].shard]
+                                  .fleet->proxy(slices[0].local)
+                                  .poll_log()
+                                  .records()});
+    } else {
+      split_storage.push_back(merge_slice_logs(proxy));
+      logs.push_back({proxy, &split_storage.back()});
     }
   }
   return merge_poll_records(std::move(logs));

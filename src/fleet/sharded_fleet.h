@@ -9,9 +9,12 @@
 // relay sent at time t cannot affect another shard before t + latency,
 // so every shard may run `relay_latency` ahead of the slowest one
 // without ever seeing a message from its past.  Execution proceeds in
-// windows of that width: run every shard to the window edge in parallel,
-// barrier, exchange the cross-shard relays through per-pair mailboxes,
-// repeat.
+// windows: run every shard to the window edge in parallel, barrier,
+// exchange the cross-shard relays through per-pair mailboxes, repeat.
+// With WindowPolicy::kFixed the edge advances by relay_latency each
+// time; with kAdaptive (the default) it jumps to the earliest instant
+// any shard can next produce a cross-shard-visible send, collapsing
+// idle stretches into one barrier (see run_until).
 //
 // Determinism is the acceptance bar, not a best effort: a sharded run
 // must produce byte-identical per-proxy poll logs, TTR series and
@@ -40,10 +43,15 @@
 //
 // δ-groups couple their member proxies synchronously (a member's poll
 // can trigger immediate early polls on sibling members), so grouped
-// proxies must share a timeline: shard assignment is the union-find
-// closure of the δ-group topology.  Ungrouped proxies shard freely.
-// Shards depend only on the topology — never on the thread count — so
-// the merged output is thread-schedule independent by construction.
+// members must share a timeline.  The legacy layout (shards = 0) takes
+// the union-find closure over whole proxies — one shard per component.
+// Object-partition sharding (shards > 0) closes over (proxy, object)
+// *pairs* instead: a proxy's ungrouped objects may split across shards
+// as independent engine slices, so shard count can exceed proxy count
+// and a hot proxy no longer serializes a run.  Either way the layout
+// depends only on the topology and the `shards` knob — never on the
+// thread count — so merged output is thread-schedule independent by
+// construction.
 //
 // Accounting merges deterministically at sweep end: FleetOriginLoad
 // counters are sums, and merged_poll_records() orders the fleet-wide
@@ -56,6 +64,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -69,6 +78,21 @@
 #include "util/thread_pool.h"
 
 namespace broadway {
+
+/// How the sharded driver chooses each lookahead-window edge.
+enum class WindowPolicy {
+  /// Fixed steps of relay_latency — one barrier + exchange per step,
+  /// whatever the traffic.
+  kFixed,
+  /// Jump each window edge to the earliest instant any shard can next
+  /// produce a cross-shard-visible send (clamped below by one full
+  /// latency step): edge = min(horizon, max(now + L, min_shards(bound))).
+  /// Idle stretches collapse into one window; a window never closes at
+  /// or past bound + L, so no delivery can land on an instant whose
+  /// local events were already consumed.  Byte-identical output to
+  /// kFixed by construction.
+  kAdaptive,
+};
 
 /// Sharded-fleet configuration.
 struct ShardedFleetConfig {
@@ -98,6 +122,21 @@ struct ShardedFleetConfig {
   /// Event-queue backend for every shard simulator; unset = the
   /// Simulator default (the BROADWAY_SCHEDULER environment knob).
   std::optional<SchedulerBackend> scheduler;
+
+  /// Window-edge policy (see WindowPolicy).  Never changes merged
+  /// output; kAdaptive only reduces barrier/exchange iterations.
+  WindowPolicy window_policy = WindowPolicy::kAdaptive;
+
+  /// Requested shard count for object-partition sharding.  0 (default)
+  /// keeps the legacy layout: one shard per δ-closure of whole proxies.
+  /// > 0 partitions at (proxy, object) granularity: colocation units are
+  /// the δ-group closures over *pairs* (a group's members, every proxy's
+  /// pairs of group-sibling objects, and — with client traffic — each
+  /// proxy's whole working set), packed into at most this many shards by
+  /// greedy LPT on pair count.  A proxy whose pairs land on several
+  /// shards runs one engine *slice* per shard; merged output is
+  /// byte-identical to the whole-proxy layout at any shard count.
+  std::size_t shards = 0;
 };
 
 /// A fleet of proxies simulated as parallel shards.
@@ -148,11 +187,16 @@ class ShardedFleet {
   std::size_t size() const { return proxy_count_; }
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t thread_count() const;
-  /// Shard hosting global proxy `proxy` (valid after start()).
+  /// Shard hosting global proxy `proxy` (valid after start(); requires
+  /// the proxy to live on a single shard — see slice_count()).
   std::size_t shard_of(std::size_t proxy) const;
+  /// Number of engine slices global proxy `proxy` runs as (1 unless
+  /// object-partition sharding split it; valid after start()).
+  std::size_t slice_count(std::size_t proxy) const;
   TimePoint now() const { return now_; }
 
-  /// Global proxy accessors (valid after start()).
+  /// Global proxy accessors (valid after start(); require a single-slice
+  /// proxy — partition-split proxies have no one engine to return).
   PollingEngine& proxy(std::size_t proxy);
   const PollingEngine& proxy(std::size_t proxy) const;
   /// The origin replica serving global proxy `proxy`.
@@ -236,8 +280,18 @@ class ShardedFleet {
     /// Remote destinations per object for relays leaving this shard,
     /// ascending global proxy id.  Empty slot = no remote trackers.
     std::vector<std::vector<RemoteDest>> remote_dests;
+    /// Local (engine, object) pairs whose next own-schedule fire bounds
+    /// this shard's next cross-shard-visible send — the export closure
+    /// restricted to this shard (see build_send_watches).
+    std::vector<std::pair<const PollingEngine*, ObjectId>> export_watch;
     std::uint64_t export_seq = 0;
     std::size_t exported_sent = 0;
+  };
+
+  /// One engine slice of a global proxy.
+  struct SliceRef {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;  ///< local proxy index within `shard`
   };
 
   struct TemporalRegistration {
@@ -257,11 +311,22 @@ class ShardedFleet {
 
   static bool message_order(const Message& a, const Message& b);
   void build_shards();
+  void build_partitioned_layout();
   void build_remote_dests();
+  void build_send_watches();
   void export_relay(std::size_t shard_index, std::size_t from_global,
                     const PollEvent& event);
   void run_shard_window(std::size_t shard_index, TimePoint window_end);
   void exchange_mailboxes();
+  /// Earliest instant this shard can next produce a cross-shard-visible
+  /// send; returns early (possibly short of the true minimum) once the
+  /// running bound drops to `cutoff` or below, since the caller falls
+  /// back to a fixed-width window there anyway.
+  TimePoint shard_send_bound(const Shard& shard, TimePoint cutoff) const;
+  /// The single slice of an unsplit proxy (CHECKs slice_count == 1).
+  const SliceRef& sole_slice(std::size_t proxy) const;
+  /// Merge a split proxy's slice logs back into reference in-log order.
+  std::vector<PollRecord> merge_slice_logs(std::size_t proxy) const;
 
   ShardedFleetConfig config_;
   std::size_t proxy_count_ = 0;
@@ -271,8 +336,23 @@ class ShardedFleet {
   std::vector<ValueRegistration> value_registrations_;
   std::vector<GroupRegistration> group_registrations_;
   std::vector<Shard> shards_;
-  std::vector<std::size_t> shard_of_proxy_;   // global id -> shard index
-  std::vector<std::size_t> local_of_proxy_;   // global id -> local index
+  std::vector<std::vector<SliceRef>> slices_of_proxy_;  // ascending shard
+  // Partition bookkeeping from build_shards, consumed by
+  // build_send_watches and cleared after start(): one entry per
+  // registered (proxy, uri) pair.
+  struct PairInfo {
+    std::size_t proxy = 0;
+    std::string uri;
+    std::size_t root = 0;   // colocation-component representative
+    std::size_t shard = 0;  // hosting shard
+  };
+  std::vector<PairInfo> pairs_;
+  // Per-proxy registration ranks (uri -> position in the proxy's
+  // registration order): the cross-slice tie-break merge_slice_logs uses
+  // to replay the reference's same-instant record order for pairs that
+  // were allowed to split (see the colocation rules in build_shards).
+  std::vector<std::map<std::string, std::size_t>> reg_rank_;
+  std::vector<double> window_costs_;  // per-shard hints, reused
   std::unique_ptr<ThreadPool> pool_;
 };
 

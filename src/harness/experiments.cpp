@@ -380,6 +380,8 @@ ClientFleetRunResult run_fleet_client_temporal(
     ShardedFleetConfig sharded;
     sharded.fleet = fleet_config;
     sharded.threads = config.threads;
+    sharded.shards = config.shards;
+    sharded.window_policy = config.window_policy;
     sharded.scheduler = config.fleet.base.scheduler;
     sharded.origin = make_origin_config(config.fleet.base.origin_history);
     sharded.origin_setup = [&traces](OriginServer& origin) {

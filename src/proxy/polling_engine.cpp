@@ -17,7 +17,6 @@ PollingEngine::PollingEngine(Simulator& sim, OriginServer& origin,
       origin_(origin),
       uris_(origin.uri_table()),
       config_(config),
-      loss_rng_(config.seed),
       cache_(uris_),
       poll_log_(uris_) {
   BROADWAY_CHECK(config_.rtt >= 0.0);
@@ -146,6 +145,9 @@ void PollingEngine::crash_and_recover() {
     sim_.cancel(id);
   }
   pending_retries_.clear();
+  for (TrackedObject* object : ordered_) {
+    object->clear_pending_retries();
+  }
   // Shared partitioned policies reset before their members re-arm, so each
   // member's initial TTR reflects the recovered apportionment.
   for (auto& group : partitioned_groups_) {
@@ -203,12 +205,18 @@ void PollingEngine::store_response(const TrackedObject& object,
   entry.value = wire_object_value(response);
 }
 
-void PollingEngine::schedule_retry(const std::function<void()>& retry) {
+void PollingEngine::schedule_retry(TrackedObject& object,
+                                   const std::function<void()>& retry) {
   // The firing callback removes itself from the pending set by asking the
   // simulator which event is running — no per-retry id box to allocate.
+  // The object keeps its own fire-time FIFO so next_send_time() can see
+  // pending retries; the constant delay makes schedule order fire order.
+  object.push_pending_retry(sim_.now() + config_.retry_delay);
+  TrackedObject* raw = &object;
   const EventId id =
-      sim_.schedule_after(config_.retry_delay, [this, retry] {
+      sim_.schedule_after(config_.retry_delay, [this, raw, retry] {
         pending_retries_.erase(sim_.current_event());
+        raw->pop_pending_retry();
         retry();
       });
   pending_retries_.insert(id);
@@ -220,15 +228,20 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
   const TimePoint previous = object.last_poll_completion();
   const bool initial = cause == PollCause::kInitial;
 
-  // Stage 1: loss injection.
-  const bool lost = config_.loss_probability > 0.0 &&
-                    loss_rng_.bernoulli(config_.loss_probability);
+  // Stage 1: loss injection.  Draws are keyed (seed, object, attempt)
+  // rather than taken from a shared sequential stream, so an object's loss
+  // outcomes depend only on its own poll history — sharding the engine's
+  // objects across slices cannot reorder them.
+  const bool lost =
+      config_.loss_probability > 0.0 &&
+      hash_bernoulli(config_.seed, object.id(), object.next_loss_draw(),
+                     config_.loss_probability);
   if (lost) {
     // Stage 4 for the failure case: the single record site (below) is
     // shared by every object kind, lost and successful alike.
     poll_log_.append(object.id(), cause, /*modified=*/false, /*failed=*/true,
                      now, now + config_.rtt);
-    schedule_retry(retry);
+    schedule_retry(object, retry);
     return false;
   }
 

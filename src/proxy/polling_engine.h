@@ -50,6 +50,7 @@
 // switched.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -180,6 +181,23 @@ class PollingEngine {
   }
   bool relay_eligible(const std::string& uri) const {
     return relay_eligible(uris_.find(uri));
+  }
+
+  /// Earliest future instant at which `id` can start an origin poll from
+  /// its own schedule: its refresh-timer fire or the soonest pending
+  /// lost-poll retry, whichever comes first.  kTimeInfinity when the
+  /// object is unknown here or has neither armed.  Triggered polls are
+  /// deliberately excluded — they happen *at* another object's poll or a
+  /// relay delivery, so a lower bound over those instants already covers
+  /// them.  Used by the sharded fleet's adaptive lookahead windows.
+  TimePoint next_send_time(ObjectId id) const {
+    const TrackedObject* object = tracked(id);
+    if (object == nullptr) return kTimeInfinity;
+    TimePoint bound = object->next_pending_retry();
+    if (object->task() != nullptr) {
+      bound = std::min(bound, object->task()->next_fire_time());
+    }
+    return bound;
   }
 
   /// Observe every *successful origin poll* of this engine (relay
@@ -337,7 +355,6 @@ class PollingEngine {
   OriginServer& origin_;
   UriTable& uris_;  // the origin's table
   EngineConfig config_;
-  Rng loss_rng_;
   ProxyCache cache_;
   bool started_ = false;
 
@@ -412,7 +429,8 @@ class PollingEngine {
   void store_response(const TrackedObject& object, const Response& response,
                       TimePoint snapshot, TimePoint visible);
 
-  void schedule_retry(const std::function<void()>& retry);
+  void schedule_retry(TrackedObject& object,
+                      const std::function<void()>& retry);
 
   // Register an object under its uri; attaches a self-scheduling task
   // unless the object is group-polled.

@@ -10,6 +10,7 @@
 // plug in by subclassing; the HTTP/retry/accounting logic is written once.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -91,6 +92,21 @@ class TrackedObject {
     subscribers_.push_back(coordinator);
   }
 
+  /// Next index for the object's loss-injection draw (see hash_bernoulli):
+  /// keying each draw by (engine seed, object id, draw index) keeps loss
+  /// outcomes a property of the object's own poll history, so they survive
+  /// re-partitioning the engine's objects across shard slices.
+  std::uint64_t next_loss_draw() { return loss_draws_++; }
+
+  /// Fire times of pending lost-poll retries, ascending.  The retry delay
+  /// is a constant, so schedule order is fire order and a FIFO suffices.
+  void push_pending_retry(TimePoint t) { pending_retries_.push_back(t); }
+  void pop_pending_retry() { pending_retries_.erase(pending_retries_.begin()); }
+  void clear_pending_retries() { pending_retries_.clear(); }
+  TimePoint next_pending_retry() const {
+    return pending_retries_.empty() ? kTimeInfinity : pending_retries_.front();
+  }
+
   /// True for temporal-domain objects — the only kind coordinator hooks
   /// (trigger_poll and friends) apply to.
   virtual bool temporal() const { return false; }
@@ -113,6 +129,8 @@ class TrackedObject {
   std::vector<std::pair<TimePoint, Duration>> ttr_series_;
   std::unique_ptr<PeriodicTask> task_;
   Subscribers subscribers_;
+  std::uint64_t loss_draws_ = 0;
+  std::vector<TimePoint> pending_retries_;
 };
 
 /// Temporal-domain object driven by a RefreshPolicy (paper §3).

@@ -97,4 +97,17 @@ Rng Rng::fork() {
   return Rng(splitmix64(s));
 }
 
+bool hash_bernoulli(std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t counter, double p) {
+  BROADWAY_CHECK_MSG(p >= 0.0 && p <= 1.0, "hash_bernoulli(p=" << p << ")");
+  // Three chained splitmix64 rounds, folding one key in per round.  Each
+  // round is a full-avalanche permutation, so nearby (stream, counter)
+  // pairs land on unrelated uniforms.
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ stream;
+  state = splitmix64(state) ^ counter;
+  const std::uint64_t h = splitmix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
 }  // namespace broadway

@@ -61,4 +61,16 @@ class Rng {
   std::uint64_t next_u64();
 };
 
+/// Stateless Bernoulli trial: a pure function of (seed, stream, counter).
+///
+/// Unlike Rng::bernoulli, the outcome does not depend on how many draws
+/// happened before it — only on the three keys.  Components whose draws
+/// must stay reproducible when execution is re-ordered or re-partitioned
+/// (e.g. per-object loss decisions in a polling engine whose objects may
+/// be split across shard slices) key each draw by an entity id (`stream`)
+/// and a per-entity attempt counter instead of consuming a shared
+/// sequential stream.
+bool hash_bernoulli(std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t counter, double p);
+
 }  // namespace broadway

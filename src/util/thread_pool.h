@@ -57,14 +57,28 @@ class ThreadPool {
 
   /// Invoke task(i) for every i in [0, count) and block until all have
   /// completed.  Indices are claimed dynamically by the workers; with no
-  /// workers they run inline in ascending order.  If any invocation
-  /// throws, the first exception (in completion order) is rethrown here
-  /// after the batch drains; the pool remains usable.  Not reentrant —
-  /// one batch at a time, from one thread.
+  /// workers they run inline in ascending order.  The batch always drains
+  /// fully; if any invocations threw, the exception from the *lowest*
+  /// batch index is rethrown here (deterministic regardless of which
+  /// worker observed its failure first) and the pool remains usable.
+  /// Not reentrant — one batch at a time, from one thread.
   void run_batch(std::size_t count, const IndexedTask& task);
+
+  /// As above, but with a per-index cost hint (arbitrary non-negative
+  /// units; only the relative order matters).  Workers claim indices in
+  /// descending-cost order — longest processing time first — so a skewed
+  /// batch keeps the barrier tight instead of leaving the heaviest index
+  /// for last.  Ties claim the lower index first.  `costs.size()` must
+  /// equal `count`.  Inline mode ignores the hints and runs in ascending
+  /// index order (the determinism contract: no workers means the plain
+  /// serial loop).
+  void run_batch(std::size_t count, const IndexedTask& task,
+                 const std::vector<double>& costs);
 
  private:
   void worker_loop();
+  void run_batch_on_workers(std::size_t count, const IndexedTask& task);
+  void record_error(std::size_t index, std::exception_ptr error);
 
   std::mutex mutex_;
   std::condition_variable work_ready_;
@@ -74,7 +88,12 @@ class ThreadPool {
   std::size_t next_index_ = 0;
   std::size_t active_ = 0;  // workers currently inside the batch
   std::uint64_t generation_ = 0;
-  std::exception_ptr first_error_;
+  // Claim schedule for the current batch: workers take
+  // claim_order_[next_index_++].  Identity for unweighted batches,
+  // descending-cost (LPT) for weighted ones.
+  std::vector<std::size_t> claim_order_;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;  // batch index whose exception is held
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

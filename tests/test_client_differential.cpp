@@ -169,10 +169,13 @@ Artifacts reference_run(const Topology& topo, Duration horizon) {
 }
 
 Artifacts sharded_run(const Topology& topo, std::size_t threads,
-                      Duration horizon) {
+                      Duration horizon, std::size_t shards = 0,
+                      WindowPolicy policy = WindowPolicy::kAdaptive) {
   ShardedFleetConfig config;
   config.fleet = fleet_config(topo.proxies);
   config.threads = threads;
+  config.shards = shards;
+  config.window_policy = policy;
   config.origin_setup = [traces = topo.traces](OriginServer& origin) {
     for (const UpdateTrace& trace : traces) {
       origin.attach_update_trace(trace.name(), trace);
@@ -268,6 +271,34 @@ TEST(ClientDifferential, ByteIdenticalAcrossThreadCountsAndSchedulers) {
         SCOPED_TRACE("threads " + std::to_string(threads));
         expect_artifacts_identical(reference,
                                    sharded_run(topo, threads, kHorizon));
+      }
+    }
+  }
+}
+
+// Client streams read the whole cache of their proxy, so a partitioned
+// layout pins each proxy's pairs to one slice (the layout may still pack
+// several proxies per shard); the window policy stays a free knob.  Both
+// must leave every client-side observation byte-identical.
+TEST(ClientDifferential, WindowPolicyAndPartitionSweepIsByteIdentical) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    const std::uint64_t seed = 29u;
+    SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                 std::to_string(seed));
+    const Topology topo = random_topology(seed);
+    const Artifacts reference = reference_run(topo, kHorizon);
+    ASSERT_GT(reference.merged.requests, 0u);
+    for (const WindowPolicy policy :
+         {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+      for (const std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE(
+            std::string(policy == WindowPolicy::kFixed ? "fixed"
+                                                       : "adaptive") +
+            " windows, " + std::to_string(threads) + " threads");
+        expect_artifacts_identical(
+            reference,
+            sharded_run(topo, threads, kHorizon, topo.proxies + 3, policy));
       }
     }
   }

@@ -112,6 +112,18 @@ Topology random_topology(std::uint64_t seed) {
     }
     if (!any) topo.tracked.push_back({p, topo.traces[0].name()});
   }
+  // Two private objects per proxy, tracked nowhere else: they never send
+  // or receive a relay, so under object partitioning they are the pairs
+  // free to leave their proxy's push unit and fill the extra shards.
+  for (std::size_t p = 0; p < topo.proxies; ++p) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      topo.traces.push_back(
+          irregular_trace("/private/" + std::to_string(p) + "/" +
+                              std::to_string(k),
+                          seed * 1000 + p * 10 + k, kHorizon));
+      topo.tracked.push_back({p, topo.traces.back().name()});
+    }
+  }
   // Zero, one or two δ-groups over proxies that track the group's uri.
   const std::size_t group_count =
       static_cast<std::size_t>(rng.uniform(0.0, 3.0));
@@ -213,11 +225,14 @@ Artifacts reference_run(const Topology& topo, Duration horizon) {
   return artifacts;
 }
 
-ShardedFleetConfig sharded_config(const Topology& topo,
-                                  std::size_t threads) {
+ShardedFleetConfig sharded_config(
+    const Topology& topo, std::size_t threads, std::size_t shards = 0,
+    WindowPolicy policy = WindowPolicy::kAdaptive) {
   ShardedFleetConfig config;
   config.fleet = fleet_config(topo.proxies);
   config.threads = threads;
+  config.shards = shards;
+  config.window_policy = policy;
   config.origin_setup = [traces = topo.traces](OriginServer& origin) {
     for (const UpdateTrace& trace : traces) {
       origin.attach_update_trace(trace.name(), trace);
@@ -226,9 +241,11 @@ ShardedFleetConfig sharded_config(const Topology& topo,
   return config;
 }
 
-std::unique_ptr<ShardedFleet> make_sharded(const Topology& topo,
-                                           std::size_t threads) {
-  auto fleet = std::make_unique<ShardedFleet>(sharded_config(topo, threads));
+std::unique_ptr<ShardedFleet> make_sharded(
+    const Topology& topo, std::size_t threads, std::size_t shards = 0,
+    WindowPolicy policy = WindowPolicy::kAdaptive) {
+  auto fleet = std::make_unique<ShardedFleet>(
+      sharded_config(topo, threads, shards, policy));
   const auto factory = limd_factory();
   for (const auto& [proxy, uri] : topo.tracked) {
     fleet->add_temporal_object(proxy, uri, factory);
@@ -380,6 +397,89 @@ TEST(ShardedDifferential, DeltaGroupsAreColocated) {
   EXPECT_EQ(reference.ttr_series, candidate.ttr_series);
 }
 
+// ---- window policies × object-partitioned shard maps -----------------------
+
+// The window-edge policy and the shard map are pure performance knobs:
+// fixed and adaptive edges, legacy whole-proxy maps (shards = 0) and
+// object-partitioned maps with more shards than the fleet has proxies
+// must all reproduce the reference run exactly, at every thread count,
+// under both schedulers.  A split proxy has no single per-proxy log (its
+// slices are merged on demand), so the comparison pins the merged
+// stream, every unsplit proxy's log, and the fleet counters.
+TEST(ShardedDifferential, WindowPolicyAndPartitionSweepIsByteIdentical) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    for (const std::uint64_t seed : {7u, 39u}) {
+      SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                   std::to_string(seed));
+      const Topology topo = random_topology(seed);
+      const Artifacts reference = reference_run(topo, kHorizon);
+      ASSERT_FALSE(reference.merged.empty());
+      EXPECT_GT(reference.relays_delivered, 0u);
+      for (const WindowPolicy policy :
+           {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+        for (const std::size_t shards : {std::size_t{0}, topo.proxies + 3}) {
+          for (const std::size_t threads : kThreadCounts) {
+            SCOPED_TRACE(
+                std::string(policy == WindowPolicy::kFixed ? "fixed"
+                                                           : "adaptive") +
+                " windows, " + std::to_string(shards) + " shards, " +
+                std::to_string(threads) + " threads");
+            auto fleet = make_sharded(topo, threads, shards, policy);
+            fleet->start();
+            if (shards > 0) {
+              // A requested count above the proxy count must actually be
+              // honoured: more shards than proxies, at least one proxy
+              // split across shards.
+              EXPECT_GT(fleet->shard_count(), topo.proxies);
+              bool any_split = false;
+              for (std::size_t p = 0; p < topo.proxies; ++p) {
+                if (fleet->slice_count(p) > 1) any_split = true;
+              }
+              EXPECT_TRUE(any_split);
+            }
+            fleet->run_until(kHorizon);
+            expect_records_identical(reference.merged,
+                                     fleet->merged_poll_records());
+            for (std::size_t p = 0; p < topo.proxies; ++p) {
+              if (fleet->slice_count(p) != 1) continue;
+              SCOPED_TRACE("proxy " + std::to_string(p));
+              expect_records_identical(reference.records_by_proxy[p],
+                                       fleet->proxy(p).poll_log().records());
+            }
+            EXPECT_EQ(reference.origin_requests, fleet->origin_requests());
+            EXPECT_EQ(reference.origin_polls, fleet->origin_polls());
+            EXPECT_EQ(reference.relays_sent, fleet->relays_sent());
+            EXPECT_EQ(reference.relays_delivered, fleet->relays_delivered());
+            EXPECT_EQ(reference.relays_applied, fleet->relays_applied());
+            EXPECT_EQ(reference.relays_in_flight, fleet->relays_in_flight());
+            const FleetOriginLoad load = fleet->origin_load();
+            EXPECT_EQ(reference.load.origin_messages, load.origin_messages);
+            EXPECT_EQ(reference.load.origin_polls, load.origin_polls);
+            EXPECT_EQ(reference.load.relay_refreshes, load.relay_refreshes);
+            EXPECT_EQ(reference.load.failed, load.failed);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Per-proxy accessors on a split proxy cannot pick a slice — the contract
+// is a fail-fast CHECK pointing at the merged views, not a partial log.
+TEST(ShardedDifferential, SplitProxyPerProxyAccessorsFailFast) {
+  const Topology topo = random_topology(7);
+  auto fleet = make_sharded(topo, 2, topo.proxies + 3);
+  fleet->start();
+  std::size_t split = topo.proxies;
+  for (std::size_t p = 0; p < topo.proxies; ++p) {
+    if (fleet->slice_count(p) > 1) split = p;
+  }
+  ASSERT_LT(split, topo.proxies) << "topology did not split any proxy";
+  EXPECT_THROW(fleet->proxy(split), CheckFailure);
+  EXPECT_THROW(fleet->shard_of(split), CheckFailure);
+}
+
 // ---- in-flight relays (counter exactness at barriers / sweep end) ----------
 
 TEST(ShardedDifferential, InFlightRelaysDrainExactlyAcrossHorizons) {
@@ -411,6 +511,27 @@ TEST(ShardedDifferential, InFlightRelaysDrainExactlyAcrossHorizons) {
   EXPECT_EQ(straight_load.origin_polls, paused_load.origin_polls);
   EXPECT_EQ(straight_load.relay_refreshes, paused_load.relay_refreshes);
   EXPECT_EQ(straight_load.failed, paused_load.failed);
+}
+
+// Object-partitioned maps keep the same counter exactness under both
+// window policies: pausing mid-window never loses a message, and the
+// resumed run merges to the same stream.
+TEST(ShardedDifferential, PartitionedInFlightRelaysDrainExactly) {
+  const Topology topo = random_topology(31);
+  const Artifacts straight = sharded_run(topo, 4, kHorizon);
+  for (const WindowPolicy policy :
+       {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+    SCOPED_TRACE(policy == WindowPolicy::kFixed ? "fixed" : "adaptive");
+    auto fleet = make_sharded(topo, 4, topo.proxies + 2, policy);
+    fleet->start();
+    fleet->run_until(7777.7);
+    EXPECT_EQ(fleet->relays_sent(),
+              fleet->relays_delivered() + fleet->relays_in_flight());
+    fleet->run_until(kHorizon);
+    EXPECT_EQ(fleet->relays_in_flight(), 0u);
+    EXPECT_EQ(fleet->relays_sent(), fleet->relays_delivered());
+    expect_records_identical(straight.merged, fleet->merged_poll_records());
+  }
 }
 
 // ---- fail-fast contracts ---------------------------------------------------

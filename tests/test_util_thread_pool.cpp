@@ -69,6 +69,79 @@ TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
   EXPECT_EQ(after.load(), 5);
 }
 
+TEST(ThreadPool, ConcurrentThrowsSurfaceTheLowestIndex) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> arrived{0};
+    std::atomic<int> ran{0};
+    try {
+      pool.run_batch(2, [&](std::size_t index) {
+        ++ran;
+        // Both tasks rendezvous before throwing so the two exceptions are
+        // genuinely concurrent: whichever worker records its failure
+        // second must still lose to the lower batch index.
+        ++arrived;
+        while (arrived.load() < 2) std::this_thread::yield();
+        throw std::runtime_error(index == 0 ? "low" : "high");
+      });
+      FAIL() << "no exception surfaced";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "low");
+    }
+    EXPECT_EQ(ran.load(), 2);  // both indices still drained
+  }
+}
+
+TEST(ThreadPool, WeightedBatchRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<double> costs(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    costs[i] = static_cast<double>(i % 7);  // skewed, with ties
+  }
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_batch(
+      kTasks, [&](std::size_t index) { ++hits[index]; }, costs);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WeightedInlineModeIgnoresHintsAndRunsInOrder) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  const std::vector<double> costs = {3.0, 1.0, 4.0, 2.0};
+  pool.run_batch(
+      4, [&](std::size_t index) { order.push_back(index); }, costs);
+  const std::vector<std::size_t> expected = {0, 1, 2, 3};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, WeightedBatchPropagatesLowestIndexException) {
+  ThreadPool pool(2);
+  const std::vector<double> costs = {1.0, 5.0, 2.0, 4.0, 3.0};
+  std::atomic<int> ran{0};
+  try {
+    pool.run_batch(
+        5,
+        [&](std::size_t index) {
+          ++ran;
+          if (index == 1 || index == 3) {
+            throw std::runtime_error(index == 1 ? "one" : "three");
+          }
+        },
+        costs);
+    FAIL() << "no exception surfaced";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "one");
+  }
+  EXPECT_EQ(ran.load(), 5);
+  std::atomic<int> after{0};
+  pool.run_batch(
+      3, [&](std::size_t) { ++after; }, {1.0, 1.0, 1.0});
+  EXPECT_EQ(after.load(), 3);
+}
+
 TEST(ThreadPool, ZeroCountBatchIsANoOp) {
   ThreadPool pool(2);
   pool.run_batch(0, [](std::size_t) { FAIL() << "task ran"; });

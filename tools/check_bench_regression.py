@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.25]
+        [--update-baseline] [--allow-missing-baseline]
 
 Both files are google-benchmark ``--benchmark_format=json`` output (the
 canonical BENCH_results.json).  Raw nanoseconds are not comparable across
@@ -53,6 +54,20 @@ GATED = [
     "BM_ShardedFleetSweep/threads:2/real_time",
     "BM_ShardedFleetSweep/threads:4/real_time",
     "BM_ShardedFleetSweep/threads:8/real_time",
+    # Window machinery in isolation (zero-relay topology): adaptive:0 is
+    # the per-window barrier+exchange cost paid horizon/latency times,
+    # adaptive:1 the collapsed single-window run.  Gating both keeps the
+    # window loop from quietly fattening and the adaptive edge from
+    # quietly losing its jump.
+    "BM_ShardedWindowOverhead/adaptive:0/real_time",
+    "BM_ShardedWindowOverhead/adaptive:1/real_time",
+    # Sparse-relay sweep under object partitioning: the fixed-vs-adaptive
+    # pairs record the adaptive-window win where cross-shard traffic is
+    # rare, at inline (threads:1) and pooled (threads:4) widths.
+    "BM_ShardedSparseRelaySweep/threads:1/adaptive:0/real_time",
+    "BM_ShardedSparseRelaySweep/threads:1/adaptive:1/real_time",
+    "BM_ShardedSparseRelaySweep/threads:4/adaptive:0/real_time",
+    "BM_ShardedSparseRelaySweep/threads:4/adaptive:1/real_time",
     # Client traffic over a cooperative fleet: per-request cost of the
     # thinning + Zipf sampling + cache-read + classification pipeline.
     "BM_ClientFleetSweep/proxies:2",
@@ -75,6 +90,46 @@ def load_times(path):
     return times
 
 
+def update_baseline(args, current, baseline):
+    """Append calibration-coherent entries for benches the baseline lacks.
+
+    Raw times from this machine are not comparable with the baseline's
+    (different host, build, load), but calibration-normalised *ratios*
+    are — that is the whole premise of the gate.  So each new entry is
+    the current measurement rescaled by baseline_cal / current_cal:
+    the entry a same-speed run on the baseline machine would have
+    produced.  Existing entries are left untouched; the committed
+    history stays a trajectory, not a moving target.
+    """
+    scale = baseline[CALIBRATION] / current[CALIBRATION]
+    with open(args.current) as f:
+        current_data = json.load(f)
+    with open(args.baseline) as f:
+        baseline_data = json.load(f)
+    added = []
+    for bench in current_data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_") or name in baseline:
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = dict(bench)
+        for field in ("real_time", "cpu_time"):
+            if field in entry:
+                entry[field] = float(entry[field]) * scale
+        baseline_data["benchmarks"].append(entry)
+        added.append(name)
+    if not added:
+        print("update-baseline: nothing to add (full coverage)")
+        return
+    with open(args.baseline, "w") as f:
+        json.dump(baseline_data, f, indent=2)
+        f.write("\n")
+    print(f"update-baseline: added {len(added)} entries to {args.baseline}")
+    for name in added:
+        print(f"  {name}  (x{scale:.3f} calibration rescale)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
@@ -85,10 +140,24 @@ def main():
         action="store_true",
         help="skip the baseline-coverage check for newly added benches",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="append calibration-coherent baseline entries for benchmarks "
+        "present in CURRENT but absent from BASELINE (existing entries are "
+        "never rewritten)",
+    )
     args = parser.parse_args()
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)
+
+    if args.update_baseline:
+        if CALIBRATION not in current or CALIBRATION not in baseline:
+            print(f"FAIL: {CALIBRATION} required in both files to rescale")
+            return 1
+        update_baseline(args, current, baseline)
+        baseline = load_times(args.baseline)
 
     for name in [CALIBRATION] + GATED:
         for label, times in (("current", current), ("baseline", baseline)):
@@ -114,9 +183,11 @@ def main():
             return 1
 
     failed = False
+    improvements = 0
     print(f"calibration: {CALIBRATION}")
+    width = max(len("benchmark"), max(len(name) for name in GATED))
     print(
-        f"{'benchmark':<32} {'baseline':>10} {'current':>10} {'change':>8}"
+        f"{'benchmark':<{width}} {'baseline':>10} {'current':>10} {'change':>8}"
     )
     for name in GATED:
         base_ratio = baseline[name] / baseline[CALIBRATION]
@@ -126,9 +197,21 @@ def main():
         if change > args.threshold:
             verdict = "  <-- REGRESSION"
             failed = True
+        elif change < -args.threshold:
+            # Improvements are reported symmetrically: a big delta in
+            # either direction is a perf event worth a second look (and a
+            # baseline refresh, so the gain becomes the new floor).
+            verdict = f"  <-- improvement ({1.0 / (1.0 + change):.2f}x)"
+            improvements += 1
         print(
-            f"{name:<32} {base_ratio:>10.3f} {cur_ratio:>10.3f} "
+            f"{name:<{width}} {base_ratio:>10.3f} {cur_ratio:>10.3f} "
             f"{change:>+7.1%}{verdict}"
+        )
+    if improvements:
+        print(
+            f"\n{improvements} bench(es) improved >{args.threshold:.0%}; "
+            "consider refreshing bench/BENCH_baseline.json to lock in the "
+            "gain."
         )
 
     if failed:
