@@ -161,6 +161,37 @@ int main(int argc, char** argv) {
   const bool delta_respected =
       client_result.transactions.complete > 0 &&
       client_result.transactions.violations == 0;
+
+  // Demand-fill leg: the same client fleet under heavy loss with slow
+  // retries (long uncached windows), fills off vs on.  The request
+  // streams are identical — the engine knob cannot influence the traffic
+  // draws — so the comparison is exact: filling must strictly reduce
+  // client misses, every fill must appear in both the client-side and
+  // origin-side ledgers, and the origin-load invariant
+  //   origin_polls == policy polls + demand fills
+  // must hold against a recount of the full record streams.
+  ClientFleetRunConfig lossy = client_config;
+  lossy.transactions.rate = 0.0;
+  lossy.fleet.base.engine.loss_probability = 0.3;
+  lossy.fleet.base.engine.retry_delay = 600.0;
+  const auto demand_traces = make_working_set(object_counts.front(), horizon);
+  lossy.fleet.base.engine.demand_fill = false;
+  const auto fills_off = run_fleet_client_temporal(demand_traces, lossy);
+  lossy.fleet.base.engine.demand_fill = true;
+  const auto fills_on = run_fleet_client_temporal(demand_traces, lossy);
+  const bool fills_happen =
+      fills_off.origin_load.demand_fills == 0 &&
+      fills_on.origin_load.demand_fills > 0 &&
+      fills_on.clients.demand_fills == fills_on.origin_load.demand_fills;
+  const bool fill_invariant_holds =
+      fills_on.origin_load.origin_polls ==
+          fills_on.origin_load.policy_polls() +
+              fills_on.origin_load.demand_fills &&
+      fills_on.causes.client_miss == fills_on.origin_load.demand_fills &&
+      fills_on.causes.total_refreshes() == fills_on.origin_load.origin_polls;
+  const bool fills_reduce_misses =
+      fills_on.clients.requests == fills_off.clients.requests &&
+      fills_on.clients.misses < fills_off.clients.misses;
   if (!csv) {
     table.print(std::cout);
     std::cout << "\nClient traffic (2 cooperative proxies, "
@@ -176,6 +207,13 @@ int main(int argc, char** argv) {
               << fmt(client_result.transactions.spread.mean(), 2)
               << " s, violations "
               << client_result.transactions.violations << "\n";
+    std::cout << "\nDemand fills (loss 0.3, retry 600 s):\n  fills off: "
+              << fills_off.clients.misses << " misses / "
+              << fills_off.clients.requests << " requests\n  fills on:  "
+              << fills_on.clients.misses << " misses, "
+              << fills_on.origin_load.demand_fills
+              << " demand fills, mean fill latency "
+              << fmt(fills_on.clients.fill_latency.mean(), 3) << " s\n";
     std::cout << "\nChecks:\n  - cooperative push cheaper at the origin "
                  "for every N > 1: "
               << (cooperative_always_cheaper ? "yes" : "NO")
@@ -184,12 +222,19 @@ int main(int argc, char** argv) {
               << "\n  - client reads hit the prefetched cache: "
               << (clients_hit ? "yes" : "NO")
               << "\n  - zero violations at delta = ttr_max + rtt + relay: "
-              << (delta_respected ? "yes" : "NO") << "\n";
+              << (delta_respected ? "yes" : "NO")
+              << "\n  - demand fills fire and both ledgers agree: "
+              << (fills_happen ? "yes" : "NO")
+              << "\n  - origin polls == policy polls + demand fills: "
+              << (fill_invariant_holds ? "yes" : "NO")
+              << "\n  - fills strictly reduce client misses: "
+              << (fills_reduce_misses ? "yes" : "NO") << "\n";
   }
   // Non-zero exit keeps the CI smoke run honest: the fleet path must keep
   // its headline properties, not merely run to completion.
   return cooperative_always_cheaper && cooperative_fidelity_holds &&
-                 clients_hit && delta_respected
+                 clients_hit && delta_respected && fills_happen &&
+                 fill_invariant_holds && fills_reduce_misses
              ? 0
              : 1;
 }

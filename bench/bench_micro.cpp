@@ -718,6 +718,55 @@ BENCHMARK(BM_ClientFleetSweep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The demand-fill miss path under loss: a lossy fleet with slow retries
+// leaves long uncached windows, so a steady share of client reads takes
+// the full kClientMiss pipeline (unconditional fetch, poll-log append,
+// policy update, sibling relay) plus session-locality sampling.  Items
+// rate counts client requests, like BM_ClientFleetSweep — the delta
+// between the two benches is the price of the fill path itself.
+void BM_ClientDemandFillSweep(benchmark::State& state) {
+  const std::size_t proxies = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kObjects = 64;
+  const std::vector<UpdateTrace> traces = make_sweep_traces(kObjects);
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    FleetConfig config;
+    config.proxies = proxies;
+    config.cooperative_push = true;
+    config.engine.demand_fill = true;
+    config.engine.loss_probability = 0.25;
+    config.engine.retry_delay = 600.0;
+    ClientTrafficConfig traffic;
+    traffic.request_rate = 5.0;
+    traffic.zipf_exponent = 0.9;
+    traffic.session_locality = 0.3;
+    traffic.session_objects = 4;
+    traffic.profile = DiurnalProfile::newsroom();
+    config.client_traffic = traffic;
+    ProxyFleet fleet(sim, origin, config);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      fleet.add_temporal_object_everywhere(trace.name(), [] {
+        return std::make_unique<LimdPolicy>(
+            LimdPolicy::Config::paper_defaults(600.0));
+      });
+    }
+    fleet.start();
+    sim.run_until(kSweepHorizon);
+    requests += static_cast<std::int64_t>(
+        fleet.client_traffic().requests_issued());
+    benchmark::DoNotOptimize(fleet.origin_load().demand_fills);
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ClientDemandFillSweep)
+    ->ArgName("proxies")
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PaperWorkloadGeneration(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {

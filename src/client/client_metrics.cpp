@@ -12,8 +12,10 @@ ClientMetrics& ClientMetrics::merge(const ClientMetrics& other) {
   misses += other.misses;
   fresh += other.fresh;
   stale += other.stale;
+  demand_fills += other.demand_fills;
   age.merge(other.age);
   staleness.merge(other.staleness);
+  fill_latency.merge(other.fill_latency);
   return *this;
 }
 
@@ -44,6 +46,10 @@ void record_client_read(ClientMetrics& metrics,
   ++metrics.requests;
   if (!sample.hit) {
     ++metrics.misses;
+    if (sample.filled) {
+      ++metrics.demand_fills;
+      metrics.fill_latency.add(sample.fill_latency);
+    }
     return;
   }
   ++metrics.hits;

@@ -42,6 +42,12 @@ struct ClientMetrics {
   std::uint64_t misses = 0;  ///< object not cached at request time
   std::uint64_t fresh = 0;   ///< served copy matched the origin version
   std::uint64_t stale = 0;   ///< served copy lagged the origin
+  /// Misses the proxy demand-filled from the origin before answering
+  /// (PollingEngine demand_fill on).  A filled read still counts as a
+  /// miss — the cache did not have the copy when the client asked — so
+  /// hits + misses == requests always holds; fills show up as the
+  /// *subsequent* hits they enable.
+  std::uint64_t demand_fills = 0;
   /// Age of the served copy: request time minus the snapshot instant the
   /// copy reflects, over all hits.  A relay-delivered copy is aged from
   /// the *relayed* snapshot (the sender's poll fire time), never from its
@@ -50,6 +56,10 @@ struct ClientMetrics {
   /// Lag (s) behind the first origin update the served copy missed, over
   /// stale hits only.
   OnlineStats staleness;
+  /// Client-observed fill latency: how long the demand fetch took (origin
+  /// round-trip plus any lost-poll retries resolved synchronously), over
+  /// demand-filled misses only.
+  OnlineStats fill_latency;
 
   double hit_rate() const {
     return requests == 0 ? 0.0 : static_cast<double>(hits) /
@@ -71,9 +81,11 @@ struct ClientMetrics {
 struct ClientReadSample {
   bool hit = false;
   bool fresh = false;          ///< ground truth vs the origin (hits only)
+  bool filled = false;         ///< miss demand-filled before answering
   TimePoint snapshot = 0.0;    ///< server-state instant of the served copy
   Duration age = 0.0;          ///< now - snapshot (hits only)
   Duration staleness = 0.0;    ///< lag behind the first unseen update
+  Duration fill_latency = 0.0; ///< demand-fetch duration (filled only)
 };
 
 /// Classify one read against origin ground truth: `snapshot` is the served

@@ -17,6 +17,12 @@ FleetClientTraffic::FleetClientTraffic(Simulator& sim,
   BROADWAY_CHECK_MSG(config_.clients_per_proxy >= 1, "empty client population");
   BROADWAY_CHECK_MSG(config_.zipf_exponent >= 0.0,
                      "zipf exponent " << config_.zipf_exponent);
+  BROADWAY_CHECK_MSG(
+      config_.session_locality >= 0.0 && config_.session_locality <= 1.0,
+      "session locality " << config_.session_locality);
+  BROADWAY_CHECK_MSG(config_.session_locality == 0.0 ||
+                         config_.session_objects >= 1,
+                     "session locality needs a non-empty working set");
   BROADWAY_CHECK_MSG(!proxies.empty(), "client traffic needs >= 1 proxy");
 
   // Thinning envelope: the profile is piecewise linear between its 24
@@ -67,6 +73,11 @@ void FleetClientTraffic::build_universe() {
                              << entry.object << " the origin does not host");
       BROADWAY_CHECK_MSG(entry.weight >= 0.0,
                          "negative popularity for object " << entry.object);
+      // Zero-weight entries are dropped here rather than carried as
+      // unsamplable universe members: keeping them used to let the
+      // sampler's index clamp silently redirect boundary draws onto the
+      // last object even when its weight was 0.
+      if (entry.weight == 0.0) continue;
       objects_.push_back(entry.object);
       weights.push_back(entry.weight);
     }
@@ -81,7 +92,8 @@ void FleetClientTraffic::build_universe() {
       weights.push_back(std::pow(rank + 1.0, -config_.zipf_exponent));
     }
   }
-  BROADWAY_CHECK_MSG(!objects_.empty(), "no objects for clients to request");
+  BROADWAY_CHECK_MSG(!objects_.empty(),
+                     "no objects with sampling mass for clients to request");
 
   cumulative_.reserve(weights.size());
   for (double weight : weights) {
@@ -89,6 +101,11 @@ void FleetClientTraffic::build_universe() {
     cumulative_.push_back(total_weight_);
   }
   BROADWAY_CHECK_MSG(total_weight_ > 0.0, "all client popularity weights 0");
+  // Normalise to a CDF whose last entry is *exactly* 1.0: draws are
+  // uniform in [0, 1), so upper_bound is then guaranteed an in-range
+  // index — object_at can fail fast instead of clamping.
+  for (double& c : cumulative_) c /= total_weight_;
+  cumulative_.back() = 1.0;
 }
 
 void FleetClientTraffic::start() {
@@ -129,12 +146,32 @@ void FleetClientTraffic::issue(Stream& stream) {
           config_.clients_per_proxy +
       static_cast<std::uint64_t>(stream.rng.uniform_int(
           0, static_cast<std::int64_t>(config_.clients_per_proxy) - 1));
-  const ObjectId object = sample_object(stream.rng);
+  ObjectId object;
+  if (config_.session_locality > 0.0) {
+    // Three draws per request: client (above), locality coin, object.
+    // The coin is drawn before the object draw so the object draw's
+    // position in the stream is the same on both branches.
+    const double u_loc = stream.rng.uniform01();
+    const double u_obj = stream.rng.uniform01();
+    if (u_loc < config_.session_locality) {
+      const std::size_t slot = std::min(
+          static_cast<std::size_t>(
+              u_obj * static_cast<double>(config_.session_objects)),
+          config_.session_objects - 1);
+      object = session_object(client, slot);
+    } else {
+      object = object_at(u_obj);
+    }
+  } else {
+    object = object_at(stream.rng.uniform01());
+  }
 
   const PollingEngine::ClientRead read =
       stream.engine->serve_client_read(object);
-  const ClientReadSample sample = classify_client_read(
+  ClientReadSample sample = classify_client_read(
       sim_.now(), read.hit, read.snapshot, origin_.object_by_id(object));
+  sample.filled = read.filled;
+  sample.fill_latency = read.fill_latency;
   record_client_read(stream.metrics, sample);
   if (config_.record_requests) {
     ClientRequestRecord record;
@@ -147,12 +184,25 @@ void FleetClientTraffic::issue(Stream& stream) {
   }
 }
 
-ObjectId FleetClientTraffic::sample_object(Rng& rng) const {
-  const double u = rng.uniform01() * total_weight_;
+ObjectId FleetClientTraffic::object_at(double u) const {
   const std::size_t index = static_cast<std::size_t>(
       std::upper_bound(cumulative_.begin(), cumulative_.end(), u) -
       cumulative_.begin());
-  return objects_[std::min(index, objects_.size() - 1)];
+  BROADWAY_CHECK_MSG(index < objects_.size(), "popularity draw u = " << u);
+  return objects_[index];
+}
+
+ObjectId FleetClientTraffic::session_object(std::uint64_t client,
+                                            std::size_t slot) const {
+  // Counter-keyed popularity draw: slot k of a client's working set is a
+  // pure function of (seed, client, k) — no per-client state, and the
+  // same set whichever proxy or shard serves the request.
+  constexpr std::uint64_t kSessionStream = 0x5e5510c8a11f0b1dULL;
+  const double u = hash_u01(
+      config_.seed, kSessionStream,
+      client * static_cast<std::uint64_t>(config_.session_objects) +
+          static_cast<std::uint64_t>(slot));
+  return object_at(u);
 }
 
 const ClientMetrics& FleetClientTraffic::metrics(std::size_t index) const {
@@ -187,6 +237,14 @@ std::uint64_t FleetClientTraffic::requests_issued() const {
   std::uint64_t total = 0;
   for (const auto& stream : streams_) total += stream->metrics.requests;
   return total;
+}
+
+TimePoint FleetClientTraffic::next_fire() const {
+  TimePoint next = kTimeInfinity;
+  for (const auto& stream : streams_) {
+    next = std::min(next, stream->task->next_fire_time());
+  }
+  return next;
 }
 
 }  // namespace broadway

@@ -58,6 +58,19 @@ struct ClientTrafficConfig {
   /// a client uniformly from it; the global client id is
   /// proxy_global_id * clients_per_proxy + local draw.
   std::uint64_t clients_per_proxy = 1'000'000;
+  /// Per-client session locality: with this probability a request re-draws
+  /// its object from the issuing client's small *session working set*
+  /// instead of the global popularity law.  The working set is the
+  /// `session_objects` popularity draws keyed counter-style by
+  /// (seed, global client id, slot) — a pure function of the client
+  /// identity, so it is identical whether the proxy runs in a whole fleet
+  /// or a shard slice.  0 (the default) skips the locality draw entirely,
+  /// leaving the per-request RNG consumption exactly as before (two draws:
+  /// client, object); any positive value consumes exactly three draws per
+  /// request (client, locality coin, object).
+  double session_locality = 0.0;
+  /// Working-set size per client when session_locality > 0.
+  std::size_t session_objects = 4;
   /// Hour-of-day modulation of the request rate.
   DiurnalProfile profile = DiurnalProfile::flat();
   /// Wall-clock hour at simulated t = 0.
@@ -123,7 +136,16 @@ class FleetClientTraffic {
   /// Requests issued across every local stream.
   std::uint64_t requests_issued() const;
 
-  /// The resolved object universe (valid after start()).
+  /// Earliest pending candidate firing across the local streams;
+  /// kTimeInfinity when none (before start() or after stop()).  The
+  /// sharded driver folds this into its send bound when demand fills are
+  /// on: a client request can then reach the origin and relay out, so a
+  /// shard must not advance past another shard's next candidate.
+  TimePoint next_fire() const;
+
+  /// The resolved object universe (valid after start()).  Zero-weight
+  /// popularity entries are dropped at start(), so every listed object
+  /// has sampling mass.
   const std::vector<ObjectId>& objects() const { return objects_; }
 
  private:
@@ -144,7 +166,7 @@ class FleetClientTraffic {
   // unique_ptr elements: the periodic tasks capture raw Stream pointers.
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<ObjectId> objects_;      // universe, popularity-rank order
-  std::vector<double> cumulative_;     // weight prefix sums (O(log n) draw)
+  std::vector<double> cumulative_;     // normalised CDF; back() == 1.0
   double total_weight_ = 0.0;
   double peak_intensity_ = 0.0;        // thinning envelope (profile units)
   double peak_rate_ = 0.0;             // candidate rate = rate * peak/mean
@@ -155,7 +177,13 @@ class FleetClientTraffic {
   /// request, return the gap to the next candidate.
   Duration fire(Stream& stream);
   void issue(Stream& stream);
-  ObjectId sample_object(Rng& rng) const;
+  /// CDF-inverse of u in [0, 1): the object whose cumulative mass first
+  /// exceeds u.  Fails fast on an out-of-range draw — the CDF ends at
+  /// exactly 1.0, so any u < 1.0 resolves in range.
+  ObjectId object_at(double u) const;
+  /// Slot `slot` of `client`'s session working set (counter-keyed, see
+  /// ClientTrafficConfig::session_locality).
+  ObjectId session_object(std::uint64_t client, std::size_t slot) const;
 };
 
 }  // namespace broadway

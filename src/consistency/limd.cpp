@@ -1,6 +1,7 @@
 #include "consistency/limd.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -31,6 +32,18 @@ LimdPolicy::LimdPolicy(Config config)
                      "m = " << config_.multiplicative_decrease);
   BROADWAY_CHECK(config_.m_floor > 0.0 && config_.m_ceiling < 1.0 &&
                  config_.m_floor <= config_.m_ceiling);
+  BROADWAY_CHECK_MSG(config_.read_boost >= 0.0,
+                     "read_boost = " << config_.read_boost);
+}
+
+Duration LimdPolicy::apply_read_boost(std::size_t client_reads) {
+  if (config_.read_boost > 0.0 && client_reads > 0) {
+    const double damp =
+        1.0 + config_.read_boost *
+                  std::log1p(static_cast<double>(client_reads));
+    ttr_ = config_.bounds.clamp(ttr_ / damp);
+  }
+  return ttr_;
 }
 
 Duration LimdPolicy::idle_threshold() const {
@@ -57,7 +70,7 @@ Duration LimdPolicy::next_ttr(const TemporalPollObservation& obs) {
     // TTR_max.
     last_case_ = LimdCase::kNoChange;
     ttr_ = config_.bounds.clamp(ttr_ * (1.0 + config_.linear_increase));
-    return ttr_;
+    return apply_read_boost(obs.client_reads);
   }
 
   const TimePoint first_update =
@@ -91,7 +104,7 @@ Duration LimdPolicy::next_ttr(const TemporalPollObservation& obs) {
     last_known_modification_ =
         std::max(last_known_modification_, *obs.last_modified);
   }
-  return ttr_;
+  return apply_read_boost(obs.client_reads);
 }
 
 }  // namespace broadway

@@ -47,6 +47,13 @@ class LimdPolicy : public RefreshPolicy {
     Duration idle_reset_threshold = kNanDuration;
     /// How the proxy infers first-update-since-last-poll (Fig. 1(b)).
     ViolationDetection detection = ViolationDetection::kExactHistory;
+    /// Closed-loop demand feedback: when > 0, every computed TTR is
+    /// additionally divided by (1 + read_boost * log1p(client reads
+    /// since the previous poll)) before clamping — objects clients
+    /// actually read are polled harder, idle ones keep the pure LIMD
+    /// schedule.  0 (the default) ignores the demand signal entirely,
+    /// preserving the paper's algorithm bit-for-bit.
+    double read_boost = 0.0;
 
     static constexpr Duration kNanDuration = -1.0;
 
@@ -82,6 +89,9 @@ class LimdPolicy : public RefreshPolicy {
   ViolationVerdict last_verdict_;
 
   Duration idle_threshold() const;
+  /// Tighten ttr_ by the configured demand boost (no-op when read_boost
+  /// is 0 or no client read was served this interval); returns ttr_.
+  Duration apply_read_boost(std::size_t client_reads);
 };
 
 }  // namespace broadway

@@ -58,6 +58,8 @@ std::string to_string(PollCause c) {
       return "retry";
     case PollCause::kRelay:
       return "relay";
+    case PollCause::kClientMiss:
+      return "client-miss";
   }
   return "?";
 }

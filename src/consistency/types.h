@@ -45,6 +45,12 @@ struct TemporalPollObservation {
   /// case without touching the heap; longer histories spill.
   using History = SmallVector<TimePoint, 8>;
   History history;
+  /// Client reads served for this object since the previous poll (both
+  /// hits and misses).  0 when no client traffic is attached.  Policies
+  /// may use it to poll what clients actually read (closed-loop
+  /// feedback); the default policies ignore it unless explicitly
+  /// configured (LimdPolicy::Config::read_boost).
+  std::size_t client_reads = 0;
 };
 
 /// What the proxy learns from one value-domain poll.
@@ -90,6 +96,7 @@ enum class PollCause {
   kTriggered,  ///< forced by a mutual-consistency coordinator
   kRetry,      ///< re-poll after an injected network failure
   kRelay,      ///< refresh relayed by a sibling proxy (no origin message)
+  kClientMiss, ///< demand fill: a client read missed the cache
 };
 
 std::string to_string(PollCause c);

@@ -202,6 +202,15 @@ class ProxyFleet {
     return merge_client_records(client_traffic().tagged_records());
   }
 
+  /// Earliest pending client-stream candidate firing; kTimeInfinity when
+  /// no client traffic is armed.  With demand fills on, a client request
+  /// can reach the origin and relay out, so the sharded driver folds this
+  /// into its adaptive send bound.
+  TimePoint next_client_fire() const {
+    return client_traffic_ == nullptr ? kTimeInfinity
+                                      : client_traffic_->next_fire();
+  }
+
   /// Relay messages sent on the *local* channel (one per destination;
   /// exported relays are counted by the exporter's owner).  With zero
   /// latency every send is delivered in the same call, so sent ==

@@ -603,13 +603,17 @@ void ShardedFleet::exchange_mailboxes() {
 
 TimePoint ShardedFleet::shard_send_bound(const Shard& shard,
                                          TimePoint cutoff) const {
-  // Three sources can produce this shard's next cross-shard-visible
+  // Four sources can produce this shard's next cross-shard-visible
   // send, each strictly in the future at a window barrier:
   //  * an inbox message — its delivery can trigger watched polls at the
   //    delivery instant (the inbox is sorted, so front is earliest);
   //  * an in-flight local relay headed to a watched pair — same trigger
   //    argument (the slice fleet tracks those deliveries);
-  //  * a watched pair's own refresh timer or pending lost-poll retry.
+  //  * a watched pair's own refresh timer or pending lost-poll retry;
+  //  * with demand fills on, a client-stream candidate firing — a miss
+  //    fetches through to the origin inside the request event and relays
+  //    out like any poll.  Candidate instants over-approximate requests
+  //    (thinning may reject, the read may hit), which is conservative.
   // Trigger cascades are same-instant, so a bound over these instants
   // bounds every send.  The scan stops early once the running bound
   // reaches `cutoff` — the caller falls back to a fixed-width window
@@ -620,6 +624,13 @@ TimePoint ShardedFleet::shard_send_bound(const Shard& shard,
   }
   bound = std::min(bound, shard.fleet->next_watched_delivery());
   if (bound <= cutoff) return bound;
+  if (config_.fleet.engine.demand_fill && !shard.export_watch.empty()) {
+    // export_watch is non-empty exactly when some local pair has remote
+    // relay destinations — the only case a demand fill can leave the
+    // shard.
+    bound = std::min(bound, shard.fleet->next_client_fire());
+    if (bound <= cutoff) return bound;
+  }
   for (const auto& [engine, object] : shard.export_watch) {
     bound = std::min(bound, engine->next_send_time(object));
     if (bound <= cutoff) return bound;

@@ -25,6 +25,7 @@ LimdPolicy::Config make_limd_config(const TemporalRunConfig& config) {
   out.adaptive_m = config.adaptive_m;
   out.multiplicative_decrease = config.multiplicative_decrease;
   out.detection = config.detection;
+  out.read_boost = config.read_boost;
   return out;
 }
 
@@ -357,6 +358,18 @@ ClientFleetRunResult run_fleet_client_temporal(
   };
 
   ClientFleetRunResult result;
+  // Origin load (O(1) counters) plus the per-record cause breakdown; the
+  // two must agree on the demand-fill split — callers pin
+  //   origin_load.origin_polls == policy_polls() + demand_fills
+  // against causes computed from the full record streams.  Client traffic
+  // pins every proxy to a single slice, so per-proxy log access is safe
+  // in the sharded branch too.
+  const auto summarize_load = [&result](auto& fleet) {
+    result.origin_load = fleet.origin_load();
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      result.causes.merge(count_by_cause(fleet.proxy(p).poll_log()));
+    }
+  };
   if (config.threads <= 1) {
     Simulator sim(scenario_sim_config(config.fleet.base));
     OriginServer origin(sim,
@@ -375,6 +388,7 @@ ClientFleetRunResult run_fleet_client_temporal(
     for (std::size_t p = 0; p < fleet.size(); ++p) {
       result.per_proxy_clients.push_back(fleet.client_traffic().metrics(p));
     }
+    summarize_load(fleet);
     result.transactions = evaluate_transactions(fleet);
   } else {
     ShardedFleetConfig sharded;
@@ -400,6 +414,7 @@ ClientFleetRunResult run_fleet_client_temporal(
     for (std::size_t p = 0; p < fleet.size(); ++p) {
       result.per_proxy_clients.push_back(fleet.client_metrics(p));
     }
+    summarize_load(fleet);
     result.transactions = evaluate_transactions(fleet);
   }
   return result;

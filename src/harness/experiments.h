@@ -14,6 +14,7 @@
 #include "client/read_transactions.h"
 #include "consistency/types.h"
 #include "fleet/sharded_fleet.h"
+#include "metrics/accounting.h"
 #include "metrics/fidelity.h"
 #include "metrics/mutual_fidelity.h"
 #include "metrics/value_fidelity.h"
@@ -64,6 +65,11 @@ struct TemporalRunConfig : ScenarioBase {
   /// modification-history extension (the A1 ablation toggles these).
   ViolationDetection detection = ViolationDetection::kExactHistory;
   bool origin_history = true;
+  /// Closed-loop demand feedback (LimdPolicy::Config::read_boost): when
+  /// > 0, each object's TTR is additionally shrunk by the client reads it
+  /// served since its previous poll, so client-hot objects poll harder.
+  /// 0 keeps the paper's open-loop LIMD bit-for-bit.
+  double read_boost = 0.0;
 };
 
 /// Result of one Δt run.
@@ -249,11 +255,21 @@ struct ClientFleetRunConfig {
 struct ClientFleetRunResult {
   /// The usual fleet-side accounting and proxy fidelity.
   FleetRunResult fleet;
-  /// Fleet-wide client-observed metrics (hits, age, staleness), merged
-  /// in ascending global proxy id order.
+  /// Fleet-wide client-observed metrics (hits, age, staleness, demand
+  /// fills), merged in ascending global proxy id order.
   ClientMetrics clients;
   /// Per-proxy client metrics, indexed by global proxy id.
   std::vector<ClientMetrics> per_proxy_clients;
+  /// Aggregate origin load, including the demand-fill split.  The pinned
+  /// accounting invariant is
+  ///   origin_load.origin_polls ==
+  ///       origin_load.policy_polls() + origin_load.demand_fills.
+  FleetOriginLoad origin_load;
+  /// Fleet-wide successful-poll counts by cause, summed over every
+  /// proxy's full record stream — the cross-check against the O(1)
+  /// counters behind origin_load (causes.client_miss must equal
+  /// origin_load.demand_fills).
+  PollCauseCounts causes;
   /// Mutual-consistency evaluation of sampled read transactions
   /// (zero-initialised when transactions.rate == 0).
   TransactionStats transactions;

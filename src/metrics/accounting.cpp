@@ -30,6 +30,9 @@ PollCauseCounts count_by_cause(const std::vector<PollRecord>& log) {
       case PollCause::kRelay:
         ++counts.relay;
         break;
+      case PollCause::kClientMiss:
+        ++counts.client_miss;
+        break;
     }
   }
   return counts;
@@ -53,6 +56,7 @@ FleetOriginLoad fleet_origin_load(const std::vector<const PollLog*>& logs) {
     load.origin_messages += log->initial_polls() + log->polls_performed();
     load.origin_polls += log->polls_performed();
     load.relay_refreshes += log->relay_refreshes();
+    load.demand_fills += log->demand_fills();
     load.failed += log->failed_polls();
   }
   return load;

@@ -22,13 +22,34 @@ struct PollCauseCounts {
   std::size_t triggered = 0;
   std::size_t retry = 0;
   std::size_t relay = 0;
+  std::size_t client_miss = 0;
   std::size_t failed = 0;
 
   /// The paper's "number of polls": everything except the initial fetches
   /// and failures.  Relay refreshes are excluded too — they refresh the
   /// cached copy over the proxy–proxy channel, not via an origin message.
+  /// Demand fills (kClientMiss) *are* origin polls, so they count here;
+  /// policy_polls() splits them back out.
   std::size_t total_refreshes() const {
-    return scheduled + triggered + retry;
+    return scheduled + triggered + retry + client_miss;
+  }
+
+  /// Origin polls the refresh policies initiated (TTR expiry, coordinator
+  /// triggers, loss retries) — total_refreshes() without the
+  /// demand-driven fills.  The fleet invariant is
+  ///   origin_polls == policy_polls + demand fills.
+  std::size_t policy_polls() const { return scheduled + triggered + retry; }
+
+  /// Fold another log's counts into this one (plain sums).
+  PollCauseCounts& merge(const PollCauseCounts& other) {
+    initial += other.initial;
+    scheduled += other.scheduled;
+    triggered += other.triggered;
+    retry += other.retry;
+    relay += other.relay;
+    client_miss += other.client_miss;
+    failed += other.failed;
+    return *this;
   }
 };
 
@@ -47,18 +68,27 @@ struct FleetOriginLoad {
   std::size_t origin_polls = 0;
   /// Refreshes served by sibling relays instead of origin polls.
   std::size_t relay_refreshes = 0;
+  /// Demand fills: origin polls triggered by client cache misses
+  /// (PollCause::kClientMiss).  A subset of origin_polls; the pinned
+  /// invariant is origin_polls == policy polls + demand_fills.
+  std::size_t demand_fills = 0;
   /// Failed (lost) poll attempts across the fleet.
   std::size_t failed = 0;
+
+  /// Origin polls the refresh policies initiated (everything but the
+  /// demand fills).
+  std::size_t policy_polls() const { return origin_polls - demand_fills; }
 
   /// Mean origin polls per second over the horizon (0 for horizon <= 0).
   double polls_per_second(Duration horizon) const;
 
   /// Fold another fleet's load into this one (shard-local accounting is
-  /// merged at sweep end; all four counters are plain sums).
+  /// merged at sweep end; all counters are plain sums).
   FleetOriginLoad& merge(const FleetOriginLoad& other) {
     origin_messages += other.origin_messages;
     origin_polls += other.origin_polls;
     relay_refreshes += other.relay_refreshes;
+    demand_fills += other.demand_fills;
     failed += other.failed;
     return *this;
   }

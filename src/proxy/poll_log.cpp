@@ -46,6 +46,9 @@ void PollLog::count(UriIndex& index, const PollRecord& record) {
   if (record.cause == PollCause::kTriggered) {
     ++index.triggered;
     ++triggered_total_;
+  } else if (record.cause == PollCause::kClientMiss) {
+    ++index.demand;
+    ++demand_total_;
   }
 }
 
@@ -134,6 +137,16 @@ std::size_t PollLog::relay_refreshes(const std::string& uri) const {
   if (uri.empty()) return relay_total_;
   const UriIndex* index = find(uri);
   return index == nullptr ? 0 : index->relays;
+}
+
+std::size_t PollLog::demand_fills(const std::string& uri) const {
+  if (uri.empty()) return demand_total_;
+  const UriIndex* index = find(uri);
+  return index == nullptr ? 0 : index->demand;
+}
+
+std::size_t PollLog::demand_fills(ObjectId object) const {
+  return object < by_id_.size() ? by_id_[object].demand : 0;
 }
 
 void PollLog::set_retention_window(std::size_t window) {

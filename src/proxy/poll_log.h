@@ -130,11 +130,29 @@ class PollLog {
   /// Empty uri = all objects.
   std::size_t relay_refreshes(const std::string& uri = "") const;
 
+  /// Successful demand fills (PollCause::kClientMiss): origin fetches
+  /// triggered by a client read that missed the cache.  A subset of
+  /// polls_performed() — demand fills are real origin polls — split out
+  /// so accounting can separate policy-driven polls from demand-driven
+  /// ones (`polls_performed == policy polls + demand_fills`).  Empty uri
+  /// = all objects.
+  std::size_t demand_fills(const std::string& uri = "") const;
+  std::size_t demand_fills(ObjectId object) const;
+
   /// Successful initial fetches, all objects.
   std::size_t initial_polls() const { return initial_total_; }
 
   /// Failed (lost) poll attempts, all objects.
   std::size_t failed_polls() const { return failed_total_; }
+
+  /// Records evicted by the retention window since construction (total
+  /// appended minus retained).  0 on a full log; evaluations that replay
+  /// the record *series* (read_transactions) fail fast when this is
+  /// non-zero.
+  std::size_t dropped_records() const {
+    return initial_total_ + performed_total_ + relay_total_ + failed_total_ -
+           records_.size();
+  }
 
   // ---- windowed retention ----
 
@@ -157,6 +175,7 @@ class PollLog {
     std::size_t performed = 0;            ///< successful, non-initial origin
     std::size_t triggered = 0;            ///< successful, kTriggered
     std::size_t relays = 0;               ///< successful, kRelay
+    std::size_t demand = 0;               ///< successful, kClientMiss
     std::size_t live = 0;                 ///< records currently retained
   };
 
@@ -174,6 +193,7 @@ class PollLog {
   std::size_t performed_total_ = 0;
   std::size_t triggered_total_ = 0;
   std::size_t relay_total_ = 0;
+  std::size_t demand_total_ = 0;
   std::size_t initial_total_ = 0;
   std::size_t failed_total_ = 0;
   std::size_t window_ = 0;

@@ -254,8 +254,16 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
   Response& response = *response_pool_[pipeline_depth_];
   ++pipeline_depth_;
 
-  // Stage 2: the HTTP exchange.
-  exchange(object, initial ? std::nullopt : std::make_optional(previous),
+  // Stage 2: the HTTP exchange.  Any poll made while no copy is cached —
+  // the initial fetch, a demand fill serving a client that needs the body
+  // *now*, or a retry after the initial fetch itself was lost — must be
+  // an unconditional GET: a conditional one could answer 304 for a
+  // never-modified object, and a 304 cannot refresh a copy that does not
+  // exist, leaving the cache empty forever.
+  const bool unconditional =
+      initial || cache_.find(object.id()) == nullptr;
+  exchange(object,
+           unconditional ? std::nullopt : std::make_optional(previous),
            response);
   BROADWAY_CHECK_MSG(response.status != StatusCode::kNotFound,
                      object.uri() << " not present at origin");
@@ -330,11 +338,42 @@ bool PollingEngine::apply_relay(ObjectId id, const Response& response,
 
 PollingEngine::ClientRead PollingEngine::serve_client_read(ObjectId id) {
   ClientRead read;
+  TrackedObject* object = tracked(id);
+  if (object != nullptr) {
+    // Closed-loop feedback: the refresh policies see per-object client
+    // read counts (TemporalPollObservation::client_reads), hits and
+    // misses alike — a miss is still demand.
+    object->note_client_read();
+  }
   const CacheEntry* entry = cache_.lookup_counted(id);
-  if (entry == nullptr) return read;
-  read.hit = true;
-  read.snapshot = entry->snapshot_time;
-  read.visible = entry->stored_time;
+  if (entry != nullptr) {
+    read.hit = true;
+    read.snapshot = entry->snapshot_time;
+    read.visible = entry->stored_time;
+    return read;
+  }
+  if (object == nullptr) {
+    // Untracked ids never fill: there is no policy, no trace and no
+    // relay eligibility here — see ClientRead::MissReason.
+    read.miss_reason = ClientRead::MissReason::kUntracked;
+    return read;
+  }
+  read.miss_reason = ClientRead::MissReason::kUncached;
+  if (!config_.demand_fill || !started_ || !object->self_scheduled()) {
+    return read;
+  }
+  // Demand fill: fetch through to the origin via the shared pipeline
+  // (loss injection applies; a lost fill schedules the standard retry and
+  // leaves this read an unfilled miss).  The re-lookup uses the uncounted
+  // find() — one read, one hit/miss account entry.
+  const TimePoint now = sim_.now();
+  poll_self(*object, PollCause::kClientMiss);
+  if (const CacheEntry* filled = cache_.find(id)) {
+    read.filled = true;
+    read.fill_latency = filled->stored_time - now;
+    read.snapshot = filled->snapshot_time;
+    read.visible = filled->stored_time;
+  }
   return read;
 }
 

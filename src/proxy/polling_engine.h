@@ -96,6 +96,12 @@ struct EngineConfig {
   /// id-keyed path notifies only the coordinators subscribed to the
   /// polled object.  Both paths produce byte-identical poll logs.
   bool legacy_dispatch = false;
+  /// Demand-fill the client miss path: a client read that misses the
+  /// cache fetches the object from the origin (PollCause::kClientMiss)
+  /// through the same pipeline as a policy poll — the filled copy enters
+  /// the cache, the poll log, the relay fan-out and the policy schedule.
+  /// Off by default: the paper's proxy polls by policy only.
+  bool demand_fill = false;
 };
 
 /// One successful origin poll, as seen by a fleet-level observer.  All
@@ -254,7 +260,28 @@ class PollingEngine {
 
   /// One client read served by this proxy at the current instant.
   struct ClientRead {
+    /// Why a read missed.  "Object not tracked by this proxy" and
+    /// "tracked but not yet cached" are different conditions: only the
+    /// latter can demand-fill (an untracked id has no policy, no trace
+    /// registration and no relay eligibility here — filling it would
+    /// bypass the consistency machinery entirely, so untracked ids never
+    /// fill; register the object first).
+    enum class MissReason {
+      kNone,       ///< the read hit
+      kUntracked,  ///< id not registered with this proxy
+      kUncached,   ///< tracked, but no cached copy yet
+    };
+
     bool hit = false;
+    MissReason miss_reason = MissReason::kNone;
+    /// True when a miss was demand-filled from the origin just now
+    /// (EngineConfig::demand_fill): snapshot/visible below describe the
+    /// freshly fetched copy.  The read still counts as a miss — the
+    /// client paid the origin round-trip, not a cache hit.
+    bool filled = false;
+    /// Client-observed fill latency (visible - request instant) of a
+    /// filled miss; 0 otherwise.
+    Duration fill_latency = 0.0;
     /// Server-state instant of the served copy.  A relay-delivered copy
     /// reports the *relayed* snapshot (the sender's poll fire time) —
     /// delivery latency is never credited as freshness.
@@ -266,8 +293,15 @@ class PollingEngine {
 
   /// Serve a client read of `id` from the cache, counting it in the
   /// cache's hit/miss accounting.  The request hook of the client traffic
-  /// layer (src/client/) — read-only: a miss does not trigger a fetch
-  /// (the paper's proxy polls by policy, it does not fault on demand).
+  /// layer (src/client/).  With EngineConfig::demand_fill unset a miss is
+  /// only recorded (the paper's proxy polls by policy, it does not fault
+  /// on demand); with it set, a miss on a tracked self-scheduled object
+  /// fetches through to the origin (PollCause::kClientMiss) via the
+  /// shared poll pipeline — loss injection applies (a lost fill leaves
+  /// the miss unfilled and retries like any lost poll), and the filled
+  /// copy relays to siblings and updates the policy schedule like any
+  /// other poll.  Untracked ids and group-polled members never fill (see
+  /// ClientRead::MissReason).
   ClientRead serve_client_read(ObjectId id);
 
   // ---- results ----
@@ -310,6 +344,12 @@ class PollingEngine {
   /// objects.  O(1).
   std::size_t relay_refreshes(const std::string& uri = "") const {
     return poll_log_.relay_refreshes(uri);
+  }
+
+  /// Successful demand fills (client misses fetched through to the
+  /// origin).  Empty uri = all objects.  O(1).
+  std::size_t demand_fills(const std::string& uri = "") const {
+    return poll_log_.demand_fills(uri);
   }
 
   /// Failed (lost) poll attempts.

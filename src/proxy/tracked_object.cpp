@@ -20,6 +20,7 @@ PollOutcome TemporalObject::on_response(const Response& response,
                                         PollCause cause) {
   PollOutcome outcome;
   if (cause == PollCause::kInitial) {
+    reads_at_last_obs_ = client_reads();
     outcome.ttr = policy_->initial_ttr();
     return outcome;
   }
@@ -28,6 +29,11 @@ PollOutcome TemporalObject::on_response(const Response& response,
   obs.previous_poll_time = previous;
   obs.modified = response.ok();
   obs.last_modified = wire_last_modified(response);
+  // Closed-loop demand signal: client reads served since the previous
+  // observation (0 when no client traffic is attached).
+  obs.client_reads =
+      static_cast<std::size_t>(client_reads() - reads_at_last_obs_);
+  reads_at_last_obs_ = client_reads();
   // Malformed string-path history reads as empty, as before.
   wire_modification_history(response, obs.history);
   // Restrict the history to updates this proxy has not seen.  For an own

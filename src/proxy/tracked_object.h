@@ -92,6 +92,14 @@ class TrackedObject {
     subscribers_.push_back(coordinator);
   }
 
+  /// Client reads served for this object (hits and misses alike), bumped
+  /// by the engine's serve_client_read.  A monotone total; policy-facing
+  /// consumers (TemporalObject) diff it against the count at the previous
+  /// poll to expose reads-per-poll-interval
+  /// (TemporalPollObservation::client_reads).
+  void note_client_read() { ++client_reads_; }
+  std::uint64_t client_reads() const { return client_reads_; }
+
   /// Next index for the object's loss-injection draw (see hash_bernoulli):
   /// keying each draw by (engine seed, object id, draw index) keeps loss
   /// outcomes a property of the object's own poll history, so they survive
@@ -130,6 +138,7 @@ class TrackedObject {
   std::unique_ptr<PeriodicTask> task_;
   Subscribers subscribers_;
   std::uint64_t loss_draws_ = 0;
+  std::uint64_t client_reads_ = 0;
   std::vector<TimePoint> pending_retries_;
 };
 
@@ -145,6 +154,9 @@ class TemporalObject final : public TrackedObject {
 
  private:
   std::unique_ptr<RefreshPolicy> policy_;
+  /// client_reads() at the previous observation, for the per-interval
+  /// diff exposed as TemporalPollObservation::client_reads.
+  std::uint64_t reads_at_last_obs_ = 0;
 };
 
 /// Shared state of the value-domain kinds: the most recently observed

@@ -100,6 +100,11 @@ Rng Rng::fork() {
 bool hash_bernoulli(std::uint64_t seed, std::uint64_t stream,
                     std::uint64_t counter, double p) {
   BROADWAY_CHECK_MSG(p >= 0.0 && p <= 1.0, "hash_bernoulli(p=" << p << ")");
+  return hash_u01(seed, stream, counter) < p;
+}
+
+double hash_u01(std::uint64_t seed, std::uint64_t stream,
+                std::uint64_t counter) {
   // Three chained splitmix64 rounds, folding one key in per round.  Each
   // round is a full-avalanche permutation, so nearby (stream, counter)
   // pairs land on unrelated uniforms.
@@ -107,7 +112,7 @@ bool hash_bernoulli(std::uint64_t seed, std::uint64_t stream,
   state = splitmix64(state) ^ stream;
   state = splitmix64(state) ^ counter;
   const std::uint64_t h = splitmix64(state);
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
 }  // namespace broadway

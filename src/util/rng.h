@@ -73,4 +73,12 @@ class Rng {
 bool hash_bernoulli(std::uint64_t seed, std::uint64_t stream,
                     std::uint64_t counter, double p);
 
+/// Stateless uniform draw in [0, 1): a pure function of (seed, stream,
+/// counter) — the uniform underlying hash_bernoulli, exposed directly.
+/// Used where a component needs a reproducible *value* (not just a coin
+/// flip) that survives re-ordering and re-partitioning, e.g. the
+/// per-client session working sets of the client-traffic layer.
+double hash_u01(std::uint64_t seed, std::uint64_t stream,
+                std::uint64_t counter);
+
 }  // namespace broadway

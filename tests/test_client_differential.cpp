@@ -91,7 +91,7 @@ Topology random_topology(std::uint64_t seed) {
   return topo;
 }
 
-FleetConfig fleet_config(std::size_t proxies) {
+FleetConfig fleet_config(std::size_t proxies, bool demand_fill = false) {
   FleetConfig config;
   config.proxies = proxies;
   config.cooperative_push = true;
@@ -108,6 +108,17 @@ FleetConfig fleet_config(std::size_t proxies) {
   traffic.start_hour = 9.0;  // start inside the busy hours
   traffic.seed = 17;
   traffic.record_requests = true;
+  if (demand_fill) {
+    // The demand-fill sweep runs lossier with slow retries (long uncached
+    // windows only a fill can close) and with per-client session locality
+    // on, so the 3-draw request stream and the kClientMiss poll path both
+    // cross the shard barrier.
+    config.engine.demand_fill = true;
+    config.engine.loss_probability = 0.25;
+    config.engine.retry_delay = 600.0;
+    traffic.session_locality = 0.3;
+    traffic.session_objects = 3;
+  }
   config.client_traffic = traffic;
   return config;
 }
@@ -124,7 +135,25 @@ struct Artifacts {
   ClientMetrics merged;
   std::vector<ClientRequestRecord> records;
   TransactionStats transactions;
+  FleetOriginLoad origin_load;
+  PollCauseCounts causes;
 };
+
+// The origin-load invariant, cross-checked the non-tautological way: the
+// O(1) counters behind FleetOriginLoad must agree with a recount of every
+// proxy's full record stream, and the demand-fill split must balance.
+void expect_origin_invariant(const Artifacts& artifacts) {
+  const FleetOriginLoad& load = artifacts.origin_load;
+  const PollCauseCounts& causes = artifacts.causes;
+  EXPECT_EQ(causes.client_miss, load.demand_fills);
+  EXPECT_EQ(causes.total_refreshes(), load.origin_polls);
+  EXPECT_EQ(causes.scheduled + causes.triggered + causes.retry,
+            load.policy_polls());
+  EXPECT_EQ(load.origin_polls, load.policy_polls() + load.demand_fills);
+  EXPECT_EQ(causes.failed, load.failed);
+  // Client-side and proxy-side accounting of the same fills agree.
+  EXPECT_EQ(artifacts.merged.demand_fills, load.demand_fills);
+}
 
 ReadTransactionConfig transaction_config() {
   ReadTransactionConfig config;
@@ -144,13 +173,22 @@ TransactionStats evaluate_transactions(Fleet& fleet) {
   return evaluate_read_transactions(logs, transaction_config(), kHorizon);
 }
 
-Artifacts reference_run(const Topology& topo, Duration horizon) {
+template <typename Fleet>
+void collect_origin_accounting(Fleet& fleet, Artifacts& artifacts) {
+  artifacts.origin_load = fleet.origin_load();
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    artifacts.causes.merge(count_by_cause(fleet.proxy(p).poll_log()));
+  }
+}
+
+Artifacts reference_run(const Topology& topo, Duration horizon,
+                        bool demand_fill = false) {
   Simulator sim;
   OriginServer origin(sim);
   for (const UpdateTrace& trace : topo.traces) {
     origin.attach_update_trace(trace.name(), trace);
   }
-  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies));
+  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies, demand_fill));
   const auto factory = limd_factory();
   for (const UpdateTrace& trace : topo.traces) {
     fleet.add_temporal_object_everywhere(trace.name(), factory);
@@ -165,14 +203,16 @@ Artifacts reference_run(const Topology& topo, Duration horizon) {
   artifacts.merged = fleet.merged_client_metrics();
   artifacts.records = fleet.merged_client_records();
   artifacts.transactions = evaluate_transactions(fleet);
+  collect_origin_accounting(fleet, artifacts);
   return artifacts;
 }
 
 Artifacts sharded_run(const Topology& topo, std::size_t threads,
                       Duration horizon, std::size_t shards = 0,
-                      WindowPolicy policy = WindowPolicy::kAdaptive) {
+                      WindowPolicy policy = WindowPolicy::kAdaptive,
+                      bool demand_fill = false) {
   ShardedFleetConfig config;
-  config.fleet = fleet_config(topo.proxies);
+  config.fleet = fleet_config(topo.proxies, demand_fill);
   config.threads = threads;
   config.shards = shards;
   config.window_policy = policy;
@@ -196,6 +236,7 @@ Artifacts sharded_run(const Topology& topo, std::size_t threads,
   artifacts.merged = fleet.merged_client_metrics();
   artifacts.records = fleet.merged_client_records();
   artifacts.transactions = evaluate_transactions(fleet);
+  collect_origin_accounting(fleet, artifacts);
   return artifacts;
 }
 
@@ -215,8 +256,10 @@ void expect_metrics_identical(const ClientMetrics& a, const ClientMetrics& b) {
   EXPECT_EQ(a.misses, b.misses);
   EXPECT_EQ(a.fresh, b.fresh);
   EXPECT_EQ(a.stale, b.stale);
+  EXPECT_EQ(a.demand_fills, b.demand_fills);
   expect_stats_identical(a.age, b.age);
   expect_stats_identical(a.staleness, b.staleness);
+  expect_stats_identical(a.fill_latency, b.fill_latency);
 }
 
 void expect_artifacts_identical(const Artifacts& reference,
@@ -239,6 +282,8 @@ void expect_artifacts_identical(const Artifacts& reference,
     EXPECT_EQ(a.object, b.object);
     EXPECT_EQ(a.read.hit, b.read.hit);
     EXPECT_EQ(a.read.fresh, b.read.fresh);
+    EXPECT_EQ(a.read.filled, b.read.filled);
+    EXPECT_EQ(a.read.fill_latency, b.read.fill_latency);
     EXPECT_EQ(a.read.snapshot, b.read.snapshot);
     EXPECT_EQ(a.read.age, b.read.age);
     EXPECT_EQ(a.read.staleness, b.read.staleness);
@@ -253,6 +298,23 @@ void expect_artifacts_identical(const Artifacts& reference,
             candidate.transactions.violations);
   expect_stats_identical(reference.transactions.spread,
                          candidate.transactions.spread);
+
+  EXPECT_EQ(reference.origin_load.origin_messages,
+            candidate.origin_load.origin_messages);
+  EXPECT_EQ(reference.origin_load.origin_polls,
+            candidate.origin_load.origin_polls);
+  EXPECT_EQ(reference.origin_load.relay_refreshes,
+            candidate.origin_load.relay_refreshes);
+  EXPECT_EQ(reference.origin_load.demand_fills,
+            candidate.origin_load.demand_fills);
+  EXPECT_EQ(reference.origin_load.failed, candidate.origin_load.failed);
+  EXPECT_EQ(reference.causes.initial, candidate.causes.initial);
+  EXPECT_EQ(reference.causes.scheduled, candidate.causes.scheduled);
+  EXPECT_EQ(reference.causes.triggered, candidate.causes.triggered);
+  EXPECT_EQ(reference.causes.retry, candidate.causes.retry);
+  EXPECT_EQ(reference.causes.relay, candidate.causes.relay);
+  EXPECT_EQ(reference.causes.client_miss, candidate.causes.client_miss);
+  EXPECT_EQ(reference.causes.failed, candidate.causes.failed);
 }
 
 TEST(ClientDifferential, ByteIdenticalAcrossThreadCountsAndSchedulers) {
@@ -299,6 +361,75 @@ TEST(ClientDifferential, WindowPolicyAndPartitionSweepIsByteIdentical) {
         expect_artifacts_identical(
             reference,
             sharded_run(topo, threads, kHorizon, topo.proxies + 3, policy));
+      }
+    }
+  }
+}
+
+// The tentpole differential: with demand fills and session locality on,
+// every client-side and origin-side artifact — including the kClientMiss
+// poll stream and its relay fan-out — stays byte-identical across thread
+// counts, partitioned shard layouts (shards > proxies) and both window
+// policies, and the origin-load invariant holds in every configuration.
+// The adaptive window's client-candidate fold (ShardedFleet folds
+// next_client_fire into shard_send_bound when fills are on) is exactly
+// the code under test here.
+TEST(ClientDifferential, DemandFillSweepIsByteIdenticalWithInvariant) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    for (const std::uint64_t seed : {13u, 29u}) {
+      SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                   std::to_string(seed));
+      const Topology topo = random_topology(seed);
+      const Artifacts reference =
+          reference_run(topo, kHorizon, /*demand_fill=*/true);
+      // The workload must actually demand-fill, and filled reads stay
+      // misses (hits + misses == requests is the client-side ledger).
+      ASSERT_GT(reference.merged.demand_fills, 0u);
+      ASSERT_EQ(reference.merged.hits + reference.merged.misses,
+                reference.merged.requests);
+      expect_origin_invariant(reference);
+
+      // Demand filling must strictly reduce the client miss count on the
+      // same topology and seeds (the fills-off run differs only in the
+      // engine knob; locality stays on so the request streams match).
+      FleetConfig off_config = fleet_config(topo.proxies, true);
+      off_config.engine.demand_fill = false;
+      {
+        Simulator sim;
+        OriginServer origin(sim);
+        for (const UpdateTrace& trace : topo.traces) {
+          origin.attach_update_trace(trace.name(), trace);
+        }
+        ProxyFleet off_fleet(sim, origin, off_config);
+        const auto factory = limd_factory();
+        for (const UpdateTrace& trace : topo.traces) {
+          off_fleet.add_temporal_object_everywhere(trace.name(), factory);
+        }
+        off_fleet.start();
+        sim.run_until(kHorizon);
+        const ClientMetrics off = off_fleet.merged_client_metrics();
+        EXPECT_EQ(off.demand_fills, 0u);
+        EXPECT_LT(reference.merged.misses, off.misses);
+      }
+
+      for (const std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        const Artifacts whole =
+            sharded_run(topo, threads, kHorizon, /*shards=*/0,
+                        WindowPolicy::kAdaptive, /*demand_fill=*/true);
+        expect_artifacts_identical(reference, whole);
+        expect_origin_invariant(whole);
+        for (const WindowPolicy policy :
+             {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+          SCOPED_TRACE(policy == WindowPolicy::kFixed ? "fixed windows"
+                                                      : "adaptive windows");
+          const Artifacts partitioned =
+              sharded_run(topo, threads, kHorizon, topo.proxies + 3, policy,
+                          /*demand_fill=*/true);
+          expect_artifacts_identical(reference, partitioned);
+          expect_origin_invariant(partitioned);
+        }
       }
     }
   }

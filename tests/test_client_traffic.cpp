@@ -4,7 +4,10 @@
 // and the fail-fast construction contracts.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,12 +16,14 @@
 #include "client/read_transactions.h"
 #include "consistency/fixed_poll.h"
 #include "fleet/proxy_fleet.h"
+#include "metrics/accounting.h"
 #include "origin/object.h"
 #include "origin/origin_server.h"
 #include "proxy/poll_log.h"
 #include "proxy/polling_engine.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace broadway {
 namespace {
@@ -192,7 +197,9 @@ TEST(ClientTraffic, DrivesRequestsAndRecordsAtEveryProxy) {
   EXPECT_GT(merged.requests, 0u);
   EXPECT_EQ(merged.hits + merged.misses, merged.requests);
   EXPECT_GT(merged.hits, 0u);    // /a reads are hits
-  EXPECT_GT(merged.misses, 0u);  // /b is never fetched (no demand faulting)
+  // /b is tracked by no proxy and demand_fill is off by default, so /b
+  // reads are plain misses (untracked ids never fill even with it on).
+  EXPECT_GT(merged.misses, 0u);
   EXPECT_EQ(merged.fresh + merged.stale, merged.hits);
 
   std::uint64_t sum = 0;
@@ -298,6 +305,321 @@ TEST(ReadTransactions, ZeroRateDisablesSampling) {
   const TransactionStats stats =
       evaluate_read_transactions({&log}, ReadTransactionConfig{}, 100.0);
   EXPECT_EQ(stats.transactions, 0u);
+}
+
+// A retention-truncated log has lost serve-series prefix records; silently
+// evaluating it would mis-score transactions sampled before the window, so
+// the evaluation fails fast instead.
+TEST(ReadTransactions, TruncatedLogFailsFast) {
+  PollLog log;
+  log.set_retention_window(1);
+  PollRecord r;
+  r.uri = "/a";
+  r.snapshot_time = 10.0;
+  r.complete_time = 11.0;
+  log.append(r);
+  r.snapshot_time = 20.0;
+  r.complete_time = 21.0;
+  log.append(r);
+  log.compact();
+  ASSERT_GT(log.dropped_records(), 0u);
+
+  ReadTransactionConfig config;
+  config.rate = 1.0;
+  config.objects = 1;
+  EXPECT_THROW(evaluate_read_transactions({&log}, config, 100.0),
+               CheckFailure);
+}
+
+// ---- demand fills (EngineConfig::demand_fill) ------------------------------
+
+// The engine keys loss decisions by (seed, object id, per-object attempt
+// counter) through the stateless hash_bernoulli, so a test can *choose* the
+// loss outcomes of consecutive attempts by scanning seeds at runtime.
+std::uint64_t find_loss_seed(ObjectId id, double p,
+                             std::initializer_list<bool> lost_pattern) {
+  for (std::uint64_t seed = 0;; ++seed) {
+    std::uint64_t draw = 0;
+    bool match = true;
+    for (const bool lost : lost_pattern) {
+      if (hash_bernoulli(seed, id, draw++, p) != lost) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+}
+
+// Tentpole pin: a miss on a tracked-but-uncached object fetches through to
+// the origin, the filled copy enters the cache, and the read reports the
+// client-observed fill latency.  The filled read is still a miss.
+TEST(ClientDemandFill, MissFetchesThroughToOrigin) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  const ObjectId id = origin.uri_table().find("/a");
+
+  EngineConfig config;
+  config.rtt = 0.25;
+  config.loss_probability = 0.5;
+  config.retry_delay = 1e6;  // pending retries never land in-horizon
+  config.demand_fill = true;
+  // Initial fetch (draw 0) lost, demand fill (draw 1) delivered.
+  config.seed = find_loss_seed(id, 0.5, {true, false});
+  PollingEngine engine(sim, origin, config);
+  engine.add_temporal_object("/a", std::make_unique<FixedPollPolicy>(1e9));
+  engine.start();
+  sim.run_until(10.0);
+  ASSERT_EQ(engine.cache().find(id), nullptr);  // initial fetch was lost
+
+  const PollingEngine::ClientRead read = engine.serve_client_read(id);
+  EXPECT_FALSE(read.hit);  // the client paid the origin round-trip
+  EXPECT_EQ(read.miss_reason,
+            PollingEngine::ClientRead::MissReason::kUncached);
+  EXPECT_TRUE(read.filled);
+  EXPECT_EQ(read.fill_latency, 0.25);
+  EXPECT_EQ(read.snapshot, 10.0);
+  EXPECT_EQ(read.visible, 10.25);
+
+  // The fill went through the shared poll pipeline: it is an origin poll
+  // with cause kClientMiss, and the origin-load invariant
+  // origin_polls == policy polls + demand fills holds on the log.
+  EXPECT_EQ(engine.demand_fills(), 1u);
+  const PollCauseCounts counts = count_by_cause(engine.poll_log());
+  EXPECT_EQ(counts.client_miss, 1u);
+  EXPECT_EQ(counts.policy_polls(), 0u);
+  EXPECT_EQ(counts.initial, 0u);  // lost
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(counts.total_refreshes(),
+            counts.policy_polls() + engine.demand_fills());
+
+  // The filled copy is cached: the next read hits without a new fetch.
+  const PollingEngine::ClientRead again = engine.serve_client_read(id);
+  EXPECT_TRUE(again.hit);
+  EXPECT_FALSE(again.filled);
+  EXPECT_EQ(again.snapshot, 10.0);
+  EXPECT_EQ(engine.demand_fills(), 1u);
+}
+
+// Loss injection applies to fills like any poll: a lost fill leaves the
+// miss unfilled and the pending retry refreshes the copy as kRetry.
+TEST(ClientDemandFill, LostFillStaysMissAndRetriesLikeAnyPoll) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  const ObjectId id = origin.uri_table().find("/a");
+
+  EngineConfig config;
+  config.rtt = 0.0;
+  config.loss_probability = 0.5;
+  config.retry_delay = 8.0;
+  config.demand_fill = true;
+  // Initial (draw 0) lost, fill (draw 1) lost, first retry (draw 2) ok.
+  config.seed = find_loss_seed(id, 0.5, {true, true, false});
+  PollingEngine engine(sim, origin, config);
+  engine.add_temporal_object("/a", std::make_unique<FixedPollPolicy>(1e9));
+  engine.start();
+  sim.run_until(3.0);
+
+  const PollingEngine::ClientRead read = engine.serve_client_read(id);
+  EXPECT_FALSE(read.hit);
+  EXPECT_FALSE(read.filled);
+  EXPECT_EQ(read.miss_reason,
+            PollingEngine::ClientRead::MissReason::kUncached);
+  EXPECT_EQ(read.fill_latency, 0.0);
+  EXPECT_EQ(engine.demand_fills(), 0u);
+  EXPECT_EQ(engine.failed_polls(), 2u);  // lost initial + lost fill
+
+  // The retry armed by the lost initial fires at t = 8 and succeeds.
+  sim.run_until(9.0);
+  const PollCauseCounts counts = count_by_cause(engine.poll_log());
+  EXPECT_EQ(counts.retry, 1u);
+  EXPECT_EQ(counts.client_miss, 0u);
+  const PollingEngine::ClientRead later = engine.serve_client_read(id);
+  EXPECT_TRUE(later.hit);
+  EXPECT_EQ(later.snapshot, 8.0);
+}
+
+// Untracked ids never fill: they have no policy, no trace registration and
+// no relay eligibility, so a fill would bypass the consistency machinery.
+TEST(ClientDemandFill, UntrackedIdNeverFills) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  origin.add_object("/b");
+
+  EngineConfig config;
+  config.loss_probability = 0.0;
+  config.demand_fill = true;
+  PollingEngine engine(sim, origin, config);
+  engine.add_temporal_object("/a", std::make_unique<FixedPollPolicy>(1e9));
+  engine.start();
+  sim.run_until(5.0);
+
+  const ObjectId id_b = origin.uri_table().find("/b");
+  const PollingEngine::ClientRead read = engine.serve_client_read(id_b);
+  EXPECT_FALSE(read.hit);
+  EXPECT_FALSE(read.filled);
+  EXPECT_EQ(read.miss_reason,
+            PollingEngine::ClientRead::MissReason::kUntracked);
+  EXPECT_EQ(engine.demand_fills(), 0u);
+  EXPECT_EQ(engine.polls_performed("/b"), 0u);
+}
+
+// With demand_fill unset (the paper's model) a miss is only recorded, but
+// the split miss reason still distinguishes untracked from uncached.
+TEST(ClientDemandFill, DisabledMissOnlyRecordsReason) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  const ObjectId id = origin.uri_table().find("/a");
+
+  EngineConfig config;
+  config.loss_probability = 0.5;
+  config.retry_delay = 1e6;
+  config.seed = find_loss_seed(id, 0.5, {true});  // initial fetch lost
+  PollingEngine engine(sim, origin, config);
+  engine.add_temporal_object("/a", std::make_unique<FixedPollPolicy>(1e9));
+  engine.start();
+  sim.run_until(5.0);
+
+  const PollingEngine::ClientRead read = engine.serve_client_read(id);
+  EXPECT_FALSE(read.hit);
+  EXPECT_FALSE(read.filled);
+  EXPECT_EQ(read.miss_reason,
+            PollingEngine::ClientRead::MissReason::kUncached);
+  EXPECT_EQ(engine.demand_fills(), 0u);
+}
+
+TEST(ClientMetrics, DemandFillAccountingAndMerge) {
+  ClientReadSample filled;
+  filled.filled = true;
+  filled.fill_latency = 0.3;
+  ClientMetrics a;
+  record_client_read(a, filled);
+  record_client_read(a, ClientReadSample{});  // plain unfilled miss
+  EXPECT_EQ(a.requests, 2u);
+  EXPECT_EQ(a.misses, 2u);  // a filled read is still a miss
+  EXPECT_EQ(a.demand_fills, 1u);
+  EXPECT_EQ(a.fill_latency.count(), 1u);
+  EXPECT_EQ(a.fill_latency.max(), 0.3);
+
+  ClientMetrics b;
+  ClientReadSample other_fill;
+  other_fill.filled = true;
+  other_fill.fill_latency = 0.5;
+  record_client_read(b, other_fill);
+  a.merge(b);
+  EXPECT_EQ(a.demand_fills, 2u);
+  EXPECT_EQ(a.fill_latency.count(), 2u);
+  EXPECT_EQ(a.fill_latency.max(), 0.5);
+  EXPECT_EQ(a.hits + a.misses, a.requests);
+}
+
+// ---- popularity sampling mass ----------------------------------------------
+
+TEST(ClientTraffic, ZeroWeightPopularityEntriesAreDropped) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  origin.add_object("/b");
+  const ObjectId id_a = origin.uri_table().find("/a");
+  const ObjectId id_b = origin.uri_table().find("/b");
+
+  FleetConfig config;
+  config.proxies = 1;
+  config.cooperative_push = false;
+  ClientTrafficConfig traffic;
+  traffic.request_rate = 5.0;
+  traffic.record_requests = true;
+  // A zero-weight entry has no sampling mass: it must be dropped from the
+  // universe, not silently redirected onto by a clamped boundary draw.
+  traffic.popularity = {{id_a, 1.0}, {id_b, 0.0}};
+  config.client_traffic = traffic;
+  ProxyFleet fleet(sim, origin, config);
+  fleet.add_temporal_object_everywhere(
+      "/a", [] { return std::make_unique<FixedPollPolicy>(30.0); });
+  fleet.start();
+  sim.run_until(200.0);
+
+  FleetClientTraffic& layer = fleet.client_traffic();
+  ASSERT_EQ(layer.objects().size(), 1u);
+  EXPECT_EQ(layer.objects()[0], id_a);
+  const auto& records = layer.records(0);
+  ASSERT_GT(records.size(), 0u);
+  for (const ClientRequestRecord& record : records) {
+    EXPECT_EQ(record.object, id_a);
+  }
+}
+
+TEST(ClientTraffic, AllZeroWeightPopularityFailsFastAtStart) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+
+  FleetConfig config;
+  config.proxies = 1;
+  ClientTrafficConfig traffic;
+  traffic.popularity = {{origin.uri_table().find("/a"), 0.0}};
+  config.client_traffic = traffic;
+  ProxyFleet fleet(sim, origin, config);
+  fleet.add_temporal_object_everywhere(
+      "/a", [] { return std::make_unique<FixedPollPolicy>(10.0); });
+  EXPECT_THROW(fleet.start(), CheckFailure);
+}
+
+// ---- per-client session locality -------------------------------------------
+
+// With session_locality = 1 every request lands in the client's fixed
+// working set (session_objects hash-derived ids): one client's request
+// stream touches at most that many distinct objects over any horizon.
+TEST(ClientTraffic, SessionLocalityPinsPerClientWorkingSet) {
+  const auto distinct_objects = [](double locality) {
+    Simulator sim;
+    OriginServer origin(sim);
+    for (int i = 0; i < 24; ++i) {
+      origin.add_object("/o" + std::to_string(i));
+    }
+    FleetConfig config;
+    config.proxies = 1;
+    config.cooperative_push = false;
+    ClientTrafficConfig traffic;
+    traffic.request_rate = 20.0;
+    traffic.clients_per_proxy = 1;
+    traffic.session_locality = locality;
+    traffic.session_objects = 3;
+    traffic.record_requests = true;
+    config.client_traffic = traffic;
+    ProxyFleet fleet(sim, origin, config);
+    fleet.add_temporal_object_everywhere(
+        "/o0", [] { return std::make_unique<FixedPollPolicy>(1e9); });
+    fleet.start();
+    sim.run_until(200.0);
+    std::set<ObjectId> seen;
+    for (const ClientRequestRecord& record :
+         fleet.client_traffic().records(0)) {
+      seen.insert(record.object);
+    }
+    return seen.size();
+  };
+
+  EXPECT_LE(distinct_objects(1.0), 3u);
+  EXPECT_GE(distinct_objects(1.0), 2u);
+  // Without locality the same Zipf stream roams the whole universe.
+  EXPECT_GT(distinct_objects(0.0), 3u);
+}
+
+TEST(ClientTraffic, InvalidSessionLocalityFailsFastAtConstruction) {
+  Simulator sim;
+  OriginServer origin(sim);
+  origin.add_object("/a");
+  FleetConfig config;
+  config.proxies = 1;
+  ClientTrafficConfig traffic;
+  traffic.session_locality = 1.5;
+  config.client_traffic = traffic;
+  EXPECT_THROW(ProxyFleet(sim, origin, config), CheckFailure);
 }
 
 // ---- fail-fast contracts ---------------------------------------------------

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "consistency/fixed_poll.h"
 #include "util/check.h"
 
@@ -197,6 +199,51 @@ TEST(LimdPolicy, ConfigValidation) {
   EXPECT_THROW(LimdPolicy{config}, CheckFailure);
   config = test_config();
   config.delta = 0.0;
+  EXPECT_THROW(LimdPolicy{config}, CheckFailure);
+}
+
+// Closed-loop demand feedback (Config::read_boost): client reads served
+// since the previous poll shrink the TTR; the default 0 keeps the paper's
+// open-loop LIMD bit-for-bit regardless of the observed read counts.
+TEST(LimdPolicy, ReadBoostShrinksTtrForClientHotObjects) {
+  LimdPolicy::Config config = test_config();
+  config.read_boost = 1.0;
+  LimdPolicy boosted(config);
+  LimdPolicy open_loop(test_config());
+
+  // No client reads: the boosted policy matches the open loop exactly.
+  TemporalPollObservation quiet = unchanged(0.0, 60.0);
+  EXPECT_DOUBLE_EQ(boosted.next_ttr(quiet), open_loop.next_ttr(quiet));
+
+  // A client-hot quiet poll damps the Case-1 growth by
+  // 1 + read_boost * ln(1 + reads).
+  LimdPolicy::Config soft = test_config();
+  soft.read_boost = 0.1;
+  LimdPolicy softly(soft);
+  TemporalPollObservation hot = unchanged(0.0, 60.0);
+  hot.client_reads = 2;
+  const double expected = (60.0 * 1.2) / (1.0 + 0.1 * std::log1p(2.0));
+  ASSERT_GT(expected, 60.0);  // above TTR_min, so the division is visible
+  EXPECT_DOUBLE_EQ(softly.next_ttr(hot), expected);
+
+  // read_boost = 0 (the default) ignores the read count entirely.
+  LimdPolicy ignore(test_config());
+  TemporalPollObservation busy = unchanged(0.0, 60.0);
+  busy.client_reads = 1'000'000;
+  EXPECT_DOUBLE_EQ(ignore.next_ttr(busy), 60.0 * 1.2);
+
+  // The damped TTR still respects the bounds.
+  LimdPolicy::Config hard = test_config();
+  hard.read_boost = 50.0;
+  LimdPolicy hardly(hard);
+  TemporalPollObservation storm = unchanged(0.0, 60.0);
+  storm.client_reads = 100;
+  EXPECT_DOUBLE_EQ(hardly.next_ttr(storm), 60.0);  // clamped to TTR_min
+}
+
+TEST(LimdPolicy, NegativeReadBoostFailsFastAtConstruction) {
+  LimdPolicy::Config config = test_config();
+  config.read_boost = -0.1;
   EXPECT_THROW(LimdPolicy{config}, CheckFailure);
 }
 

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "client/client_traffic.h"
 #include "consistency/limd.h"
 #include "fleet/proxy_fleet.h"
 #include "fleet/sharded_fleet.h"
@@ -151,7 +152,7 @@ Topology random_topology(std::uint64_t seed) {
   return topo;
 }
 
-FleetConfig fleet_config(std::size_t proxies) {
+FleetConfig fleet_config(std::size_t proxies, bool clients = false) {
   FleetConfig config;
   config.proxies = proxies;
   config.cooperative_push = true;
@@ -163,6 +164,21 @@ FleetConfig fleet_config(std::size_t proxies) {
   config.engine.rtt = 0.1;
   config.engine.loss_probability = 0.05;
   config.engine.retry_delay = 2.0;
+  if (clients) {
+    // Client traffic with demand fills: lossy with slow retries (long
+    // uncached windows only a fill can close), so kClientMiss polls and
+    // their relay fan-out carry real traffic through the poll logs.
+    config.engine.demand_fill = true;
+    config.engine.loss_probability = 0.25;
+    config.engine.retry_delay = 600.0;
+    ClientTrafficConfig traffic;
+    traffic.request_rate = 1.5;
+    traffic.zipf_exponent = 0.9;
+    traffic.seed = 17;
+    traffic.session_locality = 0.3;
+    traffic.session_objects = 3;
+    config.client_traffic = traffic;
+  }
   return config;
 }
 
@@ -187,13 +203,14 @@ struct Artifacts {
   FleetOriginLoad load;
 };
 
-Artifacts reference_run(const Topology& topo, Duration horizon) {
+Artifacts reference_run(const Topology& topo, Duration horizon,
+                        bool clients = false) {
   Simulator sim;
   OriginServer origin(sim);
   for (const UpdateTrace& trace : topo.traces) {
     origin.attach_update_trace(trace.name(), trace);
   }
-  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies));
+  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies, clients));
   const auto factory = limd_factory();
   for (const auto& [proxy, uri] : topo.tracked) {
     fleet.add_temporal_object(proxy, uri, factory());
@@ -227,9 +244,9 @@ Artifacts reference_run(const Topology& topo, Duration horizon) {
 
 ShardedFleetConfig sharded_config(
     const Topology& topo, std::size_t threads, std::size_t shards = 0,
-    WindowPolicy policy = WindowPolicy::kAdaptive) {
+    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false) {
   ShardedFleetConfig config;
-  config.fleet = fleet_config(topo.proxies);
+  config.fleet = fleet_config(topo.proxies, clients);
   config.threads = threads;
   config.shards = shards;
   config.window_policy = policy;
@@ -243,9 +260,9 @@ ShardedFleetConfig sharded_config(
 
 std::unique_ptr<ShardedFleet> make_sharded(
     const Topology& topo, std::size_t threads, std::size_t shards = 0,
-    WindowPolicy policy = WindowPolicy::kAdaptive) {
+    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false) {
   auto fleet = std::make_unique<ShardedFleet>(
-      sharded_config(topo, threads, shards, policy));
+      sharded_config(topo, threads, shards, policy, clients));
   const auto factory = limd_factory();
   for (const auto& [proxy, uri] : topo.tracked) {
     fleet->add_temporal_object(proxy, uri, factory);
@@ -317,7 +334,22 @@ void expect_artifacts_identical(const Artifacts& reference,
   EXPECT_EQ(reference.load.origin_messages, candidate.load.origin_messages);
   EXPECT_EQ(reference.load.origin_polls, candidate.load.origin_polls);
   EXPECT_EQ(reference.load.relay_refreshes, candidate.load.relay_refreshes);
+  EXPECT_EQ(reference.load.demand_fills, candidate.load.demand_fills);
   EXPECT_EQ(reference.load.failed, candidate.load.failed);
+}
+
+// The origin-load counters recounted from the merged record stream: the
+// pinned invariant origin_polls == policy polls + demand fills, checked
+// against the full per-record causes rather than its own O(1) mirrors.
+void expect_load_matches_records(const Artifacts& artifacts) {
+  const PollCauseCounts counts = count_by_cause(artifacts.merged);
+  EXPECT_EQ(counts.client_miss, artifacts.load.demand_fills);
+  EXPECT_EQ(counts.total_refreshes(), artifacts.load.origin_polls);
+  EXPECT_EQ(counts.scheduled + counts.triggered + counts.retry,
+            artifacts.load.policy_polls());
+  EXPECT_EQ(counts.failed, artifacts.load.failed);
+  EXPECT_EQ(artifacts.load.origin_polls,
+            artifacts.load.policy_polls() + artifacts.load.demand_fills);
 }
 
 // ---- the differential ------------------------------------------------------
@@ -458,6 +490,66 @@ TEST(ShardedDifferential, WindowPolicyAndPartitionSweepIsByteIdentical) {
             EXPECT_EQ(reference.load.origin_polls, load.origin_polls);
             EXPECT_EQ(reference.load.relay_refreshes, load.relay_refreshes);
             EXPECT_EQ(reference.load.failed, load.failed);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Demand fills go through the shared poll pipeline, so with client
+// traffic and demand_fill on the *poll-log* differential must still hold:
+// kClientMiss records, their sibling relays and the full cause breakdown
+// reproduce byte-identically at every thread count, under both window
+// policies and with an object-partitioned shard request.  Client-bearing
+// proxies are whole colocation units (a split proxy cannot serve one
+// client stream from two slices), so unlike the clientless sweep this
+// test does not expect any proxy to split — it expects the *results* to
+// survive the request.
+TEST(ShardedDifferential, DemandFillClientSweepIsByteIdentical) {
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    for (const std::uint64_t seed : {7u, 39u}) {
+      SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                   std::to_string(seed));
+      const Topology topo = random_topology(seed);
+      const Artifacts reference =
+          reference_run(topo, kHorizon, /*clients=*/true);
+      ASSERT_FALSE(reference.merged.empty());
+      ASSERT_GT(reference.load.demand_fills, 0u);
+      expect_load_matches_records(reference);
+      for (const WindowPolicy policy :
+           {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+        for (const std::size_t shards : {std::size_t{0}, topo.proxies + 3}) {
+          for (const std::size_t threads : kThreadCounts) {
+            SCOPED_TRACE(
+                std::string(policy == WindowPolicy::kFixed ? "fixed"
+                                                           : "adaptive") +
+                " windows, " + std::to_string(shards) + " shards, " +
+                std::to_string(threads) + " threads");
+            auto fleet = make_sharded(topo, threads, shards, policy,
+                                      /*clients=*/true);
+            fleet->start();
+            fleet->run_until(kHorizon);
+            Artifacts candidate;
+            for (std::size_t p = 0; p < fleet->size(); ++p) {
+              candidate.records_by_proxy.push_back(
+                  fleet->proxy(p).poll_log().records());
+              for (const UpdateTrace& trace : topo.traces) {
+                candidate.ttr_series.push_back(
+                    fleet->proxy(p).ttr_series(trace.name()));
+              }
+            }
+            candidate.merged = fleet->merged_poll_records();
+            candidate.origin_requests = fleet->origin_requests();
+            candidate.origin_polls = fleet->origin_polls();
+            candidate.relays_sent = fleet->relays_sent();
+            candidate.relays_delivered = fleet->relays_delivered();
+            candidate.relays_applied = fleet->relays_applied();
+            candidate.relays_in_flight = fleet->relays_in_flight();
+            candidate.load = fleet->origin_load();
+            expect_artifacts_identical(reference, candidate);
+            expect_load_matches_records(candidate);
           }
         }
       }

@@ -72,6 +72,12 @@ GATED = [
     # thinning + Zipf sampling + cache-read + classification pipeline.
     "BM_ClientFleetSweep/proxies:2",
     "BM_ClientFleetSweep/proxies:8",
+    # Same pipeline with demand fills on under loss: the delta against
+    # BM_ClientFleetSweep is the price of the kClientMiss fill path
+    # (unconditional fetch + relay fan-out) plus session-locality
+    # sampling.
+    "BM_ClientDemandFillSweep/proxies:2",
+    "BM_ClientDemandFillSweep/proxies:8",
 ]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
