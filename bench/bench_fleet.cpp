@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/faults.h"
 #include "harness/experiments.h"
 #include "harness/reporting.h"
 #include "trace/generators.h"
@@ -192,6 +193,54 @@ int main(int argc, char** argv) {
   const bool fills_reduce_misses =
       fills_on.clients.requests == fills_off.clients.requests &&
       fills_on.clients.misses < fills_off.clients.misses;
+
+  // Fault-injection leg (fleet/faults.h), two runs:
+  //
+  // (a) Lossy relay channel, no crashes: with capped-backoff retries the
+  //     losses must all be re-sent (delivery still happens, just late),
+  //     the relay ledger must balance, and — because a retried relay
+  //     arrives seconds late against TTRs of minutes — temporal fidelity
+  //     must stay within a whisker of the lossless run over the same
+  //     traces.  That is the graceful-degradation headline: loss costs
+  //     relay traffic, not consistency.
+  FleetRunConfig lossy_fleet = make_config(/*proxies=*/2, /*cooperative=*/true);
+  lossy_fleet.relay_latency = 0.5;
+  lossy_fleet.faults.relay_loss = 0.2;
+  lossy_fleet.faults.relay_jitter_max = 0.25;
+  lossy_fleet.faults.retry_backoff_base = 1.0;
+  lossy_fleet.faults.retry_backoff_cap = 8.0;
+  lossy_fleet.faults.relay_retry_limit = 6;
+  const auto fault_traces = make_working_set(object_counts.front(), horizon);
+  FleetRunConfig lossless_fleet = lossy_fleet;
+  lossless_fleet.faults = FaultSchedule{};
+  const auto lossless = run_fleet_temporal(fault_traces, lossless_fleet);
+  const auto lossy_run = run_fleet_temporal(fault_traces, lossy_fleet);
+  const bool relay_faults_fire = lossy_run.relays_lost > 0 &&
+                                 lossy_run.relays_retried > 0 &&
+                                 lossy_run.relays_delivered > 0;
+  const bool relay_ledger_balances =
+      lossy_run.relays_sent == lossy_run.relays_delivered +
+                                   lossy_run.relays_in_flight +
+                                   lossy_run.relays_lost;
+  const bool lossy_fidelity_holds =
+      lossy_run.mean_fidelity_time >= lossless.mean_fidelity_time - 0.02;
+
+  // (b) A crash window layered on the lossy channel, with client traffic:
+  //     the dark proxy's reads must be counted (and split into stale hits
+  //     vs outage misses), and relays landing on it must show up as
+  //     dropped-dark in the ledger.
+  ClientFleetRunConfig outage = client_config;
+  outage.transactions.rate = 0.0;
+  outage.fleet = lossy_fleet;
+  outage.fleet.faults.crashes.push_back({0, {{2700.0, 4500.0}}});
+  const auto outage_result = run_fleet_client_temporal(
+      make_working_set(object_counts.front(), horizon), outage);
+  const bool outage_degrades =
+      outage_result.fleet.dark_time > 0.0 &&
+      outage_result.clients.dark_reads > 0 &&
+      outage_result.clients.dark_stale + outage_result.clients.dark_misses <=
+          outage_result.clients.dark_reads &&
+      outage_result.fleet.relays_dropped_dark > 0;
   if (!csv) {
     table.print(std::cout);
     std::cout << "\nClient traffic (2 cooperative proxies, "
@@ -214,6 +263,21 @@ int main(int argc, char** argv) {
               << fills_on.origin_load.demand_fills
               << " demand fills, mean fill latency "
               << fmt(fills_on.clients.fill_latency.mean(), 3) << " s\n";
+    FaultSummary fault_summary;
+    fault_summary.dark_time = outage_result.fleet.dark_time;
+    fault_summary.dark_reads = outage_result.clients.dark_reads;
+    fault_summary.dark_stale = outage_result.clients.dark_stale;
+    fault_summary.dark_misses = outage_result.clients.dark_misses;
+    fault_summary.relays_lost = outage_result.fleet.relays_lost;
+    fault_summary.relays_retried = outage_result.fleet.relays_retried;
+    fault_summary.relays_dropped_dark =
+        outage_result.fleet.relays_dropped_dark;
+    TextTable fault_table;
+    fault_table.set_header(
+        {"fault injection (crash 2700-4500 s, loss 0.2)", "value"});
+    add_fault_rows(fault_table, fault_summary);
+    std::cout << "\n";
+    fault_table.print(std::cout);
     std::cout << "\nChecks:\n  - cooperative push cheaper at the origin "
                  "for every N > 1: "
               << (cooperative_always_cheaper ? "yes" : "NO")
@@ -228,13 +292,24 @@ int main(int argc, char** argv) {
               << "\n  - origin polls == policy polls + demand fills: "
               << (fill_invariant_holds ? "yes" : "NO")
               << "\n  - fills strictly reduce client misses: "
-              << (fills_reduce_misses ? "yes" : "NO") << "\n";
+              << (fills_reduce_misses ? "yes" : "NO")
+              << "\n  - relay losses fire and every loss is retried: "
+              << (relay_faults_fire ? "yes" : "NO")
+              << "\n  - ledger: sent == delivered + in-flight + lost: "
+              << (relay_ledger_balances ? "yes" : "NO")
+              << "\n  - lossy fidelity within 0.02 of lossless: "
+              << (lossy_fidelity_holds ? "yes" : "NO")
+              << "\n  - crash window degrades gracefully (dark reads "
+                 "classified, relays dropped dark): "
+              << (outage_degrades ? "yes" : "NO") << "\n";
   }
   // Non-zero exit keeps the CI smoke run honest: the fleet path must keep
   // its headline properties, not merely run to completion.
   return cooperative_always_cheaper && cooperative_fidelity_holds &&
                  clients_hit && delta_respected && fills_happen &&
-                 fill_invariant_holds && fills_reduce_misses
+                 fill_invariant_holds && fills_reduce_misses &&
+                 relay_faults_fire && relay_ledger_balances &&
+                 lossy_fidelity_holds && outage_degrades
              ? 0
              : 1;
 }

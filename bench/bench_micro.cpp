@@ -487,6 +487,58 @@ void BM_FleetRelayStorm(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetRelayStorm)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// The relay-storm topology with the fault layer switched on: loss,
+// jitter and capped-backoff retries on every relay, plus a staggered
+// crash window per even-indexed proxy.  Every relay attempt now pays the
+// counter-keyed hash draws and the per-attempt ledger, a steady fraction
+// spawns retry chains, and deliveries probe the crash schedule — the
+// delta against BM_FleetRelayStorm is the price of fault injection
+// itself.  Items rate counts relay attempts (retries included), the
+// quantity the fault path scales with.
+void BM_FleetFaultSweep(benchmark::State& state) {
+  const std::size_t proxies = static_cast<std::size_t>(state.range(0));
+  const std::size_t objects = 64;
+  const std::vector<UpdateTrace> traces = make_sweep_traces(objects);
+  FaultSchedule faults;
+  for (std::size_t p = 0; p < proxies; p += 2) {
+    const double start = 4000.0 + 1500.0 * static_cast<double>(p);
+    faults.crashes.push_back({p, {{start, start + 2500.0}}});
+  }
+  faults.relay_loss = 0.15;
+  faults.relay_jitter_max = 0.4;
+  faults.retry_backoff_base = 1.0;
+  faults.retry_backoff_cap = 8.0;
+  faults.relay_retry_limit = 4;
+  std::int64_t attempts = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    OriginServer origin(sim, bench_origin_config());
+    FleetConfig config;
+    config.proxies = proxies;
+    config.cooperative_push = true;
+    config.relay_latency = 1.0;
+    config.faults = faults;
+    ProxyFleet fleet(sim, origin, config);
+    for (const UpdateTrace& trace : traces) {
+      origin.attach_update_trace(trace.name(), trace);
+      fleet.add_temporal_object_everywhere(trace.name(), [] {
+        return std::make_unique<LimdPolicy>(
+            LimdPolicy::Config::paper_defaults(600.0));
+      });
+    }
+    fleet.start();
+    sim.run_until(kSweepHorizon);
+    attempts += static_cast<std::int64_t>(fleet.relays_sent());
+    benchmark::DoNotOptimize(fleet.relays_lost() +
+                             fleet.relays_dropped_dark());
+  }
+  state.SetItemsProcessed(attempts);
+}
+BENCHMARK(BM_FleetFaultSweep)
+    ->ArgName("proxies")
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // The sharded fleet at full width: 8 cooperative proxies × 1024 LIMD
 // objects, every proxy tracking every object, relay latency as the
 // conservative-lookahead window.  No δ-groups, so the fleet splits into

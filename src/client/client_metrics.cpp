@@ -16,6 +16,9 @@ ClientMetrics& ClientMetrics::merge(const ClientMetrics& other) {
   age.merge(other.age);
   staleness.merge(other.staleness);
   fill_latency.merge(other.fill_latency);
+  dark_reads += other.dark_reads;
+  dark_stale += other.dark_stale;
+  dark_misses += other.dark_misses;
   return *this;
 }
 
@@ -44,6 +47,14 @@ ClientReadSample classify_client_read(TimePoint now, bool hit,
 void record_client_read(ClientMetrics& metrics,
                         const ClientReadSample& sample) {
   ++metrics.requests;
+  if (sample.dark) {
+    ++metrics.dark_reads;
+    if (!sample.hit) {
+      ++metrics.dark_misses;
+    } else if (!sample.fresh) {
+      ++metrics.dark_stale;
+    }
+  }
   if (!sample.hit) {
     ++metrics.misses;
     if (sample.filled) {

@@ -60,6 +60,14 @@ struct ClientMetrics {
   /// round-trip plus any lost-poll retries resolved synchronously), over
   /// demand-filled misses only.
   OnlineStats fill_latency;
+  /// Degradation attribution (fault injection, fleet/faults.h): requests
+  /// served while the proxy was dark (crashed).  dark_reads splits into
+  /// hits off the surviving disk cache — dark_stale of them already
+  /// lagging the origin — and dark_misses, which could not demand-fill
+  /// (MissReason::kProxyDark).  All zero without crash windows.
+  std::uint64_t dark_reads = 0;
+  std::uint64_t dark_stale = 0;
+  std::uint64_t dark_misses = 0;
 
   double hit_rate() const {
     return requests == 0 ? 0.0 : static_cast<double>(hits) /
@@ -82,6 +90,7 @@ struct ClientReadSample {
   bool hit = false;
   bool fresh = false;          ///< ground truth vs the origin (hits only)
   bool filled = false;         ///< miss demand-filled before answering
+  bool dark = false;           ///< served while the proxy was crashed
   TimePoint snapshot = 0.0;    ///< server-state instant of the served copy
   Duration age = 0.0;          ///< now - snapshot (hits only)
   Duration staleness = 0.0;    ///< lag behind the first unseen update

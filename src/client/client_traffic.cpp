@@ -172,6 +172,7 @@ void FleetClientTraffic::issue(Stream& stream) {
       sim_.now(), read.hit, read.snapshot, origin_.object_by_id(object));
   sample.filled = read.filled;
   sample.fill_latency = read.fill_latency;
+  sample.dark = read.dark;
   record_client_read(stream.metrics, sample);
   if (config_.record_requests) {
     ClientRequestRecord record;

@@ -38,12 +38,12 @@ bool FleetDeltaGroup::is_member(std::size_t proxy, ObjectId object) const {
   return false;
 }
 
-bool FleetDeltaGroup::outside_delta_window(std::size_t index,
+bool FleetDeltaGroup::outside_delta_window(std::size_t proxy, ObjectId object,
                                            TimePoint now) const {
-  const CoordinatorHooks& hooks = hooks_by_proxy_[members_[index].proxy];
-  const ObjectId object = member_ids_[index];
+  const CoordinatorHooks& hooks = hooks_by_proxy_[proxy];
   // Same reasoning as MutualCoordinator::outside_delta_window, against the
-  // member's own proxy: a recent refresh (own poll or relay) means its
+  // responsible proxy (the member's own, or its failover sibling while
+  // the owner is dark): a recent refresh (own poll or relay) means its
   // copy already originated within δ; an imminent poll restores that soon
   // enough.
   const TimePoint last = hooks.last_poll_time(object);
@@ -60,12 +60,21 @@ void FleetDeltaGroup::on_poll(std::size_t proxy, ObjectId object,
   if (!is_member(proxy, object)) return;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     if (members_[i].proxy == proxy && member_ids_[i] == object) continue;
-    if (!outside_delta_window(i, obs.poll_time)) continue;
+    std::size_t target = members_[i].proxy;
+    const ObjectId member = member_ids_[i];
+    if (failover_ != nullptr) {
+      // Ids are fleet-global (one shared intern table), so the sibling
+      // addresses the same object under the same id.
+      target = failover_(target, member, obs.poll_time);
+      if (target == kNoLiveProxy) continue;  // outage with no live tracker
+    }
+    if (!outside_delta_window(target, member, obs.poll_time)) continue;
     ++triggers_requested_;
+    if (target != members_[i].proxy) ++failover_triggers_;
     // Recursion: the triggered poll re-enters on_poll for this member via
     // the fleet's listener; its zero-age last poll then falls inside the δ
     // window, so cascades terminate.
-    hooks_by_proxy_[members_[i].proxy].trigger_poll(member_ids_[i]);
+    hooks_by_proxy_[target].trigger_poll(member);
   }
 }
 

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -69,16 +71,45 @@ class FleetDeltaGroup {
   /// Cross-proxy triggered polls this group has requested.
   std::size_t triggers_requested() const { return triggers_requested_; }
 
+  /// Sentinel return of a FailoverResolver: no live proxy can absorb the
+  /// member's responsibility right now — the member is skipped.
+  static constexpr std::size_t kNoLiveProxy =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Routes a member's δ-responsibility around proxy outages: given the
+  /// member's own proxy, its object and the observation instant, returns
+  /// the proxy index currently responsible — the owner itself when live, a
+  /// deterministic designated sibling while the owner is dark (fault
+  /// injection, fleet/faults.h), or kNoLiveProxy when nobody can take
+  /// over.  Both the δ-window test and the trigger are evaluated against
+  /// the returned proxy's own schedule; when the owner recovers, the
+  /// resolver returns it again and responsibility re-homes automatically.
+  using FailoverResolver = std::function<std::size_t(
+      std::size_t proxy, ObjectId object, TimePoint now)>;
+
+  /// Install the failover route (installed by ProxyFleet when the fault
+  /// schedule contains crash windows; absent otherwise).
+  void set_failover(FailoverResolver resolver) {
+    failover_ = std::move(resolver);
+  }
+
+  /// Triggers this group redirected to a failover sibling because the
+  /// owning proxy was dark (subset of triggers_requested()).
+  std::size_t failover_triggers() const { return failover_triggers_; }
+
  private:
   bool is_member(std::size_t proxy, ObjectId object) const;
-  /// δ-window test for the member at `index`, against its own proxy.
-  bool outside_delta_window(std::size_t index, TimePoint now) const;
+  /// δ-window test for `object` against `proxy`'s own schedule.
+  bool outside_delta_window(std::size_t proxy, ObjectId object,
+                            TimePoint now) const;
 
   std::vector<FleetMember> members_;
   std::vector<ObjectId> member_ids_;  // interned at bind()
   Duration delta_mutual_;
   std::vector<CoordinatorHooks> hooks_by_proxy_;
+  FailoverResolver failover_;  // empty = owners are always live
   std::size_t triggers_requested_ = 0;
+  std::size_t failover_triggers_ = 0;
 };
 
 }  // namespace broadway

@@ -1,5 +1,7 @@
 #include "fleet/proxy_fleet.h"
 
+#include <limits>
+
 #include "http/extensions.h"
 #include "util/check.h"
 
@@ -21,6 +23,14 @@ ProxyFleet::ProxyFleet(Simulator& sim, OriginServer& origin,
     proxy_ids_.resize(config_.proxies);
     for (std::size_t i = 0; i < config_.proxies; ++i) proxy_ids_[i] = i;
   }
+  // A slice cannot see the whole fleet's proxy count, so only the whole
+  // fleet range-checks the crash schedule's proxy ids (the sharded driver
+  // checks them against its own count before slicing).
+  config_.faults.validate(config_.proxy_ids.empty()
+                              ? config_.proxies
+                              : std::numeric_limits<std::size_t>::max());
+  faults_active_ = config_.faults.any();
+  if (faults_active_) relay_rounds_.resize(proxy_ids_.size());
   engines_.reserve(proxy_ids_.size());
   for (std::size_t i = 0; i < proxy_ids_.size(); ++i) {
     EngineConfig engine_config = config_.engine;
@@ -112,6 +122,15 @@ FleetDeltaGroup& ProxyFleet::add_delta_group(std::vector<FleetMember> members,
   auto group =
       std::make_unique<FleetDeltaGroup>(std::move(members), delta_mutual);
   group->bind(hooks_by_proxy());
+  if (config_.faults.has_crashes()) {
+    // While a member's proxy is dark its designated sibling absorbs the
+    // δ responsibility; the route is a pure function of (proxy, object,
+    // time), so it re-homes on recovery by itself.
+    group->set_failover(
+        [this](std::size_t proxy_index, ObjectId object, TimePoint now) {
+          return failover_target(proxy_index, object, now);
+        });
+  }
   // Subscribe the group to each member's (proxy, object) slot so the
   // notify path only visits groups actually watching the polled object.
   if (groups_by_member_.empty()) groups_by_member_.resize(engines_.size());
@@ -137,6 +156,21 @@ void ProxyFleet::start() {
     sim_.set_schedule_tag(static_cast<std::uint32_t>(proxy_ids_[i]));
     engines_[i]->start();
   }
+  // Crash/recovery events arm after every engine and before the client
+  // streams, under the crashing proxy's own tag — a fixed relative order
+  // each shard slice replays over its own proxies, like the engine loop
+  // above.
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    const std::vector<CrashWindow>* windows =
+        config_.faults.windows_for(proxy_ids_[i]);
+    if (windows == nullptr) continue;
+    sim_.set_schedule_tag(static_cast<std::uint32_t>(proxy_ids_[i]));
+    PollingEngine* engine = engines_[i].get();
+    for (const CrashWindow& window : *windows) {
+      sim_.schedule_at(window.crash_at, [engine] { engine->crash(); });
+      sim_.schedule_at(window.recover_at, [engine] { engine->recover(); });
+    }
+  }
   sim_.set_schedule_tag(outer);
   // Client streams arm after every engine: the reference order is
   // "engines 0..N-1, then clients 0..N-1", and each shard slice replays
@@ -151,17 +185,23 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
   // Initial fetches are not relayed: every proxy fetches its own working
   // set once at start-up (siblings may not even have started yet).
   if (config_.cooperative_push && event.cause != PollCause::kInitial) {
+    // The fan-out round is a pure function of the sender's poll history
+    // (one round per relayable poll of this (proxy, object)), so every
+    // shard layout derives identical fault-draw keys from it.
+    const std::uint64_t round =
+        faults_active_ ? next_relay_round(proxy_index, event.object) : 0;
     for (std::size_t j = 0; j < engines_.size(); ++j) {
       if (j == proxy_index) continue;
       if (!engines_[j]->relay_eligible(event.object)) continue;
-      relay(j, event.object, event.response, event.snapshot);
+      relay(proxy_index, j, event.object, event.response, event.snapshot,
+            round);
     }
     // Destinations hosted by other fleet instances (sharding): hand the
     // poll to the exporter, which fans out through the cross-shard
     // mailboxes.  Local and exported deliveries land on different
     // simulators, so their relative send order here is immaterial.
     if (relay_exporter_ != nullptr) {
-      relay_exporter_(proxy_ids_[proxy_index], event);
+      relay_exporter_(proxy_ids_[proxy_index], event, round);
     }
   }
   if (event.observation != nullptr) {
@@ -169,39 +209,113 @@ void ProxyFleet::on_poll(std::size_t proxy_index, const PollEvent& event) {
   }
 }
 
-void ProxyFleet::relay(std::size_t to, ObjectId object,
-                       const Response& response, TimePoint snapshot) {
-  ++relays_sent_;
-  if (config_.relay_latency <= 0.0) {
-    // Synchronous relay: the receiving engine reads the polling engine's
-    // response in place — no copy anywhere on the path.
-    deliver(to, object, response, snapshot);
+std::uint64_t ProxyFleet::next_relay_round(std::size_t proxy_index,
+                                           ObjectId object) {
+  auto& rounds = relay_rounds_[proxy_index];
+  if (rounds.size() <= object) rounds.resize(object + 1, 0);
+  return rounds[object]++;
+}
+
+void ProxyFleet::relay(std::size_t from, std::size_t to, ObjectId object,
+                       const Response& response, TimePoint snapshot,
+                       std::uint64_t round) {
+  if (!faults_active_) {
+    ++relays_sent_;
+    if (config_.relay_latency <= 0.0) {
+      // Synchronous relay: the receiving engine reads the polling
+      // engine's response in place — no copy anywhere on the path.
+      deliver(to, object, response, snapshot);
+      return;
+    }
+    // One copy: the PollEvent's references die with the poll pipeline,
+    // and a typed history span points into origin storage the object may
+    // outgrow before delivery — detach it into the in-flight message
+    // (shared_ptr keeps the scheduling closure copyable).
+    auto message = std::make_shared<Response>(response);
+    message->meta.own_history();
+    ++relays_in_flight_;
+    // Deliveries to watched pairs feed the adaptive window bound: push
+    // the delivery time now, pop it when the message lands.
+    const bool watched = watched_dest(to, object);
+    const TimePoint deliver_at = sim_.now() + config_.relay_latency;
+    if (watched) pending_watched_.insert(deliver_at);
+    sim_.schedule_after(
+        config_.relay_latency,
+        [this, to, object, message, snapshot, watched, deliver_at] {
+          --relays_in_flight_;
+          if (watched) pending_watched_.erase(pending_watched_.find(deliver_at));
+          deliver(to, object, *message, snapshot);
+        });
     return;
   }
-  // One copy: the PollEvent's references die with the poll pipeline, and
-  // a typed history span points into origin storage the object may
-  // outgrow before delivery — detach it into the in-flight message
-  // (shared_ptr keeps the scheduling closure copyable).
+  // Fault path: a lost first attempt must still retry after the
+  // PollEvent's references die, so the copy happens up front.
   auto message = std::make_shared<Response>(response);
   message->meta.own_history();
+  relay_attempt(proxy_ids_[from], to, object, std::move(message), snapshot,
+                round, /*attempt=*/0);
+}
+
+void ProxyFleet::relay_attempt(std::size_t src_global, std::size_t to,
+                               ObjectId object,
+                               std::shared_ptr<const Response> message,
+                               TimePoint snapshot, std::uint64_t round,
+                               std::size_t attempt) {
+  const FaultSchedule& faults = config_.faults;
+  // The ledger invariant sent == delivered + in_flight + lost holds at
+  // every instant: each attempt is counted sent here and ends up in
+  // exactly one of the other three buckets below.
+  ++relays_sent_;
+  if (attempt > 0) ++relays_retried_;
+  const std::uint64_t counter = faults.attempt_counter(round, attempt);
+  const std::size_t dst_global = proxy_ids_[to];
+  if (faults.relay_lost(object, src_global, dst_global, counter)) {
+    ++relays_lost_;
+    if (attempt >= faults.relay_retry_limit) return;  // abandoned
+    // The retry chain belongs to the network substrate, not the sending
+    // engine: a sender crash between attempts does not cancel it.
+    const Duration backoff = faults.retry_backoff(attempt);
+    const TimePoint fire = sim_.now() + backoff;
+    pending_relay_retries_.insert(fire);
+    sim_.schedule_after(
+        backoff, [this, src_global, to, object, message, snapshot, round,
+                  attempt, fire] {
+          pending_relay_retries_.erase(pending_relay_retries_.find(fire));
+          relay_attempt(src_global, to, object, message, snapshot, round,
+                        attempt + 1);
+        });
+    return;
+  }
+  const Duration delay =
+      config_.relay_latency +
+      faults.relay_jitter(object, src_global, dst_global, counter);
+  if (delay <= 0.0) {
+    deliver(to, object, *message, snapshot);
+    return;
+  }
   ++relays_in_flight_;
-  // Deliveries to watched pairs feed the adaptive window bound: push the
-  // delivery time now, pop it when the message lands.  Sends are in time
-  // order and the latency is constant, so the FIFO stays sorted and the
-  // delivery lambdas pop in push order.
   const bool watched = watched_dest(to, object);
-  if (watched) pending_watched_.push_back(sim_.now() + config_.relay_latency);
-  sim_.schedule_after(config_.relay_latency,
-                      [this, to, object, message, snapshot, watched] {
-                        --relays_in_flight_;
-                        if (watched) pending_watched_.pop_front();
-                        deliver(to, object, *message, snapshot);
-                      });
+  const TimePoint deliver_at = sim_.now() + delay;
+  if (watched) pending_watched_.insert(deliver_at);
+  sim_.schedule_after(
+      delay, [this, to, object, message, snapshot, watched, deliver_at] {
+        --relays_in_flight_;
+        if (watched) pending_watched_.erase(pending_watched_.find(deliver_at));
+        deliver(to, object, *message, snapshot);
+      });
 }
 
 void ProxyFleet::deliver(std::size_t to, ObjectId object,
                          const Response& response, TimePoint snapshot) {
   ++relays_delivered_;
+  if (faults_active_ && config_.faults.dark(proxy_ids_[to], sim_.now())) {
+    // The dark proxy's process is down: the message arrived (it counts
+    // as delivered — the network did its job) but nobody read it.  The
+    // pure time-based test makes the drop decision independent of where
+    // the crash event sits in this simulator's same-instant event order.
+    ++relays_dropped_dark_;
+    return;
+  }
   if (!engines_[to]->apply_relay(object, response, snapshot)) return;
   ++relays_applied_;
   if (response.ok()) {
@@ -223,6 +337,25 @@ void ProxyFleet::notify_groups(std::size_t proxy_index, ObjectId object,
   for (FleetDeltaGroup* group : by_object[object]) {
     group->on_poll(proxy_index, object, obs);
   }
+}
+
+std::size_t ProxyFleet::failover_target(std::size_t proxy_index,
+                                        ObjectId object,
+                                        TimePoint now) const {
+  if (!config_.faults.dark(proxy_ids_[proxy_index], now)) return proxy_index;
+  // Designated sibling: the lowest-global-id live proxy tracking the
+  // object as a self-scheduled temporal object.  Local index order is
+  // ascending global id order, and the sharded driver colocates every
+  // tracker of a grouped uri with the group when crash windows exist, so
+  // each fleet instance resolves the same sibling the whole fleet would.
+  for (std::size_t j = 0; j < engines_.size(); ++j) {
+    if (j == proxy_index) continue;
+    if (config_.faults.dark(proxy_ids_[j], now)) continue;
+    if (!engines_[j]->relay_eligible(object)) continue;
+    if (!engines_[j]->tracks_temporal(object)) continue;
+    return j;
+  }
+  return FleetDeltaGroup::kNoLiveProxy;
 }
 
 // ---- accounting ------------------------------------------------------------

@@ -26,14 +26,16 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "client/client_traffic.h"
+#include "fleet/faults.h"
 #include "fleet/fleet_group.h"
 #include "metrics/accounting.h"
 #include "origin/origin_server.h"
@@ -74,6 +76,13 @@ struct FleetConfig {
   /// inherits this config unchanged, so sharded client metrics are
   /// byte-identical to the whole-fleet run.
   std::optional<ClientTrafficConfig> client_traffic;
+  /// Deterministic fault injection (fleet/faults.h): proxy crash windows,
+  /// relay loss, latency jitter and relay retry.  Keyed entirely by
+  /// global ids and counter-based hash draws, so a shard slice inherits
+  /// this config unchanged and faulty runs stay byte-identical to the
+  /// whole-fleet reference.  Default-constructed = no faults (the relay
+  /// path keeps its zero-copy synchronous fast path).
+  FaultSchedule faults;
 };
 
 /// N polling engines on one origin, with cooperative proxy–proxy push.
@@ -129,9 +138,12 @@ class ProxyFleet {
   /// once per relayable poll (inside the poll event, after local
   /// siblings were handled); the callee fans out to proxies hosted
   /// elsewhere.  Event references die with the call — copy the response
-  /// (and own_history()) before stashing it.
-  using RelayExporter =
-      std::function<void(std::size_t from_global, const PollEvent& event)>;
+  /// (and own_history()) before stashing it.  `round` is the sender's
+  /// per-(proxy, object) relay fan-out round — a pure function of the
+  /// sender's poll history — which keys the exporter's fault draws so a
+  /// remote destination draws exactly what it would have drawn locally.
+  using RelayExporter = std::function<void(
+      std::size_t from_global, const PollEvent& event, std::uint64_t round)>;
   void set_relay_exporter(RelayExporter exporter) {
     relay_exporter_ = std::move(exporter);
   }
@@ -160,7 +172,17 @@ class ProxyFleet {
 
   /// Earliest pending watched relay delivery; kTimeInfinity when none.
   TimePoint next_watched_delivery() const {
-    return pending_watched_.empty() ? kTimeInfinity : pending_watched_.front();
+    return pending_watched_.empty() ? kTimeInfinity
+                                    : *pending_watched_.begin();
+  }
+
+  /// Earliest pending local relay-retry firing; kTimeInfinity when none.
+  /// A retry that fires inside a lookahead window can deliver and trigger
+  /// δ-sibling polls that export, so the sharded driver folds this into
+  /// its adaptive send bound alongside next_watched_delivery().
+  TimePoint next_relay_retry() const {
+    return pending_relay_retries_.empty() ? kTimeInfinity
+                                          : *pending_relay_retries_.begin();
   }
 
   // ---- accounting ----
@@ -211,18 +233,39 @@ class ProxyFleet {
                                       : client_traffic_->next_fire();
   }
 
-  /// Relay messages sent on the *local* channel (one per destination;
-  /// exported relays are counted by the exporter's owner).  With zero
-  /// latency every send is delivered in the same call, so sent ==
-  /// delivered; with latency the difference is exactly relays_in_flight.
+  /// Relay transmission attempts on the *local* channel (one per
+  /// destination per attempt — a retried relay counts again; exported
+  /// relays are counted by the exporter's owner).  The fault ledger
+  ///   relays_sent == relays_delivered + relays_in_flight + relays_lost
+  /// holds at every instant: an attempt is lost, in flight, or delivered,
+  /// and nothing else.  Without faults and with zero latency every send
+  /// is delivered in the same call, so sent == delivered.
   std::size_t relays_sent() const { return relays_sent_; }
 
   /// Local relay messages scheduled but not yet delivered.  At a quiesced
   /// horizon past the last send + relay_latency this is 0; a sweep that
   /// stops mid-window sees the exact number of messages the counters have
   /// not yet absorbed (never silently dropped — extending the run
-  /// delivers them).
+  /// delivers them).  Pending retry *waits* are not in flight: a lost
+  /// attempt is already counted in relays_lost and its retry, once sent,
+  /// counts as a fresh attempt.
   std::size_t relays_in_flight() const { return relays_in_flight_; }
+
+  /// Relay transmission attempts eaten by injected loss
+  /// (FaultSchedule::relay_loss).  Each lost attempt below the retry
+  /// limit schedules a backoff retry; one at the limit abandons the
+  /// relay.
+  std::size_t relays_lost() const { return relays_lost_; }
+
+  /// Retry attempts sent after a loss (attempts with attempt index > 0).
+  /// With a retry limit high enough that abandonment never occurs this
+  /// equals relays_lost.
+  std::size_t relays_retried() const { return relays_retried_; }
+
+  /// Relays delivered to a proxy that was dark (crashed) at the delivery
+  /// instant: the message arrived but nobody read it.  A subset of
+  /// relays_delivered, never of relays_applied.
+  std::size_t relays_dropped_dark() const { return relays_dropped_dark_; }
 
   const OriginServer& origin() const { return origin_; }
 
@@ -245,28 +288,61 @@ class ProxyFleet {
   std::unique_ptr<FleetClientTraffic> client_traffic_;  // null = no clients
   RelayExporter relay_exporter_;
   // Watched destination pairs (see set_send_watch) and the delivery times
-  // of in-flight relays headed to them, ascending.  The relay latency is
-  // a fleet constant, so schedule order is delivery order and a FIFO
-  // suffices.
+  // of in-flight relays headed to them.  Latency jitter makes deliveries
+  // complete out of send order, so an ordered multiset replaces the
+  // fault-free FIFO.
   std::vector<std::vector<bool>> send_watch_;
-  std::deque<TimePoint> pending_watched_;
+  std::multiset<TimePoint> pending_watched_;
+  // Fire times of pending relay-retry events (fault injection), for
+  // next_relay_retry().
+  std::multiset<TimePoint> pending_relay_retries_;
+  // Per-(local proxy, object) relay fan-out round counters: incremented
+  // once per relayable poll, they key the per-attempt fault draws.  Only
+  // maintained while faults are active.
+  std::vector<std::vector<std::uint64_t>> relay_rounds_;
+  bool faults_active_ = false;  // config_.faults.any(), cached
   std::size_t relays_sent_ = 0;
   std::size_t relays_in_flight_ = 0;
   std::size_t relays_delivered_ = 0;
   std::size_t relays_applied_ = 0;
+  std::size_t relays_lost_ = 0;
+  std::size_t relays_retried_ = 0;
+  std::size_t relays_dropped_dark_ = 0;
 
   /// Fleet-level stage of engine i's poll pipeline: relay to siblings,
   /// then feed δ-groups.
   void on_poll(std::size_t proxy, const PollEvent& event);
 
-  /// Send one relay message to proxy `to` (delivered now, or after
-  /// relay_latency).  `snapshot` is the relaying proxy's poll fire time.
-  /// The synchronous path hands the pipeline's response straight through
-  /// by reference; only a latency-delayed relay copies it (detaching the
-  /// typed history span first — the origin may update the object before
-  /// delivery).
-  void relay(std::size_t to, ObjectId object, const Response& response,
-             TimePoint snapshot);
+  /// Send one relay message from local proxy `from` to proxy `to`
+  /// (delivered now, or after relay_latency + jitter).  `snapshot` is the
+  /// relaying proxy's poll fire time, `round` the sender's fan-out round
+  /// for the fault draws.  The fault-free synchronous path hands the
+  /// pipeline's response straight through by reference; a latency-delayed
+  /// or fault-injected relay copies it (detaching the typed history span
+  /// first — the origin may update the object before delivery).
+  void relay(std::size_t from, std::size_t to, ObjectId object,
+             const Response& response, TimePoint snapshot,
+             std::uint64_t round);
+
+  /// One transmission attempt of a fault-injected relay: draws loss (a
+  /// lost attempt below the retry limit schedules the next attempt after
+  /// the capped exponential backoff) and jitter, then delivers.  The
+  /// retry chain is owned by the simulator, not the sending engine — a
+  /// sender crash does not cancel messages already handed to the network.
+  void relay_attempt(std::size_t src_global, std::size_t to, ObjectId object,
+                     std::shared_ptr<const Response> message,
+                     TimePoint snapshot, std::uint64_t round,
+                     std::size_t attempt);
+
+  /// Consume the next fan-out round of (local proxy, object).
+  std::uint64_t next_relay_round(std::size_t proxy_index, ObjectId object);
+
+  /// Failover route for δ-groups (FleetDeltaGroup::FailoverResolver):
+  /// `proxy_index`'s designated sibling while it is dark — the
+  /// lowest-global-id live proxy tracking `object` as a self-scheduled
+  /// temporal object — or kNoLiveProxy when every tracker is dark.
+  std::size_t failover_target(std::size_t proxy_index, ObjectId object,
+                              TimePoint now) const;
 
   /// Delivery: count the message, apply it, feed δ-groups on success.
   void deliver(std::size_t to, ObjectId object, const Response& response,

@@ -48,6 +48,9 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
   BROADWAY_CHECK_MSG(config_.fleet.proxies >= 1,
                      "fleet needs >= 1 proxy, got " << config_.fleet.proxies);
   BROADWAY_CHECK(config_.origin_setup != nullptr);
+  // Validate the fault schedule against the whole fleet here: the slice
+  // fleets see proxy_ids and cannot bound the global id range themselves.
+  config_.fleet.faults.validate(config_.fleet.proxies);
   proxy_count_ = config_.fleet.proxies;
 }
 
@@ -194,6 +197,40 @@ void ShardedFleet::build_shards() {
       }
     }
   }
+  // (d) Crash/recovery is engine-wide: recovery re-arms every object of
+  //     the proxy in registration order, and the re-armed timers fire in
+  //     same-instant bursts (shared reset TTRs) whose reference order is
+  //     only reproducible inside one slice log — a proxy with crash
+  //     windows keeps all its pairs together.
+  if (config_.fleet.faults.has_crashes()) {
+    std::vector<std::size_t> first_of_proxy(proxy_count_, SIZE_MAX);
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      if (config_.fleet.faults.windows_for(pairs_[i].proxy) == nullptr) {
+        continue;
+      }
+      std::size_t& first = first_of_proxy[pairs_[i].proxy];
+      if (first == SIZE_MAX) {
+        first = i;
+      } else {
+        pair_components.unite(first, i);
+      }
+    }
+    // (e) Sibling failover routes a dark owner's δ-poll to the
+    //     lowest-global-id live tracker of the object, so resolving the
+    //     choice needs every tracker's engine (liveness, eligibility) on
+    //     the group's slice: all trackers of a grouped uri join the
+    //     group's component (a group member is itself a tracker, which
+    //     anchors the union to rule (a)'s component).
+    if (!group_registrations_.empty()) {
+      std::map<std::string, std::size_t> first_tracker;
+      for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        if (uri_index.find(pairs_[i].uri) == uri_index.end()) continue;
+        const auto [slot, inserted] =
+            first_tracker.try_emplace(pairs_[i].uri, i);
+        if (!inserted) pair_components.unite(slot->second, i);
+      }
+    }
+  }
   for (std::size_t i = 0; i < pairs_.size(); ++i) {
     pairs_[i].root = pair_components.find(i);
   }
@@ -216,6 +253,19 @@ void ShardedFleet::build_shards() {
     for (const GroupRegistration& group : group_registrations_) {
       for (std::size_t i = 1; i < group.members.size(); ++i) {
         components.unite(group.members[0].proxy, group.members[i].proxy);
+      }
+    }
+    // Rule (e) at whole-proxy granularity: with crash windows, sibling
+    // failover must see every tracker of a grouped uri on the group's
+    // shard, member or not.
+    if (config_.fleet.faults.has_crashes() &&
+        !group_registrations_.empty()) {
+      std::map<std::string, std::size_t> first_tracker;
+      for (const PairInfo& pair : pairs_) {
+        if (uri_index.find(pair.uri) == uri_index.end()) continue;
+        const auto [slot, inserted] =
+            first_tracker.try_emplace(pair.uri, pair.proxy);
+        if (!inserted) components.unite(slot->second, pair.proxy);
       }
     }
     std::vector<std::size_t> shard_of_proxy(proxy_count_, SIZE_MAX);
@@ -481,8 +531,9 @@ void ShardedFleet::start() {
   if (config_.fleet.cooperative_push && shards_.size() > 1) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s].fleet->set_relay_exporter(
-          [this, s](std::size_t from_global, const PollEvent& event) {
-            export_relay(s, from_global, event);
+          [this, s](std::size_t from_global, const PollEvent& event,
+                    std::uint64_t round) {
+            export_relay(s, from_global, event, round);
           });
     }
   }
@@ -502,8 +553,8 @@ bool ShardedFleet::message_order(const Message& a, const Message& b) {
 
 void ShardedFleet::export_relay(std::size_t shard_index,
                                 std::size_t from_global,
-                                const PollEvent& event) {
-  (void)from_global;
+                                const PollEvent& event,
+                                std::uint64_t round) {
   Shard& shard = shards_[shard_index];
   if (event.object >= shard.remote_dests.size()) return;
   const std::vector<RemoteDest>& dests = shard.remote_dests[event.object];
@@ -513,6 +564,18 @@ void ShardedFleet::export_relay(std::size_t shard_index,
   // origin storage the object may outgrow before delivery).
   auto response = std::make_shared<Response>(event.response);
   response->meta.own_history();
+  if (config_.fleet.faults.any()) {
+    // Per-destination attempt chain: loss and jitter draw from the same
+    // counter-keyed streams the slice fleets (and the one-simulator
+    // reference) use, so the outcome per (object, src, dst, attempt) is
+    // layout-invariant by construction.
+    for (const RemoteDest& dest : dests) {
+      export_attempt(shard_index, from_global, dest, event.object,
+                     event.snapshot, response, round, 0);
+    }
+    return;
+  }
+  (void)from_global;
   Message message;
   message.sent_at = shard.sim->now();
   message.deliver_at = message.sent_at + config_.fleet.relay_latency;
@@ -529,6 +592,60 @@ void ShardedFleet::export_relay(std::size_t shard_index,
     shard.outbox[dest.shard].push_back(message);
   }
   shard.exported_sent += dests.size();
+}
+
+void ShardedFleet::export_attempt(std::size_t shard_index,
+                                  std::size_t from_global,
+                                  const RemoteDest& dest, ObjectId object,
+                                  TimePoint snapshot,
+                                  std::shared_ptr<const Response> response,
+                                  std::uint64_t round, std::size_t attempt) {
+  Shard& shard = shards_[shard_index];
+  const FaultSchedule& faults = config_.fleet.faults;
+  const std::size_t dst_global = shards_[dest.shard].proxies[dest.local];
+  ++shard.exported_sent;
+  if (attempt > 0) ++shard.exported_retried;
+  const std::uint64_t counter = faults.attempt_counter(round, attempt);
+  if (faults.relay_lost(object, from_global, dst_global, counter)) {
+    ++shard.exported_lost;
+    if (attempt >= faults.relay_retry_limit) return;  // abandoned
+    // The retry lives on the sender's shard simulator under the sender
+    // chain's schedule tag (schedule_after inherits it), exactly like the
+    // reference's retry event; its fire instant is a future cross-shard
+    // send, advertised through export_retries for the adaptive bound.
+    const Duration backoff = faults.retry_backoff(attempt);
+    const TimePoint fire = shard.sim->now() + backoff;
+    shard.export_retries.insert(fire);
+    const RemoteDest target = dest;
+    shard.sim->schedule_after(
+        backoff, [this, shard_index, from_global, target, object, snapshot,
+                  response = std::move(response), round, attempt,
+                  fire]() mutable {
+          Shard& home = shards_[shard_index];
+          home.export_retries.erase(home.export_retries.find(fire));
+          export_attempt(shard_index, from_global, target, object, snapshot,
+                         std::move(response), round, attempt + 1);
+        });
+    return;
+  }
+  Message message;
+  message.sent_at = shard.sim->now();
+  // Parenthesized to match the reference exactly: the slice fleet passes
+  // (latency + jitter) as one schedule_after delay, so the delivery
+  // instant is sent_at + (latency + jitter) down to the last ULP — the
+  // other association can differ in the low bits and desynchronize every
+  // event the delivery's apply_outcome timestamps downstream.
+  message.deliver_at =
+      message.sent_at +
+      (config_.fleet.relay_latency +
+       faults.relay_jitter(object, from_global, dst_global, counter));
+  message.tag = shard.sim->schedule_tag();
+  message.object = object;
+  message.snapshot = snapshot;
+  message.response = std::move(response);
+  message.seq = shard.export_seq++;
+  message.dest_local = dest.local;
+  shard.outbox[dest.shard].push_back(std::move(message));
 }
 
 void ShardedFleet::run_shard_window(std::size_t shard_index,
@@ -614,6 +731,12 @@ TimePoint ShardedFleet::shard_send_bound(const Shard& shard,
   //    fetches through to the origin inside the request event and relays
   //    out like any poll.  Candidate instants over-approximate requests
   //    (thinning may reject, the read may hit), which is conservative.
+  // Under fault injection three more sources join (see below): pending
+  // export-path retries (their fires ARE cross-shard sends), pending
+  // local relay retries (their deliveries can trigger watched δ-sibling
+  // exports before any timer the watch list sees), and crash/recovery
+  // transitions (a dark proxy's timers are stopped, so its next send is
+  // invisible until recovery re-arms them).
   // Trigger cascades are same-instant, so a bound over these instants
   // bounds every send.  The scan stops early once the running bound
   // reaches `cutoff` — the caller falls back to a fixed-width window
@@ -624,6 +747,23 @@ TimePoint ShardedFleet::shard_send_bound(const Shard& shard,
   }
   bound = std::min(bound, shard.fleet->next_watched_delivery());
   if (bound <= cutoff) return bound;
+  const FaultSchedule& faults = config_.fleet.faults;
+  if (faults.any()) {
+    if (!shard.export_retries.empty()) {
+      bound = std::min(bound, *shard.export_retries.begin());
+      if (bound <= cutoff) return bound;
+    }
+    bound = std::min(bound, shard.fleet->next_relay_retry());
+    if (bound <= cutoff) return bound;
+    if (faults.has_crashes()) {
+      for (const std::size_t proxy : shard.proxies) {
+        if (faults.windows_for(proxy) == nullptr) continue;
+        bound = std::min(
+            bound, faults.next_transition_after(proxy, shard.sim->now()));
+        if (bound <= cutoff) return bound;
+      }
+    }
+  }
   if (config_.fleet.engine.demand_fill && !shard.export_watch.empty()) {
     // export_watch is non-empty exactly when some local pair has remote
     // relay destinations — the only case a demand fill can leave the
@@ -796,6 +936,30 @@ std::size_t ShardedFleet::relays_in_flight() const {
     for (const std::vector<Message>& box : shard.outbox) {
       total += box.size();
     }
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_lost() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_lost() + shard.exported_lost;
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_retried() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_retried() + shard.exported_retried;
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::relays_dropped_dark() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.fleet->relays_dropped_dark();
   }
   return total;
 }

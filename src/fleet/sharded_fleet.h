@@ -67,6 +67,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -217,10 +218,24 @@ class ShardedFleet {
   std::size_t relays_applied() const;
 
   /// Relay messages sent but not yet delivered (scheduled local
-  /// deliveries plus mailbox residents).  Always equals
-  /// relays_sent() - relays_delivered(); 0 once the clock passes the
-  /// last send + relay_latency.
+  /// deliveries plus mailbox residents).  The ledger invariant
+  /// relays_sent() == relays_delivered() + relays_in_flight() +
+  /// relays_lost() holds at any instant; without injected loss the last
+  /// term is 0 and in-flight drains once the clock passes the last
+  /// send + relay_latency (+ jitter).
   std::size_t relays_in_flight() const;
+
+  /// Relay attempts dropped by injected loss (FleetConfig::faults),
+  /// local and cross-shard.  Each lost attempt was counted as a fresh
+  /// send; retransmissions re-enter relays_sent() too.
+  std::size_t relays_lost() const;
+
+  /// Retransmission attempts (attempt > 0) scheduled after losses.
+  std::size_t relays_retried() const;
+
+  /// Relays delivered to a crashed (dark) proxy and discarded there —
+  /// counted delivered, never applied.
+  std::size_t relays_dropped_dark() const;
 
   /// Aggregate origin load over every proxy's poll log.
   FleetOriginLoad origin_load() const;
@@ -286,6 +301,15 @@ class ShardedFleet {
     std::vector<std::pair<const PollingEngine*, ObjectId>> export_watch;
     std::uint64_t export_seq = 0;
     std::size_t exported_sent = 0;
+    /// Fire times of pending export-path relay retries (fault injection,
+    /// FleetConfig::faults).  A lost cross-shard attempt reschedules on
+    /// this shard's simulator; its fire is a future cross-shard send the
+    /// adaptive bound must not jump past.
+    std::multiset<TimePoint> export_retries;
+    /// Export-path fault ledger (same semantics as the ProxyFleet
+    /// counters: every attempt counts as a fresh send).
+    std::size_t exported_lost = 0;
+    std::size_t exported_retried = 0;
   };
 
   /// One engine slice of a global proxy.
@@ -315,7 +339,17 @@ class ShardedFleet {
   void build_remote_dests();
   void build_send_watches();
   void export_relay(std::size_t shard_index, std::size_t from_global,
-                    const PollEvent& event);
+                    const PollEvent& event, std::uint64_t round);
+  /// One cross-shard send attempt under fault injection: draws loss and
+  /// jitter from the same counter-keyed streams the one-simulator
+  /// reference uses, reschedules itself on loss (sender-shard simulator,
+  /// capped exponential backoff), and enqueues the outbox message on
+  /// success.
+  void export_attempt(std::size_t shard_index, std::size_t from_global,
+                      const RemoteDest& dest, ObjectId object,
+                      TimePoint snapshot,
+                      std::shared_ptr<const Response> response,
+                      std::uint64_t round, std::size_t attempt);
   void run_shard_window(std::size_t shard_index, TimePoint window_end);
   void exchange_mailboxes();
   /// Earliest instant this shard can next produce a cross-shard-visible

@@ -257,6 +257,7 @@ FleetConfig make_fleet_config(const FleetRunConfig& config) {
   fleet_config.relay_latency = config.relay_latency;
   fleet_config.engine = config.base.engine;
   fleet_config.poll_log_retention = config.base.poll_log_retention;
+  fleet_config.faults = config.faults;
   return fleet_config;
 }
 
@@ -274,6 +275,12 @@ FleetRunResult summarize_fleet(Fleet& fleet, std::size_t origin_requests,
       fleet.origin_load().polls_per_second(horizon);
   result.relays_delivered = fleet.relays_delivered();
   result.relays_applied = fleet.relays_applied();
+  result.relays_sent = fleet.relays_sent();
+  result.relays_in_flight = fleet.relays_in_flight();
+  result.relays_lost = fleet.relays_lost();
+  result.relays_retried = fleet.relays_retried();
+  result.relays_dropped_dark = fleet.relays_dropped_dark();
+  result.dark_time = config.faults.total_dark_time(horizon);
 
   double sum_time = 0.0, sum_violations = 0.0;
   for (std::size_t p = 0; p < fleet.size(); ++p) {

@@ -193,6 +193,9 @@ struct FleetRunConfig {
   bool cooperative_push = true;
   /// Proxy–proxy delivery latency.
   Duration relay_latency = 0.0;
+  /// Fault injection (crash/recovery windows, relay loss, jitter, retry
+  /// — fleet/faults.h).  Default-constructed = no faults.
+  FaultSchedule faults;
   /// Per-object Δt policy parameters, shared by every proxy.
   TemporalRunConfig base;
 };
@@ -207,6 +210,18 @@ struct FleetRunResult {
   /// Relay messages sent / accepted on the proxy–proxy channel.
   std::size_t relays_delivered = 0;
   std::size_t relays_applied = 0;
+  /// Relay-channel fault ledger (fleet/faults.h).  The pinned invariant
+  /// is relays_sent == relays_delivered + relays_in_flight + relays_lost
+  /// at any instant; all but relays_sent/relays_in_flight are zero in a
+  /// fault-free run.
+  std::size_t relays_sent = 0;
+  std::size_t relays_in_flight = 0;
+  std::size_t relays_lost = 0;
+  std::size_t relays_retried = 0;
+  std::size_t relays_dropped_dark = 0;
+  /// Scheduled outage time summed over the fleet, clamped to the run
+  /// horizon (0 without crash windows).
+  Duration dark_time = 0.0;
   /// Eq. 14 fidelity over every (proxy, object) pair.
   double mean_fidelity_time = 0.0;
   double min_fidelity_time = 1.0;

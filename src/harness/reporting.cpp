@@ -28,6 +28,26 @@ void add_poll_breakdown_rows(TextTable& table, const PollLog& log) {
   }
 }
 
+void add_fault_rows(TextTable& table, const FaultSummary& summary) {
+  if (summary.dark_time > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f s", summary.dark_time);
+    table.add_row({"dark time", buf});
+    table.add_row({"dark reads", std::to_string(summary.dark_reads)});
+    table.add_row({"  stale hits", std::to_string(summary.dark_stale)});
+    table.add_row({"  misses", std::to_string(summary.dark_misses)});
+  }
+  if (summary.relays_lost > 0 || summary.relays_retried > 0) {
+    table.add_row({"relays lost", std::to_string(summary.relays_lost)});
+    table.add_row({"relays retried",
+                   std::to_string(summary.relays_retried)});
+  }
+  if (summary.relays_dropped_dark > 0) {
+    table.add_row({"relays dropped dark",
+                   std::to_string(summary.relays_dropped_dark)});
+  }
+}
+
 namespace {
 
 struct ChartFrame {

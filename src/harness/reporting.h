@@ -2,6 +2,8 @@
 // small ASCII chart for the time-series figures (Figs. 4, 6, 8).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -22,6 +24,25 @@ void print_banner(std::ostream& out, const std::string& title);
 /// for a cause the run cannot produce (no coordinator, no loss) are
 /// omitted.
 void add_poll_breakdown_rows(TextTable& table, const PollLog& log);
+
+/// Outage/degradation accounting for one fault-injected fleet run
+/// (fleet/faults.h), in reporting-friendly form.  Callers fill it from a
+/// FleetRunResult's ledger fields and the merged ClientMetrics.
+struct FaultSummary {
+  Duration dark_time = 0.0;           ///< scheduled outage seconds, fleet-wide
+  std::uint64_t dark_reads = 0;       ///< client reads served while dark
+  std::uint64_t dark_stale = 0;       ///< of which stale cache hits
+  std::uint64_t dark_misses = 0;      ///< of which unfillable misses
+  std::size_t relays_lost = 0;        ///< attempts dropped by injected loss
+  std::size_t relays_retried = 0;     ///< retransmission attempts
+  std::size_t relays_dropped_dark = 0;  ///< delivered to a crashed proxy
+};
+
+/// Append outage/degradation rows to a summary table, following the
+/// add_poll_breakdown_rows convention: rows a fault-free run cannot
+/// produce are suppressed when zero, and an all-zero summary adds
+/// nothing at all.
+void add_fault_rows(TextTable& table, const FaultSummary& summary);
 
 /// Render an (x, y) series as a crude ASCII line chart.  Intended as a
 /// quick visual check of the shape a figure reproduces; the exact numbers

@@ -138,16 +138,34 @@ void PollingEngine::start() {
 }
 
 void PollingEngine::crash_and_recover() {
+  crash();
+  recover();
+}
+
+void PollingEngine::crash() {
   BROADWAY_CHECK_MSG(started_, "crash before start()");
+  BROADWAY_CHECK_MSG(!dark_, "crash while already dark");
+  dark_ = true;
   // In-flight retries die with the proxy: §3.1 recovery resets TTRs, it
   // does not resurrect requests that were pending at the crash.
   for (const EventId id : pending_retries_) {
     sim_.cancel(id);
   }
   pending_retries_.clear();
+  // Every timer stops: a dark proxy polls nothing until recover() re-arms
+  // the schedules from scratch.
   for (TrackedObject* object : ordered_) {
     object->clear_pending_retries();
+    if (object->task() != nullptr) object->task()->stop();
   }
+  for (auto& group : virtual_groups_) {
+    group->task->stop();
+  }
+}
+
+void PollingEngine::recover() {
+  BROADWAY_CHECK_MSG(dark_, "recover without a crash");
+  dark_ = false;
   // Shared partitioned policies reset before their members re-arm, so each
   // member's initial TTR reflects the recovered apportionment.
   for (auto& group : partitioned_groups_) {
@@ -286,6 +304,7 @@ bool PollingEngine::poll_object(TrackedObject& object, PollCause cause,
 bool PollingEngine::apply_relay(ObjectId id, const Response& response,
                                 TimePoint snapshot) {
   if (!started_) return false;  // relays may race engine start-up
+  if (dark_) return false;      // a crashed proxy reads nothing off the wire
   if (!response.ok() && !response.not_modified()) return false;
   TrackedObject* object = tracked(id);
   if (object == nullptr || !object->self_scheduled()) return false;
@@ -345,8 +364,11 @@ PollingEngine::ClientRead PollingEngine::serve_client_read(ObjectId id) {
     // misses alike — a miss is still demand.
     object->note_client_read();
   }
+  read.dark = dark_;
   const CacheEntry* entry = cache_.lookup_counted(id);
   if (entry != nullptr) {
+    // A dark proxy still serves from the surviving disk cache — possibly
+    // stale, since no refresh has arrived since the crash.
     read.hit = true;
     read.snapshot = entry->snapshot_time;
     read.visible = entry->stored_time;
@@ -356,6 +378,12 @@ PollingEngine::ClientRead PollingEngine::serve_client_read(ObjectId id) {
     // Untracked ids never fill: there is no policy, no trace and no
     // relay eligibility here — see ClientRead::MissReason.
     read.miss_reason = ClientRead::MissReason::kUntracked;
+    return read;
+  }
+  if (dark_) {
+    // Tracked but uncached while crashed: the proxy cannot reach the
+    // origin, so the miss is an outage miss and never demand-fills.
+    read.miss_reason = ClientRead::MissReason::kProxyDark;
     return read;
   }
   read.miss_reason = ClientRead::MissReason::kUncached;
@@ -424,12 +452,16 @@ void PollingEngine::notify_coordinators(TrackedObject& object,
 }
 
 void PollingEngine::poll_self(TrackedObject& object, PollCause cause) {
+  // Defensive: the fleet's failover routing keeps triggers away from dark
+  // proxies, but a crashed engine must never poll regardless of caller.
+  if (dark_) return;
   TrackedObject* raw = &object;
   poll_object(object, cause,
               [this, raw] { poll_self(*raw, PollCause::kRetry); });
 }
 
 void PollingEngine::poll_group(VirtualGroup& group, PollCause cause) {
+  if (dark_) return;
   const TimePoint now = sim_.now();
   const bool initial = cause == PollCause::kInitial;
   VirtualGroup* raw = &group;

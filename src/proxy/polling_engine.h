@@ -174,7 +174,10 @@ class PollingEngine {
   /// True when `uri` is registered as a temporal-domain object — the only
   /// kind coordinator hooks (and thus δ-group membership) apply to.
   bool tracks_temporal(const std::string& uri) const {
-    const TrackedObject* object = tracked(uris_.find(uri));
+    return tracks_temporal(uris_.find(uri));
+  }
+  bool tracks_temporal(ObjectId id) const {
+    const TrackedObject* object = tracked(id);
     return object != nullptr && object->temporal();
   }
 
@@ -227,8 +230,25 @@ class PollingEngine {
   /// policy and coordinator resets; every timer restarts at its policy's
   /// initial TTR; retries pending for polls lost before the crash are
   /// dropped.  Cached payloads survive (they are on disk); learned polling
-  /// state does not.
+  /// state does not.  Equivalent to crash() immediately followed by
+  /// recover().
   void crash_and_recover();
+
+  /// Take the proxy dark at the current instant: every poll timer stops,
+  /// pending retries die, and until recover() the engine refuses new work
+  /// — client reads are served from the (possibly stale) disk cache or
+  /// miss with MissReason::kProxyDark, and never demand-fill.  The fleet
+  /// layer additionally drops relays addressed to a dark proxy.  Used by
+  /// the fault-injection schedule (fleet/faults.h).
+  void crash();
+
+  /// Bring a dark proxy back: the §3.1 recovery semantics of
+  /// crash_and_recover() — every policy and coordinator resets, every
+  /// timer restarts at its policy's initial TTR.
+  void recover();
+
+  /// True between crash() and recover().
+  bool dark() const { return dark_; }
 
   /// Apply a response relayed by a sibling proxy (cooperative push),
   /// recording the refresh as PollCause::kRelay (no origin message):
@@ -270,10 +290,15 @@ class PollingEngine {
       kNone,       ///< the read hit
       kUntracked,  ///< id not registered with this proxy
       kUncached,   ///< tracked, but no cached copy yet
+      kProxyDark,  ///< no cached copy and the proxy is crashed (dark)
     };
 
     bool hit = false;
     MissReason miss_reason = MissReason::kNone;
+    /// True when the proxy was dark (crashed) at the read: a hit was
+    /// served from the surviving disk cache with no refreshes arriving, a
+    /// miss could not demand-fill (MissReason::kProxyDark).
+    bool dark = false;
     /// True when a miss was demand-filled from the origin just now
     /// (EngineConfig::demand_fill): snapshot/visible below describe the
     /// freshly fetched copy.  The read still counts as a miss — the
@@ -397,6 +422,9 @@ class PollingEngine {
   EngineConfig config_;
   ProxyCache cache_;
   bool started_ = false;
+  // True between crash() and recover(): timers are stopped and the engine
+  // refuses new work (polls, fills, triggers).
+  bool dark_ = false;
 
   // unique_ptr elements: scheduled tasks and groups capture raw object
   // pointers, which must survive container growth.  Indexed by ObjectId;

@@ -21,6 +21,7 @@
 #include "client/client_traffic.h"
 #include "client/read_transactions.h"
 #include "consistency/limd.h"
+#include "fleet/faults.h"
 #include "fleet/proxy_fleet.h"
 #include "fleet/sharded_fleet.h"
 #include "origin/origin_server.h"
@@ -91,9 +92,11 @@ Topology random_topology(std::uint64_t seed) {
   return topo;
 }
 
-FleetConfig fleet_config(std::size_t proxies, bool demand_fill = false) {
+FleetConfig fleet_config(std::size_t proxies, bool demand_fill = false,
+                         const FaultSchedule& faults = {}) {
   FleetConfig config;
   config.proxies = proxies;
+  config.faults = faults;
   config.cooperative_push = true;
   // Non-harmonic constants, as in the poll-log differential.
   config.relay_latency = 0.7;
@@ -137,6 +140,14 @@ struct Artifacts {
   TransactionStats transactions;
   FleetOriginLoad origin_load;
   PollCauseCounts causes;
+  // Relay-channel fault ledger; all zero in fault-free runs.  The pinned
+  // invariant: sent == delivered + in_flight + lost.
+  std::size_t relays_sent = 0;
+  std::size_t relays_delivered = 0;
+  std::size_t relays_in_flight = 0;
+  std::size_t relays_lost = 0;
+  std::size_t relays_retried = 0;
+  std::size_t relays_dropped_dark = 0;
 };
 
 // The origin-load invariant, cross-checked the non-tautological way: the
@@ -179,16 +190,24 @@ void collect_origin_accounting(Fleet& fleet, Artifacts& artifacts) {
   for (std::size_t p = 0; p < fleet.size(); ++p) {
     artifacts.causes.merge(count_by_cause(fleet.proxy(p).poll_log()));
   }
+  artifacts.relays_sent = fleet.relays_sent();
+  artifacts.relays_delivered = fleet.relays_delivered();
+  artifacts.relays_in_flight = fleet.relays_in_flight();
+  artifacts.relays_lost = fleet.relays_lost();
+  artifacts.relays_retried = fleet.relays_retried();
+  artifacts.relays_dropped_dark = fleet.relays_dropped_dark();
 }
 
 Artifacts reference_run(const Topology& topo, Duration horizon,
-                        bool demand_fill = false) {
+                        bool demand_fill = false,
+                        const FaultSchedule& faults = {}) {
   Simulator sim;
   OriginServer origin(sim);
   for (const UpdateTrace& trace : topo.traces) {
     origin.attach_update_trace(trace.name(), trace);
   }
-  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies, demand_fill));
+  ProxyFleet fleet(sim, origin,
+                   fleet_config(topo.proxies, demand_fill, faults));
   const auto factory = limd_factory();
   for (const UpdateTrace& trace : topo.traces) {
     fleet.add_temporal_object_everywhere(trace.name(), factory);
@@ -210,9 +229,10 @@ Artifacts reference_run(const Topology& topo, Duration horizon,
 Artifacts sharded_run(const Topology& topo, std::size_t threads,
                       Duration horizon, std::size_t shards = 0,
                       WindowPolicy policy = WindowPolicy::kAdaptive,
-                      bool demand_fill = false) {
+                      bool demand_fill = false,
+                      const FaultSchedule& faults = {}) {
   ShardedFleetConfig config;
-  config.fleet = fleet_config(topo.proxies, demand_fill);
+  config.fleet = fleet_config(topo.proxies, demand_fill, faults);
   config.threads = threads;
   config.shards = shards;
   config.window_policy = policy;
@@ -257,6 +277,9 @@ void expect_metrics_identical(const ClientMetrics& a, const ClientMetrics& b) {
   EXPECT_EQ(a.fresh, b.fresh);
   EXPECT_EQ(a.stale, b.stale);
   EXPECT_EQ(a.demand_fills, b.demand_fills);
+  EXPECT_EQ(a.dark_reads, b.dark_reads);
+  EXPECT_EQ(a.dark_stale, b.dark_stale);
+  EXPECT_EQ(a.dark_misses, b.dark_misses);
   expect_stats_identical(a.age, b.age);
   expect_stats_identical(a.staleness, b.staleness);
   expect_stats_identical(a.fill_latency, b.fill_latency);
@@ -283,6 +306,7 @@ void expect_artifacts_identical(const Artifacts& reference,
     EXPECT_EQ(a.read.hit, b.read.hit);
     EXPECT_EQ(a.read.fresh, b.read.fresh);
     EXPECT_EQ(a.read.filled, b.read.filled);
+    EXPECT_EQ(a.read.dark, b.read.dark);
     EXPECT_EQ(a.read.fill_latency, b.read.fill_latency);
     EXPECT_EQ(a.read.snapshot, b.read.snapshot);
     EXPECT_EQ(a.read.age, b.read.age);
@@ -315,6 +339,12 @@ void expect_artifacts_identical(const Artifacts& reference,
   EXPECT_EQ(reference.causes.relay, candidate.causes.relay);
   EXPECT_EQ(reference.causes.client_miss, candidate.causes.client_miss);
   EXPECT_EQ(reference.causes.failed, candidate.causes.failed);
+  EXPECT_EQ(reference.relays_sent, candidate.relays_sent);
+  EXPECT_EQ(reference.relays_delivered, candidate.relays_delivered);
+  EXPECT_EQ(reference.relays_in_flight, candidate.relays_in_flight);
+  EXPECT_EQ(reference.relays_lost, candidate.relays_lost);
+  EXPECT_EQ(reference.relays_retried, candidate.relays_retried);
+  EXPECT_EQ(reference.relays_dropped_dark, candidate.relays_dropped_dark);
 }
 
 TEST(ClientDifferential, ByteIdenticalAcrossThreadCountsAndSchedulers) {
@@ -430,6 +460,68 @@ TEST(ClientDifferential, DemandFillSweepIsByteIdenticalWithInvariant) {
           expect_artifacts_identical(reference, partitioned);
           expect_origin_invariant(partitioned);
         }
+      }
+    }
+  }
+}
+
+// Fault injection, seen from the client's seat: with crash windows on
+// two proxies, relay loss, jitter and capped-backoff retries layered on
+// the demand-fill workload, every client-side artifact — including the
+// dark-read degradation counters and the per-record dark flags — and the
+// relay fault ledger must stay byte-identical across thread counts,
+// whole-proxy and partitioned layouts and both window policies.  Client
+// traffic keeps each proxy whole, so per-proxy metrics stay comparable
+// even under the partitioned request.
+TEST(ClientDifferential, FaultInjectionSweepIsByteIdentical) {
+  FaultSchedule faults;
+  faults.crashes.push_back({0, {{2500.0, 3600.0}, {6800.0, 7500.0}}});
+  faults.crashes.push_back({1, {{4700.0, 5600.0}}});
+  faults.relay_loss = 0.1;
+  faults.relay_jitter_max = 0.3;
+  faults.retry_backoff_base = 1.0;
+  faults.retry_backoff_cap = 8.0;
+  faults.relay_retry_limit = 4;
+
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    const std::uint64_t seed = 13u;
+    SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                 std::to_string(seed));
+    const Topology topo = random_topology(seed);
+    const Artifacts reference =
+        reference_run(topo, kHorizon, /*demand_fill=*/true, faults);
+    // The outages must actually degrade service — reads served dark,
+    // stale hits among them, losses retried.  (Dark *misses* need a cold
+    // cache at crash time; test_fleet_faults pins that classification
+    // with a purpose-built cold-start scenario.)
+    ASSERT_GT(reference.merged.dark_reads, 0u);
+    ASSERT_GT(reference.merged.dark_stale, 0u);
+    ASSERT_GT(reference.relays_lost, 0u);
+    ASSERT_GT(reference.relays_retried, 0u);
+    EXPECT_EQ(reference.merged.hits + reference.merged.misses,
+              reference.merged.requests);
+    EXPECT_EQ(reference.relays_sent,
+              reference.relays_delivered + reference.relays_in_flight +
+                  reference.relays_lost);
+    // Dark reads never demand-fill: every recorded dark read is unfilled.
+    for (const ClientRequestRecord& record : reference.records) {
+      if (record.read.dark) EXPECT_FALSE(record.read.filled);
+    }
+
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_artifacts_identical(
+          reference, sharded_run(topo, threads, kHorizon, /*shards=*/0,
+                                 WindowPolicy::kAdaptive,
+                                 /*demand_fill=*/true, faults));
+      for (const WindowPolicy policy :
+           {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+        SCOPED_TRACE(policy == WindowPolicy::kFixed ? "fixed windows"
+                                                    : "adaptive windows");
+        expect_artifacts_identical(
+            reference, sharded_run(topo, threads, kHorizon, topo.proxies + 3,
+                                   policy, /*demand_fill=*/true, faults));
       }
     }
   }

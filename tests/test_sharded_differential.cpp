@@ -27,6 +27,7 @@
 
 #include "client/client_traffic.h"
 #include "consistency/limd.h"
+#include "fleet/faults.h"
 #include "fleet/proxy_fleet.h"
 #include "fleet/sharded_fleet.h"
 #include "metrics/accounting.h"
@@ -152,8 +153,10 @@ Topology random_topology(std::uint64_t seed) {
   return topo;
 }
 
-FleetConfig fleet_config(std::size_t proxies, bool clients = false) {
+FleetConfig fleet_config(std::size_t proxies, bool clients = false,
+                         const FaultSchedule& faults = {}) {
   FleetConfig config;
+  config.faults = faults;
   config.proxies = proxies;
   config.cooperative_push = true;
   // Non-harmonic constants: the relay latency (= lookahead window) must
@@ -200,17 +203,21 @@ struct Artifacts {
   std::size_t relays_delivered = 0;
   std::size_t relays_applied = 0;
   std::size_t relays_in_flight = 0;
+  std::size_t relays_lost = 0;
+  std::size_t relays_retried = 0;
+  std::size_t relays_dropped_dark = 0;
   FleetOriginLoad load;
 };
 
 Artifacts reference_run(const Topology& topo, Duration horizon,
-                        bool clients = false) {
+                        bool clients = false,
+                        const FaultSchedule& faults = {}) {
   Simulator sim;
   OriginServer origin(sim);
   for (const UpdateTrace& trace : topo.traces) {
     origin.attach_update_trace(trace.name(), trace);
   }
-  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies, clients));
+  ProxyFleet fleet(sim, origin, fleet_config(topo.proxies, clients, faults));
   const auto factory = limd_factory();
   for (const auto& [proxy, uri] : topo.tracked) {
     fleet.add_temporal_object(proxy, uri, factory());
@@ -238,15 +245,19 @@ Artifacts reference_run(const Topology& topo, Duration horizon,
   artifacts.relays_delivered = fleet.relays_delivered();
   artifacts.relays_applied = fleet.relays_applied();
   artifacts.relays_in_flight = fleet.relays_in_flight();
+  artifacts.relays_lost = fleet.relays_lost();
+  artifacts.relays_retried = fleet.relays_retried();
+  artifacts.relays_dropped_dark = fleet.relays_dropped_dark();
   artifacts.load = fleet.origin_load();
   return artifacts;
 }
 
 ShardedFleetConfig sharded_config(
     const Topology& topo, std::size_t threads, std::size_t shards = 0,
-    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false) {
+    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false,
+    const FaultSchedule& faults = {}) {
   ShardedFleetConfig config;
-  config.fleet = fleet_config(topo.proxies, clients);
+  config.fleet = fleet_config(topo.proxies, clients, faults);
   config.threads = threads;
   config.shards = shards;
   config.window_policy = policy;
@@ -260,9 +271,10 @@ ShardedFleetConfig sharded_config(
 
 std::unique_ptr<ShardedFleet> make_sharded(
     const Topology& topo, std::size_t threads, std::size_t shards = 0,
-    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false) {
+    WindowPolicy policy = WindowPolicy::kAdaptive, bool clients = false,
+    const FaultSchedule& faults = {}) {
   auto fleet = std::make_unique<ShardedFleet>(
-      sharded_config(topo, threads, shards, policy, clients));
+      sharded_config(topo, threads, shards, policy, clients, faults));
   const auto factory = limd_factory();
   for (const auto& [proxy, uri] : topo.tracked) {
     fleet->add_temporal_object(proxy, uri, factory);
@@ -295,6 +307,9 @@ Artifacts sharded_run(const Topology& topo, std::size_t threads,
   artifacts.relays_delivered = fleet->relays_delivered();
   artifacts.relays_applied = fleet->relays_applied();
   artifacts.relays_in_flight = fleet->relays_in_flight();
+  artifacts.relays_lost = fleet->relays_lost();
+  artifacts.relays_retried = fleet->relays_retried();
+  artifacts.relays_dropped_dark = fleet->relays_dropped_dark();
   artifacts.load = fleet->origin_load();
   return artifacts;
 }
@@ -331,6 +346,9 @@ void expect_artifacts_identical(const Artifacts& reference,
   EXPECT_EQ(reference.relays_delivered, candidate.relays_delivered);
   EXPECT_EQ(reference.relays_applied, candidate.relays_applied);
   EXPECT_EQ(reference.relays_in_flight, candidate.relays_in_flight);
+  EXPECT_EQ(reference.relays_lost, candidate.relays_lost);
+  EXPECT_EQ(reference.relays_retried, candidate.relays_retried);
+  EXPECT_EQ(reference.relays_dropped_dark, candidate.relays_dropped_dark);
   EXPECT_EQ(reference.load.origin_messages, candidate.load.origin_messages);
   EXPECT_EQ(reference.load.origin_polls, candidate.load.origin_polls);
   EXPECT_EQ(reference.load.relay_refreshes, candidate.load.relay_refreshes);
@@ -350,6 +368,24 @@ void expect_load_matches_records(const Artifacts& artifacts) {
   EXPECT_EQ(counts.failed, artifacts.load.failed);
   EXPECT_EQ(artifacts.load.origin_polls,
             artifacts.load.policy_polls() + artifacts.load.demand_fills);
+}
+
+// A fault schedule that exercises every injected failure mode at once:
+// two proxies with outage windows (proxy 0 twice, so re-crash after a
+// recovery is covered), relay loss heavy enough to retry constantly, and
+// latency jitter below the base relay latency (jittered deliveries stay
+// inside the conservative window-safety argument).  Constants stay
+// non-harmonic with the fleet's 0.7/0.1/2.0 trio.
+FaultSchedule heavy_faults() {
+  FaultSchedule faults;
+  faults.crashes.push_back({0, {{3000.0, 4500.0}, {8600.0, 9400.0}}});
+  faults.crashes.push_back({2, {{5300.0, 6400.0}}});
+  faults.relay_loss = 0.12;
+  faults.relay_jitter_max = 0.37;
+  faults.retry_backoff_base = 1.3;
+  faults.retry_backoff_cap = 11.0;
+  faults.relay_retry_limit = 4;
+  return faults;
 }
 
 // ---- the differential ------------------------------------------------------
@@ -497,6 +533,84 @@ TEST(ShardedDifferential, WindowPolicyAndPartitionSweepIsByteIdentical) {
   }
 }
 
+// The fault-injection acceptance bar: with crash/recovery windows, relay
+// loss, latency jitter, capped-backoff retries and δ-group failover all
+// active at once, every artifact — per-proxy poll logs, TTR series, the
+// merged record stream, origin load, and the full fault ledger — must
+// reproduce byte-identically across thread counts, whole-proxy and
+// partitioned shard layouts, both window policies and both scheduler
+// backends.  The fixed-vs-adaptive axis doubles as the fault-heavy
+// window differential: the adaptive edge folds export-retry fire times,
+// pending local relay retries and crash/recovery transitions, and a
+// missing fold would surface here as a sub-bound send (fail-fast) or a
+// diverging log.
+TEST(ShardedDifferential, FaultInjectionSweepIsByteIdentical) {
+  const FaultSchedule faults = heavy_faults();
+  for (const char* scheduler : {"heap", "calendar"}) {
+    ScopedEnv env("BROADWAY_SCHEDULER", scheduler);
+    const std::uint64_t seed = 23u;
+    SCOPED_TRACE(std::string(scheduler) + " topology seed " +
+                 std::to_string(seed));
+    const Topology topo = random_topology(seed);
+    const Artifacts reference =
+        reference_run(topo, kHorizon, /*clients=*/false, faults);
+    ASSERT_FALSE(reference.merged.empty());
+    // The schedule must actually bite in the reference run: losses,
+    // retries, and relays dropped at a dark destination all occur.
+    EXPECT_GT(reference.relays_lost, 0u);
+    EXPECT_GT(reference.relays_retried, 0u);
+    EXPECT_GT(reference.relays_dropped_dark, 0u);
+    EXPECT_EQ(reference.relays_sent,
+              reference.relays_delivered + reference.relays_in_flight +
+                  reference.relays_lost);
+    for (const WindowPolicy policy :
+         {WindowPolicy::kFixed, WindowPolicy::kAdaptive}) {
+      for (const std::size_t shards : {std::size_t{0}, topo.proxies + 3}) {
+        for (const std::size_t threads : kThreadCounts) {
+          SCOPED_TRACE(
+              std::string(policy == WindowPolicy::kFixed ? "fixed"
+                                                         : "adaptive") +
+              " windows, " + std::to_string(shards) + " shards, " +
+              std::to_string(threads) + " threads");
+          auto fleet = make_sharded(topo, threads, shards, policy,
+                                    /*clients=*/false, faults);
+          fleet->start();
+          fleet->run_until(kHorizon);
+          // A split proxy has no per-proxy log (fail-fast accessors), so
+          // the per-proxy comparison covers unsplit proxies and the
+          // merged stream pins the rest.
+          expect_records_identical(reference.merged,
+                                   fleet->merged_poll_records());
+          for (std::size_t p = 0; p < topo.proxies; ++p) {
+            if (fleet->slice_count(p) != 1) continue;
+            SCOPED_TRACE("proxy " + std::to_string(p));
+            expect_records_identical(reference.records_by_proxy[p],
+                                     fleet->proxy(p).poll_log().records());
+          }
+          EXPECT_EQ(reference.origin_requests, fleet->origin_requests());
+          EXPECT_EQ(reference.origin_polls, fleet->origin_polls());
+          EXPECT_EQ(reference.relays_sent, fleet->relays_sent());
+          EXPECT_EQ(reference.relays_delivered, fleet->relays_delivered());
+          EXPECT_EQ(reference.relays_applied, fleet->relays_applied());
+          EXPECT_EQ(reference.relays_in_flight, fleet->relays_in_flight());
+          EXPECT_EQ(reference.relays_lost, fleet->relays_lost());
+          EXPECT_EQ(reference.relays_retried, fleet->relays_retried());
+          EXPECT_EQ(reference.relays_dropped_dark,
+                    fleet->relays_dropped_dark());
+          const FleetOriginLoad load = fleet->origin_load();
+          EXPECT_EQ(reference.load.origin_messages, load.origin_messages);
+          EXPECT_EQ(reference.load.origin_polls, load.origin_polls);
+          EXPECT_EQ(reference.load.relay_refreshes, load.relay_refreshes);
+          EXPECT_EQ(reference.load.failed, load.failed);
+          EXPECT_EQ(fleet->relays_sent(),
+                    fleet->relays_delivered() + fleet->relays_in_flight() +
+                        fleet->relays_lost());
+        }
+      }
+    }
+  }
+}
+
 // Demand fills go through the shared poll pipeline, so with client
 // traffic and demand_fill on the *poll-log* differential must still hold:
 // kClientMiss records, their sibling relays and the full cause breakdown
@@ -547,6 +661,9 @@ TEST(ShardedDifferential, DemandFillClientSweepIsByteIdentical) {
             candidate.relays_delivered = fleet->relays_delivered();
             candidate.relays_applied = fleet->relays_applied();
             candidate.relays_in_flight = fleet->relays_in_flight();
+            candidate.relays_lost = fleet->relays_lost();
+            candidate.relays_retried = fleet->relays_retried();
+            candidate.relays_dropped_dark = fleet->relays_dropped_dark();
             candidate.load = fleet->origin_load();
             expect_artifacts_identical(reference, candidate);
             expect_load_matches_records(candidate);

@@ -35,6 +35,10 @@ GATED = [
     "BM_EngineTemporalSweep/64",
     "BM_EngineTemporalSweep/256",
     "BM_FleetRelayStorm/4",
+    # The same topology with the fault layer on (loss + jitter + retries +
+    # crash windows): the delta against BM_FleetRelayStorm is the price of
+    # the counter-keyed draws and the per-attempt ledger.
+    "BM_FleetFaultSweep/proxies:4",
     # Raw scheduler sweeps, both backends: the heap entry guards the
     # reference backend, the calendar entry the default one.
     "BM_SchedulerSweep/0/4096",
